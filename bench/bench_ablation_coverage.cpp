@@ -1,0 +1,108 @@
+// Ablation: the two kNN_multiple coverage backends — the exact disk-union
+// arc-coverage test versus the paper's polygonization + overlay approach at
+// several polygon resolutions. Reports verification recall (certified
+// candidates relative to the exact backend) and CPU time per verification.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/multi_peer.h"
+
+namespace {
+
+using namespace senn;
+using core::CachedResult;
+using core::Poi;
+using core::RankedPoi;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+CachedResult MakePeerCache(const std::vector<Poi>& pois, geom::Vec2 at, int cache_size) {
+  CachedResult r;
+  r.query_location = at;
+  for (const Poi& p : pois) {
+    r.neighbors.push_back({p.id, p.position, geom::Dist(at, p.position)});
+  }
+  std::sort(r.neighbors.begin(), r.neighbors.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+  if (static_cast<int>(r.neighbors.size()) > cache_size) {
+    r.neighbors.resize(static_cast<size_t>(cache_size));
+  }
+  return r;
+}
+
+struct Scenario {
+  std::vector<CachedResult> caches;
+  geom::Vec2 q;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Ablation: kNN_multiple coverage backend", args);
+  const int trials = args.full ? 5000 : 1000;
+
+  Rng rng(args.seed);
+  std::vector<Scenario> scenarios;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Poi> pois = RandomPois(30, &rng, 500);
+    Scenario s;
+    s.q = {rng.Uniform(150, 350), rng.Uniform(150, 350)};
+    for (int peer = 0; peer < 5; ++peer) {
+      s.caches.push_back(MakePeerCache(
+          pois, {s.q.x + rng.Uniform(-80, 80), s.q.y + rng.Uniform(-80, 80)}, 6));
+    }
+    scenarios.push_back(std::move(s));
+  }
+
+  struct Backend {
+    const char* name;
+    core::MultiPeerOptions options;
+  };
+  std::vector<Backend> backends;
+  backends.push_back({"exact disk union", {}});
+  for (int sides : {8, 16, 32, 64, 128}) {
+    core::MultiPeerOptions o;
+    o.backend = core::CoverageBackend::kPolygonized;
+    o.polygonize.sides = sides;
+    static char names[5][32];
+    static int idx = 0;
+    std::snprintf(names[idx], sizeof(names[idx]), "polygonized %d-gon", sides);
+    backends.push_back({names[idx], o});
+    ++idx;
+  }
+
+  std::printf("%-22s %12s %12s %14s\n", "backend", "certified", "recall%", "us/verify");
+  std::printf("csv,backend,certified,recall_pct,us_per_verify\n");
+  long long exact_total = 0;
+  for (const Backend& backend : backends) {
+    long long certified = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const Scenario& s : scenarios) {
+      std::vector<const CachedResult*> peers;
+      for (const CachedResult& c : s.caches) peers.push_back(&c);
+      core::CandidateHeap heap(6);
+      core::VerifyStats stats = VerifyMultiPeer(s.q, peers, &heap, backend.options);
+      certified += stats.certified;
+    }
+    auto stop = std::chrono::steady_clock::now();
+    double us = std::chrono::duration<double, std::micro>(stop - start).count() /
+                static_cast<double>(trials);
+    if (exact_total == 0) exact_total = certified;  // first backend is exact
+    double recall = exact_total > 0
+                        ? 100.0 * static_cast<double>(certified) /
+                              static_cast<double>(exact_total)
+                        : 100.0;
+    std::printf("%-22s %12lld %12.1f %14.2f\n", backend.name, certified, recall, us);
+    std::printf("csv,%s,%lld,%.2f,%.3f\n", backend.name, certified, recall, us);
+  }
+  return 0;
+}

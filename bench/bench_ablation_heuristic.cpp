@@ -1,0 +1,57 @@
+// Ablation: Heuristic 3.3 (process peers in ascending order of cached query
+// location distance). With early-exit verification, the sorted order should
+// certify k objects after examining fewer candidates.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/senn.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Ablation: Heuristic 3.3 peer ordering", args);
+  const int trials = args.full ? 4000 : 1000;
+
+  Rng rng(args.seed);
+  std::printf("%-22s %18s %14s\n", "ordering", "candidates/query", "peer-solved%");
+  std::printf("csv,ordering,candidates_per_query,peer_solved_pct\n");
+  for (bool sorted : {true, false}) {
+    Rng trial_rng(args.seed);  // identical worlds for both orderings
+    long long candidates = 0;
+    long long solved = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<core::Poi> pois;
+      for (int i = 0; i < 30; ++i) {
+        pois.push_back({i, {trial_rng.Uniform(0, 500), trial_rng.Uniform(0, 500)}});
+      }
+      core::SpatialServer server(pois);
+      geom::Vec2 q{trial_rng.Uniform(150, 350), trial_rng.Uniform(150, 350)};
+      std::vector<core::CachedResult> caches;
+      for (int peer = 0; peer < 6; ++peer) {
+        core::CachedResult c;
+        c.query_location = {q.x + trial_rng.Uniform(-120, 120),
+                            q.y + trial_rng.Uniform(-120, 120)};
+        core::ServerReply reply = server.QueryKnn(c.query_location, 6);
+        c.neighbors = reply.neighbors;
+        caches.push_back(std::move(c));
+      }
+      std::vector<const core::CachedResult*> peers;
+      for (const core::CachedResult& c : caches) peers.push_back(&c);
+      core::SennOptions options;
+      options.server_request_k = 6;
+      options.sort_peers = sorted;
+      options.early_exit = true;
+      core::SennProcessor senn(&server, options);
+      core::SennOutcome outcome = senn.Execute(q, 3, peers);
+      candidates += outcome.single_peer_stats.candidates;
+      solved += outcome.resolution != core::Resolution::kServer;
+    }
+    double per_query = static_cast<double>(candidates) / trials;
+    double solved_pct = 100.0 * static_cast<double>(solved) / trials;
+    std::printf("%-22s %18.2f %14.1f\n",
+                sorted ? "Heuristic 3.3 (sorted)" : "arrival order", per_query, solved_pct);
+    std::printf("csv,%s,%.3f,%.2f\n", sorted ? "sorted" : "unsorted", per_query, solved_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension bench (beyond the paper, per its future-work section):
+// sharing-based RANGE queries. Measures the fraction of range queries fully
+// answerable from peer caches and the server page savings from the certain-
+// radius pruning, as a function of the query radius.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/range.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Extension: sharing-based range queries", args);
+  const int trials = args.full ? 3000 : 800;
+
+  Rng rng(args.seed);
+  // A denser POI layer than gas stations (think restaurants): 150 POIs in
+  // a 2x2-mile area, peers with 10-entry caches — peer disks are then small
+  // relative to the area and coverage is a real constraint.
+  sim::ParameterSet params = sim::Table3(sim::Region::kLosAngeles);
+  const double side = params.AreaSideMeters();
+  const int poi_count = 400;
+  std::vector<core::Poi> pois;
+  for (int i = 0; i < poi_count; ++i) {
+    pois.push_back({i, {rng.Uniform(0, side), rng.Uniform(0, side)}});
+  }
+  core::SpatialServer server(pois);
+  core::RangeProcessor range(&server);
+
+  std::printf("%12s %14s %12s %14s %14s\n", "radius_m", "local%", "server%",
+              "pages pruned", "pages plain");
+  std::printf("csv,radius_m,local_pct,server_pct,pruned_pages,plain_pages\n");
+  for (double radius : {100.0, 200.0, 300.0, 450.0, 600.0, 800.0}) {
+    int local = 0;
+    RunningStats pruned_pages, plain_pages;
+    Rng trial_rng(args.seed + static_cast<uint64_t>(radius));
+    for (int t = 0; t < trials; ++t) {
+      geom::Vec2 q{trial_rng.Uniform(0, side), trial_rng.Uniform(0, side)};
+      // 2-5 peers with caches from locations near q (radio range ~200 m,
+      // plus cache staleness scatter).
+      std::vector<core::CachedResult> caches;
+      int peer_count = static_cast<int>(trial_rng.UniformInt(2, 5));
+      for (int p = 0; p < peer_count; ++p) {
+        core::CachedResult c;
+        c.query_location = {q.x + trial_rng.Uniform(-300, 300),
+                            q.y + trial_rng.Uniform(-300, 300)};
+        c.neighbors = server.QueryKnn(c.query_location, 25).neighbors;
+        caches.push_back(std::move(c));
+      }
+      std::vector<const core::CachedResult*> peers;
+      for (const core::CachedResult& c : caches) peers.push_back(&c);
+      core::RangeOutcome out = range.Execute(q, radius, peers);
+      if (out.resolution == core::RangeResolution::kServer) {
+        pruned_pages.Add(static_cast<double>(out.pruned_accesses.total()));
+        plain_pages.Add(static_cast<double>(out.plain_accesses.total()));
+      } else {
+        ++local;
+      }
+    }
+    double local_pct = 100.0 * local / trials;
+    std::printf("%12.0f %14.1f %12.1f %14.2f %14.2f\n", radius, local_pct,
+                100.0 - local_pct, pruned_pages.mean(), plain_pages.mean());
+    std::printf("csv,%.0f,%.2f,%.2f,%.3f,%.3f\n", radius, local_pct, 100.0 - local_pct,
+                pruned_pages.mean(), plain_pages.mean());
+  }
+  return 0;
+}

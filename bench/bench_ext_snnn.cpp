@@ -1,0 +1,92 @@
+// Extension bench: SNNN (Algorithm 2), which the paper proposes but does
+// not evaluate. Measures (a) how many extra Euclidean NNs the IER loop pulls
+// before the Euclidean-lower-bound cutoff fires, and (b) how peer sharing
+// changes the share of those pulls that reach the server, as a function of
+// k, on a synthetic street network with on-network POIs.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/snnn.h"
+#include "src/roadnet/generator.h"
+
+namespace {
+
+using namespace senn;
+
+// Counts SENN resolutions across the IER loop of one SNNN query.
+class CountingSource final : public core::EuclideanNnSource {
+ public:
+  CountingSource(const core::SennProcessor* senn, geom::Vec2 q,
+                 std::vector<const core::CachedResult*> peers)
+      : inner_(senn, q, std::move(peers)) {}
+  std::vector<core::RankedPoi> TopK(int m) override {
+    std::vector<core::RankedPoi> result = inner_.TopK(m);
+    ++pulls_;
+    server_pulls_ += inner_.last_resolution() == core::Resolution::kServer;
+    return result;
+  }
+  int pulls() const { return pulls_; }
+  int server_pulls() const { return server_pulls_; }
+
+ private:
+  core::SennNnSource inner_;
+  int pulls_ = 0;
+  int server_pulls_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Extension: SNNN / IER behaviour", args);
+  const int trials = args.full ? 600 : 150;
+
+  Rng rng(args.seed);
+  roadnet::RoadNetworkConfig road;
+  road.area_side_m = 4000;
+  road.block_spacing_m = 250;
+  roadnet::Graph graph = roadnet::GenerateRoadNetwork(road, &rng);
+  roadnet::EdgeLocator locator(&graph, 250.0);
+  std::vector<core::Poi> pois;
+  for (int i = 0; i < 80; ++i) {
+    geom::Vec2 raw{rng.Uniform(0, 4000), rng.Uniform(0, 4000)};
+    pois.push_back({i, graph.PositionOf(locator.Nearest(raw))});
+  }
+  core::SpatialServer server(pois);
+  core::SennOptions options;
+  options.server_request_k = 20;
+  core::SennProcessor senn(&server, options);
+  core::SnnnProcessor snnn(&graph, &locator);
+
+  std::printf("%6s %16s %18s %20s\n", "k", "IER pulls/query", "ED!=ND rank-1 %",
+              "server pulls (warm peer)");
+  std::printf("csv,k,ier_pulls,rank1_differs_pct,server_pulls_warm\n");
+  for (int k : {1, 2, 4, 8}) {
+    double pulls = 0, server_pulls_warm = 0;
+    int rank1_differs = 0;
+    Rng trial_rng(args.seed + static_cast<uint64_t>(k));
+    for (int t = 0; t < trials; ++t) {
+      geom::Vec2 q{trial_rng.Uniform(400, 3600), trial_rng.Uniform(400, 3600)};
+      // A warm colocated peer (e.g., the host's own recent cache).
+      core::CachedResult peer;
+      peer.query_location = {q.x + trial_rng.Uniform(-60, 60),
+                             q.y + trial_rng.Uniform(-60, 60)};
+      peer.neighbors = server.QueryKnn(peer.query_location, 20).neighbors;
+      CountingSource source(&senn, q, {&peer});
+      std::vector<core::NetworkRankedPoi> by_road = snnn.Execute(q, k, &source);
+      pulls += source.pulls();
+      server_pulls_warm += source.server_pulls();
+      core::ServerReply by_air = server.QueryKnn(q, 1);
+      if (!by_road.empty() && !by_air.neighbors.empty() &&
+          by_road[0].id != by_air.neighbors[0].id) {
+        ++rank1_differs;
+      }
+    }
+    std::printf("%6d %16.2f %18.1f %20.2f\n", k, pulls / trials,
+                100.0 * rank1_differs / trials, server_pulls_warm / trials);
+    std::printf("csv,%d,%.3f,%.2f,%.3f\n", k, pulls / trials,
+                100.0 * rank1_differs / trials, server_pulls_warm / trials);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6 / Table 1: the worked kNN_single example. A query host Q with
+// k = 4 consults its two closest peers; after verification the candidate
+// heap H holds two certain POIs (at sqrt(2) and sqrt(3) from Q) and two
+// uncertain ones (at sqrt(5) and sqrt(8)), reproducing Table 1 of the paper.
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/single_peer.h"
+
+int main() {
+  using namespace senn;
+  using core::CachedResult;
+  using core::RankedPoi;
+  geom::Vec2 q{0, 0};
+
+  // Peer P1 cached three POIs; its certain-area radius is the distance to
+  // its farthest cached neighbor.
+  CachedResult p1;
+  p1.query_location = {0.2, 0};
+  RankedPoi a{1, {1, 1}, geom::Dist(p1.query_location, {1, 1})};             // n1-P1
+  RankedPoi b{2, {std::sqrt(3.0), 0}, geom::Dist(p1.query_location, {std::sqrt(3.0), 0})};
+  RankedPoi c{3, {1, 2}, geom::Dist(p1.query_location, {1, 2})};             // n3-P1
+  p1.neighbors = {a, b, c};
+
+  // Peer P2 cached two POIs (sharing n1 with P1).
+  CachedResult p2;
+  p2.query_location = {0.5, 0.5};
+  RankedPoi a2{1, {1, 1}, geom::Dist(p2.query_location, {1, 1})};
+  RankedPoi d{4, {2, 2}, geom::Dist(p2.query_location, {2, 2})};  // n2-P2
+  p2.neighbors = {a2, d};
+
+  core::CandidateHeap heap(4);
+  std::printf("=== Figure 6 / Table 1: kNN_single walkthrough (k = 4) ===\n");
+  std::printf("Q = (0,0); peers sorted by cached query location distance (Heuristic 3.3)\n\n");
+  core::VerifyStats s1 = VerifySinglePeer(q, p1, &heap);
+  std::printf("after P1 (delta=%.3f, radius=%.3f): %d certified, %d uncertain\n",
+              geom::Dist(q, p1.query_location), p1.Radius(), s1.certified, s1.uncertain);
+  core::VerifyStats s2 = VerifySinglePeer(q, p2, &heap);
+  std::printf("after P2 (delta=%.3f, radius=%.3f): %d certified, %d uncertain\n\n",
+              geom::Dist(q, p2.query_location), p2.Radius(), s2.certified, s2.uncertain);
+
+  std::printf("heap H (capacity 4), state: %s\n", core::HeapStateName(heap.state()));
+  std::printf("%-10s %-6s %-12s %s\n", "class", "poi", "dist(Q,n)", "dist^2");
+  for (const RankedPoi& n : heap.certain()) {
+    std::printf("%-10s n%-5lld %-12.4f %.1f\n", "certain", static_cast<long long>(n.id),
+                n.distance, n.distance * n.distance);
+  }
+  for (const RankedPoi& n : heap.uncertain()) {
+    std::printf("%-10s n%-5lld %-12.4f %.1f\n", "uncertain", static_cast<long long>(n.id),
+                n.distance, n.distance * n.distance);
+  }
+  rtree::PruneBounds bounds = heap.ComputeBounds();
+  std::printf("\nbranch-expanding bounds shipped to the server (Section 3.3):\n");
+  if (bounds.lower.has_value()) std::printf("  lower = %.4f (last certain entry)\n", *bounds.lower);
+  if (bounds.upper.has_value()) std::printf("  upper = %.4f (last entry of H)\n", *bounds.upper);
+  std::printf("\nexpected (paper Table 1): certain at sqrt2=1.414, sqrt3=1.732;"
+              " uncertain at sqrt5=2.236, sqrt8=2.828\n");
+  return 0;
+}

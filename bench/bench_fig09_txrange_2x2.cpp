@@ -1,0 +1,28 @@
+// Figure 9: percentage of queries resolved by one peer, multiple peers, and
+// the server as a function of the wireless transmission range (20..200 m),
+// for the three Table 3 parameter sets in the 2x2-mile area, road network
+// mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 9: Tx range sweep, 2x2 mi, road network mode", args);
+  double duration = args.full ? 3600.0 : 1800.0;
+  std::vector<double> ranges;
+  for (double tx = 20.0; tx <= 200.0; tx += 20.0) ranges.push_back(tx);
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), sim::Table3(region), sim::MovementMode::kRoadNetwork,
+        args, duration, ranges,
+        [](sim::SimulationConfig* cfg, double tx) { cfg->params.tx_range_m = tx; }));
+  }
+  sim::PrintFigure("Figure 9: queries resolved vs. transmission range (2x2 mi)",
+                   "tx_range_m", series);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 10: queries resolved by one peer / multiple peers / the server as a
+// function of the transmission range, for the Table 4 parameter sets in the
+// 30x30-mile area, road network mode.
+//
+// Quick mode shrinks the area linearly by 5x (6x6 miles) with all densities
+// preserved (see bench_util.h); --full runs the unscaled 121,500-host world.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 10: Tx range sweep, 30x30 mi, road network mode", args);
+  double scale = args.full ? 1.0 : 5.0;
+  double duration = args.full ? 18000.0 : 2400.0;
+  std::vector<double> ranges;
+  for (double tx = 20.0; tx <= 200.0; tx += 20.0) ranges.push_back(tx);
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), bench::ScaleDown(sim::Table4(region), scale),
+        sim::MovementMode::kRoadNetwork, args, duration, ranges,
+        [](sim::SimulationConfig* cfg, double tx) {
+          cfg->time_step_s = 2.0;
+          cfg->params.tx_range_m = tx;
+        }));
+  }
+  sim::PrintFigure("Figure 10: queries resolved vs. transmission range (30x30 mi)",
+                   "tx_range_m", series);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 12: queries resolved by one peer / multiple peers / the server as a
+// function of the mobile host cache capacity (4..20), Table 4 parameter
+// sets, 30x30-mile area (scaled in quick mode), road network mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 12: cache capacity sweep, 30x30 mi", args);
+  double scale = args.full ? 1.0 : 5.0;
+  double duration = args.full ? 18000.0 : 2400.0;
+  std::vector<double> capacities{4, 8, 12, 16, 20};
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), bench::ScaleDown(sim::Table4(region), scale),
+        sim::MovementMode::kRoadNetwork, args, duration, capacities,
+        [](sim::SimulationConfig* cfg, double c) {
+          cfg->time_step_s = 2.0;
+          cfg->params.cache_size = static_cast<int>(c);
+        }));
+  }
+  sim::PrintFigure("Figure 12: queries resolved vs. cache capacity (30x30 mi)",
+                   "cache_items", series);
+  return 0;
+}

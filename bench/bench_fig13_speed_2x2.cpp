@@ -1,0 +1,26 @@
+// Figure 13: queries resolved by one peer / multiple peers / the server as a
+// function of the mobile host movement velocity (10..50 mph), Table 3
+// parameter sets, 2x2-mile area, road network mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 13: velocity sweep, 2x2 mi", args);
+  double duration = args.full ? 3600.0 : 1800.0;
+  std::vector<double> speeds{10, 15, 20, 25, 30, 35, 40, 45, 50};
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), sim::Table3(region), sim::MovementMode::kRoadNetwork,
+        args, duration, speeds,
+        [](sim::SimulationConfig* cfg, double mph) { cfg->params.velocity_mph = mph; }));
+  }
+  sim::PrintFigure("Figure 13: queries resolved vs. movement velocity (2x2 mi)",
+                   "speed_mph", series);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 14: queries resolved by one peer / multiple peers / the server as a
+// function of the mobile host movement velocity (10..50 mph), Table 4
+// parameter sets, 30x30-mile area (scaled in quick mode), road network mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 14: velocity sweep, 30x30 mi", args);
+  double scale = args.full ? 1.0 : 5.0;
+  double duration = args.full ? 18000.0 : 2400.0;
+  std::vector<double> speeds{10, 20, 30, 40, 50};
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), bench::ScaleDown(sim::Table4(region), scale),
+        sim::MovementMode::kRoadNetwork, args, duration, speeds,
+        [](sim::SimulationConfig* cfg, double mph) {
+          cfg->time_step_s = 2.0;
+          cfg->params.velocity_mph = mph;
+        }));
+  }
+  sim::PrintFigure("Figure 14: queries resolved vs. movement velocity (30x30 mi)",
+                   "speed_mph", series);
+  return 0;
+}

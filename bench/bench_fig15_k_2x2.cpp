@@ -1,0 +1,28 @@
+// Figure 15: queries resolved by one peer / multiple peers / the server as a
+// function of the number of requested nearest neighbors k (1..9), Table 3
+// parameter sets, 2x2-mile area, road network mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 15: k sweep, 2x2 mi", args);
+  double duration = args.full ? 3600.0 : 1800.0;
+  std::vector<double> ks{1, 3, 5, 7, 9};
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), sim::Table3(region), sim::MovementMode::kRoadNetwork,
+        args, duration, ks, [](sim::SimulationConfig* cfg, double k) {
+          cfg->params.k_nn = static_cast<int>(k);
+          // Hosts cannot request more neighbors than their cache can hold.
+          cfg->params.cache_size = std::max(cfg->params.cache_size, cfg->params.k_nn);
+        }));
+  }
+  sim::PrintFigure("Figure 15: queries resolved vs. k (2x2 mi)", "k", series);
+  return 0;
+}

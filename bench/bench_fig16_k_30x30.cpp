@@ -1,0 +1,30 @@
+// Figure 16: queries resolved by one peer / multiple peers / the server as a
+// function of the number of requested nearest neighbors k (3..15), Table 4
+// parameter sets, 30x30-mile area (scaled in quick mode), road network mode.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Figure 16: k sweep, 30x30 mi", args);
+  double scale = args.full ? 1.0 : 5.0;
+  double duration = args.full ? 18000.0 : 2400.0;
+  std::vector<double> ks{3, 6, 9, 12, 15};
+
+  std::vector<sim::FigureSeries> series;
+  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                             sim::Region::kRiverside}) {
+    series.push_back(bench::RunSweep(
+        sim::RegionName(region), bench::ScaleDown(sim::Table4(region), scale),
+        sim::MovementMode::kRoadNetwork, args, duration, ks,
+        [](sim::SimulationConfig* cfg, double k) {
+          cfg->time_step_s = 2.0;
+          cfg->params.k_nn = static_cast<int>(k);
+          cfg->params.cache_size = std::max(cfg->params.cache_size, cfg->params.k_nn);
+        }));
+  }
+  sim::PrintFigure("Figure 16: queries resolved vs. k (30x30 mi)", "k", series);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Tables 2, 3 and 4: the simulation parameter glossary and the two scales of
+// region parameter sets, printed exactly as encoded in sim/params.
+#include <cstdio>
+
+#include "src/sim/report.h"
+
+int main() {
+  using namespace senn::sim;
+  std::printf("=== Table 2: simulation parameters ===\n");
+  std::printf("  %-14s %s\n", "POI Number", "number of points of interest in the system");
+  std::printf("  %-14s %s\n", "MH Number", "number of mobile hosts in the simulation area");
+  std::printf("  %-14s %s\n", "C_Size", "cache capacity of each mobile host");
+  std::printf("  %-14s %s\n", "M_Percentage", "mobile host movement percentage");
+  std::printf("  %-14s %s\n", "M_Velocity", "mobile host movement velocity (mph)");
+  std::printf("  %-14s %s\n", "lambda_Query", "mean number of queries per minute");
+  std::printf("  %-14s %s\n", "Tx_Range", "transmission range of queries (m)");
+  std::printf("  %-14s %s\n", "lambda_kNN", "mean number of queried nearest neighbors");
+  std::printf("  %-14s %s\n", "T_execution", "length of a simulation run");
+
+  std::printf("\n=== Table 3: 2x2-mile parameter sets ===\n");
+  for (Region r : {Region::kLosAngeles, Region::kRiverside, Region::kSyntheticSuburbia}) {
+    PrintParameterSet(Table3(r));
+  }
+  std::printf("\n=== Table 4: 30x30-mile parameter sets ===\n");
+  for (Region r : {Region::kLosAngeles, Region::kRiverside, Region::kSyntheticSuburbia}) {
+    PrintParameterSet(Table4(r));
+  }
+  return 0;
+}

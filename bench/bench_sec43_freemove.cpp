@@ -1,0 +1,55 @@
+// Section 4.3: free movement mode versus road network mode. The paper
+// reports the server workload with the Los Angeles set decreasing by 5-8%
+// (2x2 mi) and 2-5% (30x30 mi) in free movement mode — obstacle-free
+// movement raises the local host density (the random-waypoint center bias),
+// so more queries find useful peers — with the other sets close to their
+// road-network counterparts. The effect is small, so each cell is averaged
+// over several seeds.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace senn;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintRunBanner("Section 4.3: free movement vs road network mode", args);
+  double duration_small = args.full ? 3600.0 : 1500.0;
+  double duration_big = args.full ? 18000.0 : 1800.0;
+  double scale = args.full ? 1.0 : 5.0;
+  const int repeats = args.full ? 8 : 4;
+
+  std::printf("%-52s %14s %14s %8s\n", "parameter set", "road server%", "free server%",
+              "delta");
+  std::printf("csv,set,road_server_pct,free_server_pct,delta\n");
+  for (bool big_area : {false, true}) {
+    for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
+                               sim::Region::kRiverside}) {
+      sim::ParameterSet params = big_area
+                                     ? bench::ScaleDown(sim::Table4(region), scale)
+                                     : sim::Table3(region);
+      double server_pct[2] = {0, 0};
+      for (sim::MovementMode mode :
+           {sim::MovementMode::kRoadNetwork, sim::MovementMode::kFreeMovement}) {
+        double total = 0.0;
+        for (int rep = 0; rep < repeats; ++rep) {
+          sim::SimulationConfig cfg;
+          cfg.params = params;
+          cfg.mode = mode;
+          cfg.seed = args.seed + static_cast<uint64_t>(rep) * 7919;
+          cfg.time_step_s = big_area ? 2.0 : 1.0;
+          cfg.duration_s = args.duration_s > 0
+                               ? args.duration_s
+                               : (big_area ? duration_big : duration_small);
+          total += sim::Simulator(cfg).Run().pct_server;
+        }
+        server_pct[mode == sim::MovementMode::kFreeMovement ? 1 : 0] = total / repeats;
+      }
+      std::printf("%-52s %14.1f %14.1f %+8.1f\n", params.name.c_str(), server_pct[0],
+                  server_pct[1], server_pct[1] - server_pct[0]);
+      std::printf("csv,%s,%.2f,%.2f,%.2f\n", params.name.c_str(), server_pct[0],
+                  server_pct[1], server_pct[1] - server_pct[0]);
+    }
+  }
+  return 0;
+}

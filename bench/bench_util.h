@@ -1,0 +1,90 @@
+// Shared plumbing for the figure benches: command-line parsing and the
+// density-preserving scale-down used to keep default runs laptop-fast.
+//
+// Every bench accepts:
+//   --full        paper-scale run (full area, host count, longer duration)
+//   --seed N      master seed (default 20060403; printed with the output)
+//   --duration S  simulated seconds per sweep point (overrides defaults)
+//
+// Scale-down: the 30x30-mile experiments sweep over 121,500 hosts for five
+// simulated hours. Quick mode shrinks the *area* by a linear factor s and
+// the host/POI counts and query rate by s^2, preserving every density the
+// results depend on (hosts per square mile, POIs per square mile, queries
+// per minute per host). Transmission range, velocity, cache size and k are
+// untouched. EXPERIMENTS.md records the factors used per experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+namespace senn::bench {
+
+struct BenchArgs {
+  bool full = false;
+  uint64_t seed = 20060403;  // ICDE 2006 :-)
+  double duration_s = -1.0;  // <= 0: bench-specific default
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      args.duration_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--full] [--seed N] [--duration S]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// Shrinks a parameter set by a linear factor (>= 1), preserving densities.
+inline sim::ParameterSet ScaleDown(sim::ParameterSet p, double linear_factor) {
+  if (linear_factor <= 1.0) return p;
+  double area_factor = linear_factor * linear_factor;
+  p.area_side_miles /= linear_factor;
+  p.poi_number = std::max(1, static_cast<int>(p.poi_number / area_factor + 0.5));
+  p.mh_number = std::max(1, static_cast<int>(p.mh_number / area_factor + 0.5));
+  p.queries_per_minute /= area_factor;
+  p.name += " (scaled 1/" + std::to_string(static_cast<int>(linear_factor)) + " linear)";
+  return p;
+}
+
+/// Runs one series of a Figures 9-16 style sweep: for each x the tweak
+/// callback edits the run configuration, then a full simulation runs.
+inline sim::FigureSeries RunSweep(
+    const std::string& label, const sim::ParameterSet& params, sim::MovementMode mode,
+    const BenchArgs& args, double duration_s, const std::vector<double>& xs,
+    const std::function<void(sim::SimulationConfig*, double)>& tweak) {
+  sim::FigureSeries series;
+  series.label = label;
+  for (double x : xs) {
+    sim::SimulationConfig cfg;
+    cfg.params = params;
+    cfg.mode = mode;
+    cfg.seed = args.seed + static_cast<uint64_t>(x * 1000.0);
+    cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration_s;
+    tweak(&cfg, x);
+    sim::SimulationResult r = sim::Simulator(cfg).Run();
+    series.rows.push_back({x, r});
+  }
+  return series;
+}
+
+inline void PrintRunBanner(const char* bench, const BenchArgs& args) {
+  std::printf("# %s  seed=%llu  mode=%s\n", bench,
+              static_cast<unsigned long long>(args.seed), args.full ? "full" : "quick");
+}
+
+}  // namespace senn::bench

@@ -1,0 +1,97 @@
+// Continuous navigation: the extension APIs in one scenario.
+//
+// A car drives across town while its navigation screen continuously shows
+// (a) the 3 nearest charging stations (continuous kNN) and (b) every
+// restaurant within 500 m (sharing-based range query). The example prints
+// where each refresh was answered — own cache, peers, or the server — and
+// the total communication the sharing machinery avoided.
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/core/continuous.h"
+#include "src/core/range.h"
+#include "src/mobility/waypoint.h"
+
+int main() {
+  using namespace senn;
+  Rng rng(1234);
+  const double side = 5000.0;
+
+  // Two POI layers on one server: chargers (ids 0..39) and restaurants
+  // (ids 100..199) — separate servers per type, as a deployment would shard.
+  std::vector<core::Poi> chargers, restaurants;
+  for (int i = 0; i < 40; ++i) {
+    chargers.push_back({i, {rng.Uniform(0, side), rng.Uniform(0, side)}});
+  }
+  for (int i = 0; i < 100; ++i) {
+    restaurants.push_back({100 + i, {rng.Uniform(0, side), rng.Uniform(0, side)}});
+  }
+  core::SpatialServer charger_server(chargers);
+  core::SpatialServer restaurant_server(restaurants);
+  core::SennOptions options;
+  options.server_request_k = 10;
+  core::SennProcessor senn(&charger_server, options);
+  core::ContinuousKnn nearest_chargers(&senn, 3);
+  core::RangeProcessor nearby_restaurants(&restaurant_server);
+
+  // Other cars parked around town share their cached restaurant results.
+  std::vector<core::CachedResult> parked;
+  for (int p = 0; p < 30; ++p) {
+    core::CachedResult c;
+    c.query_location = {rng.Uniform(0, side), rng.Uniform(0, side)};
+    c.neighbors = restaurant_server.QueryKnn(c.query_location, 10).neighbors;
+    parked.push_back(std::move(c));
+  }
+  charger_server.ResetStats();
+  restaurant_server.ResetStats();
+
+  mobility::WaypointConfig wcfg;
+  wcfg.area_side_m = side;
+  wcfg.speed_mps = MphToMps(30.0);
+  wcfg.mean_pause_s = 8.0;
+  mobility::WaypointMover car(wcfg, {500, 500}, &rng);
+
+  int range_local = 0, range_total = 0;
+  for (int tick = 0; tick < 120; ++tick) {
+    car.Advance(5.0, &rng);
+    geom::Vec2 pos = car.position();
+
+    core::StepResult chargers_now = nearest_chargers.Step(pos);
+    std::vector<const core::CachedResult*> peers;
+    for (const core::CachedResult& c : parked) {
+      if (geom::Dist(c.query_location, pos) <= 400.0) peers.push_back(&c);
+    }
+    core::RangeOutcome eats = nearby_restaurants.Execute(pos, 500.0, peers);
+    ++range_total;
+    range_local += eats.resolution != core::RangeResolution::kServer;
+
+    if (tick % 20 == 0) {
+      std::printf("t=%3ds at (%4.0f,%4.0f): nearest charger %lld (%.0f m, via %s); "
+                  "%zu restaurants within 500 m (via %s)\n",
+                  tick * 5, pos.x, pos.y,
+                  static_cast<long long>(chargers_now.neighbors[0].id),
+                  chargers_now.neighbors[0].distance,
+                  core::StepSourceName(chargers_now.source), eats.pois.size(),
+                  core::RangeResolutionName(eats.resolution));
+    }
+  }
+
+  const core::ContinuousStats& cs = nearest_chargers.stats();
+  std::printf("\ncontinuous 3-NN over %llu refreshes: %llu own-cache, %llu peers, "
+              "%llu server (%.0f%% silent)\n",
+              static_cast<unsigned long long>(cs.steps),
+              static_cast<unsigned long long>(cs.own_cache_hits),
+              static_cast<unsigned long long>(cs.peer_answers),
+              static_cast<unsigned long long>(cs.server_answers),
+              100.0 * static_cast<double>(cs.own_cache_hits) /
+                  static_cast<double>(cs.steps));
+  std::printf("range queries: %d of %d fully answered by parked peers (%.0f%%)\n",
+              range_local, range_total, 100.0 * range_local / range_total);
+  std::printf("charger server saw %llu queries for 120 refreshes; restaurant server "
+              "%llu for %d range scans\n",
+              static_cast<unsigned long long>(charger_server.stats().queries),
+              static_cast<unsigned long long>(restaurant_server.stats().queries),
+              range_total);
+  return 0;
+}

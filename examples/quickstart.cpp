@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful SENN program.
+//
+// Builds a POI database, gives one mobile host a cached kNN result, and
+// shows a second host answering its own query from that cache — verified,
+// not guessed — falling back to the server only when verification fails.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/core/senn.h"
+
+int main() {
+  using namespace senn;
+
+  // A toy city: 40 gas stations in a 4 x 4 km area.
+  Rng rng(42);
+  std::vector<core::Poi> stations;
+  for (int i = 0; i < 40; ++i) {
+    stations.push_back({i, {rng.Uniform(0, 4000), rng.Uniform(0, 4000)}});
+  }
+  core::SpatialServer server(stations);
+
+  // Host P queried the server a moment ago at (2000, 2000) and cached the
+  // result: its query location plus its 10 nearest stations.
+  core::CachedResult peer_cache;
+  peer_cache.query_location = {2000, 2000};
+  peer_cache.neighbors = server.QueryKnn(peer_cache.query_location, 10).neighbors;
+  std::printf("peer cache: 10 stations around (2000, 2000), certain radius %.0f m\n",
+              peer_cache.Radius());
+
+  // Host Q, 150 m away, wants its 3 nearest stations. SENN harvests the
+  // peer's cache and verifies which entries are provably Q's own kNN
+  // (Lemma 3.2): a station n is certain iff
+  //   dist(Q, n) + dist(Q, P's query location) <= P's certain radius.
+  core::SennOptions options;
+  options.server_request_k = 10;
+  core::SennProcessor senn(&server, options);
+  geom::Vec2 q{2150, 2000};
+  core::SennOutcome outcome = senn.Execute(q, 3, {&peer_cache});
+
+  std::printf("query at (2150, 2000), k = 3 -> resolved by: %s\n",
+              core::ResolutionName(outcome.resolution));
+  for (size_t i = 0; i < outcome.neighbors.size(); ++i) {
+    const core::RankedPoi& n = outcome.neighbors[i];
+    std::printf("  rank %zu: station %lld at (%.0f, %.0f), %.0f m away\n", i + 1,
+                static_cast<long long>(n.id), n.position.x, n.position.y, n.distance);
+  }
+
+  // Cross-check against the server (the answer is exact, not approximate).
+  std::vector<core::RankedPoi> truth = server.QueryKnn(q, 3).neighbors;
+  bool match = truth.size() == outcome.neighbors.size();
+  for (size_t i = 0; match && i < truth.size(); ++i) {
+    match = truth[i].id == outcome.neighbors[i].id;
+  }
+  std::printf("matches a direct server query: %s\n", match ? "yes" : "NO (bug!)");
+
+  // A host far outside the cached disk cannot verify anything and goes to
+  // the server, shipping pruning bounds derived from its candidate heap.
+  geom::Vec2 far{300, 3700};
+  core::SennOutcome far_outcome = senn.Execute(far, 3, {&peer_cache});
+  std::printf("query at (300, 3700)  -> resolved by: %s (heap state: %s)\n",
+              core::ResolutionName(far_outcome.resolution),
+              core::HeapStateName(far_outcome.heap_state));
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "src/cache/nn_cache.h"
+
+#include <algorithm>
+
+namespace senn::cache {
+
+NnCache::NnCache(int capacity) : capacity_(std::max(capacity, 1)) {}
+
+void NnCache::Store(core::CachedResult result) {
+  if (static_cast<int>(result.neighbors.size()) > capacity_) {
+    result.neighbors.resize(static_cast<size_t>(capacity_));
+  }
+  entry_ = std::move(result);
+  ++store_count_;
+}
+
+const core::CachedResult* NnCache::Get() const {
+  return entry_.has_value() ? &*entry_ : nullptr;
+}
+
+void NnCache::Clear() { entry_.reset(); }
+
+}  // namespace senn::cache

@@ -1,0 +1,47 @@
+// Per-mobile-host nearest-neighbor result cache.
+//
+// The paper's cache policy (Section 4.1):
+//  1. a host stores only the query location and all the *certain* nearest
+//     neighbors of its most recent query, and
+//  2. when a query must go to the server, the host asks for as many NNs as
+//     its cache capacity allows (so the cached disk is as large as possible).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/types.h"
+
+namespace senn::cache {
+
+/// Single-entry NN cache with a capacity limit on the number of stored POIs.
+class NnCache {
+ public:
+  /// `capacity` is the C_Size parameter: the number of POIs the host can
+  /// keep (clamped to >= 1).
+  explicit NnCache(int capacity);
+
+  /// Replaces the cached result with `result`, truncating to capacity. The
+  /// neighbors must be an exact ascending rank-prefix (see CachedResult);
+  /// truncating a prefix preserves the invariant.
+  void Store(core::CachedResult result);
+
+  /// The cached result, or nullptr when nothing has been stored yet.
+  const core::CachedResult* Get() const;
+
+  /// Drops the cached result.
+  void Clear();
+
+  int capacity() const { return capacity_; }
+  bool Empty() const { return !entry_.has_value() || entry_->Empty(); }
+
+  /// Lifetime counters (diagnostics).
+  uint64_t store_count() const { return store_count_; }
+
+ private:
+  int capacity_;
+  std::optional<core::CachedResult> entry_;
+  uint64_t store_count_ = 0;
+};
+
+}  // namespace senn::cache

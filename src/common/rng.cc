@@ -1,0 +1,96 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace senn {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::NextIndex(uint64_t n) {
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextIndex(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  // Inverse-CDF; NextDouble() < 1 so the log argument is > 0.
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    uint64_t count = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++count;
+      product *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // arrival counts at large rates.
+  double draw = Normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; avoids u1 == 0.
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
+}  // namespace senn

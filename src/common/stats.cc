@@ -1,0 +1,52 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace senn {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  uint64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.4f sd=%.4f min=%.4f max=%.4f",
+                static_cast<unsigned long long>(count_), mean(), stddev(), min(), max());
+  return buf;
+}
+
+}  // namespace senn

@@ -1,0 +1,44 @@
+// Streaming statistics accumulators used by the simulator's metric plumbing
+// and the benchmark row printers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace senn {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  uint64_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  /// "n=<count> mean=<mean> sd=<sd> min=<min> max=<max>".
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace senn

@@ -1,0 +1,114 @@
+// Status / Result error-handling primitives, following the RocksDB/Arrow
+// idiom: fallible APIs return a Status (or a Result<T> carrying a value),
+// never throw on expected failure paths.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace senn {
+
+/// Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy (the common OK case
+/// stores no message).
+class Status {
+ public:
+  /// Machine-inspectable error category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Factory helpers -------------------------------------------------------
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status OutOfRange(std::string_view msg) { return Status(Code::kOutOfRange, msg); }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  /// Predicates -------------------------------------------------------------
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code_ == Code::kFailedPrecondition; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value-or-error wrapper: holds either a T or a non-OK Status.
+///
+/// Usage:
+///   Result<Graph> g = Graph::Load(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(payload_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status; OK() if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace senn

@@ -1,0 +1,25 @@
+// Unit conversions. The paper mixes units: simulation areas in miles,
+// wireless transmission ranges in meters, speeds in miles per hour. The
+// library computes in SI internally (meters, seconds) and converts at the
+// configuration boundary.
+#pragma once
+
+namespace senn {
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+
+/// Miles -> meters.
+constexpr double MilesToMeters(double miles) { return miles * kMetersPerMile; }
+
+/// Meters -> miles.
+constexpr double MetersToMiles(double meters) { return meters / kMetersPerMile; }
+
+/// Miles-per-hour -> meters-per-second.
+constexpr double MphToMps(double mph) { return mph * kMetersPerMile / kSecondsPerHour; }
+
+/// Meters-per-second -> miles-per-hour.
+constexpr double MpsToMph(double mps) { return mps * kSecondsPerHour / kMetersPerMile; }
+
+}  // namespace senn

@@ -1,0 +1,118 @@
+#include "src/core/candidate_heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace senn::core {
+
+namespace {
+
+bool ByDistance(const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; }
+
+void InsertSorted(std::vector<RankedPoi>* v, const RankedPoi& poi) {
+  v->insert(std::upper_bound(v->begin(), v->end(), poi, ByDistance), poi);
+}
+
+bool ContainsId(const std::vector<RankedPoi>& v, PoiId id) {
+  return std::any_of(v.begin(), v.end(), [id](const RankedPoi& p) { return p.id == id; });
+}
+
+}  // namespace
+
+const char* HeapStateName(HeapState state) {
+  switch (state) {
+    case HeapState::kSolved:
+      return "solved";
+    case HeapState::kFullMixed:
+      return "full-mixed (state 1)";
+    case HeapState::kFullUncertainOnly:
+      return "full-uncertain (state 2)";
+    case HeapState::kPartialMixed:
+      return "partial-mixed (state 3)";
+    case HeapState::kPartialCertainOnly:
+      return "partial-certain (state 4)";
+    case HeapState::kPartialUncertainOnly:
+      return "partial-uncertain (state 5)";
+    case HeapState::kEmpty:
+      return "empty (state 6)";
+  }
+  return "unknown";
+}
+
+CandidateHeap::CandidateHeap(int capacity) : capacity_(std::max(capacity, 1)) {}
+
+bool CandidateHeap::Contains(PoiId id) const {
+  return ContainsId(certain_, id) || ContainsId(uncertain_, id);
+}
+
+void CandidateHeap::InsertCertain(const RankedPoi& poi) {
+  if (ContainsId(certain_, poi.id)) return;
+  // A certain discovery supersedes an uncertain sighting of the same POI.
+  uncertain_.erase(
+      std::remove_if(uncertain_.begin(), uncertain_.end(),
+                     [&](const RankedPoi& p) { return p.id == poi.id; }),
+      uncertain_.end());
+  if (static_cast<int>(certain_.size()) >= capacity_) {
+    // A certified object can have any rank up to the certifying peer's cache
+    // size, so a later peer may certify something CLOSER than the current
+    // certain set. The union of certified sets is always a rank prefix
+    // (DESIGN.md section 6), so keeping the closest `capacity` preserves
+    // exact ranks.
+    if (poi.distance >= certain_.back().distance) return;
+    certain_.pop_back();
+  }
+  InsertSorted(&certain_, poi);
+  while (IsFull() && !uncertain_.empty() && size() > capacity_) {
+    uncertain_.pop_back();  // certain objects displace the farthest uncertain
+  }
+}
+
+void CandidateHeap::InsertUncertain(const RankedPoi& poi) {
+  if (Contains(poi.id)) return;
+  if (static_cast<int>(certain_.size()) >= capacity_) return;
+  if (IsFull()) {
+    if (uncertain_.empty() || poi.distance >= uncertain_.back().distance) return;
+    uncertain_.pop_back();
+  }
+  InsertSorted(&uncertain_, poi);
+}
+
+HeapState CandidateHeap::state() const {
+  bool has_certain = !certain_.empty();
+  bool has_uncertain = !uncertain_.empty();
+  if (static_cast<int>(certain_.size()) >= capacity_) return HeapState::kSolved;
+  if (IsFull()) {
+    return has_certain ? HeapState::kFullMixed : HeapState::kFullUncertainOnly;
+  }
+  if (has_certain && has_uncertain) return HeapState::kPartialMixed;
+  if (has_certain) return HeapState::kPartialCertainOnly;
+  if (has_uncertain) return HeapState::kPartialUncertainOnly;
+  return HeapState::kEmpty;
+}
+
+rtree::PruneBounds CandidateHeap::ComputeBounds() const {
+  rtree::PruneBounds bounds;
+  switch (state()) {
+    case HeapState::kSolved:
+    case HeapState::kFullMixed: {
+      bounds.lower = certain_.back().distance;
+      double last = certain_.back().distance;
+      if (!uncertain_.empty()) last = std::max(last, uncertain_.back().distance);
+      bounds.upper = last;
+      break;
+    }
+    case HeapState::kFullUncertainOnly:
+      bounds.upper = uncertain_.back().distance;
+      break;
+    case HeapState::kPartialMixed:
+    case HeapState::kPartialCertainOnly:
+      bounds.lower = certain_.back().distance;
+      break;
+    case HeapState::kPartialUncertainOnly:
+    case HeapState::kEmpty:
+      break;
+  }
+  return bounds;
+}
+
+}  // namespace senn::core

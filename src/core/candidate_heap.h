@@ -1,0 +1,83 @@
+// The candidate heap H of Section 3.2.1 / 3.3.
+//
+// H has a fixed capacity (the number of queried interest objects) and holds
+// two classes of candidates discovered during peer verification:
+//   * certain objects  — verified members of the query host's kNN set, kept
+//     in ascending distance order (their order IS their exact rank, see
+//     Lemma 3.7 and the rank-prefix argument in DESIGN.md), and
+//   * uncertain objects — real POIs reported by peers that could not be
+//     verified (Lemma 3.1); they are candidates and upper-bound witnesses.
+// Uncertain objects exist in H only while the certain count is below the
+// capacity; a newly discovered certain object displaces the farthest
+// uncertain one (Table 1 of the paper illustrates the layout).
+//
+// After verification the heap is in one of six states (Section 3.3) that
+// determine which branch-expanding bounds can be shipped to the server.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/rtree/knn.h"
+
+namespace senn::core {
+
+/// The six terminal heap states of Section 3.3, plus kSolved for the case
+/// where the heap holds a full set of certain objects (the query never
+/// reaches the server then).
+enum class HeapState {
+  kSolved = 0,                 // capacity certain objects: query answered
+  kFullMixed = 1,              // State 1: full, certain + uncertain
+  kFullUncertainOnly = 2,      // State 2: full, only uncertain
+  kPartialMixed = 3,           // State 3: not full, certain + uncertain
+  kPartialCertainOnly = 4,     // State 4: not full, only certain
+  kPartialUncertainOnly = 5,   // State 5: not full, only uncertain
+  kEmpty = 6,                  // State 6: no entry
+};
+
+const char* HeapStateName(HeapState state);
+
+/// Candidate heap with certain/uncertain classification.
+class CandidateHeap {
+ public:
+  /// `capacity` is the total number of queried interest objects (>= 1).
+  explicit CandidateHeap(int capacity);
+
+  /// Inserts a verified (certain) candidate. Duplicates (by POI id) are
+  /// ignored; a certain insert removes any uncertain entry with the same id.
+  void InsertCertain(const RankedPoi& poi);
+
+  /// Inserts an unverified candidate. Ignored if the id is already present
+  /// (certain or uncertain) or if the heap is full and the candidate is no
+  /// closer than the farthest uncertain entry.
+  void InsertUncertain(const RankedPoi& poi);
+
+  int capacity() const { return capacity_; }
+  /// Certain entries, ascending by distance; index i is exact rank i+1.
+  const std::vector<RankedPoi>& certain() const { return certain_; }
+  /// Uncertain entries, ascending by distance.
+  const std::vector<RankedPoi>& uncertain() const { return uncertain_; }
+
+  int size() const { return static_cast<int>(certain_.size() + uncertain_.size()); }
+  bool IsFull() const { return size() >= capacity_; }
+  /// True iff at least k certain objects are present.
+  bool HasCertain(int k) const { return static_cast<int>(certain_.size()) >= k; }
+
+  /// The current heap state (Section 3.3).
+  HeapState state() const;
+
+  /// The branch-expanding bounds implied by the state (Section 3.3):
+  ///   lower = distance of the last certain entry   (states 1, 3, 4)
+  ///   upper = distance of the last entry overall   (states 1, 2)
+  rtree::PruneBounds ComputeBounds() const;
+
+  /// True iff a POI with this id is present (certain or uncertain).
+  bool Contains(PoiId id) const;
+
+ private:
+  int capacity_;
+  std::vector<RankedPoi> certain_;
+  std::vector<RankedPoi> uncertain_;
+};
+
+}  // namespace senn::core

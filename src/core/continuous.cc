@@ -1,0 +1,70 @@
+#include "src/core/continuous.h"
+
+#include "src/core/single_peer.h"
+
+namespace senn::core {
+
+const char* StepSourceName(StepSource s) {
+  switch (s) {
+    case StepSource::kOwnCache:
+      return "own-cache";
+    case StepSource::kSinglePeer:
+      return "single-peer";
+    case StepSource::kMultiPeer:
+      return "multi-peer";
+    case StepSource::kServer:
+      return "server";
+  }
+  return "unknown";
+}
+
+ContinuousKnn::ContinuousKnn(const SennProcessor* senn, int k)
+    : senn_(senn), k_(std::max(k, 1)) {}
+
+StepResult ContinuousKnn::Step(geom::Vec2 position,
+                               const std::vector<const CachedResult*>& peer_caches) {
+  ++stats_.steps;
+  // Fast path: can the previous result still certify k neighbors here?
+  // (The cache is an exact rank prefix at cache_.query_location, so
+  // kNN_single against it is sound; no communication happens.)
+  if (!cache_.Empty()) {
+    CandidateHeap heap(k_);
+    VerifySinglePeer(position, cache_, &heap);
+    if (heap.HasCertain(k_)) {
+      ++stats_.own_cache_hits;
+      StepResult result;
+      result.source = StepSource::kOwnCache;
+      result.neighbors.assign(heap.certain().begin(), heap.certain().begin() + k_);
+      return result;
+    }
+  }
+
+  // Slow path: full SENN over the reachable peers (the own cache joins the
+  // peer list — it may still contribute certain candidates).
+  std::vector<const CachedResult*> peers = peer_caches;
+  if (!cache_.Empty()) peers.push_back(&cache_);
+  SennOutcome outcome = senn_->Execute(position, k_, peers);
+  StepResult result;
+  switch (outcome.resolution) {
+    case Resolution::kSinglePeer:
+      result.source = StepSource::kSinglePeer;
+      ++stats_.peer_answers;
+      break;
+    case Resolution::kMultiPeer:
+    case Resolution::kUncertain:
+      result.source = StepSource::kMultiPeer;
+      ++stats_.peer_answers;
+      break;
+    case Resolution::kServer:
+      result.source = StepSource::kServer;
+      ++stats_.server_answers;
+      break;
+  }
+  result.neighbors = outcome.neighbors;
+  // Refresh the rolling cache with the new certain prefix (cache policy 1).
+  cache_.query_location = position;
+  cache_.neighbors = outcome.certain_prefix;
+  return result;
+}
+
+}  // namespace senn::core

@@ -1,0 +1,70 @@
+// Continuous kNN for a moving query point (k-NNMP), built on the sharing
+// machinery. The related-work section of the paper contrasts naive
+// multi-step search (re-issuing a kNN query at every sampled position) with
+// approaches that reuse prior results; this module packages the paper's own
+// mechanism as a continuous-query API: as the host moves, its previous
+// result acts as a "peer cache" with a growing delta, and Lemma 3.2 decides
+// locally — with zero communication — whether the cached result still
+// certifies the current top k. Only when certification fails does the host
+// fall back to the full SENN pipeline (peers, then server) and refresh its
+// cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/senn.h"
+#include "src/core/types.h"
+
+namespace senn::core {
+
+/// Who answered one continuous-query step.
+enum class StepSource {
+  kOwnCache = 0,   // certified from the host's own previous result; no I/O
+  kSinglePeer = 1, // SENN: a peer cache certified it
+  kMultiPeer = 2,  // SENN: the merged peer region certified it
+  kServer = 3,     // SENN fell through to the server
+};
+
+const char* StepSourceName(StepSource s);
+
+/// Result of one step of the continuous query.
+struct StepResult {
+  StepSource source = StepSource::kServer;
+  /// Exact top-k at the step's position, ascending.
+  std::vector<RankedPoi> neighbors;
+};
+
+/// Lifetime counters for a continuous query.
+struct ContinuousStats {
+  uint64_t steps = 0;
+  uint64_t own_cache_hits = 0;
+  uint64_t peer_answers = 0;
+  uint64_t server_answers = 0;
+};
+
+/// A continuous k-nearest-neighbor query attached to one moving host.
+///
+/// Call Step() at every sampled position (with whatever peer caches are in
+/// radio range there); the returned neighbors are always the exact top-k.
+class ContinuousKnn {
+ public:
+  /// `senn` must outlive this object. `k` is fixed for the query's lifetime.
+  ContinuousKnn(const SennProcessor* senn, int k);
+
+  /// Advances the query to `position`. `peer_caches` may be empty.
+  StepResult Step(geom::Vec2 position,
+                  const std::vector<const CachedResult*>& peer_caches = {});
+
+  const ContinuousStats& stats() const { return stats_; }
+  /// The internally cached result (what this host would share as a peer).
+  const CachedResult& cache() const { return cache_; }
+
+ private:
+  const SennProcessor* senn_;
+  int k_;
+  CachedResult cache_;
+  ContinuousStats stats_;
+};
+
+}  // namespace senn::core

@@ -1,0 +1,39 @@
+#include "src/core/join.h"
+
+#include <algorithm>
+
+namespace senn::core {
+
+SharingJoinProcessor::SharingJoinProcessor(SpatialServer* layer_a, SpatialServer* layer_b)
+    : range_a_(layer_a), range_b_(layer_b) {}
+
+JoinOutcome SharingJoinProcessor::Execute(
+    geom::Vec2 q, double radius, double pair_distance,
+    const std::vector<const CachedResult*>& peers_a,
+    const std::vector<const CachedResult*>& peers_b) const {
+  JoinOutcome outcome;
+  // Side A: complete set within `radius`; side B: within radius + d (every
+  // possible partner of an A-object lies there).
+  RangeOutcome side_a = range_a_.Execute(q, radius, peers_a);
+  RangeOutcome side_b = range_b_.Execute(q, radius + pair_distance, peers_b);
+  outcome.a_resolution = side_a.resolution;
+  outcome.b_resolution = side_b.resolution;
+  outcome.fully_local = side_a.resolution != RangeResolution::kServer &&
+                        side_b.resolution != RangeResolution::kServer;
+
+  // Local nested-loop join; both sides are small (bounded by the radii).
+  for (const RankedPoi& a : side_a.pois) {
+    for (const RankedPoi& b : side_b.pois) {
+      double d = geom::Dist(a.position, b.position);
+      if (d <= pair_distance) outcome.pairs.push_back({a, b, d});
+    }
+  }
+  std::sort(outcome.pairs.begin(), outcome.pairs.end(),
+            [](const PoiPair& x, const PoiPair& y) {
+              if (x.a.id != y.a.id) return x.a.id < y.a.id;
+              return x.b.id < y.b.id;
+            });
+  return outcome;
+}
+
+}  // namespace senn::core

@@ -1,0 +1,59 @@
+// Sharing-based local spatial join — the second query type the paper's
+// future-work section names ("range and spatial join searches").
+//
+// The query: around position q, which pairs (a from layer A, b from layer B)
+// with a within `radius` of q satisfy Dist(a, b) <= `pair_distance`?
+// (E.g., "restaurants near me with parking within 100 m".)
+//
+// Sharing argument: the relevant A-objects all lie in C(q, radius) and the
+// relevant B-objects in C(q, radius + pair_distance). Each side reduces to a
+// sharing-based range query (core/range.h): if the peers' certain regions
+// cover the respective disk, that side is complete from caches alone; the
+// join is then computed locally with zero server contact. Otherwise the
+// server fills the gap with certain-radius pruning.
+#pragma once
+
+#include <vector>
+
+#include "src/core/range.h"
+#include "src/core/types.h"
+
+namespace senn::core {
+
+/// One joined pair.
+struct PoiPair {
+  RankedPoi a;  // distance field = Dist(q, a)
+  RankedPoi b;  // distance field = Dist(q, b)
+  double pair_distance = 0.0;
+};
+
+/// Outcome of one sharing-based join.
+struct JoinOutcome {
+  /// Pairs, sorted by (a.id, b.id). Exact and complete.
+  std::vector<PoiPair> pairs;
+  /// Range-query resolution of each side.
+  RangeResolution a_resolution = RangeResolution::kServer;
+  RangeResolution b_resolution = RangeResolution::kServer;
+  /// True iff neither side contacted a server.
+  bool fully_local = false;
+};
+
+/// Executes sharing-based joins between two POI layers.
+class SharingJoinProcessor {
+ public:
+  /// The servers index the two layers; both must outlive the processor.
+  SharingJoinProcessor(SpatialServer* layer_a, SpatialServer* layer_b);
+
+  /// Runs the join described above. `peers_a` / `peers_b` are the cached
+  /// results reachable for each layer (a deployment would have hosts cache
+  /// both layers; tests may pass the same list twice).
+  JoinOutcome Execute(geom::Vec2 q, double radius, double pair_distance,
+                      const std::vector<const CachedResult*>& peers_a,
+                      const std::vector<const CachedResult*>& peers_b) const;
+
+ private:
+  RangeProcessor range_a_;
+  RangeProcessor range_b_;
+};
+
+}  // namespace senn::core

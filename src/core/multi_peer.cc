@@ -1,0 +1,55 @@
+#include "src/core/multi_peer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/geom/circle.h"
+#include "src/geom/disk_cover.h"
+
+namespace senn::core {
+
+VerifyStats VerifyMultiPeer(geom::Vec2 q, const std::vector<const CachedResult*>& peers,
+                            CandidateHeap* heap, const MultiPeerOptions& options) {
+  VerifyStats stats;
+  // The certain region R_c is the union of the peers' fully-known disks.
+  std::vector<geom::Circle> region;
+  region.reserve(peers.size());
+  std::vector<RankedPoi> candidates;
+  std::unordered_set<PoiId> seen;
+  for (const CachedResult* peer : peers) {
+    if (peer == nullptr || peer->Empty()) continue;
+    region.emplace_back(peer->query_location, peer->Radius());
+    for (const RankedPoi& n : peer->neighbors) {
+      if (!seen.insert(n.id).second) continue;
+      candidates.push_back({n.id, n.position, geom::Dist(q, n.position)});
+    }
+  }
+  if (region.empty()) return stats;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+
+  auto covered = [&](double radius) {
+    geom::Circle subject(q, radius);
+    if (options.backend == CoverageBackend::kPolygonized) {
+      return geom::PolygonizedDiskCoveredByUnion(subject, region, options.polygonize);
+    }
+    return geom::DiskCoveredByUnion(subject, region);
+  };
+
+  // Coverage is monotone in the radius, so the certified candidates form a
+  // prefix of the distance-sorted list; stop at the first failure.
+  stats.candidates = static_cast<int>(candidates.size());
+  size_t i = 0;
+  for (; i < candidates.size(); ++i) {
+    if (!covered(candidates[i].distance)) break;
+    heap->InsertCertain(candidates[i]);
+    ++stats.certified;
+  }
+  for (; i < candidates.size(); ++i) {
+    heap->InsertUncertain(candidates[i]);
+    ++stats.uncertain;
+  }
+  return stats;
+}
+
+}  // namespace senn::core

@@ -1,0 +1,44 @@
+// Multi-peer nearest-neighbor verification (kNN_multiple, Section 3.2.2).
+//
+// When no single peer disk certifies enough objects, the certain region
+// R_c = union of all peer disks is used (Lemma 3.8): a candidate POI n is a
+// certain NN of Q iff the disk C(Q, Dist(Q, n)) is fully covered by R_c —
+// every POI closer to Q then lies inside some peer disk and is therefore
+// already known, which also yields exact ranks by counting.
+//
+// Two coverage backends are provided:
+//   * kExactDisk   — the arc-coverage test of geom/disk_cover.h (exact);
+//   * kPolygonized — the paper's approach: polygonize the circles and merge
+//     them MapOverlay-style (geom/region.h). Conservative: it can only
+//     under-certify.
+#pragma once
+
+#include <vector>
+
+#include "src/core/candidate_heap.h"
+#include "src/core/types.h"
+#include "src/geom/region.h"
+
+namespace senn::core {
+
+/// Which geometric coverage test backs Lemma 3.8.
+enum class CoverageBackend {
+  kExactDisk = 0,
+  kPolygonized = 1,
+};
+
+/// Options for multi-peer verification.
+struct MultiPeerOptions {
+  CoverageBackend backend = CoverageBackend::kExactDisk;
+  /// Polygon resolution etc. for the kPolygonized backend.
+  geom::PolygonizeOptions polygonize;
+};
+
+/// Runs kNN_multiple: deduplicates the candidate POIs of all peers, orders
+/// them by distance to q, certifies the covered prefix against the union of
+/// peer disks, and files everything into `heap` (certain prefix first, then
+/// uncertain candidates). Returns per-pass statistics.
+VerifyStats VerifyMultiPeer(geom::Vec2 q, const std::vector<const CachedResult*>& peers,
+                            CandidateHeap* heap, const MultiPeerOptions& options = {});
+
+}  // namespace senn::core

@@ -1,0 +1,141 @@
+#include "src/core/senn.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace senn::core {
+
+const char* ResolutionName(Resolution r) {
+  switch (r) {
+    case Resolution::kSinglePeer:
+      return "single-peer";
+    case Resolution::kMultiPeer:
+      return "multi-peer";
+    case Resolution::kUncertain:
+      return "uncertain";
+    case Resolution::kServer:
+      return "server";
+  }
+  return "unknown";
+}
+
+SennProcessor::SennProcessor(SpatialServer* server, SennOptions options)
+    : server_(server), options_(options) {}
+
+SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
+                                   const std::vector<const CachedResult*>& peer_caches) const {
+  SennOutcome outcome;
+  const int heap_capacity = std::max(k, options_.server_request_k);
+  CandidateHeap heap(heap_capacity);
+
+  // Heuristic 3.3: consult peers whose cached query locations are closest
+  // to Q first.
+  std::vector<const CachedResult*> peers;
+  peers.reserve(peer_caches.size());
+  for (const CachedResult* p : peer_caches) {
+    if (p != nullptr && !p->Empty()) peers.push_back(p);
+  }
+  if (options_.sort_peers) {
+    std::sort(peers.begin(), peers.end(), [&](const CachedResult* a, const CachedResult* b) {
+      return geom::Dist2(q, a->query_location) < geom::Dist2(q, b->query_location);
+    });
+  }
+
+  // Stage 1: kNN_single over each peer.
+  for (const CachedResult* peer : peers) {
+    if (options_.early_exit && heap.HasCertain(k)) break;
+    VerifyStats s = VerifySinglePeer(q, *peer, &heap);
+    outcome.single_peer_stats.candidates += s.candidates;
+    outcome.single_peer_stats.certified += s.certified;
+    outcome.single_peer_stats.uncertain += s.uncertain;
+    ++outcome.peers_consulted;
+  }
+  if (heap.HasCertain(k)) {
+    outcome.resolution = Resolution::kSinglePeer;
+    outcome.heap_state = heap.state();
+    outcome.certain_prefix = heap.certain();
+    outcome.neighbors.assign(heap.certain().begin(), heap.certain().begin() + k);
+    return outcome;
+  }
+
+  // Stage 2: kNN_multiple over the merged certain region.
+  if (options_.enable_multi_peer && peers.size() > 1) {
+    outcome.multi_peer_stats = VerifyMultiPeer(q, peers, &heap, options_.multi_peer);
+    if (heap.HasCertain(k)) {
+      outcome.resolution = Resolution::kMultiPeer;
+      outcome.heap_state = heap.state();
+      outcome.certain_prefix = heap.certain();
+      outcome.neighbors.assign(heap.certain().begin(), heap.certain().begin() + k);
+      return outcome;
+    }
+  }
+
+  outcome.heap_state = heap.state();
+
+  // Stage 3: optionally accept an uncertain answer (Algorithm 1, line 15).
+  if (options_.accept_uncertain && heap.IsFull()) {
+    outcome.resolution = Resolution::kUncertain;
+    outcome.certain_prefix = heap.certain();
+    std::vector<RankedPoi> merged = heap.certain();
+    merged.insert(merged.end(), heap.uncertain().begin(), heap.uncertain().end());
+    std::sort(merged.begin(), merged.end(),
+              [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+    if (static_cast<int>(merged.size()) > k) merged.resize(static_cast<size_t>(k));
+    outcome.neighbors = std::move(merged);
+    return outcome;
+  }
+
+  // Stage 4: forward to the server with the heap's pruning bounds and merge
+  // its reply with the locally certified rank prefix.
+  outcome.resolution = Resolution::kServer;
+  outcome.bounds = heap.ComputeBounds();
+  const std::vector<RankedPoi>& certain = heap.certain();
+
+  std::vector<RankedPoi> merged;
+  ServerReply reply;
+  if (options_.ship_region && outcome.bounds.upper.has_value()) {
+    // Region protocol (extension): the server returns every POI within the
+    // upper-bound horizon that lies outside R_c; the client merges with ALL
+    // the POIs it knows (everything inside R_c is cached at some peer).
+    std::vector<geom::Circle> region;
+    region.reserve(peers.size());
+    for (const CachedResult* peer : peers) {
+      region.emplace_back(peer->query_location, peer->Radius());
+    }
+    reply = server_->QueryKnnWithRegion(q, heap_capacity, *outcome.bounds.upper, region);
+    std::unordered_set<PoiId> seen;
+    for (const CachedResult* peer : peers) {
+      for (const RankedPoi& n : peer->neighbors) {
+        if (!seen.insert(n.id).second) continue;
+        merged.push_back({n.id, n.position, geom::Dist(q, n.position)});
+      }
+    }
+    for (const RankedPoi& n : reply.neighbors) {
+      if (seen.insert(n.id).second) merged.push_back(n);
+    }
+  } else {
+    reply = server_->QueryKnn(q, heap_capacity, outcome.bounds,
+                              static_cast<int>(certain.size()));
+    merged = certain;
+    for (const RankedPoi& n : reply.neighbors) {
+      bool duplicate = std::any_of(merged.begin(), merged.end(),
+                                   [&](const RankedPoi& m) { return m.id == n.id; });
+      if (!duplicate) merged.push_back(n);
+    }
+  }
+  outcome.einn_accesses = reply.einn_accesses;
+  outcome.inn_accesses = reply.inn_accesses;
+  std::sort(merged.begin(), merged.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+  if (static_cast<int>(merged.size()) > heap_capacity) {
+    merged.resize(static_cast<size_t>(heap_capacity));
+  }
+  outcome.certain_prefix = merged;  // server-backed: the whole set is exact
+  outcome.neighbors = merged;
+  if (static_cast<int>(outcome.neighbors.size()) > k) {
+    outcome.neighbors.resize(static_cast<size_t>(k));
+  }
+  return outcome;
+}
+
+}  // namespace senn::core

@@ -1,0 +1,108 @@
+// SENN — Sharing-based Euclidean distance Nearest Neighbor query
+// (Algorithm 1 of the paper).
+//
+// Given the cached results collected from reachable peers, SENN:
+//   1. sorts them by the distance of their cached query locations to Q
+//      (Heuristic 3.3),
+//   2. runs kNN_single over each peer in order, stopping as soon as k
+//      certain objects are in the heap,
+//   3. otherwise runs kNN_multiple over the merged certain region,
+//   4. otherwise (optionally) accepts an uncertain answer, and finally
+//   5. forwards the query to the spatial database server together with the
+//      branch-expanding bounds derived from the heap state (Section 3.3),
+//      merging the server's reply with the locally certified prefix.
+#pragma once
+
+#include <vector>
+
+#include "src/core/candidate_heap.h"
+#include "src/core/multi_peer.h"
+#include "src/core/server.h"
+#include "src/core/single_peer.h"
+#include "src/core/types.h"
+
+namespace senn::core {
+
+/// How a query was ultimately resolved (the classification the paper's
+/// Figures 9-16 report).
+enum class Resolution {
+  kSinglePeer = 0,   // answered via kNN_single
+  kMultiPeer = 1,    // answered via kNN_multiple
+  kUncertain = 2,    // client accepted an unverified (uncertain) answer
+  kServer = 3,       // forwarded to the spatial database server
+};
+
+const char* ResolutionName(Resolution r);
+
+/// SENN tuning parameters.
+struct SennOptions {
+  /// Heap capacity / number of POIs requested from the server. Per the
+  /// paper's cache policy 2 this is usually the cache capacity C_Size, which
+  /// must be >= the user's k. Values below k are raised to k.
+  int server_request_k = 10;
+  /// Accept a full heap of (partly) uncertain candidates instead of asking
+  /// the server (Algorithm 1, line 15). Off by default: the simulation
+  /// measures server load under exact answers.
+  bool accept_uncertain = false;
+  /// Multi-peer verification configuration.
+  MultiPeerOptions multi_peer;
+  /// Skip the kNN_multiple stage entirely (ablation switch).
+  bool enable_multi_peer = true;
+  /// Process peers in Heuristic 3.3 order (ablation switch; off = given order).
+  bool sort_peers = true;
+  /// Stop consulting peers as soon as k certain objects are verified. Saves
+  /// verification work (what Heuristic 3.3 is for) at the cost of a thinner
+  /// cached prefix. Off by default: Algorithm 1 processes every peer, and
+  /// fatter caches help the neighborhood.
+  bool early_exit = false;
+  /// Extension beyond the paper: when the heap is full (an upper bound
+  /// exists), ship the entire certain region R_c (the peer disks) to the
+  /// server instead of only the scalar bounds, enabling region-covered
+  /// subtree pruning (SpatialServer::QueryKnnWithRegion). Falls back to the
+  /// scalar protocol when no upper bound is available. Off by default: the
+  /// paper's protocol ships two scalars.
+  bool ship_region = false;
+};
+
+/// Outcome of one SENN execution.
+struct SennOutcome {
+  Resolution resolution = Resolution::kServer;
+  /// Final neighbors, ascending by distance to Q. Exactly the true top-k
+  /// unless resolution == kUncertain (then candidates are best-effort) or
+  /// the database holds fewer than k POIs.
+  std::vector<RankedPoi> neighbors;
+  /// All certain objects discovered (a rank prefix, possibly longer than k);
+  /// this is what the host caches afterwards.
+  std::vector<RankedPoi> certain_prefix;
+  /// Heap state just before the server was contacted (kSolved otherwise).
+  HeapState heap_state = HeapState::kEmpty;
+  /// Bounds shipped to the server (empty unless resolution == kServer).
+  rtree::PruneBounds bounds;
+  /// Page accesses (valid when the server was contacted).
+  rtree::AccessCounter einn_accesses;
+  rtree::AccessCounter inn_accesses;
+  /// Verification work performed (for the ablation benches).
+  VerifyStats single_peer_stats;
+  VerifyStats multi_peer_stats;
+  int peers_consulted = 0;
+};
+
+/// Executes SENN queries against a fixed server. The server must outlive the
+/// processor. Thread-compatible (no shared mutable state besides the server).
+class SennProcessor {
+ public:
+  SennProcessor(SpatialServer* server, SennOptions options);
+
+  /// Runs Algorithm 1 for query point q and result size k over the given
+  /// peer caches (nullptr / empty entries are ignored).
+  SennOutcome Execute(geom::Vec2 q, int k,
+                      const std::vector<const CachedResult*>& peer_caches) const;
+
+  const SennOptions& options() const { return options_; }
+
+ private:
+  SpatialServer* server_;
+  SennOptions options_;
+};
+
+}  // namespace senn::core

@@ -1,0 +1,146 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/core/range.h"
+#include "src/geom/region.h"
+#include "src/rtree/bulk_load.h"
+
+namespace senn::core {
+
+SpatialServer::SpatialServer(std::vector<Poi> pois, rtree::RStarTree::Options tree_options,
+                             rtree::AccessCountMode count_mode)
+    : pois_(std::move(pois)), tree_(tree_options), count_mode_(count_mode) {
+  // Static POI sets are packed with STR: tighter leaves and much faster
+  // construction than one-at-a-time insertion for county-scale data.
+  std::vector<rtree::ObjectEntry> entries;
+  entries.reserve(pois_.size());
+  for (const Poi& poi : pois_) entries.push_back({poi.position, poi.id});
+  tree_ = rtree::BulkLoad(std::move(entries), tree_options);
+}
+
+ServerReply SpatialServer::QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds bounds,
+                                    int already_certified) {
+  ServerReply reply;
+  int needed = k - already_certified;
+  if (needed < 0) needed = 0;
+
+  // Answering run: EINN with the client's bounds.
+  rtree::BestFirstNnIterator einn(tree_, q, bounds, count_mode_, k);
+  while (static_cast<int>(reply.neighbors.size()) < needed) {
+    auto n = einn.Next();
+    if (!n.has_value()) break;
+    reply.neighbors.push_back({n->object.id, n->object.position, n->distance});
+  }
+  reply.einn_accesses = einn.accesses();
+
+  // Comparison run: plain INN answering the full k-NN query without help.
+  rtree::BestFirstNnIterator inn(tree_, q, rtree::PruneBounds{}, count_mode_, k);
+  for (int i = 0; i < k; ++i) {
+    if (!inn.Next().has_value()) break;
+  }
+  reply.inn_accesses = inn.accesses();
+
+  ++stats_.queries;
+  stats_.einn += reply.einn_accesses;
+  stats_.inn += reply.inn_accesses;
+  return reply;
+}
+
+ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizon,
+                                              const std::vector<geom::Circle>& region) {
+  ServerReply reply;
+  // Best-first search with three pruning sources: the client's horizon (its
+  // k-th candidate distance), the running k-th-best distance over ALL seen
+  // objects (region-known ones included — they occupy result ranks on the
+  // client side), and region coverage of whole subtrees.
+  struct Item {
+    double key;
+    const rtree::RStarTree::Node* node;  // null for objects
+    RankedPoi poi;
+  };
+  auto greater = [](const Item& a, const Item& b) { return a.key > b.key; };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
+  std::priority_queue<double> best;  // max-heap of the k best seen distances
+  auto effective_bound = [&]() {
+    double bound = horizon;
+    if (static_cast<int>(best.size()) >= k) bound = std::min(bound, best.top());
+    return bound;
+  };
+  auto feed = [&](double d) {
+    if (static_cast<int>(best.size()) < k) {
+      best.push(d);
+    } else if (d < best.top()) {
+      best.pop();
+      best.push(d);
+    }
+  };
+  auto in_region = [&](geom::Vec2 p) {
+    for (const geom::Circle& c : region) {
+      if (c.Contains(p)) return true;
+    }
+    return false;
+  };
+  auto expand = [&](const rtree::RStarTree::Node* node) {
+    (node->IsLeaf() ? reply.einn_accesses.leaf_nodes : reply.einn_accesses.index_nodes) += 1;
+    for (const rtree::RStarTree::Slot& s : node->slots) {
+      if (node->IsLeaf()) {
+        double d = geom::Dist(q, s.object.position);
+        if (d > effective_bound()) continue;
+        feed(d);
+        if (!in_region(s.object.position)) {
+          queue.push({d, nullptr, {s.object.id, s.object.position, d}});
+        }
+      } else {
+        if (s.mbr.MinDist(q) > effective_bound()) continue;
+        // Region-covered subtrees contain only client-known POIs. Skip them
+        // only once the dynamic bound is saturated: before that, reading
+        // them feeds the bound with true nearby distances (skipping early
+        // would widen the search and cost more than it saves).
+        if (static_cast<int>(best.size()) >= k &&
+            geom::MbrCoveredByDiskUnion(s.mbr, region)) {
+          continue;
+        }
+        queue.push({s.mbr.MinDist(q), s.child.get(), {}});
+      }
+    }
+  };
+  expand(tree_.root());
+  while (!queue.empty()) {
+    Item item = queue.top();
+    if (item.key > effective_bound() && item.node != nullptr) break;
+    queue.pop();
+    if (item.node != nullptr) {
+      expand(item.node);
+    } else {
+      reply.neighbors.push_back(item.poi);
+      if (static_cast<int>(reply.neighbors.size()) >= k) break;  // plenty for the merge
+    }
+  }
+
+  // Baseline: plain best-first kNN for the same k.
+  rtree::BestFirstNnIterator inn(tree_, q, rtree::PruneBounds{}, count_mode_, k);
+  for (int i = 0; i < k; ++i) {
+    if (!inn.Next().has_value()) break;
+  }
+  reply.inn_accesses = inn.accesses();
+
+  ++stats_.queries;
+  stats_.einn += reply.einn_accesses;
+  stats_.inn += reply.inn_accesses;
+  return reply;
+}
+
+ServerReply SpatialServer::QueryRange(geom::Vec2 q, double radius, double inner) {
+  ServerReply reply;
+  reply.neighbors = PrunedCircleQuery(tree_, q, radius, inner, &reply.einn_accesses);
+  // Comparison run: the same range scan without the client's certain disk.
+  PrunedCircleQuery(tree_, q, radius, 0.0, &reply.inn_accesses);
+  ++stats_.queries;
+  stats_.einn += reply.einn_accesses;
+  stats_.inn += reply.inn_accesses;
+  return reply;
+}
+
+}  // namespace senn::core

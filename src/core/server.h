@@ -1,0 +1,102 @@
+// The remote spatial database server.
+//
+// Indexes the POI data set with an R*-tree (branching factor 30, as in the
+// paper) and answers kNN queries with the best-first incremental NN
+// algorithm. For every query it runs BOTH
+//   * EINN — the extended algorithm with the client's pruning bounds
+//     (Section 3.3), which produces the answer, and
+//   * INN  — the original algorithm without bounds,
+// recording the node (page) accesses of each, exactly like the paper's
+// server module ("the server module executes both the original INN algorithm
+// and our extended INN algorithm ... to compare the performance improvement
+// with respect to page accesses", Section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/geom/circle.h"
+#include "src/geom/vec2.h"
+#include "src/rtree/knn.h"
+#include "src/rtree/rstar_tree.h"
+
+namespace senn::core {
+
+/// Cumulative server-side counters (the PAR metric inputs).
+struct ServerStats {
+  uint64_t queries = 0;
+  rtree::AccessCounter einn;
+  rtree::AccessCounter inn;
+};
+
+/// One server reply.
+struct ServerReply {
+  /// Neighbors found by EINN, ascending by distance. When a lower bound was
+  /// supplied, POIs at distance <= lower are omitted (the client certified
+  /// them locally and merges them back).
+  std::vector<RankedPoi> neighbors;
+  /// Page accesses of the answering (EINN) run.
+  rtree::AccessCounter einn_accesses;
+  /// Page accesses the plain INN run needed for the same query.
+  rtree::AccessCounter inn_accesses;
+};
+
+/// The spatial database server.
+class SpatialServer {
+ public:
+  /// Builds the R*-tree over the POI set. `tree_options` defaults to the
+  /// paper's branching factor of 30.
+  explicit SpatialServer(std::vector<Poi> pois,
+                         rtree::RStarTree::Options tree_options = DefaultTreeOptions(),
+                         rtree::AccessCountMode count_mode = rtree::AccessCountMode::kOnExpand);
+
+  static rtree::RStarTree::Options DefaultTreeOptions() {
+    rtree::RStarTree::Options o;
+    o.max_entries = 30;
+    o.min_entries = 12;
+    return o;
+  }
+
+  /// Answers a kNN query. `k` counts the client's locally-certified POIs:
+  /// when `bounds.lower` is set and `certified` of the client's POIs lie at
+  /// distance <= lower, the server needs to return only k - certified new
+  /// neighbors; pass the number through `already_certified`.
+  ServerReply QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds bounds = {},
+                       int already_certified = 0);
+
+  /// Region-aware kNN (extension beyond the paper's scalar bounds): the
+  /// client ships its whole certain region R_c (the peer disks) plus the
+  /// search horizon (its k-th candidate distance). The server runs a
+  /// best-first search returning the nearest POIs that lie OUTSIDE the
+  /// region — the client knows everything inside — with three prunings:
+  /// the horizon, the running k-th-best distance over all objects seen
+  /// (region-known ones count: they occupy client-side result ranks), and
+  /// whole subtrees covered by the region (geom::MbrCoveredByDiskUnion).
+  /// At most k POIs are returned — enough for the client to merge with its
+  /// known set and take the exact top k. `einn_accesses` holds the pruned
+  /// search's pages; `inn_accesses` the plain INN kNN cost for the same k.
+  ServerReply QueryKnnWithRegion(geom::Vec2 q, int k, double horizon,
+                                 const std::vector<geom::Circle>& region);
+
+  /// Answers a range query: every POI with inner < distance <= radius,
+  /// ascending. `inner` is the client's certain radius (POIs inside it are
+  /// already known to the client); subtrees fully inside the inner disk are
+  /// pruned. As with QueryKnn, a comparison run without the inner disk is
+  /// executed and both access counts are recorded.
+  ServerReply QueryRange(geom::Vec2 q, double radius, double inner = 0.0);
+
+  size_t poi_count() const { return pois_.size(); }
+  const std::vector<Poi>& pois() const { return pois_; }
+  const rtree::RStarTree& tree() const { return tree_; }
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServerStats{}; }
+
+ private:
+  std::vector<Poi> pois_;
+  rtree::RStarTree tree_;
+  rtree::AccessCountMode count_mode_;
+  ServerStats stats_;
+};
+
+}  // namespace senn::core

@@ -1,0 +1,25 @@
+#include "src/core/single_peer.h"
+
+namespace senn::core {
+
+VerifyStats VerifySinglePeer(geom::Vec2 q, const CachedResult& peer, CandidateHeap* heap) {
+  VerifyStats stats;
+  if (peer.Empty()) return stats;
+  const double delta = geom::Dist(q, peer.query_location);
+  const double radius = peer.Radius();
+  for (const RankedPoi& n : peer.neighbors) {
+    double d = geom::Dist(q, n.position);
+    RankedPoi candidate{n.id, n.position, d};
+    ++stats.candidates;
+    if (d + delta <= radius) {  // Lemma 3.2
+      heap->InsertCertain(candidate);
+      ++stats.certified;
+    } else {  // Lemma 3.1
+      heap->InsertUncertain(candidate);
+      ++stats.uncertain;
+    }
+  }
+  return stats;
+}
+
+}  // namespace senn::core

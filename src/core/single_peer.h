@@ -1,0 +1,21 @@
+// Single-peer nearest-neighbor verification (kNN_single, Section 3.2.1).
+//
+// For a query host Q and one peer cache entry (query location P, certain
+// neighbors n_1..n_m ascending, radius r = Dist(P, n_m)):
+//   Lemma 3.2:  Dist(Q, n_i) + Dist(Q, P) <= r  =>  n_i is a certain NN of Q
+//   Lemma 3.1:  otherwise n_i cannot be verified  =>  uncertain candidate
+// Certain objects enter the heap with exact ranks (Lemma 3.7): the certified
+// subset of a peer's cache is always a rank prefix of Q's true kNN.
+#pragma once
+
+#include "src/core/candidate_heap.h"
+#include "src/core/types.h"
+#include "src/geom/vec2.h"
+
+namespace senn::core {
+
+/// Verifies every neighbor in `peer` against query point `q`, inserting the
+/// results into `heap`. Returns per-pass statistics.
+VerifyStats VerifySinglePeer(geom::Vec2 q, const CachedResult& peer, CandidateHeap* heap);
+
+}  // namespace senn::core

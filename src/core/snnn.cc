@@ -1,0 +1,71 @@
+#include "src/core/snnn.h"
+
+#include <algorithm>
+
+namespace senn::core {
+
+SennNnSource::SennNnSource(const SennProcessor* senn, geom::Vec2 q,
+                           std::vector<const CachedResult*> peers)
+    : senn_(senn), q_(q), peers_(std::move(peers)) {}
+
+std::vector<RankedPoi> SennNnSource::TopK(int m) {
+  SennOutcome outcome = senn_->Execute(q_, m, peers_);
+  last_resolution_ = outcome.resolution;
+  return outcome.neighbors;
+}
+
+ServerNnSource::ServerNnSource(SpatialServer* server, geom::Vec2 q)
+    : server_(server), q_(q) {}
+
+std::vector<RankedPoi> ServerNnSource::TopK(int m) {
+  ServerReply reply = server_->QueryKnn(q_, m);
+  return reply.neighbors;
+}
+
+SnnnProcessor::SnnnProcessor(const roadnet::Graph* graph,
+                             const roadnet::EdgeLocator* locator, SnnnOptions options)
+    : graph_(graph), locator_(locator), options_(options) {}
+
+std::vector<NetworkRankedPoi> SnnnProcessor::Execute(geom::Vec2 q, int k,
+                                                     EuclideanNnSource* source) const {
+  std::vector<NetworkRankedPoi> result;
+  if (k <= 0) return result;
+
+  roadnet::EdgePoint q_on_net = locator_->Nearest(q);
+  if (!q_on_net.IsValid()) return result;  // no road network: no answer
+  roadnet::NetworkDistanceOracle oracle(graph_, q_on_net);
+
+  auto network_distance = [&](geom::Vec2 p) {
+    return oracle.DistanceTo(locator_->Nearest(p));
+  };
+  auto by_network = [](const NetworkRankedPoi& a, const NetworkRankedPoi& b) {
+    return a.network < b.network;
+  };
+
+  // Seed: k certain Euclidean NNs (Algorithm 2, lines 2-7).
+  std::vector<RankedPoi> seed = source->TopK(k);
+  if (seed.empty()) return result;
+  for (const RankedPoi& n : seed) {
+    result.push_back({n.id, n.position, n.distance, network_distance(n.position)});
+  }
+  std::sort(result.begin(), result.end(), by_network);
+  double s_bound = result.back().network;
+
+  // IER refinement (lines 9-18): pull the next Euclidean NN until it falls
+  // beyond the search region.
+  for (int i = 1; i <= options_.max_expansions; ++i) {
+    std::vector<RankedPoi> extended = source->TopK(k + i);
+    if (static_cast<int>(extended.size()) < k + i) break;  // data set exhausted
+    const RankedPoi& next = extended.back();
+    if (next.distance > s_bound) break;  // Euclidean lower bound: done
+    double nd = network_distance(next.position);
+    if (nd < result.back().network) {
+      result.back() = {next.id, next.position, next.distance, nd};
+      std::sort(result.begin(), result.end(), by_network);
+      s_bound = result.back().network;
+    }
+  }
+  return result;
+}
+
+}  // namespace senn::core

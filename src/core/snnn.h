@@ -1,0 +1,96 @@
+// SNNN — Sharing-based Network distance Nearest Neighbor query
+// (Algorithm 2 of the paper): the Incremental Euclidean Restriction (IER)
+// pattern on top of SENN.
+//
+// The host retrieves k certain Euclidean NNs (via SENN), computes their
+// network distances on its local road modeling graph, and then keeps pulling
+// the next Euclidean NN — from peers or the server — refining the candidate
+// set until the next Euclidean distance exceeds the current k-th network
+// distance (the Euclidean lower bound property: ED(a,b) <= ND(a,b)).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/senn.h"
+#include "src/core/types.h"
+#include "src/roadnet/graph.h"
+#include "src/roadnet/locate.h"
+#include "src/roadnet/shortest_path.h"
+
+namespace senn::core {
+
+/// A POI with both distance metrics.
+struct NetworkRankedPoi {
+  PoiId id = kInvalidPoi;
+  geom::Vec2 position;
+  double euclidean = 0.0;
+  double network = 0.0;
+};
+
+/// Incremental provider of *exact* Euclidean nearest neighbors, in the role
+/// the paper assigns to "SENN(Q, k+i)": TopK(m) must return the true top-m
+/// Euclidean NNs in ascending order (fewer if the data set is smaller).
+class EuclideanNnSource {
+ public:
+  virtual ~EuclideanNnSource() = default;
+  virtual std::vector<RankedPoi> TopK(int m) = 0;
+};
+
+/// Source backed by repeated SENN executions over a fixed peer snapshot.
+/// The SennProcessor must not be configured with accept_uncertain (an
+/// uncertain answer would violate the exactness contract).
+class SennNnSource final : public EuclideanNnSource {
+ public:
+  SennNnSource(const SennProcessor* senn, geom::Vec2 q,
+               std::vector<const CachedResult*> peers);
+  std::vector<RankedPoi> TopK(int m) override;
+
+  /// Resolution of the last SENN call (how the data was obtained).
+  Resolution last_resolution() const { return last_resolution_; }
+
+ private:
+  const SennProcessor* senn_;
+  geom::Vec2 q_;
+  std::vector<const CachedResult*> peers_;
+  Resolution last_resolution_ = Resolution::kServer;
+};
+
+/// Source that always asks the server directly (baseline / tests).
+class ServerNnSource final : public EuclideanNnSource {
+ public:
+  ServerNnSource(SpatialServer* server, geom::Vec2 q);
+  std::vector<RankedPoi> TopK(int m) override;
+
+ private:
+  SpatialServer* server_;
+  geom::Vec2 q_;
+};
+
+/// SNNN tuning parameters.
+struct SnnnOptions {
+  /// Safety valve on the number of IER expansions (i in Algorithm 2).
+  int max_expansions = 256;
+};
+
+/// Executes network-distance kNN queries over a road modeling graph. Each
+/// mobile host retains the graph locally (Section 3.4), so the processor
+/// borrows the graph and a prebuilt edge locator.
+class SnnnProcessor {
+ public:
+  SnnnProcessor(const roadnet::Graph* graph, const roadnet::EdgeLocator* locator,
+                SnnnOptions options = {});
+
+  /// Runs Algorithm 2 for query point q: the k POIs nearest to q by network
+  /// distance, ascending. POIs unreachable on the network sort last (their
+  /// network distance is +infinity).
+  std::vector<NetworkRankedPoi> Execute(geom::Vec2 q, int k,
+                                        EuclideanNnSource* source) const;
+
+ private:
+  const roadnet::Graph* graph_;
+  const roadnet::EdgeLocator* locator_;
+  SnnnOptions options_;
+};
+
+}  // namespace senn::core

@@ -1,0 +1,56 @@
+// Core domain types shared by the verification algorithms, the server
+// facade, and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/vec2.h"
+
+namespace senn::core {
+
+/// Identifier of a point of interest (gas station, restaurant, ...).
+using PoiId = int64_t;
+inline constexpr PoiId kInvalidPoi = -1;
+
+/// A stationary point of interest.
+struct Poi {
+  PoiId id = kInvalidPoi;
+  geom::Vec2 position;
+};
+
+/// A POI together with its Euclidean distance to some reference point (a
+/// query location). Results are kept in ascending distance order.
+struct RankedPoi {
+  PoiId id = kInvalidPoi;
+  geom::Vec2 position;
+  double distance = 0.0;
+};
+
+/// A cached kNN result: the location the query was issued from plus the
+/// certain nearest neighbors obtained, in ascending distance order.
+///
+/// Invariant (maintained by both the server and the verification paths, and
+/// relied upon by Lemmas 3.1-3.8): `neighbors` is an exact rank prefix of
+/// the true kNN at `query_location`, so the disk centered at
+/// `query_location` with radius `Radius()` contains exactly these POIs.
+struct CachedResult {
+  geom::Vec2 query_location;
+  std::vector<RankedPoi> neighbors;
+  /// Simulation time the query was answered (bookkeeping only).
+  double timestamp = 0.0;
+
+  bool Empty() const { return neighbors.empty(); }
+  /// Radius of the fully-known ("certain area") disk: the distance to the
+  /// farthest cached neighbor.
+  double Radius() const { return neighbors.empty() ? 0.0 : neighbors.back().distance; }
+};
+
+/// Statistics of one verification pass (diagnostics / ablation benches).
+struct VerifyStats {
+  int candidates = 0;
+  int certified = 0;
+  int uncertain = 0;
+};
+
+}  // namespace senn::core

@@ -1,0 +1,133 @@
+#include "src/geom/angular.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::geom {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+double WrapAngle(double a) {
+  double w = std::fmod(a, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+}  // namespace
+
+void AngularIntervalSet::AddArc(double a, double b) {
+  if (full_) return;
+  if (b - a >= kTwoPi) {
+    AddFull();
+    return;
+  }
+  if (b <= a) return;
+  double begin = WrapAngle(a);
+  double length = b - a;
+  double end = begin + length;
+  if (end <= kTwoPi) {
+    raw_.push_back({begin, end});
+  } else {
+    // Wraps past 2*pi: split into two non-wrapping pieces.
+    raw_.push_back({begin, kTwoPi});
+    raw_.push_back({0.0, end - kTwoPi});
+  }
+}
+
+void AngularIntervalSet::AddCenteredArc(double mid, double half_width) {
+  if (half_width <= 0.0) return;
+  if (half_width >= M_PI) {
+    AddFull();
+    return;
+  }
+  AddArc(mid - half_width, mid + half_width);
+}
+
+void AngularIntervalSet::AddFull() {
+  full_ = true;
+  raw_.clear();
+}
+
+std::vector<AngularInterval> AngularIntervalSet::Normalized(double eps) const {
+  if (full_) return {{0.0, kTwoPi}};
+  std::vector<AngularInterval> sorted = raw_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AngularInterval& l, const AngularInterval& r) { return l.begin < r.begin; });
+  std::vector<AngularInterval> merged;
+  for (const AngularInterval& iv : sorted) {
+    if (!merged.empty() && iv.begin <= merged.back().end + eps) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+bool AngularIntervalSet::CoversFullCircle(double eps) const {
+  if (full_) return true;
+  std::vector<AngularInterval> merged = Normalized(eps);
+  if (merged.empty()) return false;
+  if (merged.front().begin > eps) return false;
+  if (merged.size() > 1) return false;  // any second interval implies a gap > eps
+  return merged.front().end >= kTwoPi - eps;
+}
+
+bool AngularIntervalSet::IsEmpty(double eps) const {
+  if (full_) return false;
+  for (const AngularInterval& iv : Normalized(0.0)) {
+    if (iv.end - iv.begin > eps) return false;
+  }
+  return true;
+}
+
+AngularIntervalSet AngularIntervalSet::Complement(double eps) const {
+  AngularIntervalSet out;
+  if (full_) return out;
+  std::vector<AngularInterval> merged = Normalized(eps);
+  if (merged.empty()) {
+    out.AddFull();
+    return out;
+  }
+  double cursor = 0.0;
+  for (const AngularInterval& iv : merged) {
+    if (iv.begin - cursor > eps) out.AddArc(cursor, iv.begin);
+    cursor = std::max(cursor, iv.end);
+  }
+  if (kTwoPi - cursor > eps) out.AddArc(cursor, kTwoPi);
+  return out;
+}
+
+AngularIntervalSet AngularIntervalSet::Subtract(const AngularIntervalSet& other,
+                                                double eps) const {
+  AngularIntervalSet out;
+  if (other.full_) return out;
+  std::vector<AngularInterval> mine = Normalized(0.0);
+  std::vector<AngularInterval> holes = other.Normalized(0.0);
+  for (const AngularInterval& iv : mine) {
+    double cursor = iv.begin;
+    for (const AngularInterval& hole : holes) {
+      if (hole.end <= cursor) continue;
+      if (hole.begin >= iv.end) break;
+      if (hole.begin - cursor > eps) out.AddArc(cursor, hole.begin);
+      cursor = std::max(cursor, hole.end);
+      if (cursor >= iv.end) break;
+    }
+    if (iv.end - cursor > eps) out.AddArc(cursor, iv.end);
+  }
+  return out;
+}
+
+double AngularIntervalSet::Measure() const {
+  double total = 0.0;
+  for (const AngularInterval& iv : Normalized(0.0)) total += iv.end - iv.begin;
+  return std::min(total, kTwoPi);
+}
+
+std::vector<AngularInterval> AngularIntervalSet::Intervals(double eps) const {
+  return Normalized(eps);
+}
+
+}  // namespace senn::geom

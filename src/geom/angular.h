@@ -1,0 +1,64 @@
+// Arithmetic on sets of angular intervals over the circle [0, 2*pi).
+//
+// The exact disk-union coverage test (disk_cover.h) reduces "is this circle
+// boundary covered by a set of disks?" to interval-union questions on angle
+// space. Intervals wrap around 2*pi; the set is kept as a sorted list of
+// disjoint, non-wrapping half-open intervals.
+#pragma once
+
+#include <vector>
+
+namespace senn::geom {
+
+/// One half-open angular interval [begin, end) with 0 <= begin < end <= 2*pi
+/// after normalization (wrapping inputs are split in AngularIntervalSet).
+struct AngularInterval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// A subset of the circle [0, 2*pi) represented as disjoint sorted intervals.
+class AngularIntervalSet {
+ public:
+  /// Adds the (possibly wrapping) interval [a, b] of directions. `a` and `b`
+  /// are arbitrary radians; the arc swept counter-clockwise from a to b is
+  /// added. If b - a >= 2*pi the full circle is added.
+  void AddArc(double a, double b);
+
+  /// Adds the arc centered at `mid` with the given half-width (radians).
+  /// A half-width >= pi adds the full circle.
+  void AddCenteredArc(double mid, double half_width);
+
+  /// Adds the entire circle.
+  void AddFull();
+
+  /// True iff the set covers the whole circle, allowing gaps of at most
+  /// eps radians (coalesces near-touching intervals defensively).
+  bool CoversFullCircle(double eps = 1e-9) const;
+
+  /// True iff the set is empty (up to intervals shorter than eps).
+  bool IsEmpty(double eps = 1e-12) const;
+
+  /// Returns the complement set (the uncovered arcs), ignoring gaps
+  /// shorter than eps.
+  AngularIntervalSet Complement(double eps = 1e-12) const;
+
+  /// Returns this-minus-other: arcs of this set not covered by other.
+  /// Arcs shorter than eps in the result are dropped.
+  AngularIntervalSet Subtract(const AngularIntervalSet& other, double eps = 1e-12) const;
+
+  /// Total angular measure of the set (radians).
+  double Measure() const;
+
+  /// The normalized, merged intervals (sorted, disjoint, non-wrapping).
+  std::vector<AngularInterval> Intervals(double eps = 0.0) const;
+
+ private:
+  std::vector<AngularInterval> Normalized(double eps) const;
+
+  // Raw intervals as added; normalized lazily by queries.
+  std::vector<AngularInterval> raw_;
+  bool full_ = false;
+};
+
+}  // namespace senn::geom

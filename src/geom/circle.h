@@ -1,0 +1,40 @@
+// Circles / closed disks. The verification machinery of the paper reasons
+// about disks: a peer's "certain area" is the disk centered at its cached
+// query location whose radius is the distance to its farthest cached nearest
+// neighbor (Lemmas 3.1/3.2/3.8).
+#pragma once
+
+#include "src/geom/vec2.h"
+
+namespace senn::geom {
+
+/// A closed disk { p : |p - center| <= radius }.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Vec2 c, double r) : center(c), radius(r) {}
+
+  /// True iff p lies in the closed disk (with optional tolerance, in meters).
+  bool Contains(Vec2 p, double eps = 0.0) const {
+    return Dist(center, p) <= radius + eps;
+  }
+
+  /// True iff the closed disk `other` is entirely inside this closed disk.
+  bool ContainsCircle(const Circle& other, double eps = 0.0) const {
+    return Dist(center, other.center) + other.radius <= radius + eps;
+  }
+
+  /// True iff the two closed disks share at least one point.
+  bool Intersects(const Circle& other, double eps = 0.0) const {
+    return Dist(center, other.center) <= radius + other.radius + eps;
+  }
+
+  /// Point on the circle boundary at the given angle (radians).
+  Vec2 PointAt(double angle) const {
+    return {center.x + radius * std::cos(angle), center.y + radius * std::sin(angle)};
+  }
+};
+
+}  // namespace senn::geom

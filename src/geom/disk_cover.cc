@@ -1,0 +1,99 @@
+#include "src/geom/disk_cover.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::geom {
+
+AngularIntervalSet ArcInsideDisk(const Circle& subject, const Circle& disk, double inflate) {
+  AngularIntervalSet out;
+  const double r = subject.radius;
+  const double rr = disk.radius + inflate;
+  if (rr < 0.0) return out;
+  const double d = Dist(subject.center, disk.center);
+  if (d + r <= rr) {
+    out.AddFull();  // the whole subject circle lies inside the disk
+    return out;
+  }
+  if (d > r + rr) return out;       // too far: no boundary point inside
+  if (d + rr < r) return out;       // disk strictly inside subject: boundary untouched
+  if (r == 0.0) {
+    // Degenerate subject: the "boundary" is the center point.
+    if (d <= rr) out.AddFull();
+    return out;
+  }
+  // Law of cosines: angle at subject.center subtended by the chord where the
+  // two circles intersect.
+  double cos_half = (d * d + r * r - rr * rr) / (2.0 * d * r);
+  cos_half = std::clamp(cos_half, -1.0, 1.0);
+  double half_width = std::acos(cos_half);
+  double mid = (disk.center - subject.center).Angle();
+  out.AddCenteredArc(mid, half_width);
+  return out;
+}
+
+bool DiskCoveredByUnion(const Circle& subject, const std::vector<Circle>& cover,
+                        double tolerance) {
+  if (cover.empty()) return false;
+  for (const Circle& c : cover) {
+    if (c.ContainsCircle(subject, tolerance)) return true;  // single-disk win
+  }
+  if (subject.radius <= 0.0) {
+    for (const Circle& c : cover) {
+      if (c.Contains(subject.center, tolerance)) return true;
+    }
+    return false;
+  }
+
+  constexpr double kAngularEps = 1e-9;
+
+  // Condition (a): the subject boundary circle is covered by the union.
+  AngularIntervalSet boundary;
+  for (const Circle& c : cover) {
+    AngularIntervalSet arc = ArcInsideDisk(subject, c, tolerance);
+    for (const AngularInterval& iv : arc.Intervals()) boundary.AddArc(iv.begin, iv.end);
+  }
+  if (!boundary.CoversFullCircle(kAngularEps)) return false;
+
+  // Condition (b): for each covering disk, the part of its boundary inside
+  // the subject must be covered by the other disks.
+  for (size_t j = 0; j < cover.size(); ++j) {
+    Circle cj = cover[j];
+    if (cj.radius <= 0.0) continue;
+    // Arc of cj's boundary strictly inside the subject disk. Shrinking the
+    // subject by the tolerance keeps points that merely touch the subject
+    // boundary out of the requirement (they are handled by condition (a)).
+    Circle shrunk_subject(subject.center, std::max(0.0, subject.radius - tolerance));
+    AngularIntervalSet inside = ArcInsideDisk(cj, shrunk_subject, 0.0);
+    if (inside.IsEmpty()) continue;
+    AngularIntervalSet covered_by_others;
+    for (size_t l = 0; l < cover.size(); ++l) {
+      if (l == j) continue;
+      AngularIntervalSet arc = ArcInsideDisk(cj, cover[l], tolerance);
+      for (const AngularInterval& iv : arc.Intervals()) {
+        covered_by_others.AddArc(iv.begin, iv.end);
+      }
+    }
+    AngularIntervalSet leftover = inside.Subtract(covered_by_others, kAngularEps);
+    if (!leftover.IsEmpty(kAngularEps)) return false;
+  }
+  return true;
+}
+
+double MaxCoveredRadius(Vec2 center, const std::vector<Circle>& cover, double hi,
+                        double precision, double tolerance) {
+  if (!DiskCoveredByUnion(Circle(center, 0.0), cover, tolerance)) return 0.0;
+  double lo = 0.0;
+  if (DiskCoveredByUnion(Circle(center, hi), cover, tolerance)) return hi;
+  while (hi - lo > precision) {
+    double mid = 0.5 * (lo + hi);
+    if (DiskCoveredByUnion(Circle(center, mid), cover, tolerance)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace senn::geom

@@ -1,0 +1,54 @@
+// Exact test for "is a disk covered by a union of disks?".
+//
+// This is the geometric core of the multi-peer verification (Lemma 3.8): a
+// candidate POI n is a certain nearest neighbor of the query host Q iff the
+// disk centered at Q through n is fully covered by the union of the peers'
+// certain-area disks R_c.
+//
+// The test uses the arc-coverage criterion (the same structure underlies
+// perimeter-coverage results for sensor networks): a closed disk D is covered
+// by the union of closed disks {D_j} iff
+//   (a) the boundary circle of D is covered by the union, and
+//   (b) for every j, the arc of D_j's boundary that lies inside D is covered
+//       by the union of the *other* disks.
+// Any uncovered pocket inside D must be bounded by arcs of the input circles,
+// and each such arc violates (a) or (b); conversely (a)+(b) leave no room for
+// a pocket. Both conditions reduce to interval arithmetic on angles
+// (angular.h), so the test is exact up to floating-point tolerance and runs
+// in O(m^2 log m) for m disks — m is the number of reachable peers, which is
+// small.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/geom/angular.h"
+#include "src/geom/circle.h"
+
+namespace senn::geom {
+
+/// The arc of the boundary circle of `subject` that lies inside the closed
+/// disk `disk`, as an angular-interval set (possibly empty or full circle).
+/// `inflate` is added to disk.radius before the computation; a small positive
+/// value makes coverage checks tolerant of floating-point noise at tangency.
+AngularIntervalSet ArcInsideDisk(const Circle& subject, const Circle& disk,
+                                 double inflate = 0.0);
+
+/// True iff the closed disk `subject` is covered by the union of `cover`.
+///
+/// `tolerance` (meters) inflates the covering disks; it should be negligible
+/// relative to the geometry scale (default 1e-6 m for meter-scale inputs).
+/// With tolerance = 0 the test errs toward "not covered" at degenerate
+/// tangencies, which is the safe direction for verification (a not-covered
+/// verdict merely sends the query to the server).
+bool DiskCoveredByUnion(const Circle& subject, const std::vector<Circle>& cover,
+                        double tolerance = 1e-6);
+
+/// Given a fixed cover, returns the largest radius r such that the disk
+/// (center, r) is covered by the union, determined by bisection to
+/// `precision` meters; returns 0 when even the center point is uncovered.
+/// Useful for diagnostics and the coverage ablation bench.
+double MaxCoveredRadius(Vec2 center, const std::vector<Circle>& cover, double hi,
+                        double precision = 1e-3, double tolerance = 1e-6);
+
+}  // namespace senn::geom

@@ -1,0 +1,66 @@
+#include "src/geom/mbr.h"
+
+namespace senn::geom {
+
+void Mbr::Expand(Vec2 p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+void Mbr::Expand(const Mbr& other) {
+  if (other.IsEmpty()) return;
+  Expand(other.lo);
+  Expand(other.hi);
+}
+
+double Mbr::Area() const {
+  if (IsEmpty()) return 0.0;
+  return (hi.x - lo.x) * (hi.y - lo.y);
+}
+
+double Mbr::Margin() const {
+  if (IsEmpty()) return 0.0;
+  return (hi.x - lo.x) + (hi.y - lo.y);
+}
+
+double Mbr::OverlapArea(const Mbr& other) const {
+  double dx = std::min(hi.x, other.hi.x) - std::max(lo.x, other.lo.x);
+  double dy = std::min(hi.y, other.hi.y) - std::max(lo.y, other.lo.y);
+  if (dx <= 0.0 || dy <= 0.0) return 0.0;
+  return dx * dy;
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  Mbr merged = *this;
+  merged.Expand(other);
+  return merged.Area() - Area();
+}
+
+bool Mbr::Contains(Vec2 p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+}
+
+bool Mbr::ContainsMbr(const Mbr& other) const {
+  if (other.IsEmpty()) return true;
+  return other.lo.x >= lo.x && other.hi.x <= hi.x && other.lo.y >= lo.y && other.hi.y <= hi.y;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  return !(other.lo.x > hi.x || other.hi.x < lo.x || other.lo.y > hi.y || other.hi.y < lo.y);
+}
+
+double Mbr::MinDist2(Vec2 q) const {
+  double dx = std::max({lo.x - q.x, 0.0, q.x - hi.x});
+  double dy = std::max({lo.y - q.y, 0.0, q.y - hi.y});
+  return dx * dx + dy * dy;
+}
+
+double Mbr::MaxDist2(Vec2 q) const {
+  double dx = std::max(std::abs(q.x - lo.x), std::abs(q.x - hi.x));
+  double dy = std::max(std::abs(q.y - lo.y), std::abs(q.y - hi.y));
+  return dx * dx + dy * dy;
+}
+
+}  // namespace senn::geom

@@ -1,0 +1,60 @@
+// Axis-aligned minimum bounding rectangles with the MINDIST and MAXDIST
+// point-to-rectangle metrics used by the R*-tree kNN algorithms.
+//
+// MINDIST(q, M) is the smallest possible distance from q to any point in M
+// (Roussopoulos et al.); MAXDIST(q, M) is the largest. The paper's EINN
+// extension (Section 3.3) prunes any MBR whose MAXDIST is below the branch-
+// expanding lower bound (the MBR lies fully inside the already-certain disk)
+// and any MBR whose MINDIST exceeds the upper bound.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "src/geom/vec2.h"
+
+namespace senn::geom {
+
+/// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Mbr {
+  Vec2 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+  Vec2 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()};
+
+  /// An empty rectangle; Expand() grows it to cover geometry.
+  static Mbr Empty() { return Mbr{}; }
+  /// The degenerate rectangle covering a single point.
+  static Mbr OfPoint(Vec2 p) { return Mbr{p, p}; }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  /// Grows the rectangle to cover p.
+  void Expand(Vec2 p);
+  /// Grows the rectangle to cover other.
+  void Expand(const Mbr& other);
+
+  /// Area; 0 for empty or degenerate rectangles.
+  double Area() const;
+  /// Half perimeter (the R*-tree "margin" heuristic uses perimeter sums).
+  double Margin() const;
+  /// Area of the intersection with other (0 when disjoint).
+  double OverlapArea(const Mbr& other) const;
+  /// Area increase required to cover other.
+  double Enlargement(const Mbr& other) const;
+
+  bool Contains(Vec2 p) const;
+  bool ContainsMbr(const Mbr& other) const;
+  bool Intersects(const Mbr& other) const;
+
+  Vec2 Center() const { return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5}; }
+
+  /// Squared MINDIST from q to the rectangle (0 if q inside).
+  double MinDist2(Vec2 q) const;
+  /// Squared MAXDIST from q to the rectangle (distance to the farthest corner).
+  double MaxDist2(Vec2 q) const;
+  /// MINDIST metric (Euclidean).
+  double MinDist(Vec2 q) const { return std::sqrt(MinDist2(q)); }
+  /// MAXDIST metric (Euclidean).
+  double MaxDist(Vec2 q) const { return std::sqrt(MaxDist2(q)); }
+};
+
+}  // namespace senn::geom

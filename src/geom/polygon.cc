@@ -1,0 +1,75 @@
+#include "src/geom/polygon.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace senn::geom {
+
+ConvexPolygon ConvexPolygon::InscribedInCircle(const Circle& c, int m, double phase) {
+  assert(m >= 3);
+  std::vector<Vec2> verts;
+  verts.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    double angle = phase + 2.0 * M_PI * i / m;
+    verts.push_back(c.PointAt(angle));
+  }
+  return ConvexPolygon(std::move(verts));
+}
+
+ConvexPolygon ConvexPolygon::CircumscribedAboutCircle(const Circle& c, int m, double phase) {
+  assert(m >= 3);
+  Circle outer(c.center, c.radius / std::cos(M_PI / m));
+  // Offset by half a sector so each edge midpoint touches the inner circle.
+  return InscribedInCircle(outer, m, phase + M_PI / m);
+}
+
+double ConvexPolygon::Area() const {
+  if (IsEmpty()) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    Vec2 p = vertices_[i];
+    Vec2 q = vertices_[(i + 1) % vertices_.size()];
+    twice += p.Cross(q);
+  }
+  return 0.5 * twice;
+}
+
+bool ConvexPolygon::Contains(Vec2 p, double eps) const {
+  if (IsEmpty()) return false;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    Vec2 a = vertices_[i];
+    Vec2 b = vertices_[(i + 1) % vertices_.size()];
+    if ((b - a).Cross(p - a) < -eps) return false;
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::ClipToHalfPlane(const HalfPlane& hp) const {
+  if (IsEmpty()) return {};
+  std::vector<Vec2> out;
+  out.reserve(vertices_.size() + 1);
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    Vec2 cur = vertices_[i];
+    Vec2 nxt = vertices_[(i + 1) % vertices_.size()];
+    double side_cur = hp.Side(cur);
+    double side_nxt = hp.Side(nxt);
+    if (side_cur >= 0.0) out.push_back(cur);
+    if ((side_cur > 0.0 && side_nxt < 0.0) || (side_cur < 0.0 && side_nxt > 0.0)) {
+      double t = side_cur / (side_cur - side_nxt);
+      out.push_back(cur + (nxt - cur) * t);
+    }
+  }
+  if (out.size() < 3) return {};
+  return ConvexPolygon(std::move(out));
+}
+
+std::vector<HalfPlane> ConvexPolygon::EdgeHalfPlanes() const {
+  std::vector<HalfPlane> edges;
+  edges.reserve(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    edges.push_back({vertices_[i], vertices_[(i + 1) % vertices_.size()]});
+  }
+  return edges;
+}
+
+}  // namespace senn::geom

@@ -1,0 +1,67 @@
+// Convex polygons and half-plane clipping.
+//
+// The paper's kNN_multiple verification "adopt[s] a polygonization technique
+// that transforms all the certain area circles into polygons" before merging
+// them into the certain region R_c. We polygonize conservatively:
+//   * peer certain-area disks -> inscribed regular m-gons (under-approximate
+//     the covering region), and
+//   * the query disk          -> circumscribed regular m-gon (over-approximate
+//     the region that must be covered),
+// so the polygonized test can only under-report certainty, never falsely
+// certify a POI.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/circle.h"
+#include "src/geom/vec2.h"
+
+namespace senn::geom {
+
+/// A directed line; the half-plane "inside" is to the left of a->b.
+struct HalfPlane {
+  Vec2 a;
+  Vec2 b;
+
+  /// Signed distance-like value: > 0 strictly inside, < 0 strictly outside.
+  double Side(Vec2 p) const { return (b - a).Cross(p - a); }
+};
+
+/// A convex polygon with vertices in counter-clockwise order.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  /// Vertices must be in CCW order and form a convex polygon; this is not
+  /// validated (construction sites are trusted internal code and tests).
+  explicit ConvexPolygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {}
+
+  /// Regular m-gon inscribed in the circle (vertices on the boundary).
+  /// Requires m >= 3. `phase` rotates the vertex placement (radians).
+  static ConvexPolygon InscribedInCircle(const Circle& c, int m, double phase = 0.0);
+
+  /// Regular m-gon circumscribed about the circle (edges tangent to the
+  /// boundary; vertices at radius r / cos(pi/m)). Requires m >= 3.
+  static ConvexPolygon CircumscribedAboutCircle(const Circle& c, int m, double phase = 0.0);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  bool IsEmpty() const { return vertices_.size() < 3; }
+
+  /// Polygon area (shoelace); >= 0 for CCW vertices.
+  double Area() const;
+
+  /// True iff p is inside or on the boundary (tolerance eps on the cross
+  /// products, in squared-meter-ish units — keep tiny).
+  bool Contains(Vec2 p, double eps = 1e-9) const;
+
+  /// The part of the polygon inside the half-plane, clipped with
+  /// Sutherland-Hodgman against the single edge. May be empty.
+  ConvexPolygon ClipToHalfPlane(const HalfPlane& hp) const;
+
+  /// Edges as half-planes whose intersection is the polygon.
+  std::vector<HalfPlane> EdgeHalfPlanes() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+}  // namespace senn::geom

@@ -1,0 +1,49 @@
+// 2-D vector/point type and basic metric helpers. All geometry in the
+// library is planar; coordinates are meters in a local Cartesian frame.
+#pragma once
+
+#include <cmath>
+
+namespace senn::geom {
+
+/// A 2-D point or vector (meters).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// Z component of the 3-D cross product; > 0 when o is counter-clockwise
+  /// from *this.
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+  /// Squared Euclidean norm.
+  constexpr double Norm2() const { return x * x + y * y; }
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+  /// Unit vector in the same direction; returns (0,0) for the zero vector.
+  Vec2 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Angle of the vector in radians, in (-pi, pi].
+  double Angle() const { return std::atan2(y, x); }
+  /// The vector rotated +90 degrees.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+};
+
+/// Euclidean distance between two points.
+inline double Dist(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr double Dist2(Vec2 a, Vec2 b) { return (a - b).Norm2(); }
+
+}  // namespace senn::geom

@@ -1,0 +1,45 @@
+// Common interface for mobile-host movement models.
+//
+// The simulator drives every mobile host through this interface once per
+// time step. Two models are provided, matching the paper's two modes:
+//   * free movement mode  (WaypointMover)  — obstacle-free random waypoint
+//     with a fixed velocity, and
+//   * road network mode   (RoadMover)      — random waypoint over the road
+//     graph, with the travel speed governed by each segment's speed limit.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/geom/vec2.h"
+
+namespace senn::mobility {
+
+/// Abstract movement model. Advance() moves simulated time forward; the
+/// position is piecewise-linear between steps.
+class Mover {
+ public:
+  virtual ~Mover() = default;
+
+  /// Advances the model by dt seconds.
+  virtual void Advance(double dt, Rng* rng) = 0;
+
+  /// Current Cartesian position (meters).
+  virtual geom::Vec2 position() const = 0;
+
+  /// Current speed in meters per second (0 while pausing).
+  virtual double current_speed() const = 0;
+};
+
+/// A mover that never moves (the paper's M_Percentage parameter leaves a
+/// fraction of hosts stationary).
+class StationaryMover final : public Mover {
+ public:
+  explicit StationaryMover(geom::Vec2 position) : position_(position) {}
+  void Advance(double /*dt*/, Rng* /*rng*/) override {}
+  geom::Vec2 position() const override { return position_; }
+  double current_speed() const override { return 0.0; }
+
+ private:
+  geom::Vec2 position_;
+};
+
+}  // namespace senn::mobility

@@ -1,0 +1,133 @@
+#include "src/mobility/road_mover.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::mobility {
+
+using roadnet::EdgeId;
+using roadnet::kInvalidEdge;
+using roadnet::kInvalidNode;
+using roadnet::NodeId;
+
+RoadMover::RoadMover(const RoadMoverConfig& config, const roadnet::Graph* graph,
+                     roadnet::Router* router, NodeId start, Rng* rng)
+    : config_(config), graph_(graph), router_(router) {
+  position_ = graph_->node_position(start);
+  route_ = {start};
+  leg_ = 0;
+  PlanTrip(rng);
+}
+
+void RoadMover::PlanTrip(Rng* rng) {
+  NodeId here = route_.empty() ? kInvalidNode : route_.back();
+  if (here == kInvalidNode) return;
+  geom::Vec2 here_pos = graph_->node_position(here);
+  NodeId best = kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, config_.destination_samples); ++i) {
+    NodeId cand = static_cast<NodeId>(rng->NextIndex(graph_->node_count()));
+    if (cand == here) continue;
+    double d = geom::Dist(graph_->node_position(cand), here_pos);
+    if (config_.max_trip_m > 0.0 && d <= config_.max_trip_m) {
+      best = cand;
+      break;  // any candidate within the preferred radius will do
+    }
+    if (d < best_dist) {
+      best_dist = d;
+      best = cand;
+    }
+  }
+  if (best == kInvalidNode) {  // single-node graph: stay put
+    route_ = {here};
+    leg_ = 0;
+    leg_edge_ = kInvalidEdge;
+    return;
+  }
+  std::vector<NodeId> path = router_->FindPath(here, best);
+  if (path.size() < 2) {  // unreachable (should not happen: graph connected)
+    route_ = {here};
+    leg_ = 0;
+    leg_edge_ = kInvalidEdge;
+    return;
+  }
+  route_ = std::move(path);
+  leg_ = 0;
+  BeginLeg();
+}
+
+EdgeId RoadMover::ConnectingEdge(NodeId a, NodeId b) const {
+  EdgeId best = kInvalidEdge;
+  double best_len = std::numeric_limits<double>::infinity();
+  for (EdgeId eid : graph_->incident_edges(a)) {
+    const roadnet::Edge& e = graph_->edge(eid);
+    if (e.OtherEnd(a) == b && e.length < best_len) {
+      best = eid;
+      best_len = e.length;
+    }
+  }
+  return best;
+}
+
+void RoadMover::BeginLeg() {
+  leg_progress_m_ = 0.0;
+  if (leg_ + 1 >= route_.size()) {
+    leg_edge_ = kInvalidEdge;
+    return;
+  }
+  leg_edge_ = ConnectingEdge(route_[leg_], route_[leg_ + 1]);
+}
+
+roadnet::RoadClass RoadMover::current_road_class() const {
+  if (leg_edge_ == kInvalidEdge) return roadnet::RoadClass::kResidential;
+  return graph_->edge(leg_edge_).road_class;
+}
+
+double RoadMover::current_speed() const {
+  if (pause_left_s_ > 0.0 || leg_edge_ == kInvalidEdge) return 0.0;
+  double limit = roadnet::SpeedLimitMps(graph_->edge(leg_edge_).road_class);
+  if (config_.speed_model == SpeedModel::kCappedByNominal) {
+    return std::min(config_.nominal_speed_mps, limit);
+  }
+  // kScaledLimits: M_Velocity is the residential-road speed; other classes
+  // scale by their limit ratio.
+  return limit * config_.nominal_speed_mps /
+         roadnet::SpeedLimitMps(roadnet::RoadClass::kResidential);
+}
+
+void RoadMover::Advance(double dt, Rng* rng) {
+  while (dt > 1e-12) {
+    if (pause_left_s_ > 0.0) {
+      double pause = std::min(pause_left_s_, dt);
+      pause_left_s_ -= pause;
+      dt -= pause;
+      if (pause_left_s_ <= 0.0) PlanTrip(rng);
+      continue;
+    }
+    if (leg_ + 1 >= route_.size() || leg_edge_ == kInvalidEdge) {
+      // Arrived (or stranded): pause, then plan the next trip.
+      pause_left_s_ = rng->Exponential(std::max(config_.mean_pause_s, 1e-9));
+      continue;
+    }
+    const roadnet::Edge& e = graph_->edge(leg_edge_);
+    double speed = current_speed();
+    if (speed <= 0.0) return;  // defensive: zero nominal velocity
+    double remaining_m = e.length - leg_progress_m_;
+    double step_m = speed * dt;
+    geom::Vec2 from = graph_->node_position(route_[leg_]);
+    geom::Vec2 to = graph_->node_position(route_[leg_ + 1]);
+    if (step_m < remaining_m) {
+      leg_progress_m_ += step_m;
+      double t = leg_progress_m_ / e.length;
+      position_ = from + (to - from) * t;
+      return;
+    }
+    // Finish this leg and roll leftover time into the next one.
+    dt -= remaining_m / speed;
+    position_ = to;
+    ++leg_;
+    BeginLeg();
+  }
+}
+
+}  // namespace senn::mobility

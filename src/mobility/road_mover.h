@@ -1,0 +1,82 @@
+// Road network mobility: random waypoint over the road graph. A host picks a
+// random destination node, routes to it along the network (A*), and travels
+// each segment at that segment's speed limit (capped by the host's own
+// nominal velocity), pausing at each destination — the paper's road network
+// mode, where "travel speed s is determined by the speed limit on the
+// corresponding road segment".
+#pragma once
+
+#include <vector>
+
+#include "src/mobility/mover.h"
+#include "src/roadnet/graph.h"
+#include "src/roadnet/shortest_path.h"
+
+namespace senn::mobility {
+
+/// How the nominal M_Velocity interacts with per-segment speed limits.
+enum class SpeedModel {
+  /// Speed on a segment = limit(class) * nominal / 30 mph: M_Velocity is the
+  /// residential-road speed and faster road classes scale proportionally —
+  /// the paper's "travel speed is determined by the speed limit on the
+  /// corresponding road segment", with M_Velocity as the sweep knob.
+  kScaledLimits = 0,
+  /// Speed = min(nominal, limit(class)): hosts never exceed their nominal
+  /// velocity even on highways.
+  kCappedByNominal = 1,
+};
+
+/// Configuration of the road-constrained random waypoint model.
+struct RoadMoverConfig {
+  /// Nominal host velocity (meters per second). This is the paper's
+  /// M_Velocity knob; see SpeedModel for how it maps to segment speeds.
+  double nominal_speed_mps = 13.4112;  // 30 mph
+  /// Speed-limit interaction model.
+  SpeedModel speed_model = SpeedModel::kScaledLimits;
+  /// Mean pause duration at each waypoint (seconds, exponential).
+  double mean_pause_s = 30.0;
+  /// Preferred maximum trip length (meters, Euclidean). Trips are sampled
+  /// within this radius when possible, bounding route-planning cost on
+  /// county-scale graphs. <= 0 means unbounded.
+  double max_trip_m = 8000.0;
+  /// Random destination candidates sampled per trip.
+  int destination_samples = 12;
+};
+
+/// A mover constrained to the road network. The graph and router are shared
+/// across all hosts and must outlive the mover.
+class RoadMover final : public Mover {
+ public:
+  RoadMover(const RoadMoverConfig& config, const roadnet::Graph* graph,
+            roadnet::Router* router, roadnet::NodeId start, Rng* rng);
+
+  void Advance(double dt, Rng* rng) override;
+  geom::Vec2 position() const override { return position_; }
+  double current_speed() const override;
+
+  /// Node the host is currently heading to (kInvalidNode while pausing).
+  roadnet::NodeId current_destination() const {
+    return route_.empty() ? roadnet::kInvalidNode : route_.back();
+  }
+  /// The road class of the segment being traversed (test hook); returns
+  /// kResidential while pausing.
+  roadnet::RoadClass current_road_class() const;
+
+ private:
+  void PlanTrip(Rng* rng);
+  /// Finds the edge joining two adjacent route nodes (shortest if parallel).
+  roadnet::EdgeId ConnectingEdge(roadnet::NodeId a, roadnet::NodeId b) const;
+  void BeginLeg();
+
+  RoadMoverConfig config_;
+  const roadnet::Graph* graph_;
+  roadnet::Router* router_;
+  std::vector<roadnet::NodeId> route_;  // remaining nodes, route_[0] = leg start
+  size_t leg_ = 0;                      // index of the current leg's start node
+  roadnet::EdgeId leg_edge_ = roadnet::kInvalidEdge;
+  double leg_progress_m_ = 0.0;
+  geom::Vec2 position_;
+  double pause_left_s_ = 0.0;
+};
+
+}  // namespace senn::mobility

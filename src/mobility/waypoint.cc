@@ -1,0 +1,39 @@
+#include "src/mobility/waypoint.h"
+
+#include <algorithm>
+
+namespace senn::mobility {
+
+WaypointMover::WaypointMover(const WaypointConfig& config, geom::Vec2 start, Rng* rng)
+    : config_(config), position_(start) {
+  PickDestination(rng);
+}
+
+void WaypointMover::PickDestination(Rng* rng) {
+  destination_ = {rng->Uniform(0.0, config_.area_side_m),
+                  rng->Uniform(0.0, config_.area_side_m)};
+}
+
+void WaypointMover::Advance(double dt, Rng* rng) {
+  while (dt > 0.0) {
+    if (pause_left_s_ > 0.0) {
+      double pause = std::min(pause_left_s_, dt);
+      pause_left_s_ -= pause;
+      dt -= pause;
+      if (pause_left_s_ <= 0.0) PickDestination(rng);
+      continue;
+    }
+    double remaining = geom::Dist(position_, destination_);
+    double step = config_.speed_mps * dt;
+    if (step < remaining) {
+      position_ = position_ + (destination_ - position_).Normalized() * step;
+      return;
+    }
+    // Arrive and start the pause with the leftover time budget.
+    position_ = destination_;
+    dt -= config_.speed_mps > 0.0 ? remaining / config_.speed_mps : dt;
+    pause_left_s_ = rng->Exponential(std::max(config_.mean_pause_s, 1e-9));
+  }
+}
+
+}  // namespace senn::mobility

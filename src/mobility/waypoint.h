@@ -1,0 +1,45 @@
+// Random waypoint mobility (Broch et al., MobiCom 1998), free movement mode:
+// each host picks a uniform random destination in the area, travels there in
+// a straight line at fixed speed, pauses for a random interval, and repeats.
+#pragma once
+
+#include "src/geom/vec2.h"
+#include "src/mobility/mover.h"
+
+namespace senn::mobility {
+
+/// Configuration of the free-movement random waypoint model.
+struct WaypointConfig {
+  /// Square simulation area [0, side] x [0, side], meters.
+  double area_side_m = 3218.688;
+  /// Travel speed (meters per second); the paper uses a fixed velocity in
+  /// free movement mode.
+  double speed_mps = 13.4112;  // 30 mph
+  /// Mean pause duration at each waypoint (seconds, exponential).
+  double mean_pause_s = 30.0;
+};
+
+/// Free-movement random waypoint mover.
+class WaypointMover final : public Mover {
+ public:
+  /// Starts at `start`, already moving toward a random destination chosen
+  /// with `rng`.
+  WaypointMover(const WaypointConfig& config, geom::Vec2 start, Rng* rng);
+
+  void Advance(double dt, Rng* rng) override;
+  geom::Vec2 position() const override { return position_; }
+  double current_speed() const override { return pause_left_s_ > 0.0 ? 0.0 : config_.speed_mps; }
+
+  /// Destination of the current trip (test hook).
+  geom::Vec2 destination() const { return destination_; }
+
+ private:
+  void PickDestination(Rng* rng);
+
+  WaypointConfig config_;
+  geom::Vec2 position_;
+  geom::Vec2 destination_;
+  double pause_left_s_ = 0.0;
+};
+
+}  // namespace senn::mobility

@@ -1,0 +1,162 @@
+#include "src/roadnet/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace senn::roadnet {
+
+namespace {
+
+// Minimal union-find for the reconnection pass.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  // Returns true when the union merged two distinct components.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct PendingEdge {
+  NodeId a;
+  NodeId b;
+  RoadClass road_class;
+};
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const RoadNetworkConfig& config, Rng* rng) {
+  Graph graph;
+  const double side = std::max(config.area_side_m, 2.0 * config.block_spacing_m);
+  const double spacing = std::max(config.block_spacing_m, 10.0);
+  const int n = std::max(2, static_cast<int>(std::floor(side / spacing)) + 1);
+  const double jitter = config.jitter_fraction * spacing * 0.5;
+
+  // Grid nodes with jitter, clamped into the area.
+  std::vector<NodeId> grid(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (int gy = 0; gy < n; ++gy) {
+    for (int gx = 0; gx < n; ++gx) {
+      double x = std::clamp(gx * spacing + rng->Uniform(-jitter, jitter), 0.0, side);
+      double y = std::clamp(gy * spacing + rng->Uniform(-jitter, jitter), 0.0, side);
+      grid[static_cast<size_t>(gy) * static_cast<size_t>(n) + static_cast<size_t>(gx)] =
+          graph.AddNode({x, y});
+    }
+  }
+  auto grid_node = [&](int gx, int gy) {
+    return grid[static_cast<size_t>(gy) * static_cast<size_t>(n) + static_cast<size_t>(gx)];
+  };
+  auto line_class = [&](int index) {
+    if (config.highway_every > 0 && index % config.highway_every == 0) {
+      return RoadClass::kHighway;
+    }
+    if (config.secondary_every > 0 && index % config.secondary_every == 0) {
+      return RoadClass::kSecondary;
+    }
+    return config.local_class;
+  };
+
+  // Candidate grid edges; local streets may be dropped.
+  std::vector<PendingEdge> kept, dropped;
+  for (int gy = 0; gy < n; ++gy) {
+    for (int gx = 0; gx < n; ++gx) {
+      if (gx + 1 < n) {
+        RoadClass rc = line_class(gy);
+        PendingEdge e{grid_node(gx, gy), grid_node(gx + 1, gy), rc};
+        bool drop = rc == config.local_class && rng->Bernoulli(config.removal_fraction);
+        (drop ? dropped : kept).push_back(e);
+      }
+      if (gy + 1 < n) {
+        RoadClass rc = line_class(gx);
+        PendingEdge e{grid_node(gx, gy), grid_node(gx, gy + 1), rc};
+        bool drop = rc == config.local_class && rng->Bernoulli(config.removal_fraction);
+        (drop ? dropped : kept).push_back(e);
+      }
+    }
+  }
+
+  // Diagonal limited-access highways. Their street crossings are over-passes:
+  // no shared node is created there. They touch the grid only at ramps.
+  std::vector<PendingEdge> highways;
+  for (int h = 0; h < config.diagonal_highways; ++h) {
+    // Alternate the two diagonal directions, offset per highway.
+    bool rising = (h % 2) == 0;
+    double offset = side * (static_cast<double>(h / 2 + 1) /
+                            (static_cast<double>(config.diagonal_highways / 2) + 2.0));
+    double step = spacing * 1.2;
+    NodeId prev = kInvalidNode;
+    int sample_index = 0;
+    for (double t = 0.0; t <= side * std::sqrt(2.0); t += step, ++sample_index) {
+      double u = t / std::sqrt(2.0);
+      geom::Vec2 p = rising ? geom::Vec2{u, std::fmod(u + offset, side)}
+                            : geom::Vec2{u, std::fmod(side * 2.0 + offset - u, side)};
+      if (p.x > side || p.y > side || p.x < 0 || p.y < 0) continue;
+      // Break the highway when the wrap-around jumps across the area.
+      if (prev != kInvalidNode &&
+          geom::Dist(graph.node_position(prev), p) > 3.0 * step) {
+        prev = kInvalidNode;
+      }
+      NodeId node = graph.AddNode(p);
+      if (prev != kInvalidNode) {
+        highways.push_back({prev, node, RoadClass::kHighway});
+      }
+      if (config.interchange_every > 0 && sample_index % config.interchange_every == 0) {
+        // Ramp to the nearest grid node (an interchange).
+        int gx = std::clamp(static_cast<int>(std::round(p.x / spacing)), 0, n - 1);
+        int gy = std::clamp(static_cast<int>(std::round(p.y / spacing)), 0, n - 1);
+        highways.push_back({node, grid_node(gx, gy), RoadClass::kSecondary});
+      }
+      prev = node;
+    }
+  }
+
+  // Reconnect: start from kept + highways, then re-add dropped local streets
+  // while more than one component remains.
+  UnionFind uf(graph.node_count());
+  auto add_edge = [&](const PendingEdge& e) {
+    if (e.a == e.b) return;
+    // Coincident jittered nodes would create a zero-length edge; skip.
+    if (geom::Dist(graph.node_position(e.a), graph.node_position(e.b)) <= 0.0) return;
+    Result<EdgeId> r = graph.AddEdge(e.a, e.b, e.road_class);
+    if (r.ok()) uf.Union(static_cast<size_t>(e.a), static_cast<size_t>(e.b));
+  };
+  for (const PendingEdge& e : kept) add_edge(e);
+  for (const PendingEdge& e : highways) add_edge(e);
+  rng->Shuffle(&dropped);
+  for (const PendingEdge& e : dropped) {
+    if (uf.Find(static_cast<size_t>(e.a)) != uf.Find(static_cast<size_t>(e.b))) {
+      add_edge(e);
+    }
+  }
+  // Isolated highway fragments (possible at area corners) are reattached
+  // with a ramp to their nearest grid node.
+  for (size_t node = 0; node < graph.node_count(); ++node) {
+    if (uf.Find(node) == uf.Find(static_cast<size_t>(grid[0]))) continue;
+    geom::Vec2 p = graph.node_position(static_cast<NodeId>(node));
+    int gx = std::clamp(static_cast<int>(std::round(p.x / spacing)), 0, n - 1);
+    int gy = std::clamp(static_cast<int>(std::round(p.y / spacing)), 0, n - 1);
+    NodeId target = grid_node(gx, gy);
+    if (target != static_cast<NodeId>(node)) {
+      add_edge({static_cast<NodeId>(node), target, RoadClass::kSecondary});
+    }
+  }
+  return graph;
+}
+
+}  // namespace senn::roadnet

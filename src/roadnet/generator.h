@@ -1,0 +1,51 @@
+// Synthetic road-network generator.
+//
+// The paper builds its road networks from TIGER/LINE street vectors (U.S.
+// Census Bureau), which we cannot ship. This generator produces networks
+// with the same structural features the paper derives from that data:
+//   * multiple road classes with distinct speed limits (highways, secondary
+//     roads, residential streets, rural roads),
+//   * an irregular block structure (jittered grid with random street
+//     removals, reconnected so the network stays a single component), and
+//   * diagonal highways whose geometric crossings with surface streets are
+//     over-passes, NOT intersections — they join the street grid only at
+//     designated interchanges, mirroring the paper's over-pass detection.
+// All randomness flows through the caller's Rng, so networks are fully
+// reproducible from a seed.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/roadnet/graph.h"
+
+namespace senn::roadnet {
+
+/// Tuning knobs for the synthetic network. Defaults model a dense urban
+/// grid; increase block_spacing_m / removal_fraction for rural areas.
+struct RoadNetworkConfig {
+  /// Side of the square service area (meters).
+  double area_side_m = MilesToMeters(2.0);
+  /// Distance between neighboring grid streets (meters).
+  double block_spacing_m = 200.0;
+  /// Every Nth grid line is a secondary road (faster).
+  int secondary_every = 4;
+  /// Every Nth grid line is a surface highway.
+  int highway_every = 12;
+  /// Node positions are jittered by +/- this fraction of the spacing.
+  double jitter_fraction = 0.2;
+  /// Fraction of residential edges removed to break the perfect grid.
+  double removal_fraction = 0.12;
+  /// Number of diagonal limited-access highways laid over the grid.
+  int diagonal_highways = 1;
+  /// A diagonal highway connects to the street grid at every Nth of its
+  /// nodes (the rest of its street crossings are over-passes).
+  int interchange_every = 6;
+  /// Class used for non-highway, non-secondary streets; kResidential for
+  /// urban areas, kRural for sparse ones.
+  RoadClass local_class = RoadClass::kResidential;
+};
+
+/// Generates a connected road network. The result always passes
+/// Graph::Validate() and Graph::IsConnected().
+Graph GenerateRoadNetwork(const RoadNetworkConfig& config, Rng* rng);
+
+}  // namespace senn::roadnet

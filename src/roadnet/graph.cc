@@ -1,0 +1,124 @@
+#include "src/roadnet/graph.h"
+
+#include <cmath>
+#include <vector>
+
+namespace senn::roadnet {
+
+double SpeedLimitMps(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kHighway:
+      return MphToMps(65.0);
+    case RoadClass::kSecondary:
+      return MphToMps(45.0);
+    case RoadClass::kResidential:
+      return MphToMps(30.0);
+    case RoadClass::kRural:
+      return MphToMps(55.0);
+  }
+  return MphToMps(30.0);
+}
+
+const char* RoadClassName(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kHighway:
+      return "highway";
+    case RoadClass::kSecondary:
+      return "secondary";
+    case RoadClass::kResidential:
+      return "residential";
+    case RoadClass::kRural:
+      return "rural";
+  }
+  return "unknown";
+}
+
+NodeId Graph::AddNode(geom::Vec2 position) {
+  nodes_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<EdgeId> Graph::AddEdge(NodeId a, NodeId b, RoadClass road_class) {
+  if (a == b) return Status::InvalidArgument("self-loop edge");
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= nodes_.size() ||
+      static_cast<size_t>(b) >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  Edge e;
+  e.a = a;
+  e.b = b;
+  e.length = geom::Dist(nodes_[static_cast<size_t>(a)], nodes_[static_cast<size_t>(b)]);
+  e.road_class = road_class;
+  edges_.push_back(e);
+  EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  adjacency_[static_cast<size_t>(a)].push_back(id);
+  adjacency_[static_cast<size_t>(b)].push_back(id);
+  return id;
+}
+
+geom::Vec2 Graph::PositionOf(EdgePoint p) const {
+  const Edge& e = edge(p.edge);
+  geom::Vec2 pa = node_position(e.a);
+  geom::Vec2 pb = node_position(e.b);
+  if (e.length <= 0.0) return pa;
+  double t = p.offset / e.length;
+  return pa + (pb - pa) * t;
+}
+
+bool Graph::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    for (EdgeId eid : adjacency_[static_cast<size_t>(n)]) {
+      NodeId other = edges_[static_cast<size_t>(eid)].OtherEnd(n);
+      if (!seen[static_cast<size_t>(other)]) {
+        seen[static_cast<size_t>(other)] = true;
+        ++visited;
+        stack.push_back(other);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+Status Graph::Validate() const {
+  if (adjacency_.size() != nodes_.size()) return Status::Internal("adjacency size mismatch");
+  std::vector<size_t> degree(nodes_.size(), 0);
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.a < 0 || e.b < 0 || static_cast<size_t>(e.a) >= nodes_.size() ||
+        static_cast<size_t>(e.b) >= nodes_.size()) {
+      return Status::Internal("edge endpoint out of range");
+    }
+    if (e.a == e.b) return Status::Internal("self-loop");
+    double expected =
+        geom::Dist(nodes_[static_cast<size_t>(e.a)], nodes_[static_cast<size_t>(e.b)]);
+    if (std::abs(e.length - expected) > 1e-6) return Status::Internal("stale edge length");
+    if (e.length <= 0.0) return Status::Internal("non-positive edge length");
+    ++degree[static_cast<size_t>(e.a)];
+    ++degree[static_cast<size_t>(e.b)];
+  }
+  size_t adjacency_total = 0;
+  for (size_t n = 0; n < adjacency_.size(); ++n) {
+    for (EdgeId eid : adjacency_[n]) {
+      if (eid < 0 || static_cast<size_t>(eid) >= edges_.size()) {
+        return Status::Internal("adjacency references unknown edge");
+      }
+      const Edge& e = edges_[static_cast<size_t>(eid)];
+      if (static_cast<size_t>(e.a) != n && static_cast<size_t>(e.b) != n) {
+        return Status::Internal("adjacency references non-incident edge");
+      }
+    }
+    adjacency_total += adjacency_[n].size();
+  }
+  if (adjacency_total != 2 * edges_.size()) return Status::Internal("adjacency count mismatch");
+  return Status::OK();
+}
+
+}  // namespace senn::roadnet

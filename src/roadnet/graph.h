@@ -1,0 +1,95 @@
+// Road-network modeling graph.
+//
+// The paper assumes "a digitization process that generates a modeling graph
+// from an input spatial network" with junctions, segment endpoints and
+// auxiliary points as nodes, and uses Dijkstra's algorithm as the basis for
+// network distances (Section 3.4). Road segments carry a class (derived from
+// TIGER/LINE categories: primary highways, secondary and connecting roads,
+// rural roads) that determines the speed limit mobile hosts obey.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/geom/vec2.h"
+
+namespace senn::roadnet {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// TIGER/LINE-like road categories.
+enum class RoadClass : uint8_t {
+  kHighway = 0,     // primary highway (A1*)
+  kSecondary = 1,   // secondary / connecting road (A2*, A3*)
+  kResidential = 2, // local street (A4*)
+  kRural = 3,       // rural / unimproved road
+};
+
+/// Speed limit for a road class, meters per second.
+double SpeedLimitMps(RoadClass road_class);
+/// Human-readable class name.
+const char* RoadClassName(RoadClass road_class);
+
+/// An undirected road segment between two graph nodes. Length is the
+/// Euclidean length of the segment (segments are straight; curved roads are
+/// modeled with auxiliary nodes, as in the paper's digitization).
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double length = 0.0;
+  RoadClass road_class = RoadClass::kResidential;
+
+  /// The node at the other end of the edge.
+  NodeId OtherEnd(NodeId from) const { return from == a ? b : a; }
+};
+
+/// A position on the network: an edge plus an offset in meters from the
+/// edge's `a` endpoint, 0 <= offset <= edge.length.
+struct EdgePoint {
+  EdgeId edge = kInvalidEdge;
+  double offset = 0.0;
+
+  bool IsValid() const { return edge != kInvalidEdge; }
+};
+
+/// An undirected road graph with adjacency lists.
+class Graph {
+ public:
+  /// Adds a node at the given position, returning its id.
+  NodeId AddNode(geom::Vec2 position);
+
+  /// Adds an undirected edge; length is computed from the node positions.
+  /// Self-loops are rejected with InvalidArgument.
+  Result<EdgeId> AddEdge(NodeId a, NodeId b, RoadClass road_class);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  geom::Vec2 node_position(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const Edge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+  /// Edge ids incident to the node.
+  const std::vector<EdgeId>& incident_edges(NodeId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  /// Cartesian position of a point on the network.
+  geom::Vec2 PositionOf(EdgePoint p) const;
+
+  /// True iff every node is reachable from node 0 (or the graph is empty).
+  bool IsConnected() const;
+
+  /// Structural validation for tests: id ranges, positive lengths matching
+  /// endpoint distance, adjacency symmetry.
+  Status Validate() const;
+
+ private:
+  std::vector<geom::Vec2> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace senn::roadnet

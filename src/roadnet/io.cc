@@ -1,0 +1,148 @@
+#include "src/roadnet/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace senn::roadnet {
+
+namespace {
+
+constexpr char kGraphMagic[] = "senn-roadnet";
+constexpr char kPoiMagic[] = "senn-pois";
+
+Status MalformedLine(size_t line_number, std::string_view what) {
+  std::ostringstream msg;
+  msg << "line " << line_number << ": " << what;
+  return Status::InvalidArgument(msg.str());
+}
+
+}  // namespace
+
+Result<RoadClass> ParseRoadClass(const std::string& token) {
+  if (token == "highway") return RoadClass::kHighway;
+  if (token == "secondary") return RoadClass::kSecondary;
+  if (token == "residential") return RoadClass::kResidential;
+  if (token == "rural") return RoadClass::kRural;
+  return Status::NotFound("unknown road class: " + token);
+}
+
+Status SaveGraph(const Graph& graph, std::ostream* out) {
+  *out << kGraphMagic << " 1\n";
+  out->precision(17);
+  for (size_t n = 0; n < graph.node_count(); ++n) {
+    geom::Vec2 p = graph.node_position(static_cast<NodeId>(n));
+    *out << "node " << p.x << ' ' << p.y << '\n';
+  }
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(static_cast<EdgeId>(e));
+    *out << "edge " << edge.a << ' ' << edge.b << ' ' << RoadClassName(edge.road_class)
+         << '\n';
+  }
+  if (!out->good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status SaveGraphToFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open for writing: " + path);
+  return SaveGraph(graph, &out);
+}
+
+Result<Graph> LoadGraph(std::istream* in) {
+  std::string line;
+  size_t line_number = 0;
+  if (!std::getline(*in, line)) return Status::InvalidArgument("empty input");
+  ++line_number;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kGraphMagic) return MalformedLine(line_number, "bad magic");
+    if (version != 1) return MalformedLine(line_number, "unsupported version");
+  }
+  Graph graph;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "node") {
+      double x = 0, y = 0;
+      if (!(fields >> x >> y)) return MalformedLine(line_number, "bad node");
+      graph.AddNode({x, y});
+    } else if (kind == "edge") {
+      long long a = 0, b = 0;
+      std::string cls;
+      if (!(fields >> a >> b >> cls)) return MalformedLine(line_number, "bad edge");
+      Result<RoadClass> road_class = ParseRoadClass(cls);
+      if (!road_class.ok()) return MalformedLine(line_number, "bad road class");
+      Result<EdgeId> added = graph.AddEdge(static_cast<NodeId>(a),
+                                           static_cast<NodeId>(b), *road_class);
+      if (!added.ok()) return MalformedLine(line_number, added.status().message());
+    } else {
+      return MalformedLine(line_number, "unknown record: " + kind);
+    }
+  }
+  return graph;
+}
+
+Result<Graph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  return LoadGraph(&in);
+}
+
+Status SavePois(const std::vector<core::Poi>& pois, std::ostream* out) {
+  *out << kPoiMagic << " 1\n";
+  out->precision(17);
+  for (const core::Poi& p : pois) {
+    *out << "poi " << p.id << ' ' << p.position.x << ' ' << p.position.y << '\n';
+  }
+  if (!out->good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status SavePoisToFile(const std::vector<core::Poi>& pois, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open for writing: " + path);
+  return SavePois(pois, &out);
+}
+
+Result<std::vector<core::Poi>> LoadPois(std::istream* in) {
+  std::string line;
+  size_t line_number = 0;
+  if (!std::getline(*in, line)) return Status::InvalidArgument("empty input");
+  ++line_number;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kPoiMagic) return MalformedLine(line_number, "bad magic");
+    if (version != 1) return MalformedLine(line_number, "unsupported version");
+  }
+  std::vector<core::Poi> pois;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind != "poi") return MalformedLine(line_number, "unknown record: " + kind);
+    long long id = 0;
+    double x = 0, y = 0;
+    if (!(fields >> id >> x >> y)) return MalformedLine(line_number, "bad poi");
+    pois.push_back({id, {x, y}});
+  }
+  return pois;
+}
+
+Result<std::vector<core::Poi>> LoadPoisFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  return LoadPois(&in);
+}
+
+}  // namespace senn::roadnet

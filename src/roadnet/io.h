@@ -1,0 +1,47 @@
+// Plain-text serialization for road graphs and POI sets.
+//
+// The paper digitizes TIGER/LINE shapefiles; this library ships a synthetic
+// generator instead, but downstream users with real street vectors can
+// digitize them into this format and load them here. The format is a
+// line-oriented text file, diff-friendly and trivially produced by any
+// script:
+//
+//   senn-roadnet 1            # magic + version
+//   node <x> <y>              # one per node, id = order of appearance
+//   edge <a> <b> <class>      # class: highway|secondary|residential|rural
+//
+//   senn-pois 1               # magic + version
+//   poi <id> <x> <y>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/types.h"
+#include "src/roadnet/graph.h"
+
+namespace senn::roadnet {
+
+/// Writes the graph in the text format. Edge lengths are not stored (they
+/// are recomputed from node positions on load).
+Status SaveGraph(const Graph& graph, std::ostream* out);
+Status SaveGraphToFile(const Graph& graph, const std::string& path);
+
+/// Parses a graph; rejects malformed input with InvalidArgument carrying the
+/// offending line number.
+Result<Graph> LoadGraph(std::istream* in);
+Result<Graph> LoadGraphFromFile(const std::string& path);
+
+/// POI sets in the same spirit.
+Status SavePois(const std::vector<core::Poi>& pois, std::ostream* out);
+Status SavePoisToFile(const std::vector<core::Poi>& pois, const std::string& path);
+Result<std::vector<core::Poi>> LoadPois(std::istream* in);
+Result<std::vector<core::Poi>> LoadPoisFromFile(const std::string& path);
+
+/// Parses a road-class token ("highway", "secondary", "residential",
+/// "rural"); NotFound for anything else.
+Result<RoadClass> ParseRoadClass(const std::string& token);
+
+}  // namespace senn::roadnet

@@ -1,0 +1,116 @@
+#include "src/roadnet/locate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace senn::roadnet {
+
+double ProjectOntoSegment(geom::Vec2 a, geom::Vec2 b, geom::Vec2 p) {
+  geom::Vec2 ab = b - a;
+  double len2 = ab.Norm2();
+  if (len2 <= 0.0) return 0.0;
+  double t = std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  return t * std::sqrt(len2);
+}
+
+EdgeLocator::EdgeLocator(const Graph* graph, double cell_size)
+    : graph_(graph), cell_size_(std::max(cell_size, 1.0)) {
+  // Bounding box of all nodes.
+  double min_x = std::numeric_limits<double>::infinity(), min_y = min_x;
+  double max_x = -min_x, max_y = -min_x;
+  for (size_t n = 0; n < graph_->node_count(); ++n) {
+    geom::Vec2 p = graph_->node_position(static_cast<NodeId>(n));
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  if (graph_->node_count() == 0) {
+    origin_ = {0, 0};
+    return;
+  }
+  origin_ = {min_x, min_y};
+  cells_x_ = std::max(1, static_cast<int>(std::ceil((max_x - min_x) / cell_size_)) + 1);
+  cells_y_ = std::max(1, static_cast<int>(std::ceil((max_y - min_y) / cell_size_)) + 1);
+  cells_.resize(static_cast<size_t>(cells_x_) * static_cast<size_t>(cells_y_));
+  // Register each edge in every cell its segment passes through (covered by
+  // rasterizing the segment's bounding cells; edges are short relative to
+  // the grid, so this stays near-linear).
+  for (size_t e = 0; e < graph_->edge_count(); ++e) {
+    const Edge& edge = graph_->edge(static_cast<EdgeId>(e));
+    geom::Vec2 a = graph_->node_position(edge.a);
+    geom::Vec2 b = graph_->node_position(edge.b);
+    int x0 = CellX(std::min(a.x, b.x)), x1 = CellX(std::max(a.x, b.x));
+    int y0 = CellY(std::min(a.y, b.y)), y1 = CellY(std::max(a.y, b.y));
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int cy = y0; cy <= y1; ++cy) {
+        cells_[static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+               static_cast<size_t>(cx)]
+            .push_back(static_cast<EdgeId>(e));
+      }
+    }
+  }
+}
+
+int EdgeLocator::CellX(double x) const {
+  return std::clamp(static_cast<int>((x - origin_.x) / cell_size_), 0, cells_x_ - 1);
+}
+
+int EdgeLocator::CellY(double y) const {
+  return std::clamp(static_cast<int>((y - origin_.y) / cell_size_), 0, cells_y_ - 1);
+}
+
+void EdgeLocator::ScanCell(int cx, int cy, geom::Vec2 p, Candidate* best) const {
+  if (cx < 0 || cy < 0 || cx >= cells_x_ || cy >= cells_y_) return;
+  const std::vector<EdgeId>& bucket =
+      cells_[static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+             static_cast<size_t>(cx)];
+  for (EdgeId eid : bucket) {
+    const Edge& e = graph_->edge(eid);
+    geom::Vec2 a = graph_->node_position(e.a);
+    geom::Vec2 b = graph_->node_position(e.b);
+    double offset = ProjectOntoSegment(a, b, p);
+    geom::Vec2 closest = e.length > 0.0 ? a + (b - a) * (offset / e.length) : a;
+    double d = geom::Dist(p, closest);
+    if (d < best->distance) {
+      best->distance = d;
+      best->edge = eid;
+      best->offset = offset;
+    }
+  }
+}
+
+EdgePoint EdgeLocator::Nearest(geom::Vec2 p, double* out_distance) const {
+  Candidate best{kInvalidEdge, std::numeric_limits<double>::infinity(), 0.0};
+  if (graph_->edge_count() == 0 || cells_.empty()) {
+    if (out_distance != nullptr) *out_distance = best.distance;
+    return EdgePoint{};
+  }
+  int cx = CellX(p.x), cy = CellY(p.y);
+  // Expand rings of cells until the best distance proves no farther ring can
+  // improve on it.
+  int max_ring = std::max(cells_x_, cells_y_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best.edge != kInvalidEdge &&
+        best.distance < (static_cast<double>(ring) - 1.0) * cell_size_) {
+      break;
+    }
+    if (ring == 0) {
+      ScanCell(cx, cy, p, &best);
+      continue;
+    }
+    for (int dx = -ring; dx <= ring; ++dx) {
+      ScanCell(cx + dx, cy - ring, p, &best);
+      ScanCell(cx + dx, cy + ring, p, &best);
+    }
+    for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
+      ScanCell(cx - ring, cy + dy, p, &best);
+      ScanCell(cx + ring, cy + dy, p, &best);
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best.distance;
+  return EdgePoint{best.edge, best.offset};
+}
+
+}  // namespace senn::roadnet

@@ -1,0 +1,50 @@
+// Snapping Cartesian positions onto the road network.
+//
+// Mobile hosts, query points, and POIs live in the plane; the network kNN
+// algorithms need them as EdgePoints. EdgeLocator builds a uniform grid over
+// the edges so nearest-edge queries stay fast on county-scale graphs.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/vec2.h"
+#include "src/roadnet/graph.h"
+
+namespace senn::roadnet {
+
+/// Projects p onto the segment [a, b]; returns the offset (meters from a,
+/// clamped to the segment) of the closest point.
+double ProjectOntoSegment(geom::Vec2 a, geom::Vec2 b, geom::Vec2 p);
+
+/// Grid-accelerated nearest-edge lookup. The graph must outlive the locator
+/// and must not gain edges afterwards.
+class EdgeLocator {
+ public:
+  /// `cell_size` is the grid resolution in meters; pick roughly the typical
+  /// edge length.
+  EdgeLocator(const Graph* graph, double cell_size = 250.0);
+
+  /// The point on the network nearest to p (invalid when the graph has no
+  /// edges). Also reports the snap distance through `out_distance` if given.
+  EdgePoint Nearest(geom::Vec2 p, double* out_distance = nullptr) const;
+
+ private:
+  struct Candidate {
+    EdgeId edge;
+    double distance;
+    double offset;
+  };
+
+  void ScanCell(int cx, int cy, geom::Vec2 p, Candidate* best) const;
+  int CellX(double x) const;
+  int CellY(double y) const;
+
+  const Graph* graph_;
+  double cell_size_;
+  geom::Vec2 origin_;
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  std::vector<std::vector<EdgeId>> cells_;
+};
+
+}  // namespace senn::roadnet

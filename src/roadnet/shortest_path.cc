@@ -1,0 +1,167 @@
+#include "src/roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::roadnet {
+
+std::vector<double> DijkstraFrom(const Graph& graph, NodeId source,
+                                 std::optional<double> max_distance) {
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  if (source < 0 || static_cast<size_t>(source) >= graph.node_count()) return dist;
+  struct Item {
+    double d;
+    NodeId n;
+  };
+  auto greater = [](const Item& a, const Item& b) { return a.d > b.d; };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
+  dist[static_cast<size_t>(source)] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    Item item = queue.top();
+    queue.pop();
+    if (item.d > dist[static_cast<size_t>(item.n)]) continue;  // stale entry
+    if (max_distance.has_value() && item.d > *max_distance) break;
+    for (EdgeId eid : graph.incident_edges(item.n)) {
+      const Edge& e = graph.edge(eid);
+      NodeId other = e.OtherEnd(item.n);
+      double nd = item.d + e.length;
+      if (nd < dist[static_cast<size_t>(other)]) {
+        dist[static_cast<size_t>(other)] = nd;
+        queue.push({nd, other});
+      }
+    }
+  }
+  return dist;
+}
+
+Router::Router(const Graph* graph)
+    : graph_(graph),
+      g_(graph->node_count(), kUnreachable),
+      came_from_(graph->node_count(), kInvalidNode),
+      stamp_(graph->node_count(), 0) {}
+
+void Router::Touch(NodeId n) {
+  size_t i = static_cast<size_t>(n);
+  if (stamp_[i] != epoch_) {
+    stamp_[i] = epoch_;
+    g_[i] = kUnreachable;
+    came_from_[i] = kInvalidNode;
+  }
+}
+
+std::vector<NodeId> Router::FindPath(NodeId src, NodeId dst) {
+  last_length_ = kUnreachable;
+  if (src < 0 || dst < 0 || static_cast<size_t>(src) >= graph_->node_count() ||
+      static_cast<size_t>(dst) >= graph_->node_count()) {
+    return {};
+  }
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: reset stamps
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  geom::Vec2 goal = graph_->node_position(dst);
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> open;
+  Touch(src);
+  g_[static_cast<size_t>(src)] = 0.0;
+  open.push({geom::Dist(graph_->node_position(src), goal), src});
+  while (!open.empty()) {
+    QueueItem item = open.top();
+    open.pop();
+    Touch(item.node);
+    double g_here = g_[static_cast<size_t>(item.node)];
+    // Stale-entry check via recomputed f.
+    if (item.f > g_here + geom::Dist(graph_->node_position(item.node), goal) + 1e-9) {
+      continue;
+    }
+    if (item.node == dst) {
+      last_length_ = g_here;
+      std::vector<NodeId> path;
+      for (NodeId n = dst; n != kInvalidNode; n = came_from_[static_cast<size_t>(n)]) {
+        path.push_back(n);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (EdgeId eid : graph_->incident_edges(item.node)) {
+      const Edge& e = graph_->edge(eid);
+      NodeId other = e.OtherEnd(item.node);
+      Touch(other);
+      double ng = g_here + e.length;
+      if (ng < g_[static_cast<size_t>(other)]) {
+        g_[static_cast<size_t>(other)] = ng;
+        came_from_[static_cast<size_t>(other)] = item.node;
+        open.push({ng + geom::Dist(graph_->node_position(other), goal), other});
+      }
+    }
+  }
+  return {};
+}
+
+NetworkDistanceOracle::NetworkDistanceOracle(const Graph* graph, EdgePoint source)
+    : graph_(graph),
+      source_(source),
+      dist_(graph->node_count(), kUnreachable),
+      settled_(graph->node_count(), false) {
+  const Edge& e = graph_->edge(source_.edge);
+  double to_a = source_.offset;
+  double to_b = e.length - source_.offset;
+  if (to_a < dist_[static_cast<size_t>(e.a)]) {
+    dist_[static_cast<size_t>(e.a)] = to_a;
+    frontier_.push({to_a, e.a});
+  }
+  if (to_b < dist_[static_cast<size_t>(e.b)]) {
+    dist_[static_cast<size_t>(e.b)] = to_b;
+    frontier_.push({to_b, e.b});
+  }
+}
+
+void NetworkDistanceOracle::EnsureExpanded(double bound) {
+  while (!frontier_.empty() && frontier_.top().dist <= bound) {
+    QueueItem item = frontier_.top();
+    frontier_.pop();
+    size_t i = static_cast<size_t>(item.node);
+    if (settled_[i] || item.dist > dist_[i]) continue;
+    settled_[i] = true;
+    ++settled_count_;
+    for (EdgeId eid : graph_->incident_edges(item.node)) {
+      const Edge& e = graph_->edge(eid);
+      NodeId other = e.OtherEnd(item.node);
+      double nd = item.dist + e.length;
+      if (nd < dist_[static_cast<size_t>(other)]) {
+        dist_[static_cast<size_t>(other)] = nd;
+        frontier_.push({nd, other});
+      }
+    }
+  }
+  expanded_to_ = std::max(expanded_to_, bound);
+}
+
+double NetworkDistanceOracle::NodeDistance(NodeId n) {
+  size_t i = static_cast<size_t>(n);
+  while (!settled_[i] && !frontier_.empty()) {
+    EnsureExpanded(frontier_.top().dist);
+  }
+  return dist_[i];
+}
+
+double NetworkDistanceOracle::DistanceTo(EdgePoint target) {
+  const Edge& e = graph_->edge(target.edge);
+  double best = kUnreachable;
+  if (target.edge == source_.edge) {
+    best = std::abs(target.offset - source_.offset);
+  }
+  double via_a = NodeDistance(e.a);
+  if (via_a < kUnreachable) best = std::min(best, via_a + target.offset);
+  double via_b = NodeDistance(e.b);
+  if (via_b < kUnreachable) best = std::min(best, via_b + (e.length - target.offset));
+  return best;
+}
+
+double NetworkDistance(const Graph& graph, EdgePoint from, EdgePoint to) {
+  NetworkDistanceOracle oracle(&graph, from);
+  return oracle.DistanceTo(to);
+}
+
+}  // namespace senn::roadnet

@@ -1,0 +1,106 @@
+// Shortest paths over the road graph: Dijkstra (the paper's stated basis for
+// network distance) plus an A* router for mobile-host trip planning, and a
+// NetworkDistanceOracle that answers network distances from a fixed source
+// point to arbitrary points with incremental, bound-limited expansion — the
+// access pattern of the SNNN / IER algorithm (Algorithm 2).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/roadnet/graph.h"
+
+namespace senn::roadnet {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source Dijkstra from `source`. Returns the distance (meters) to
+/// every node; unreachable nodes get kUnreachable. If `max_distance` is
+/// given, the search stops expanding beyond it (distances above the bound
+/// may be reported as kUnreachable).
+std::vector<double> DijkstraFrom(const Graph& graph, NodeId source,
+                                 std::optional<double> max_distance = std::nullopt);
+
+/// Reusable A* point-to-point router with epoch-stamped scratch arrays, so
+/// repeated route queries do not reallocate. The Euclidean distance is an
+/// admissible heuristic because every edge length equals the straight-line
+/// distance of its endpoints.
+class Router {
+ public:
+  explicit Router(const Graph* graph);
+
+  /// Shortest node path from src to dst (inclusive). Empty when unreachable.
+  /// A path from a node to itself is {src}.
+  std::vector<NodeId> FindPath(NodeId src, NodeId dst);
+
+  /// Length (meters) of the last path found, or kUnreachable.
+  double last_path_length() const { return last_length_; }
+
+ private:
+  struct QueueItem {
+    double f;  // g + heuristic
+    NodeId node;
+  };
+  struct Greater {
+    bool operator()(const QueueItem& a, const QueueItem& b) const { return a.f > b.f; }
+  };
+
+  void Touch(NodeId n);
+
+  const Graph* graph_;
+  std::vector<double> g_;
+  std::vector<NodeId> came_from_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  double last_length_ = kUnreachable;
+};
+
+/// Network distances from a fixed source EdgePoint to arbitrary EdgePoints.
+///
+/// Internally a multi-source Dijkstra seeded at the two endpoints of the
+/// source edge (with the corresponding sub-edge offsets), expanded lazily up
+/// to the largest bound requested so far. DistanceTo() also handles the
+/// same-edge shortcut where the direct along-edge distance wins.
+class NetworkDistanceOracle {
+ public:
+  NetworkDistanceOracle(const Graph* graph, EdgePoint source);
+
+  /// Network distance (meters) from the source point to `target`;
+  /// kUnreachable when no path exists.
+  double DistanceTo(EdgePoint target);
+
+  /// Expands the internal search until every node with distance <= bound is
+  /// settled (idempotent; bounds only grow).
+  void EnsureExpanded(double bound);
+
+  /// Number of settled nodes (diagnostic / test hook).
+  size_t settled_count() const { return settled_count_; }
+
+ private:
+  struct QueueItem {
+    double dist;
+    NodeId node;
+  };
+  struct Greater {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      return a.dist > b.dist;
+    }
+  };
+
+  double NodeDistance(NodeId n);
+
+  const Graph* graph_;
+  EdgePoint source_;
+  std::vector<double> dist_;
+  std::vector<bool> settled_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> frontier_;
+  double expanded_to_ = 0.0;
+  size_t settled_count_ = 0;
+};
+
+/// One-shot network distance between two points on the network.
+double NetworkDistance(const Graph& graph, EdgePoint from, EdgePoint to);
+
+}  // namespace senn::roadnet

@@ -1,0 +1,121 @@
+#include "src/rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace senn::rtree {
+
+namespace {
+
+using Node = RStarTree::Node;
+using Slot = RStarTree::Slot;
+
+// Splits `count` items into groups of at most `cap`, rebalancing the tail so
+// every group has at least `min_size` (requires cap >= 2 * min_size, which
+// the RStarTree options clamp guarantees). Returns the group sizes.
+std::vector<size_t> GroupSizes(size_t count, size_t cap, size_t min_size) {
+  std::vector<size_t> sizes;
+  size_t remaining = count;
+  while (remaining > 0) {
+    size_t take = std::min(cap, remaining);
+    sizes.push_back(take);
+    remaining -= take;
+  }
+  if (sizes.size() >= 2 && sizes.back() < min_size) {
+    size_t need = min_size - sizes.back();
+    sizes[sizes.size() - 2] -= need;
+    sizes.back() += need;
+  }
+  return sizes;
+}
+
+// Packs `slots` (all at the same level) into parent nodes with STR: sort by
+// center x, slice, sort slices by center y, emit runs.
+std::vector<std::unique_ptr<Node>> PackLevel(std::vector<Slot> slots, int child_level,
+                                             const RStarTree::Options& options) {
+  const size_t cap = static_cast<size_t>(options.max_entries);
+  const size_t min_size = static_cast<size_t>(options.min_entries);
+  const size_t n = slots.size();
+  const size_t node_count = (n + cap - 1) / cap;
+  const size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(node_count))));
+  const size_t slice_size = (n + slices - 1) / slices;
+
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return a.mbr.Center().x < b.mbr.Center().x;
+  });
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = std::min(begin + slice_size, n);
+    // Absorb a tail slice too small to form a legal node.
+    if (n - end > 0 && n - end < min_size) end = n;
+    std::sort(slots.begin() + static_cast<long>(begin),
+              slots.begin() + static_cast<long>(end),
+              [](const Slot& a, const Slot& b) {
+                return a.mbr.Center().y < b.mbr.Center().y;
+              });
+    size_t cursor = begin;
+    for (size_t take : GroupSizes(end - begin, cap, min_size)) {
+      auto node = std::make_unique<Node>();
+      node->level = child_level + 1;
+      node->slots.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        Slot& s = slots[cursor++];
+        if (s.child) s.child->parent = node.get();
+        node->slots.push_back(std::move(s));
+      }
+      nodes.push_back(std::move(node));
+    }
+    begin = end;
+  }
+  return nodes;
+}
+
+}  // namespace
+
+RStarTree BulkLoad(std::vector<ObjectEntry> objects, RStarTree::Options options) {
+  RStarTree tree(options);
+  const size_t n = objects.size();
+  if (n == 0) return tree;
+  if (n <= static_cast<size_t>(tree.options_.max_entries)) {
+    for (const ObjectEntry& o : objects) tree.Insert(o.position, o.id);
+    return tree;
+  }
+
+  // Leaf level: object slots packed with STR. PackLevel produces nodes at
+  // child_level + 1; feed it level -1 so leaves land at level 0.
+  std::vector<Slot> leaf_slots;
+  leaf_slots.reserve(n);
+  for (const ObjectEntry& o : objects) {
+    Slot s;
+    s.mbr = geom::Mbr::OfPoint(o.position);
+    s.object = o;
+    leaf_slots.push_back(std::move(s));
+  }
+  std::vector<std::unique_ptr<Node>> level = PackLevel(std::move(leaf_slots), -1,
+                                                       tree.options_);
+
+  // Upper levels until a single node remains.
+  while (level.size() > 1) {
+    std::vector<Slot> parent_slots;
+    parent_slots.reserve(level.size());
+    int child_level = level.front()->level;
+    for (std::unique_ptr<Node>& node : level) {
+      Slot s;
+      s.mbr = RStarTree::NodeMbr(*node);
+      s.child = std::move(node);
+      parent_slots.push_back(std::move(s));
+    }
+    level = PackLevel(std::move(parent_slots), child_level, tree.options_);
+  }
+
+  tree.root_ = std::move(level.front());
+  tree.root_->parent = nullptr;
+  tree.size_ = n;
+  return tree;
+}
+
+}  // namespace senn::rtree

@@ -1,0 +1,23 @@
+// Sort-Tile-Recursive (STR) bulk loading for the R*-tree (Leutenegger,
+// Lopez, Edgington, ICDE 1997). Packs a static point set bottom-up into a
+// tree with near-100% node utilization — the natural way to build the
+// server's POI index for county-scale data sets, orders of magnitude faster
+// than one-at-a-time insertion and yielding tighter leaves.
+//
+// The resulting tree satisfies every RStarTree invariant (validated by
+// CheckInvariants in tests) and supports subsequent dynamic inserts and
+// removals.
+#pragma once
+
+#include <vector>
+
+#include "src/rtree/rstar_tree.h"
+
+namespace senn::rtree {
+
+/// Builds a tree over `objects` with STR packing. The input vector is
+/// consumed (sorted in place). Duplicate positions are allowed.
+RStarTree BulkLoad(std::vector<ObjectEntry> objects,
+                   RStarTree::Options options = RStarTree::Options());
+
+}  // namespace senn::rtree

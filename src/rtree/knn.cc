@@ -1,0 +1,156 @@
+#include "src/rtree/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace senn::rtree {
+
+using geom::Vec2;
+
+namespace {
+
+// Recursive depth-first branch-and-bound. `heap` holds the current best k
+// distances as a max-heap; prune subtrees whose MINDIST exceeds the current
+// k-th distance.
+void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
+             std::vector<Neighbor>* best, AccessCounter* counter) {
+  if (counter != nullptr) {
+    (node->IsLeaf() ? counter->leaf_nodes : counter->index_nodes) += 1;
+  }
+  auto worst = [&]() {
+    return static_cast<int>(best->size()) < k
+               ? std::numeric_limits<double>::infinity()
+               : best->front().distance;
+  };
+  auto by_distance = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  };
+  if (node->IsLeaf()) {
+    for (const RStarTree::Slot& s : node->slots) {
+      double d = geom::Dist(query, s.object.position);
+      if (d >= worst()) continue;
+      if (static_cast<int>(best->size()) == k) {
+        std::pop_heap(best->begin(), best->end(), by_distance);
+        best->pop_back();
+      }
+      best->push_back({s.object, d});
+      std::push_heap(best->begin(), best->end(), by_distance);
+    }
+    return;
+  }
+  // Visit children in MINDIST order (the classic heuristic) and prune with
+  // the running k-th distance.
+  std::vector<std::pair<double, const RStarTree::Node*>> children;
+  children.reserve(node->slots.size());
+  for (const RStarTree::Slot& s : node->slots) {
+    children.emplace_back(s.mbr.MinDist(query), s.child.get());
+  }
+  std::sort(children.begin(), children.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [mindist, child] : children) {
+    if (mindist >= worst()) break;  // sorted: the rest are no better
+    DfVisit(child, query, k, best, counter);
+  }
+}
+
+}  // namespace
+
+std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, Vec2 query, int k,
+                                    AccessCounter* counter) {
+  std::vector<Neighbor> best;  // max-heap by distance
+  if (k <= 0) return best;
+  best.reserve(static_cast<size_t>(k));
+  DfVisit(tree.root(), query, k, &best, counter);
+  std::sort(best.begin(), best.end(),
+            [](const Neighbor& a, const Neighbor& b) { return a.distance < b.distance; });
+  return best;
+}
+
+BestFirstNnIterator::BestFirstNnIterator(const RStarTree& tree, Vec2 query,
+                                         PruneBounds bounds, AccessCountMode count_mode,
+                                         std::optional<int> prune_to_k)
+    : query_(query), bounds_(bounds), count_mode_(count_mode), prune_to_k_(prune_to_k) {
+  // The root page is always fetched.
+  (tree.root()->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
+  ExpandNode(tree.root());
+}
+
+void BestFirstNnIterator::FeedDynamicBound(double distance) {
+  if (!prune_to_k_.has_value()) return;
+  if (static_cast<int>(best_distances_.size()) < *prune_to_k_) {
+    best_distances_.push(distance);
+  } else if (distance < best_distances_.top()) {
+    best_distances_.pop();
+    best_distances_.push(distance);
+  }
+}
+
+double BestFirstNnIterator::EffectiveUpper() const {
+  double upper = bounds_.upper.value_or(std::numeric_limits<double>::infinity());
+  if (prune_to_k_.has_value() &&
+      static_cast<int>(best_distances_.size()) >= *prune_to_k_) {
+    upper = std::min(upper, best_distances_.top());
+  }
+  return upper;
+}
+
+void BestFirstNnIterator::ExpandNode(const RStarTree::Node* node) {
+  if (count_mode_ == AccessCountMode::kOnExpand && node->parent != nullptr) {
+    // Reading a node's slots is one page access (root charged at init).
+    (node->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
+  }
+  for (const RStarTree::Slot& s : node->slots) {
+    if (node->IsLeaf()) {
+      double d = geom::Dist(query_, s.object.position);
+      // Objects inside the certain disk are already known to the client;
+      // they still witness the dynamic top-k bound.
+      if (bounds_.lower.has_value() && d <= *bounds_.lower) {
+        FeedDynamicBound(d);
+        continue;
+      }
+      if (d > EffectiveUpper()) continue;
+      FeedDynamicBound(d);
+      queue_.push({d, nullptr, s.object});
+    } else {
+      double mindist = s.mbr.MinDist(query_);
+      // Upward pruning: the true kNN all lie within the upper bound (the
+      // shipped client bound and/or the running k-th-best distance).
+      if (mindist > EffectiveUpper()) continue;
+      // Downward pruning: MBRs fully inside the certain disk C_r contain
+      // only POIs the client has already verified.
+      if (bounds_.lower.has_value() && s.mbr.MaxDist(query_) < *bounds_.lower) continue;
+      if (count_mode_ == AccessCountMode::kOnEnqueue) {
+        (s.child->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
+      }
+      queue_.push({mindist, s.child.get(), ObjectEntry{}});
+    }
+  }
+}
+
+std::optional<Neighbor> BestFirstNnIterator::Next() {
+  while (!queue_.empty()) {
+    QueueItem item = queue_.top();
+    queue_.pop();
+    if (item.node == nullptr) return Neighbor{item.object, item.key};
+    ExpandNode(item.node);
+  }
+  return std::nullopt;
+}
+
+std::vector<Neighbor> BestFirstKnn(const RStarTree& tree, Vec2 query, int k,
+                                   PruneBounds bounds, AccessCounter* counter) {
+  std::vector<Neighbor> out;
+  if (k <= 0) return out;
+  BestFirstNnIterator it(tree, query, bounds);
+  out.reserve(static_cast<size_t>(k));
+  while (static_cast<int>(out.size()) < k) {
+    std::optional<Neighbor> n = it.Next();
+    if (!n.has_value()) break;
+    out.push_back(*n);
+  }
+  if (counter != nullptr) *counter += it.accesses();
+  return out;
+}
+
+}  // namespace senn::rtree

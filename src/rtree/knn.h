@@ -1,0 +1,129 @@
+// Nearest-neighbor search algorithms over the R*-tree.
+//
+//  * DepthFirstKnn    — branch-and-bound kNN (Roussopoulos, Kelley, Vincent,
+//                       SIGMOD 1995); the single-step baseline.
+//  * BestFirstNnIterator — the optimal incremental NN algorithm (INN) of
+//                       Hjaltason & Samet (TODS 1999): a priority queue of
+//                       nodes/objects ordered by MINDIST, reporting neighbors
+//                       in ascending distance without a-priori k.
+//  * EINN             — the paper's extension (Section 3.3): the best-first
+//                       search additionally computes MAXDIST and applies two
+//                       pruning rules derived from the client's candidate
+//                       heap H:
+//                         downward pruning: drop any MBR with
+//                           MAXDIST(Q, M) < lower_bound  (M lies fully inside
+//                           the already-certain disk C_r, so every object in
+//                           it is already known to the client);
+//                         upward pruning: drop any MBR with
+//                           MINDIST(Q, M) > upper_bound  (the client already
+//                           holds k candidates within upper_bound).
+//                       Objects at distance <= lower_bound are also skipped:
+//                       the client certified them locally.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/geom/vec2.h"
+#include "src/rtree/rstar_tree.h"
+
+namespace senn::rtree {
+
+/// A search hit: object plus its Euclidean distance to the query point.
+struct Neighbor {
+  ObjectEntry object;
+  double distance = 0.0;
+};
+
+/// When a node access is charged during best-first search.
+///
+///  * kOnExpand  — a node is charged when it is popped and its slots are
+///    read (the I/O-minimal accounting; best-first reads exactly the nodes
+///    it must).
+///  * kOnEnqueue — a node is charged when it is placed on the priority
+///    queue (the accounting style whose magnitudes and EINN-vs-INN savings
+///    match the paper's Figure 17: nodes that are fetched into the queue
+///    but never expanded still count, so the upper bound's enqueue-time
+///    pruning shows up as saved pages).
+enum class AccessCountMode {
+  kOnExpand = 0,
+  kOnEnqueue = 1,
+};
+
+/// Bounds shipped from a mobile host's candidate heap H to the server
+/// (Section 3.3 of the paper). Either bound may be absent, depending on the
+/// heap state (States 1-6).
+struct PruneBounds {
+  /// Branch-expanding lower bound: distance of the last *certain* entry in
+  /// H. Everything within this disk is already known to the client.
+  std::optional<double> lower;
+  /// Branch-expanding upper bound: distance of the k-th (last) entry in H.
+  /// No true nearest neighbor can lie beyond it.
+  std::optional<double> upper;
+};
+
+/// Returns the k nearest objects to `query` in ascending distance order
+/// using depth-first branch-and-bound. Counts node accesses into `counter`
+/// when provided. Returns fewer than k when the tree is smaller than k.
+std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, geom::Vec2 query, int k,
+                                    AccessCounter* counter = nullptr);
+
+/// Incremental best-first nearest-neighbor iterator (INN), optionally with
+/// EINN pruning bounds. Next() reports objects in non-decreasing distance.
+class BestFirstNnIterator {
+ public:
+  /// Creates an iterator over `tree` (which must outlive the iterator).
+  /// `bounds` enables the EINN pruning rules; pass {} for plain INN.
+  ///
+  /// `prune_to_k`, when set, declares that only the k nearest objects
+  /// OVERALL are of interest: the iterator then additionally prunes against
+  /// the distance of the k-th nearest object discovered so far (the standard
+  /// best-first kNN optimization — safe because no node or object beyond
+  /// that distance can contribute to the top k). Objects skipped because
+  /// they lie inside the client's certain disk (bounds.lower) still count
+  /// toward the k. Only the first k (minus any lower-bound-known) results
+  /// are guaranteed complete; entries already enqueued before the bound
+  /// tightened may still be reported afterwards.
+  BestFirstNnIterator(const RStarTree& tree, geom::Vec2 query, PruneBounds bounds = {},
+                      AccessCountMode count_mode = AccessCountMode::kOnExpand,
+                      std::optional<int> prune_to_k = std::nullopt);
+
+  /// Returns the next nearest object, or nullopt when the search space is
+  /// exhausted (including exhausted-by-upper-bound).
+  std::optional<Neighbor> Next();
+
+  /// Node accesses performed so far.
+  const AccessCounter& accesses() const { return accesses_; }
+
+ private:
+  struct QueueItem {
+    double key;                   // MINDIST for nodes, distance for objects
+    const RStarTree::Node* node;  // null for object items
+    ObjectEntry object;
+  };
+  struct Greater {
+    bool operator()(const QueueItem& a, const QueueItem& b) const { return a.key > b.key; }
+  };
+
+  void ExpandNode(const RStarTree::Node* node);
+  /// Records an object distance into the dynamic top-k bound.
+  void FeedDynamicBound(double distance);
+  /// The tightest known upper limit on distances worth exploring.
+  double EffectiveUpper() const;
+
+  geom::Vec2 query_;
+  PruneBounds bounds_;
+  AccessCountMode count_mode_;
+  std::optional<int> prune_to_k_;
+  // Max-heap of the best prune_to_k_ object distances discovered so far.
+  std::priority_queue<double> best_distances_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> queue_;
+  AccessCounter accesses_;
+};
+
+/// Convenience wrapper: the first k results of the (E)INN iterator.
+std::vector<Neighbor> BestFirstKnn(const RStarTree& tree, geom::Vec2 query, int k,
+                                   PruneBounds bounds = {}, AccessCounter* counter = nullptr);
+
+}  // namespace senn::rtree

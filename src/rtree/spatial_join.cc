@@ -1,0 +1,79 @@
+#include "src/rtree/spatial_join.h"
+
+#include <algorithm>
+
+namespace senn::rtree {
+
+namespace {
+
+using Node = RStarTree::Node;
+
+double MbrDistance(const geom::Mbr& a, const geom::Mbr& b) {
+  double dx = std::max({a.lo.x - b.hi.x, 0.0, b.lo.x - a.hi.x});
+  double dy = std::max({a.lo.y - b.hi.y, 0.0, b.lo.y - a.hi.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct JoinContext {
+  double threshold;
+  AccessCounter* left_counter;
+  AccessCounter* right_counter;
+  std::vector<JoinPair>* out;
+};
+
+void Charge(const Node* node, AccessCounter* counter) {
+  if (counter == nullptr) return;
+  (node->IsLeaf() ? counter->leaf_nodes : counter->index_nodes) += 1;
+}
+
+// Synchronized descent. Each (left, right) node pair is visited at most
+// once; subtree pairs whose MBRs are farther than the threshold are pruned.
+void JoinNodes(const Node* left, const Node* right, const JoinContext& ctx) {
+  if (left->IsLeaf() && right->IsLeaf()) {
+    for (const RStarTree::Slot& ls : left->slots) {
+      for (const RStarTree::Slot& rs : right->slots) {
+        double d = geom::Dist(ls.object.position, rs.object.position);
+        if (d <= ctx.threshold) {
+          ctx.out->push_back({ls.object, rs.object, d});
+        }
+      }
+    }
+    return;
+  }
+  // Descend the deeper side (or both when equal) so leaves meet leaves.
+  if (!left->IsLeaf() && (right->IsLeaf() || left->level >= right->level)) {
+    geom::Mbr right_mbr = RStarTree::NodeMbr(*right);
+    for (const RStarTree::Slot& ls : left->slots) {
+      if (MbrDistance(ls.mbr, right_mbr) > ctx.threshold) continue;
+      Charge(ls.child.get(), ctx.left_counter);
+      JoinNodes(ls.child.get(), right, ctx);
+    }
+  } else {
+    geom::Mbr left_mbr = RStarTree::NodeMbr(*left);
+    for (const RStarTree::Slot& rs : right->slots) {
+      if (MbrDistance(left_mbr, rs.mbr) > ctx.threshold) continue;
+      Charge(rs.child.get(), ctx.right_counter);
+      JoinNodes(left, rs.child.get(), ctx);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinPair> DistanceJoin(const RStarTree& left, const RStarTree& right,
+                                   double threshold, AccessCounter* left_counter,
+                                   AccessCounter* right_counter) {
+  std::vector<JoinPair> out;
+  if (threshold < 0.0 || left.size() == 0 || right.size() == 0) return out;
+  JoinContext ctx{threshold, left_counter, right_counter, &out};
+  Charge(left.root(), left_counter);
+  Charge(right.root(), right_counter);
+  JoinNodes(left.root(), right.root(), ctx);
+  std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.left.id != b.left.id) return a.left.id < b.left.id;
+    return a.right.id < b.right.id;
+  });
+  return out;
+}
+
+}  // namespace senn::rtree

@@ -1,0 +1,13 @@
+#include "src/sim/mobile_host.h"
+
+namespace senn::sim {
+
+MobileHost::MobileHost(int32_t id, std::unique_ptr<mobility::Mover> mover,
+                       int cache_capacity, bool moving, Rng rng)
+    : id_(id),
+      mover_(std::move(mover)),
+      cache_(cache_capacity),
+      moving_(moving),
+      rng_(rng) {}
+
+}  // namespace senn::sim

@@ -1,0 +1,42 @@
+// A simulated mobile host: identity, movement model, and NN result cache.
+// "Each mobile host is an independent object which decides its movement
+// autonomously" (Section 4.1); a per-host child RNG keeps decisions
+// deterministic and independent of scheduling order.
+#pragma once
+
+#include <memory>
+
+#include "src/cache/nn_cache.h"
+#include "src/common/rng.h"
+#include "src/mobility/mover.h"
+
+namespace senn::sim {
+
+/// One mobile host.
+class MobileHost {
+ public:
+  /// `moving` reflects the M_Percentage draw; stationary hosts keep a
+  /// StationaryMover.
+  MobileHost(int32_t id, std::unique_ptr<mobility::Mover> mover, int cache_capacity,
+             bool moving, Rng rng);
+
+  int32_t id() const { return id_; }
+  bool moving() const { return moving_; }
+  geom::Vec2 position() const { return mover_->position(); }
+
+  /// Advances the movement model by dt seconds.
+  void Advance(double dt) { mover_->Advance(dt, &rng_); }
+
+  cache::NnCache& cache() { return cache_; }
+  const cache::NnCache& cache() const { return cache_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  int32_t id_;
+  std::unique_ptr<mobility::Mover> mover_;
+  cache::NnCache cache_;
+  bool moving_;
+  Rng rng_;
+};
+
+}  // namespace senn::sim

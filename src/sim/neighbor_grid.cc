@@ -1,0 +1,71 @@
+#include "src/sim/neighbor_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::sim {
+
+NeighborGrid::NeighborGrid(double area_side_m, double cell_size_m)
+    : cell_size_(std::max(cell_size_m, 1.0)) {
+  cells_per_side_ = std::max(1, static_cast<int>(std::ceil(area_side_m / cell_size_)));
+  cells_.resize(static_cast<size_t>(cells_per_side_) * static_cast<size_t>(cells_per_side_));
+}
+
+size_t NeighborGrid::CellIndex(geom::Vec2 p) const {
+  int cx = std::clamp(static_cast<int>(p.x / cell_size_), 0, cells_per_side_ - 1);
+  int cy = std::clamp(static_cast<int>(p.y / cell_size_), 0, cells_per_side_ - 1);
+  return static_cast<size_t>(cy) * static_cast<size_t>(cells_per_side_) +
+         static_cast<size_t>(cx);
+}
+
+void NeighborGrid::Insert(int32_t id, geom::Vec2 position) {
+  cells_[CellIndex(position)].push_back(id);
+  if (static_cast<size_t>(id) >= positions_.size()) {
+    positions_.resize(static_cast<size_t>(id) + 1);
+  }
+  positions_[static_cast<size_t>(id)] = position;
+  ++size_;
+}
+
+void NeighborGrid::Move(int32_t id, geom::Vec2 old_position, geom::Vec2 new_position) {
+  positions_[static_cast<size_t>(id)] = new_position;
+  size_t from = CellIndex(old_position);
+  size_t to = CellIndex(new_position);
+  if (from == to) return;
+  std::vector<int32_t>& bucket = cells_[from];
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == id) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      break;
+    }
+  }
+  cells_[to].push_back(id);
+}
+
+void NeighborGrid::QueryRadius(geom::Vec2 center, double radius,
+                               std::vector<int32_t>* out) const {
+  double r2 = radius * radius;
+  int cx0 = std::clamp(static_cast<int>((center.x - radius) / cell_size_), 0,
+                       cells_per_side_ - 1);
+  int cx1 = std::clamp(static_cast<int>((center.x + radius) / cell_size_), 0,
+                       cells_per_side_ - 1);
+  int cy0 = std::clamp(static_cast<int>((center.y - radius) / cell_size_), 0,
+                       cells_per_side_ - 1);
+  int cy1 = std::clamp(static_cast<int>((center.y + radius) / cell_size_), 0,
+                       cells_per_side_ - 1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const std::vector<int32_t>& bucket =
+          cells_[static_cast<size_t>(cy) * static_cast<size_t>(cells_per_side_) +
+                 static_cast<size_t>(cx)];
+      for (int32_t id : bucket) {
+        if (geom::Dist2(positions_[static_cast<size_t>(id)], center) <= r2) {
+          out->push_back(id);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace senn::sim

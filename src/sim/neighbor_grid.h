@@ -1,0 +1,44 @@
+// Uniform-grid index over mobile host positions, used for peer discovery
+// ("query moving object peers within the communication range"). Cell size is
+// chosen near the transmission range so a radius query touches at most a
+// 3x3 block of cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/vec2.h"
+
+namespace senn::sim {
+
+/// Spatial hash of host ids with incremental position updates.
+class NeighborGrid {
+ public:
+  /// Covers [0, area_side] x [0, area_side]; positions outside are clamped
+  /// into the border cells.
+  NeighborGrid(double area_side_m, double cell_size_m);
+
+  /// Registers a host at a position. A host id must be inserted only once.
+  void Insert(int32_t id, geom::Vec2 position);
+
+  /// Updates a host's position (no-op when both map to the same cell).
+  void Move(int32_t id, geom::Vec2 old_position, geom::Vec2 new_position);
+
+  /// Appends the ids of all hosts within `radius` of `center` (including a
+  /// host exactly at `center`, including the querying host itself — callers
+  /// filter). Distances are exact; the grid only limits the candidate scan.
+  void QueryRadius(geom::Vec2 center, double radius, std::vector<int32_t>* out) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t CellIndex(geom::Vec2 p) const;
+
+  double cell_size_;
+  int cells_per_side_;
+  std::vector<std::vector<int32_t>> cells_;
+  std::vector<geom::Vec2> positions_;  // indexed by host id
+  size_t size_ = 0;
+};
+
+}  // namespace senn::sim

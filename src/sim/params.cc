@@ -1,0 +1,91 @@
+#include "src/sim/params.h"
+
+namespace senn::sim {
+
+const char* RegionName(Region region) {
+  switch (region) {
+    case Region::kLosAngeles:
+      return "Los Angeles County";
+    case Region::kSyntheticSuburbia:
+      return "Synthetic Suburbia";
+    case Region::kRiverside:
+      return "Riverside County";
+  }
+  return "unknown";
+}
+
+const char* MovementModeName(MovementMode mode) {
+  switch (mode) {
+    case MovementMode::kRoadNetwork:
+      return "road network";
+    case MovementMode::kFreeMovement:
+      return "free movement";
+  }
+  return "unknown";
+}
+
+ParameterSet Table3(Region region) {
+  ParameterSet p;
+  p.area_side_miles = 2.0;
+  p.cache_size = 10;
+  p.move_percentage = 0.8;
+  p.velocity_mph = 30.0;
+  p.tx_range_m = 200.0;
+  p.k_nn = 3;
+  p.execution_hours = 1.0;
+  switch (region) {
+    case Region::kLosAngeles:
+      p.name = "Los Angeles County (2x2 mi)";
+      p.poi_number = 16;
+      p.mh_number = 463;
+      p.queries_per_minute = 23.0;
+      break;
+    case Region::kSyntheticSuburbia:
+      p.name = "Synthetic Suburbia (2x2 mi)";
+      p.poi_number = 11;
+      p.mh_number = 257;
+      p.queries_per_minute = 13.0;
+      break;
+    case Region::kRiverside:
+      p.name = "Riverside County (2x2 mi)";
+      p.poi_number = 5;
+      p.mh_number = 50;
+      p.queries_per_minute = 2.5;
+      break;
+  }
+  return p;
+}
+
+ParameterSet Table4(Region region) {
+  ParameterSet p;
+  p.area_side_miles = 30.0;
+  p.cache_size = 20;
+  p.move_percentage = 0.8;
+  p.velocity_mph = 30.0;
+  p.tx_range_m = 200.0;
+  p.k_nn = 5;
+  p.execution_hours = 5.0;
+  switch (region) {
+    case Region::kLosAngeles:
+      p.name = "Los Angeles County (30x30 mi)";
+      p.poi_number = 4050;
+      p.mh_number = 121500;
+      p.queries_per_minute = 8100.0;
+      break;
+    case Region::kSyntheticSuburbia:
+      p.name = "Synthetic Suburbia (30x30 mi)";
+      p.poi_number = 3105;
+      p.mh_number = 66600;
+      p.queries_per_minute = 4440.0;
+      break;
+    case Region::kRiverside:
+      p.name = "Riverside County (30x30 mi)";
+      p.poi_number = 2160;
+      p.mh_number = 11700;
+      p.queries_per_minute = 780.0;
+      break;
+  }
+  return p;
+}
+
+}  // namespace senn::sim

@@ -1,0 +1,58 @@
+// Simulation parameter sets.
+//
+// Table 2 of the paper defines the parameter glossary; Tables 3 and 4 give
+// the concrete values derived from real-world statistics (GasPriceWatch /
+// CNN-Money POI densities, FedStats vehicle registrations, Caltrans traffic
+// fractions) for the Los Angeles County, Riverside County, and blended
+// Synthetic Suburbia settings, at two scales: a 2x2-mile area (Table 3) and
+// a 30x30-mile area (Table 4). The values below are copied verbatim from
+// the paper.
+#pragma once
+
+#include <string>
+
+#include "src/common/units.h"
+
+namespace senn::sim {
+
+/// The three density regimes of Section 4.1.1.
+enum class Region {
+  kLosAngeles = 0,        // very dense urban
+  kSyntheticSuburbia = 1, // blended suburban
+  kRiverside = 2,         // low-density rural
+};
+
+const char* RegionName(Region region);
+
+/// Movement generator modes (Section 4.1).
+enum class MovementMode {
+  kRoadNetwork = 0,  // hosts follow the road network at segment speed limits
+  kFreeMovement = 1, // obstacle-free random waypoint at fixed velocity
+};
+
+const char* MovementModeName(MovementMode mode);
+
+/// One column of Table 3 / Table 4.
+struct ParameterSet {
+  std::string name;
+  double area_side_miles = 2.0;  // simulation area is area_side x area_side
+  int poi_number = 16;           // POI Number
+  int mh_number = 463;           // MH Number
+  int cache_size = 10;           // C_Size (POIs per host cache)
+  double move_percentage = 0.8;  // M_Percentage (fraction of hosts moving)
+  double velocity_mph = 30.0;    // M_Velocity
+  double queries_per_minute = 23.0;  // lambda_Query (system-wide)
+  double tx_range_m = 200.0;     // Tx_Range
+  int k_nn = 3;                  // lambda_kNN (requested neighbors)
+  double execution_hours = 1.0;  // T_execution
+
+  double AreaSideMeters() const { return MilesToMeters(area_side_miles); }
+  double VelocityMps() const { return MphToMps(velocity_mph); }
+};
+
+/// The 2x2-mile parameter sets (Table 3).
+ParameterSet Table3(Region region);
+/// The 30x30-mile parameter sets (Table 4).
+ParameterSet Table4(Region region);
+
+}  // namespace senn::sim

@@ -1,0 +1,67 @@
+#include "src/sim/report.h"
+
+namespace senn::sim {
+
+void PrintFigure(const std::string& title, const std::string& x_label,
+                 const std::vector<FigureSeries>& series) {
+  std::printf("=== %s ===\n", title.c_str());
+  for (const FigureSeries& s : series) {
+    std::printf("--- %s ---\n", s.label.c_str());
+    std::printf("%14s %10s %14s %13s %10s\n", x_label.c_str(), "server%", "single-peer%",
+                "multi-peer%", "queries");
+    for (const FigureRow& row : s.rows) {
+      std::printf("%14.1f %10.1f %14.1f %13.1f %10llu\n", row.x, row.result.pct_server,
+                  row.result.pct_single_peer, row.result.pct_multi_peer,
+                  static_cast<unsigned long long>(row.result.measured_queries));
+    }
+  }
+  std::printf("csv,series,%s,server_pct,single_pct,multi_pct,queries\n", x_label.c_str());
+  for (const FigureSeries& s : series) {
+    for (const FigureRow& row : s.rows) {
+      std::printf("csv,%s,%g,%.2f,%.2f,%.2f,%llu\n", s.label.c_str(), row.x,
+                  row.result.pct_server, row.result.pct_single_peer,
+                  row.result.pct_multi_peer,
+                  static_cast<unsigned long long>(row.result.measured_queries));
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintPageAccessFigure(const std::string& title,
+                           const std::vector<PageAccessSeries>& series) {
+  std::printf("=== %s ===\n", title.c_str());
+  for (const PageAccessSeries& s : series) {
+    std::printf("--- %s ---\n", s.label.c_str());
+    std::printf("%6s %12s %12s %10s\n", "k", "EINN pages", "INN pages", "saving%");
+    for (const PageAccessRow& row : s.rows) {
+      double saving =
+          row.inn_pages > 0 ? 100.0 * (1.0 - row.einn_pages / row.inn_pages) : 0.0;
+      std::printf("%6d %12.2f %12.2f %10.1f\n", row.k, row.einn_pages, row.inn_pages,
+                  saving);
+    }
+  }
+  std::printf("csv,series,k,einn_pages,inn_pages\n");
+  for (const PageAccessSeries& s : series) {
+    for (const PageAccessRow& row : s.rows) {
+      std::printf("csv,%s,%d,%.3f,%.3f\n", s.label.c_str(), row.k, row.einn_pages,
+                  row.inn_pages);
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintParameterSet(const ParameterSet& p) {
+  std::printf("--- %s ---\n", p.name.c_str());
+  std::printf("  %-22s %10.0f x %.0f miles\n", "Area", p.area_side_miles, p.area_side_miles);
+  std::printf("  %-22s %10d\n", "POI Number", p.poi_number);
+  std::printf("  %-22s %10d\n", "MH Number", p.mh_number);
+  std::printf("  %-22s %10d POIs\n", "C_Size", p.cache_size);
+  std::printf("  %-22s %10.0f %%\n", "M_Percentage", p.move_percentage * 100.0);
+  std::printf("  %-22s %10.0f mph\n", "M_Velocity", p.velocity_mph);
+  std::printf("  %-22s %10.1f /min\n", "lambda_Query", p.queries_per_minute);
+  std::printf("  %-22s %10.0f m\n", "Tx_Range", p.tx_range_m);
+  std::printf("  %-22s %10d\n", "lambda_kNN", p.k_nn);
+  std::printf("  %-22s %10.1f hr\n", "T_execution", p.execution_hours);
+}
+
+}  // namespace senn::sim

@@ -1,0 +1,47 @@
+// Row printers for the benchmark binaries: every table/figure bench emits
+// the same aligned "series" rows the paper plots, plus a machine-readable
+// CSV block for downstream tooling.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+
+/// One X point of a Figure 9-16 style plot.
+struct FigureRow {
+  double x = 0.0;
+  SimulationResult result;
+};
+
+/// One measured series (e.g., "Los Angeles County").
+struct FigureSeries {
+  std::string label;
+  std::vector<FigureRow> rows;
+};
+
+/// Prints a whole figure: per-series aligned rows with the
+/// server/single-peer/multi-peer percentage split, then a CSV block.
+void PrintFigure(const std::string& title, const std::string& x_label,
+                 const std::vector<FigureSeries>& series);
+
+/// Prints a Figure 17-style page-access comparison (EINN vs INN by k).
+struct PageAccessRow {
+  int k = 0;
+  double einn_pages = 0.0;
+  double inn_pages = 0.0;
+};
+struct PageAccessSeries {
+  std::string label;
+  std::vector<PageAccessRow> rows;
+};
+void PrintPageAccessFigure(const std::string& title,
+                           const std::vector<PageAccessSeries>& series);
+
+/// Prints one parameter set as a Table 3/4 style column.
+void PrintParameterSet(const ParameterSet& params);
+
+}  // namespace senn::sim

@@ -1,0 +1,300 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senn::sim {
+
+Simulator::Simulator(SimulationConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  // Policy 2: server queries always request cache_size POIs.
+  config_.senn.server_request_k = config_.params.cache_size;
+  BuildWorld();
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::BuildWorld() {
+  const ParameterSet& p = config_.params;
+  const double side = p.AreaSideMeters();
+
+  // POIs uniformly distributed over the area (gas stations).
+  Rng poi_rng = rng_.Split();
+  pois_.reserve(static_cast<size_t>(p.poi_number));
+  for (int i = 0; i < p.poi_number; ++i) {
+    pois_.push_back({i, {poi_rng.Uniform(0, side), poi_rng.Uniform(0, side)}});
+  }
+  server_ = std::make_unique<core::SpatialServer>(pois_, core::SpatialServer::DefaultTreeOptions(),
+                                                  config_.page_count_mode);
+  senn_ = std::make_unique<core::SennProcessor>(server_.get(), config_.senn);
+
+  // Road network (road mode only).
+  if (config_.mode == MovementMode::kRoadNetwork) {
+    roadnet::RoadNetworkConfig road;
+    road.area_side_m = side;
+    if (config_.road_block_spacing_m > 0) {
+      road.block_spacing_m = config_.road_block_spacing_m;
+    } else {
+      // Denser street grid for small areas, coarser for county scale so the
+      // graph stays tractable; both preserve class structure.
+      road.block_spacing_m = side <= 10000.0 ? 200.0 : 400.0;
+    }
+    road.diagonal_highways = side <= 10000.0 ? 1 : 4;
+    Rng road_rng = rng_.Split();
+    graph_ = std::make_unique<roadnet::Graph>(GenerateRoadNetwork(road, &road_rng));
+    router_ = std::make_unique<roadnet::Router>(graph_.get());
+  }
+
+  // Mobile hosts. Trips span the whole area by default (classic random
+  // waypoint); max_trip_m can cap them to bound route-planning cost.
+  double max_trip = config_.max_trip_m > 0 ? config_.max_trip_m : side;
+  // Duty-cycle mode: every host moves, pausing so that the moving fraction
+  // of time equals M_Percentage. The mean trip duration is estimated from
+  // the trip sampling scheme (mean distance between uniform points in a
+  // square is 0.5214 * side, capped by the trip radius whose mean uniform
+  // distance is 2R/3; network paths run ~25% longer than Euclidean).
+  double mean_pause = config_.mean_pause_s;
+  if (mean_pause <= 0.0) {
+    double trip_len = config_.mode == MovementMode::kRoadNetwork
+                          ? std::min(max_trip * (2.0 / 3.0), 0.5214 * side) * 1.25
+                          : 0.5214 * side;
+    double trip_duration = trip_len / std::max(p.VelocityMps(), 0.1);
+    double m = std::clamp(p.move_percentage, 0.05, 1.0);
+    mean_pause = trip_duration * (1.0 - m) / m;
+  }
+  hosts_.reserve(static_cast<size_t>(p.mh_number));
+  grid_ = std::make_unique<NeighborGrid>(side, std::max(p.tx_range_m, 50.0));
+  for (int i = 0; i < p.mh_number; ++i) {
+    Rng host_rng = rng_.Split();
+    bool moving =
+        config_.m_percentage_mode == MPercentageMode::kDutyCycle
+            ? p.move_percentage > 0.0
+            : rng_.Bernoulli(p.move_percentage);
+    std::unique_ptr<mobility::Mover> mover;
+    if (!moving) {
+      geom::Vec2 start{rng_.Uniform(0, side), rng_.Uniform(0, side)};
+      mover = std::make_unique<mobility::StationaryMover>(start);
+    } else if (config_.mode == MovementMode::kRoadNetwork) {
+      roadnet::NodeId start =
+          static_cast<roadnet::NodeId>(rng_.NextIndex(graph_->node_count()));
+      mobility::RoadMoverConfig mcfg;
+      mcfg.nominal_speed_mps = p.VelocityMps();
+      mcfg.mean_pause_s = mean_pause;
+      mcfg.max_trip_m = max_trip;
+      mover = std::make_unique<mobility::RoadMover>(mcfg, graph_.get(), router_.get(),
+                                                    start, &host_rng);
+    } else {
+      mobility::WaypointConfig wcfg;
+      wcfg.area_side_m = side;
+      wcfg.speed_mps = p.VelocityMps();
+      wcfg.mean_pause_s = mean_pause;
+      geom::Vec2 start{rng_.Uniform(0, side), rng_.Uniform(0, side)};
+      mover = std::make_unique<mobility::WaypointMover>(wcfg, start, &host_rng);
+    }
+    auto host = std::make_unique<MobileHost>(static_cast<int32_t>(i), std::move(mover),
+                                             p.cache_size, moving, host_rng);
+    grid_->Insert(host->id(), host->position());
+    hosts_.push_back(std::move(host));
+  }
+
+  if (config_.warm_start) WarmStartCaches();
+}
+
+void Simulator::WarmStartCaches() {
+  // Prime every host's cache to approximate the steady state a long run
+  // converges to, in two sweeps:
+  //  1. every host gets the exact server answer of a query issued at a
+  //     synthetic past location (its position displaced by a draw of the
+  //     time since its last query times its travel speed);
+  //  2. each host's *last query* is then replayed through the real SENN
+  //     pipeline against the sweep-1 world, in random order, so the cache
+  //     SIZE distribution matches steady state too: hosts whose last query
+  //     was peer-answered keep only the (thin) certain prefix, exactly as
+  //     cache policy 1 prescribes, while server-answered hosts keep C_Size
+  //     POIs (policy 2).
+  const ParameterSet& p = config_.params;
+  const double side = p.AreaSideMeters();
+  // Mean time since a host's last query: hosts / system query rate.
+  const double mean_gap_s =
+      p.queries_per_minute > 0
+          ? static_cast<double>(p.mh_number) / p.queries_per_minute * 60.0
+          : 900.0;
+  // Effective travel speed: nominal velocity discounted by pause time.
+  const double travel_speed = p.VelocityMps() * std::clamp(p.move_percentage, 0.1, 1.0);
+  std::vector<geom::Vec2> warm_qloc(hosts_.size());
+  for (std::unique_ptr<MobileHost>& host : hosts_) {
+    geom::Vec2 qloc = host->position();
+    if (host->moving()) {
+      double gap = host->rng().Exponential(mean_gap_s);
+      double dist = std::min(gap * travel_speed, side);
+      double angle = host->rng().Uniform(0, 2.0 * M_PI);
+      qloc.x = std::clamp(qloc.x + dist * std::cos(angle), 0.0, side);
+      qloc.y = std::clamp(qloc.y + dist * std::sin(angle), 0.0, side);
+    }
+    warm_qloc[static_cast<size_t>(host->id())] = qloc;
+    core::ServerReply reply = server_->QueryKnn(qloc, p.cache_size);
+    core::CachedResult result;
+    result.query_location = qloc;
+    result.neighbors = std::move(reply.neighbors);
+    result.timestamp = 0.0;
+    host->cache().Store(std::move(result));
+  }
+  // Sweep 2: replay, in random order. Peers are gathered around the warm
+  // query location with a grid over the warm locations.
+  NeighborGrid warm_grid(side, std::max(p.tx_range_m, 50.0));
+  for (const std::unique_ptr<MobileHost>& host : hosts_) {
+    // A peer shares what it cached *at its current position*; during the
+    // replayed (past) query the provider population is approximated by the
+    // hosts' current positions.
+    warm_grid.Insert(host->id(), host->position());
+  }
+  std::vector<int32_t> order(hosts_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  rng_.Shuffle(&order);
+  std::vector<int32_t> ids;
+  std::vector<const core::CachedResult*> caches;
+  for (int32_t id : order) {
+    MobileHost* host = hosts_[static_cast<size_t>(id)].get();
+    geom::Vec2 qloc = warm_qloc[static_cast<size_t>(id)];
+    ids.clear();
+    warm_grid.QueryRadius(qloc, p.tx_range_m, &ids);
+    caches.clear();
+    for (int32_t peer : ids) {
+      if (peer == id) continue;  // replaying this host's own query
+      const core::CachedResult* cached = hosts_[static_cast<size_t>(peer)]->cache().Get();
+      if (cached != nullptr && !cached->Empty()) caches.push_back(cached);
+    }
+    int k = config_.randomize_k
+                ? static_cast<int>(host->rng().UniformInt(config_.k_min, config_.k_max))
+                : p.k_nn;
+    core::SennOutcome outcome = senn_->Execute(qloc, k, caches);
+    if (outcome.certain_prefix.empty()) continue;
+    core::CachedResult result;
+    result.query_location = qloc;
+    result.neighbors = outcome.certain_prefix;
+    result.timestamp = 0.0;
+    host->cache().Store(std::move(result));
+  }
+  server_->ResetStats();  // priming traffic is not part of the experiment
+}
+
+namespace {
+// Rough wire-size model for the P2P overhead metric.
+constexpr double kMessageHeaderBytes = 32.0;
+constexpr double kPoiWireBytes = 20.0;  // id + 2 coordinates
+}  // namespace
+
+core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
+  geom::Vec2 q = host->position();
+  neighbor_ids_.clear();
+  grid_->QueryRadius(q, config_.params.tx_range_m, &neighbor_ids_);
+  peer_caches_.clear();
+  last_p2p_messages_ = 1.0;  // the query broadcast itself
+  last_p2p_bytes_ = kMessageHeaderBytes;
+  for (int32_t id : neighbor_ids_) {
+    // The querying host's own cache participates ("a mobile host will first
+    // attempt to answer each spatial query from its local cache").
+    const core::CachedResult* cached = hosts_[static_cast<size_t>(id)]->cache().Get();
+    if (cached != nullptr && !cached->Empty()) {
+      peer_caches_.push_back(cached);
+      if (id != host->id()) {  // the local cache costs no radio traffic
+        last_p2p_messages_ += 1.0;
+        last_p2p_bytes_ += kMessageHeaderBytes +
+                           kPoiWireBytes * static_cast<double>(cached->neighbors.size());
+      }
+    }
+  }
+  core::SennOutcome outcome = senn_->Execute(q, k, peer_caches_);
+  // Cache policy 1: keep the certain neighbors of the most recent query.
+  if (!outcome.certain_prefix.empty()) {
+    core::CachedResult result;
+    result.query_location = q;
+    result.neighbors = outcome.certain_prefix;
+    result.timestamp = now;
+    host->cache().Store(std::move(result));
+  }
+  return outcome;
+}
+
+SimulationResult Simulator::Run() {
+  const ParameterSet& p = config_.params;
+  SimulationResult result;
+  const double duration =
+      config_.duration_s > 0 ? config_.duration_s : p.execution_hours * kSecondsPerHour;
+  const double warmup_end = duration * config_.warmup_fraction;
+  const double dt = std::max(config_.time_step_s, 1e-3);
+  const double queries_per_second = p.queries_per_minute / kSecondsPerMinute;
+
+  Rng workload_rng = rng_.Split();
+  double now = 0.0;
+  while (now < duration) {
+    // Advance movement and keep the neighbor grid current.
+    for (std::unique_ptr<MobileHost>& host : hosts_) {
+      if (!host->moving()) continue;
+      geom::Vec2 before = host->position();
+      host->Advance(dt);
+      grid_->Move(host->id(), before, host->position());
+    }
+    now += dt;
+
+    // Query launches: a Poisson number of randomly selected hosts per step
+    // (the paper draws interval lengths from a Poisson process and selects a
+    // random subset sized by lambda_Query).
+    uint64_t launches = workload_rng.Poisson(queries_per_second * dt);
+    bool measuring = now >= warmup_end;
+    for (uint64_t q = 0; q < launches; ++q) {
+      MobileHost* host = hosts_[workload_rng.NextIndex(hosts_.size())].get();
+      int k = config_.randomize_k
+                  ? static_cast<int>(workload_rng.UniformInt(config_.k_min, config_.k_max))
+                  : p.k_nn;
+      core::SennOutcome outcome = ExecuteQuery(host, now, k);
+      if (trace_ != nullptr) {
+        QueryEvent event;
+        event.time_s = now;
+        event.host_id = host->id();
+        event.k = k;
+        event.resolution = outcome.resolution;
+        event.peers_in_range = outcome.peers_consulted;
+        event.certain_count = static_cast<int>(outcome.certain_prefix.size());
+        event.einn_pages = outcome.einn_accesses.total();
+        event.inn_pages = outcome.inn_accesses.total();
+        event.measured = measuring;
+        trace_->Record(event);
+      }
+      if (!measuring) continue;
+      ++result.measured_queries;
+      result.peers_in_range.Add(static_cast<double>(outcome.peers_consulted));
+      result.p2p_messages_per_query.Add(last_p2p_messages_);
+      result.p2p_bytes_per_query.Add(last_p2p_bytes_);
+      switch (outcome.resolution) {
+        case core::Resolution::kSinglePeer:
+          ++result.by_single_peer;
+          break;
+        case core::Resolution::kMultiPeer:
+          ++result.by_multi_peer;
+          break;
+        case core::Resolution::kUncertain:
+          // Counted with the peer-answered fraction (no server contact);
+          // disabled in the default configuration.
+          ++result.by_multi_peer;
+          break;
+        case core::Resolution::kServer:
+          ++result.by_server;
+          result.einn_pages.Add(static_cast<double>(outcome.einn_accesses.total()));
+          result.inn_pages.Add(static_cast<double>(outcome.inn_accesses.total()));
+          break;
+      }
+    }
+  }
+
+  result.simulated_seconds = duration;
+  if (result.measured_queries > 0) {
+    double n = static_cast<double>(result.measured_queries);
+    result.pct_single_peer = 100.0 * static_cast<double>(result.by_single_peer) / n;
+    result.pct_multi_peer = 100.0 * static_cast<double>(result.by_multi_peer) / n;
+    result.pct_server = 100.0 * static_cast<double>(result.by_server) / n;
+  }
+  return result;
+}
+
+}  // namespace senn::sim

@@ -1,0 +1,26 @@
+#include "src/sim/trace.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace senn::sim {
+
+Status QueryTrace::WriteCsv(std::ostream* out) const {
+  *out << "time_s,host,k,resolution,peers,certain,einn_pages,inn_pages,measured\n";
+  for (const QueryEvent& e : events_) {
+    *out << e.time_s << ',' << e.host_id << ',' << e.k << ','
+         << core::ResolutionName(e.resolution) << ',' << e.peers_in_range << ','
+         << e.certain_count << ',' << e.einn_pages << ',' << e.inn_pages << ','
+         << (e.measured ? 1 : 0) << '\n';
+  }
+  if (!out->good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status QueryTrace::WriteCsvToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open for writing: " + path);
+  return WriteCsv(&out);
+}
+
+}  // namespace senn::sim

@@ -1,0 +1,48 @@
+// Per-query event tracing for the simulator: an optional sink that records
+// one row per executed query (time, host, k, resolution, peers in range,
+// page accesses) plus a CSV writer. Used for offline analysis of simulation
+// runs and by tests that assert fine-grained behaviour the aggregate
+// SimulationResult cannot express.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/senn.h"
+
+namespace senn::sim {
+
+/// One executed query.
+struct QueryEvent {
+  double time_s = 0.0;
+  int32_t host_id = -1;
+  int k = 0;
+  core::Resolution resolution = core::Resolution::kServer;
+  int peers_in_range = 0;
+  int certain_count = 0;
+  uint64_t einn_pages = 0;  // 0 unless the query reached the server
+  uint64_t inn_pages = 0;
+  bool measured = false;  // false during warm-up
+};
+
+/// Append-only in-memory trace. The simulator fills it when attached.
+class QueryTrace {
+ public:
+  void Record(QueryEvent event) { events_.push_back(event); }
+  const std::vector<QueryEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Writes "time_s,host,k,resolution,peers,certain,einn_pages,inn_pages,
+  /// measured" rows with a header line.
+  Status WriteCsv(std::ostream* out) const;
+  Status WriteCsvToFile(const std::string& path) const;
+
+ private:
+  std::vector<QueryEvent> events_;
+};
+
+}  // namespace senn::sim

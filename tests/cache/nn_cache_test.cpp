@@ -1,0 +1,76 @@
+#include "src/cache/nn_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace senn::cache {
+namespace {
+
+core::CachedResult MakeResult(int n, geom::Vec2 at = {0, 0}) {
+  core::CachedResult r;
+  r.query_location = at;
+  for (int i = 0; i < n; ++i) {
+    r.neighbors.push_back({i, {static_cast<double>(i + 1), 0}, static_cast<double>(i + 1)});
+  }
+  return r;
+}
+
+TEST(NnCacheTest, StartsEmpty) {
+  NnCache cache(10);
+  EXPECT_TRUE(cache.Empty());
+  EXPECT_EQ(cache.Get(), nullptr);
+  EXPECT_EQ(cache.capacity(), 10);
+}
+
+TEST(NnCacheTest, StoreAndGet) {
+  NnCache cache(10);
+  cache.Store(MakeResult(3, {5, 5}));
+  ASSERT_NE(cache.Get(), nullptr);
+  EXPECT_EQ(cache.Get()->neighbors.size(), 3u);
+  EXPECT_EQ(cache.Get()->query_location, (geom::Vec2{5, 5}));
+  EXPECT_FALSE(cache.Empty());
+}
+
+TEST(NnCacheTest, TruncatesToCapacity) {
+  NnCache cache(4);
+  cache.Store(MakeResult(9));
+  ASSERT_NE(cache.Get(), nullptr);
+  EXPECT_EQ(cache.Get()->neighbors.size(), 4u);
+  // Truncation keeps the closest prefix.
+  EXPECT_EQ(cache.Get()->neighbors.back().id, 3);
+  EXPECT_DOUBLE_EQ(cache.Get()->Radius(), 4.0);
+}
+
+TEST(NnCacheTest, MostRecentQueryWins) {
+  NnCache cache(10);
+  cache.Store(MakeResult(3, {0, 0}));
+  cache.Store(MakeResult(5, {9, 9}));
+  ASSERT_NE(cache.Get(), nullptr);
+  EXPECT_EQ(cache.Get()->neighbors.size(), 5u);
+  EXPECT_EQ(cache.Get()->query_location, (geom::Vec2{9, 9}));
+  EXPECT_EQ(cache.store_count(), 2u);
+}
+
+TEST(NnCacheTest, ClearDropsEntry) {
+  NnCache cache(10);
+  cache.Store(MakeResult(3));
+  cache.Clear();
+  EXPECT_TRUE(cache.Empty());
+  EXPECT_EQ(cache.Get(), nullptr);
+}
+
+TEST(NnCacheTest, CapacityClampedToOne) {
+  NnCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1);
+  cache.Store(MakeResult(3));
+  EXPECT_EQ(cache.Get()->neighbors.size(), 1u);
+}
+
+TEST(NnCacheTest, EmptyResultCountsAsEmpty) {
+  NnCache cache(5);
+  cache.Store(core::CachedResult{});
+  EXPECT_TRUE(cache.Empty());
+  EXPECT_DOUBLE_EQ(cache.Get()->Radius(), 0.0);
+}
+
+}  // namespace
+}  // namespace senn::cache

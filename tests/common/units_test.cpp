@@ -1,0 +1,27 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace senn {
+namespace {
+
+TEST(UnitsTest, MilesMetersRoundTrip) {
+  EXPECT_DOUBLE_EQ(MilesToMeters(1.0), 1609.344);
+  EXPECT_DOUBLE_EQ(MetersToMiles(1609.344), 1.0);
+  EXPECT_NEAR(MetersToMiles(MilesToMeters(12.75)), 12.75, 1e-12);
+}
+
+TEST(UnitsTest, SpeedConversions) {
+  EXPECT_NEAR(MphToMps(30.0), 13.4112, 1e-9);
+  EXPECT_NEAR(MpsToMph(MphToMps(65.0)), 65.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MphToMps(0.0), 0.0);
+}
+
+TEST(UnitsTest, CompileTimeUsable) {
+  static_assert(MilesToMeters(2.0) > 3218.0 && MilesToMeters(2.0) < 3219.0);
+  static_assert(MphToMps(60.0) > 26.0 && MphToMps(60.0) < 27.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace senn

@@ -1,0 +1,214 @@
+#include "src/core/candidate_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace senn::core {
+namespace {
+
+RankedPoi P(PoiId id, double dist) { return {id, {dist, 0}, dist}; }
+
+TEST(CandidateHeapTest, StartsEmpty) {
+  CandidateHeap h(4);
+  EXPECT_EQ(h.state(), HeapState::kEmpty);
+  EXPECT_EQ(h.size(), 0);
+  EXPECT_FALSE(h.IsFull());
+  EXPECT_FALSE(h.HasCertain(1));
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_FALSE(b.lower.has_value());
+  EXPECT_FALSE(b.upper.has_value());
+}
+
+TEST(CandidateHeapTest, PaperTable1Example) {
+  // Table 1: k = 4; after processing peers P1 and P2 the heap holds certain
+  // {n2-P1, n1-P1} at sqrt(2), sqrt(3) and uncertain {n3-P1, n3-P2} at
+  // sqrt(5), sqrt(8).
+  CandidateHeap h(4);
+  h.InsertCertain(P(21, std::sqrt(2.0)));
+  h.InsertCertain(P(11, std::sqrt(3.0)));
+  h.InsertUncertain(P(31, std::sqrt(5.0)));
+  h.InsertUncertain(P(32, std::sqrt(8.0)));
+  ASSERT_EQ(h.certain().size(), 2u);
+  ASSERT_EQ(h.uncertain().size(), 2u);
+  EXPECT_EQ(h.certain()[0].id, 21);
+  EXPECT_EQ(h.certain()[1].id, 11);
+  EXPECT_EQ(h.uncertain()[0].id, 31);
+  EXPECT_EQ(h.uncertain()[1].id, 32);
+  EXPECT_TRUE(h.IsFull());
+  EXPECT_EQ(h.state(), HeapState::kFullMixed);
+  rtree::PruneBounds b = h.ComputeBounds();
+  ASSERT_TRUE(b.lower.has_value());
+  ASSERT_TRUE(b.upper.has_value());
+  EXPECT_DOUBLE_EQ(*b.lower, std::sqrt(3.0));  // last certain entry
+  EXPECT_DOUBLE_EQ(*b.upper, std::sqrt(8.0));  // last entry overall
+}
+
+TEST(CandidateHeapTest, CertainInsertKeepsAscendingOrder) {
+  CandidateHeap h(5);
+  h.InsertCertain(P(1, 3.0));
+  h.InsertCertain(P(2, 1.0));
+  h.InsertCertain(P(3, 2.0));
+  ASSERT_EQ(h.certain().size(), 3u);
+  EXPECT_EQ(h.certain()[0].id, 2);
+  EXPECT_EQ(h.certain()[1].id, 3);
+  EXPECT_EQ(h.certain()[2].id, 1);
+}
+
+TEST(CandidateHeapTest, CertainDisplacesFarthestUncertain) {
+  CandidateHeap h(3);
+  h.InsertUncertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  h.InsertUncertain(P(3, 3.0));
+  EXPECT_TRUE(h.IsFull());
+  h.InsertCertain(P(4, 5.0));  // distance does not matter for displacement
+  EXPECT_EQ(h.certain().size(), 1u);
+  EXPECT_EQ(h.uncertain().size(), 2u);
+  EXPECT_EQ(h.uncertain().back().id, 2);  // id 3 (farthest) evicted
+}
+
+TEST(CandidateHeapTest, DuplicateCertainIgnored) {
+  CandidateHeap h(3);
+  h.InsertCertain(P(1, 1.0));
+  h.InsertCertain(P(1, 1.5));
+  EXPECT_EQ(h.certain().size(), 1u);
+  EXPECT_DOUBLE_EQ(h.certain()[0].distance, 1.0);
+}
+
+TEST(CandidateHeapTest, CertainSupersedesUncertainSameId) {
+  CandidateHeap h(3);
+  h.InsertUncertain(P(1, 1.0));
+  h.InsertCertain(P(1, 1.0));
+  EXPECT_EQ(h.certain().size(), 1u);
+  EXPECT_TRUE(h.uncertain().empty());
+}
+
+TEST(CandidateHeapTest, UncertainDuplicateIgnored) {
+  CandidateHeap h(3);
+  h.InsertCertain(P(1, 1.0));
+  h.InsertUncertain(P(1, 2.0));  // already certain
+  EXPECT_TRUE(h.uncertain().empty());
+  h.InsertUncertain(P(2, 2.0));
+  h.InsertUncertain(P(2, 3.0));  // already uncertain
+  EXPECT_EQ(h.uncertain().size(), 1u);
+}
+
+TEST(CandidateHeapTest, FullHeapRejectsWorseUncertain) {
+  CandidateHeap h(2);
+  h.InsertUncertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  h.InsertUncertain(P(3, 5.0));  // worse than everything: rejected
+  ASSERT_EQ(h.uncertain().size(), 2u);
+  EXPECT_EQ(h.uncertain().back().id, 2);
+  h.InsertUncertain(P(4, 0.5));  // better: replaces the worst
+  ASSERT_EQ(h.uncertain().size(), 2u);
+  EXPECT_EQ(h.uncertain()[0].id, 4);
+  EXPECT_EQ(h.uncertain()[1].id, 1);
+}
+
+TEST(CandidateHeapTest, SolvedState) {
+  CandidateHeap h(2);
+  h.InsertCertain(P(1, 1.0));
+  h.InsertCertain(P(2, 2.0));
+  EXPECT_EQ(h.state(), HeapState::kSolved);
+  EXPECT_TRUE(h.HasCertain(2));
+  // Solved heaps still expose both bounds (used by SNNN re-queries).
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_DOUBLE_EQ(*b.lower, 2.0);
+  EXPECT_DOUBLE_EQ(*b.upper, 2.0);
+}
+
+TEST(CandidateHeapTest, StateTwoFullUncertainOnly) {
+  CandidateHeap h(2);
+  h.InsertUncertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  EXPECT_EQ(h.state(), HeapState::kFullUncertainOnly);
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_FALSE(b.lower.has_value());
+  ASSERT_TRUE(b.upper.has_value());
+  EXPECT_DOUBLE_EQ(*b.upper, 2.0);
+}
+
+TEST(CandidateHeapTest, StateThreePartialMixed) {
+  CandidateHeap h(5);
+  h.InsertCertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  EXPECT_EQ(h.state(), HeapState::kPartialMixed);
+  rtree::PruneBounds b = h.ComputeBounds();
+  ASSERT_TRUE(b.lower.has_value());
+  EXPECT_DOUBLE_EQ(*b.lower, 1.0);
+  EXPECT_FALSE(b.upper.has_value());
+}
+
+TEST(CandidateHeapTest, StateFourPartialCertainOnly) {
+  CandidateHeap h(5);
+  h.InsertCertain(P(1, 1.0));
+  EXPECT_EQ(h.state(), HeapState::kPartialCertainOnly);
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_TRUE(b.lower.has_value());
+  EXPECT_FALSE(b.upper.has_value());
+}
+
+TEST(CandidateHeapTest, StateFivePartialUncertainOnly) {
+  CandidateHeap h(5);
+  h.InsertUncertain(P(1, 1.0));
+  EXPECT_EQ(h.state(), HeapState::kPartialUncertainOnly);
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_FALSE(b.lower.has_value());
+  EXPECT_FALSE(b.upper.has_value());
+}
+
+TEST(CandidateHeapTest, MixedFullUpperBoundIsMaxOfBothLists) {
+  // Certain objects can be farther than uncertain ones; the upper bound is
+  // the distance of the last element of H regardless of class.
+  CandidateHeap h(3);
+  h.InsertUncertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  h.InsertCertain(P(3, 9.0));
+  EXPECT_EQ(h.state(), HeapState::kFullMixed);
+  rtree::PruneBounds b = h.ComputeBounds();
+  EXPECT_DOUBLE_EQ(*b.upper, 9.0);
+  EXPECT_DOUBLE_EQ(*b.lower, 9.0);
+}
+
+TEST(CandidateHeapTest, CloserCertainDisplacesFarthestCertainWhenAtCapacity) {
+  // Regression: a certified object can have any rank up to the certifying
+  // peer's cache size, so a later peer may certify something closer than an
+  // already-full certain list. The heap must keep the closest `capacity`.
+  CandidateHeap h(3);
+  h.InsertCertain(P(1, 10.0));
+  h.InsertCertain(P(2, 12.0));
+  h.InsertCertain(P(3, 15.0));
+  ASSERT_EQ(h.state(), HeapState::kSolved);
+  h.InsertCertain(P(4, 8.0));  // closer: must displace id 3
+  ASSERT_EQ(h.certain().size(), 3u);
+  EXPECT_EQ(h.certain()[0].id, 4);
+  EXPECT_EQ(h.certain()[1].id, 1);
+  EXPECT_EQ(h.certain()[2].id, 2);
+  h.InsertCertain(P(5, 99.0));  // farther: ignored
+  EXPECT_EQ(h.certain().back().id, 2);
+}
+
+TEST(CandidateHeapTest, CapacityClamp) {
+  CandidateHeap h(0);
+  EXPECT_EQ(h.capacity(), 1);
+}
+
+TEST(CandidateHeapTest, StateNamesCoverAllStates) {
+  EXPECT_STREQ(HeapStateName(HeapState::kSolved), "solved");
+  EXPECT_STREQ(HeapStateName(HeapState::kEmpty), "empty (state 6)");
+  EXPECT_NE(std::string(HeapStateName(HeapState::kFullMixed)).find("state 1"),
+            std::string::npos);
+}
+
+TEST(CandidateHeapTest, ContainsChecksBothLists) {
+  CandidateHeap h(4);
+  h.InsertCertain(P(1, 1.0));
+  h.InsertUncertain(P(2, 2.0));
+  EXPECT_TRUE(h.Contains(1));
+  EXPECT_TRUE(h.Contains(2));
+  EXPECT_FALSE(h.Contains(3));
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -1,0 +1,157 @@
+// Tests of the continuous kNN extension (core/continuous.h): exactness at
+// every step, own-cache reuse while the certification holds, and the
+// communication savings over naive multi-step re-querying.
+#include "src/core/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+std::vector<PoiId> TrueKnnIds(const std::vector<Poi>& pois, Vec2 q, int k) {
+  std::vector<RankedPoi> all;
+  for (const Poi& p : pois) all.push_back({p.id, p.position, geom::Dist(q, p.position)});
+  std::sort(all.begin(), all.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+  std::vector<PoiId> ids;
+  for (int i = 0; i < k && i < static_cast<int>(all.size()); ++i) ids.push_back(all[static_cast<size_t>(i)].id);
+  return ids;
+}
+
+class ContinuousKnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    pois_ = RandomPois(80, &rng, 2000);
+    server_ = std::make_unique<SpatialServer>(pois_);
+    SennOptions options;
+    options.server_request_k = 12;
+    senn_ = std::make_unique<SennProcessor>(server_.get(), options);
+  }
+
+  std::vector<Poi> pois_;
+  std::unique_ptr<SpatialServer> server_;
+  std::unique_ptr<SennProcessor> senn_;
+};
+
+TEST_F(ContinuousKnnTest, ExactAtEveryStepAlongStraightPath) {
+  ContinuousKnn cknn(senn_.get(), 3);
+  for (int step = 0; step <= 100; ++step) {
+    Vec2 pos{200.0 + step * 16.0, 1000.0};
+    StepResult r = cknn.Step(pos);
+    std::vector<PoiId> got;
+    for (const RankedPoi& n : r.neighbors) got.push_back(n.id);
+    EXPECT_EQ(got, TrueKnnIds(pois_, pos, 3)) << "step " << step;
+  }
+  EXPECT_EQ(cknn.stats().steps, 101u);
+}
+
+TEST_F(ContinuousKnnTest, OwnCacheServesDenselySampledMovement) {
+  // With 5 m steps the cached 12-NN disk covers many consecutive positions:
+  // the vast majority of steps must need no communication at all.
+  ContinuousKnn cknn(senn_.get(), 3);
+  for (int step = 0; step <= 400; ++step) {
+    cknn.Step({500.0 + step * 2.5, 900.0});
+  }
+  const ContinuousStats& s = cknn.stats();
+  EXPECT_GT(s.own_cache_hits, s.steps * 3 / 4);
+  EXPECT_EQ(s.steps, s.own_cache_hits + s.peer_answers + s.server_answers);
+}
+
+TEST_F(ContinuousKnnTest, FirstStepGoesOut) {
+  ContinuousKnn cknn(senn_.get(), 3);
+  StepResult r = cknn.Step({700, 700});
+  EXPECT_NE(r.source, StepSource::kOwnCache);
+  EXPECT_EQ(cknn.stats().own_cache_hits, 0u);
+}
+
+TEST_F(ContinuousKnnTest, TeleportInvalidatesCache) {
+  ContinuousKnn cknn(senn_.get(), 3);
+  cknn.Step({100, 100});
+  StepResult near = cknn.Step({101, 100});
+  EXPECT_EQ(near.source, StepSource::kOwnCache);
+  StepResult far = cknn.Step({1900, 1900});
+  EXPECT_NE(far.source, StepSource::kOwnCache);
+  std::vector<PoiId> got;
+  for (const RankedPoi& n : far.neighbors) got.push_back(n.id);
+  EXPECT_EQ(got, TrueKnnIds(pois_, {1900, 1900}, 3));
+}
+
+TEST_F(ContinuousKnnTest, PeersReduceServerContacts) {
+  // A warm peer mid-route lets the host refresh without the server.
+  CachedResult peer;
+  peer.query_location = {1000, 500};
+  peer.neighbors = server_->QueryKnn(peer.query_location, 12).neighbors;
+  server_->ResetStats();
+
+  ContinuousKnn with_peer(senn_.get(), 3);
+  for (int step = 0; step <= 50; ++step) {
+    with_peer.Step({750.0 + step * 10.0, 500.0}, {&peer});
+  }
+  uint64_t with_peer_server = with_peer.stats().server_answers;
+
+  ContinuousKnn alone(senn_.get(), 3);
+  for (int step = 0; step <= 50; ++step) {
+    alone.Step({750.0 + step * 10.0, 500.0});
+  }
+  EXPECT_LE(with_peer_server, alone.stats().server_answers);
+  EXPECT_GT(with_peer.stats().peer_answers, 0u);
+}
+
+TEST_F(ContinuousKnnTest, BeatsNaiveMultiStepByOrdersOfMagnitude) {
+  // Naive multi-step search: one server query per sampled position.
+  const int steps = 200;
+  ContinuousKnn cknn(senn_.get(), 3);
+  server_->ResetStats();
+  Rng rng(5);
+  Vec2 pos{300, 300};
+  for (int step = 0; step < steps; ++step) {
+    pos = pos + Vec2{rng.Uniform(0, 12), rng.Uniform(-6, 6)};  // drifting walk
+    cknn.Step(pos);
+  }
+  uint64_t shared_queries = server_->stats().queries;
+  EXPECT_LT(shared_queries, static_cast<uint64_t>(steps) / 4);  // >4x reduction
+  EXPECT_EQ(cknn.stats().steps, static_cast<uint64_t>(steps));
+}
+
+TEST_F(ContinuousKnnTest, KOneWorks) {
+  ContinuousKnn cknn(senn_.get(), 1);
+  for (int step = 0; step < 30; ++step) {
+    Vec2 pos{400.0 + step * 20.0, 1500.0};
+    StepResult r = cknn.Step(pos);
+    ASSERT_EQ(r.neighbors.size(), 1u);
+    EXPECT_EQ(r.neighbors[0].id, TrueKnnIds(pois_, pos, 1)[0]);
+  }
+}
+
+TEST(ContinuousKnnEdgeTest, EmptyDatabase) {
+  SpatialServer server({});
+  SennProcessor senn(&server, SennOptions{});
+  ContinuousKnn cknn(&senn, 3);
+  StepResult r = cknn.Step({0, 0});
+  EXPECT_TRUE(r.neighbors.empty());
+  EXPECT_EQ(r.source, StepSource::kServer);
+}
+
+TEST(ContinuousKnnEdgeTest, StepSourceNames) {
+  EXPECT_STREQ(StepSourceName(StepSource::kOwnCache), "own-cache");
+  EXPECT_STREQ(StepSourceName(StepSource::kServer), "server");
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full stack (road network + snapped
+// POIs + mobility + caches + SENN + SNNN + server) wired together outside
+// the Simulator, exercising the public API the way a downstream application
+// would.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cache/nn_cache.h"
+#include "src/common/rng.h"
+#include "src/core/senn.h"
+#include "src/core/snnn.h"
+#include "src/mobility/road_mover.h"
+#include "src/roadnet/generator.h"
+#include "src/roadnet/locate.h"
+
+namespace senn {
+namespace {
+
+class FullStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    roadnet::RoadNetworkConfig cfg;
+    cfg.area_side_m = 3000;
+    cfg.block_spacing_m = 250;
+    graph_ = roadnet::GenerateRoadNetwork(cfg, &rng);
+    locator_ = std::make_unique<roadnet::EdgeLocator>(&graph_, 250.0);
+    for (int i = 0; i < 40; ++i) {
+      geom::Vec2 raw{rng.Uniform(0, 3000), rng.Uniform(0, 3000)};
+      pois_.push_back({i, graph_.PositionOf(locator_->Nearest(raw))});
+    }
+    server_ = std::make_unique<core::SpatialServer>(pois_);
+    core::SennOptions options;
+    options.server_request_k = 8;
+    senn_ = std::make_unique<core::SennProcessor>(server_.get(), options);
+  }
+
+  std::vector<core::RankedPoi> Truth(geom::Vec2 q, int k) {
+    std::vector<core::RankedPoi> all;
+    for (const core::Poi& p : pois_) {
+      all.push_back({p.id, p.position, geom::Dist(q, p.position)});
+    }
+    std::sort(all.begin(), all.end(), [](const core::RankedPoi& a, const core::RankedPoi& b) {
+      return a.distance < b.distance;
+    });
+    all.resize(static_cast<size_t>(k));
+    return all;
+  }
+
+  roadnet::Graph graph_;
+  std::unique_ptr<roadnet::EdgeLocator> locator_;
+  std::vector<core::Poi> pois_;
+  std::unique_ptr<core::SpatialServer> server_;
+  std::unique_ptr<core::SennProcessor> senn_;
+};
+
+TEST_F(FullStackTest, DrivingHostsShareAndStayExact) {
+  // Three cars drive around; each queries periodically, caches its certain
+  // prefix, and serves as a peer for the others. Every answer must be the
+  // exact kNN, and over time some queries must resolve without the server.
+  Rng rng(7);
+  roadnet::Router router(&graph_);
+  mobility::RoadMoverConfig mcfg;
+  mcfg.nominal_speed_mps = 15;
+  mcfg.mean_pause_s = 5;
+  mcfg.max_trip_m = 2000;
+  std::vector<std::unique_ptr<mobility::RoadMover>> cars;
+  std::vector<cache::NnCache> caches(3, cache::NnCache(8));
+  for (int i = 0; i < 3; ++i) {
+    cars.push_back(std::make_unique<mobility::RoadMover>(
+        mcfg, &graph_, &router, static_cast<roadnet::NodeId>(i * 7), &rng));
+  }
+  int peer_answers = 0, total = 0;
+  for (int step = 0; step < 600; ++step) {
+    for (auto& car : cars) car->Advance(1.0, &rng);
+    if (step % 20 != 19) continue;
+    int who = step / 20 % 3;
+    geom::Vec2 q = cars[static_cast<size_t>(who)]->position();
+    std::vector<const core::CachedResult*> peers;
+    for (int i = 0; i < 3; ++i) {
+      // Everyone is "in range" in this toy world.
+      const core::CachedResult* c = caches[static_cast<size_t>(i)].Get();
+      if (c != nullptr && !c->Empty()) peers.push_back(c);
+    }
+    core::SennOutcome out = senn_->Execute(q, 3, peers);
+    ++total;
+    peer_answers += out.resolution != core::Resolution::kServer;
+    // Exactness at every step.
+    std::vector<core::RankedPoi> truth = Truth(q, 3);
+    ASSERT_EQ(out.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(out.neighbors[i].id, truth[i].id) << "step " << step;
+    }
+    core::CachedResult to_cache;
+    to_cache.query_location = q;
+    to_cache.neighbors = out.certain_prefix;
+    caches[static_cast<size_t>(who)].Store(std::move(to_cache));
+  }
+  EXPECT_EQ(total, 30);
+  EXPECT_GT(peer_answers, 0);  // sharing must kick in
+}
+
+TEST_F(FullStackTest, SnnnOverSennSourceIsExact) {
+  Rng rng(8);
+  core::SnnnProcessor snnn(&graph_, locator_.get());
+  for (int trial = 0; trial < 10; ++trial) {
+    geom::Vec2 q{rng.Uniform(300, 2700), rng.Uniform(300, 2700)};
+    // Warm peer colocated with the query point.
+    core::CachedResult peer;
+    peer.query_location = q;
+    peer.neighbors = server_->QueryKnn(q, 8).neighbors;
+    core::SennNnSource source(senn_.get(), q, {&peer});
+    std::vector<core::NetworkRankedPoi> got = snnn.Execute(q, 3, &source);
+    ASSERT_EQ(got.size(), 3u);
+    // Brute-force network kNN.
+    roadnet::NetworkDistanceOracle oracle(&graph_, locator_->Nearest(q));
+    std::vector<double> nds;
+    for (const core::Poi& p : pois_) {
+      nds.push_back(oracle.DistanceTo(locator_->Nearest(p.position)));
+    }
+    std::sort(nds.begin(), nds.end());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(got[static_cast<size_t>(i)].network, nds[static_cast<size_t>(i)], 1e-6)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST_F(FullStackTest, CachePolicyKeepsExactPrefixThroughChains) {
+  // Sharing chains: host A caches from the server, B verifies from A and
+  // caches its (thinner) prefix, C verifies from B. Every link must keep
+  // the exact-rank-prefix invariant, or C's answers would silently rot.
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    geom::Vec2 a_pos{rng.Uniform(500, 2500), rng.Uniform(500, 2500)};
+    core::CachedResult a;
+    a.query_location = a_pos;
+    a.neighbors = server_->QueryKnn(a_pos, 8).neighbors;
+
+    geom::Vec2 b_pos = a_pos + geom::Vec2{rng.Uniform(-80, 80), rng.Uniform(-80, 80)};
+    core::SennOutcome b_out = senn_->Execute(b_pos, 3, {&a});
+    if (b_out.resolution == core::Resolution::kServer) continue;
+    core::CachedResult b;
+    b.query_location = b_pos;
+    b.neighbors = b_out.certain_prefix;
+
+    geom::Vec2 c_pos = b_pos + geom::Vec2{rng.Uniform(-40, 40), rng.Uniform(-40, 40)};
+    core::SennOutcome c_out = senn_->Execute(c_pos, 2, {&b});
+    std::vector<core::RankedPoi> truth = Truth(c_pos, 2);
+    ASSERT_EQ(c_out.neighbors.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(c_out.neighbors[i].id, truth[i].id)
+          << "trial " << trial << " (resolution "
+          << core::ResolutionName(c_out.resolution) << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace senn

@@ -1,0 +1,119 @@
+#include "src/core/join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent, PoiId base = 0) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({base + i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+std::set<std::pair<PoiId, PoiId>> BruteForceJoin(const std::vector<Poi>& a,
+                                                 const std::vector<Poi>& b, Vec2 q,
+                                                 double radius, double d) {
+  std::set<std::pair<PoiId, PoiId>> pairs;
+  for (const Poi& x : a) {
+    if (geom::Dist(q, x.position) > radius) continue;
+    for (const Poi& y : b) {
+      if (geom::Dist(x.position, y.position) <= d) pairs.insert({x.id, y.id});
+    }
+  }
+  return pairs;
+}
+
+std::set<std::pair<PoiId, PoiId>> Ids(const std::vector<PoiPair>& pairs) {
+  std::set<std::pair<PoiId, PoiId>> ids;
+  for (const PoiPair& p : pairs) ids.insert({p.a.id, p.b.id});
+  return ids;
+}
+
+CachedResult MakePeerCache(SpatialServer* server, Vec2 at, int cache_size) {
+  CachedResult c;
+  c.query_location = at;
+  c.neighbors = server->QueryKnn(at, cache_size).neighbors;
+  return c;
+}
+
+TEST(SharingJoinTest, ExactAcrossRandomWorlds) {
+  Rng rng(1);
+  int local_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Poi> restaurants = RandomPois(40, &rng, 800);
+    std::vector<Poi> parking = RandomPois(30, &rng, 800, 1000);
+    SpatialServer server_a(restaurants);
+    SpatialServer server_b(parking);
+    SharingJoinProcessor join(&server_a, &server_b);
+    Vec2 q{rng.Uniform(200, 600), rng.Uniform(200, 600)};
+    std::vector<CachedResult> ca, cb;
+    for (int p = 0; p < 3; ++p) {
+      Vec2 at{q.x + rng.Uniform(-100, 100), q.y + rng.Uniform(-100, 100)};
+      ca.push_back(MakePeerCache(&server_a, at, 12));
+      cb.push_back(MakePeerCache(&server_b, at, 12));
+    }
+    std::vector<const CachedResult*> peers_a, peers_b;
+    for (const CachedResult& c : ca) peers_a.push_back(&c);
+    for (const CachedResult& c : cb) peers_b.push_back(&c);
+    double radius = rng.Uniform(50, 200);
+    double d = rng.Uniform(20, 120);
+    JoinOutcome out = join.Execute(q, radius, d, peers_a, peers_b);
+    EXPECT_EQ(Ids(out.pairs), BruteForceJoin(restaurants, parking, q, radius, d))
+        << "trial " << trial;
+    local_count += out.fully_local;
+  }
+  EXPECT_GT(local_count, 0);  // some joins resolve without any server
+}
+
+TEST(SharingJoinTest, NoPeersStillExactViaServers) {
+  Rng rng(2);
+  std::vector<Poi> a = RandomPois(30, &rng, 500);
+  std::vector<Poi> b = RandomPois(30, &rng, 500, 1000);
+  SpatialServer sa(a), sb(b);
+  SharingJoinProcessor join(&sa, &sb);
+  JoinOutcome out = join.Execute({250, 250}, 150, 60, {}, {});
+  EXPECT_FALSE(out.fully_local);
+  EXPECT_EQ(out.a_resolution, RangeResolution::kServer);
+  EXPECT_EQ(Ids(out.pairs), BruteForceJoin(a, b, {250, 250}, 150, 60));
+}
+
+TEST(SharingJoinTest, PairDistancesReported) {
+  std::vector<Poi> a{{1, {100, 100}}};
+  std::vector<Poi> b{{2, {100, 130}}, {3, {100, 300}}};
+  SpatialServer sa(a), sb(b);
+  SharingJoinProcessor join(&sa, &sb);
+  JoinOutcome out = join.Execute({100, 100}, 50, 40, {}, {});
+  ASSERT_EQ(out.pairs.size(), 1u);
+  EXPECT_EQ(out.pairs[0].a.id, 1);
+  EXPECT_EQ(out.pairs[0].b.id, 2);
+  EXPECT_NEAR(out.pairs[0].pair_distance, 30.0, 1e-12);
+}
+
+TEST(SharingJoinTest, FullyLocalWhenPeersCoverBothDisks) {
+  Rng rng(3);
+  std::vector<Poi> a = RandomPois(25, &rng, 600);
+  std::vector<Poi> b = RandomPois(25, &rng, 600, 1000);
+  SpatialServer sa(a), sb(b);
+  SharingJoinProcessor join(&sa, &sb);
+  Vec2 q{300, 300};
+  // Colocated peers with fat caches: their disks dwarf the query disks.
+  CachedResult pa = MakePeerCache(&sa, q, 25);
+  CachedResult pb = MakePeerCache(&sb, q, 25);
+  sa.ResetStats();
+  sb.ResetStats();
+  JoinOutcome out = join.Execute(q, pa.Radius() * 0.3, pb.Radius() * 0.2, {&pa}, {&pb});
+  EXPECT_TRUE(out.fully_local);
+  EXPECT_EQ(sa.stats().queries + sb.stats().queries, 0u);
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -1,0 +1,116 @@
+#include "src/core/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent = 1000.0) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+std::vector<RankedPoi> TrueKnn(const std::vector<Poi>& pois, Vec2 q, int k) {
+  std::vector<RankedPoi> all;
+  for (const Poi& p : pois) all.push_back({p.id, p.position, geom::Dist(q, p.position)});
+  std::sort(all.begin(), all.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+TEST(SpatialServerTest, BuildsTreeWithPaperBranchingFactor) {
+  Rng rng(1);
+  SpatialServer server(RandomPois(500, &rng));
+  EXPECT_EQ(server.poi_count(), 500u);
+  EXPECT_EQ(server.tree().options().max_entries, 30);
+  EXPECT_TRUE(server.tree().CheckInvariants().ok());
+}
+
+TEST(SpatialServerTest, PlainQueryMatchesBruteForce) {
+  Rng rng(2);
+  std::vector<Poi> pois = RandomPois(800, &rng);
+  SpatialServer server(pois);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    ServerReply reply = server.QueryKnn(q, 7);
+    std::vector<RankedPoi> want = TrueKnn(pois, q, 7);
+    ASSERT_EQ(reply.neighbors.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(reply.neighbors[i].id, want[i].id) << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(SpatialServerTest, BoundsProduceSameMergedAnswer) {
+  Rng rng(3);
+  std::vector<Poi> pois = RandomPois(800, &rng);
+  SpatialServer server(pois);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    std::vector<RankedPoi> want = TrueKnn(pois, q, 10);
+    int certified = 4;
+    rtree::PruneBounds bounds;
+    bounds.lower = want[static_cast<size_t>(certified - 1)].distance;
+    bounds.upper = want.back().distance;
+    ServerReply reply = server.QueryKnn(q, 10, bounds, certified);
+    ASSERT_EQ(reply.neighbors.size(), static_cast<size_t>(10 - certified));
+    for (size_t i = 0; i < reply.neighbors.size(); ++i) {
+      EXPECT_EQ(reply.neighbors[i].id, want[i + static_cast<size_t>(certified)].id);
+    }
+  }
+}
+
+TEST(SpatialServerTest, EinnNeverAccessesMorePagesThanInn) {
+  Rng rng(4);
+  std::vector<Poi> pois = RandomPois(3000, &rng);
+  SpatialServer server(pois);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    std::vector<RankedPoi> want = TrueKnn(pois, q, 12);
+    rtree::PruneBounds bounds;
+    bounds.lower = want[5].distance;
+    bounds.upper = want.back().distance;
+    ServerReply reply = server.QueryKnn(q, 12, bounds, 6);
+    EXPECT_LE(reply.einn_accesses.total(), reply.inn_accesses.total()) << trial;
+  }
+  EXPECT_LE(server.stats().einn.total(), server.stats().inn.total());
+  EXPECT_EQ(server.stats().queries, 50u);
+}
+
+TEST(SpatialServerTest, KLargerThanDataSet) {
+  Rng rng(5);
+  std::vector<Poi> pois = RandomPois(5, &rng);
+  SpatialServer server(pois);
+  ServerReply reply = server.QueryKnn({0, 0}, 10);
+  EXPECT_EQ(reply.neighbors.size(), 5u);
+}
+
+TEST(SpatialServerTest, AlreadyCertifiedExceedsK) {
+  Rng rng(6);
+  SpatialServer server(RandomPois(100, &rng));
+  ServerReply reply = server.QueryKnn({500, 500}, 3, {}, 5);
+  EXPECT_TRUE(reply.neighbors.empty());
+}
+
+TEST(SpatialServerTest, ResetStatsClearsCounters) {
+  Rng rng(7);
+  SpatialServer server(RandomPois(100, &rng));
+  server.QueryKnn({1, 1}, 3);
+  EXPECT_GT(server.stats().queries, 0u);
+  server.ResetStats();
+  EXPECT_EQ(server.stats().queries, 0u);
+  EXPECT_EQ(server.stats().inn.total(), 0u);
+}
+
+}  // namespace
+}  // namespace senn::core

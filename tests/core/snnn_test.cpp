@@ -1,0 +1,171 @@
+// Tests of Algorithm 2 (SNNN): network-distance kNN via IER over SENN,
+// verified against a brute-force network-distance oracle.
+#include "src/core/snnn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/roadnet/generator.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+struct NetworkWorld {
+  roadnet::Graph graph;
+  std::unique_ptr<roadnet::EdgeLocator> locator;
+  std::vector<Poi> pois;
+  std::unique_ptr<SpatialServer> server;
+};
+
+NetworkWorld MakeWorld(uint64_t seed, int poi_count, double side = 2000.0) {
+  NetworkWorld w;
+  Rng rng(seed);
+  roadnet::RoadNetworkConfig cfg;
+  cfg.area_side_m = side;
+  cfg.block_spacing_m = 200.0;
+  w.graph = roadnet::GenerateRoadNetwork(cfg, &rng);
+  w.locator = std::make_unique<roadnet::EdgeLocator>(&w.graph, 200.0);
+  for (int i = 0; i < poi_count; ++i) {
+    // POIs snapped onto the network (gas stations sit on roads).
+    Vec2 raw{rng.Uniform(0, side), rng.Uniform(0, side)};
+    roadnet::EdgePoint ep = w.locator->Nearest(raw);
+    w.pois.push_back({i, w.graph.PositionOf(ep)});
+  }
+  w.server = std::make_unique<SpatialServer>(w.pois);
+  return w;
+}
+
+// Brute force: network distance from q to every POI, sorted ascending.
+std::vector<NetworkRankedPoi> TrueNetworkKnn(const NetworkWorld& w, Vec2 q, int k) {
+  roadnet::EdgePoint qp = w.locator->Nearest(q);
+  roadnet::NetworkDistanceOracle oracle(&w.graph, qp);
+  std::vector<NetworkRankedPoi> all;
+  for (const Poi& p : w.pois) {
+    double nd = oracle.DistanceTo(w.locator->Nearest(p.position));
+    all.push_back({p.id, p.position, geom::Dist(q, p.position), nd});
+  }
+  std::sort(all.begin(), all.end(), [](const NetworkRankedPoi& a, const NetworkRankedPoi& b) {
+    return a.network < b.network;
+  });
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+TEST(SnnnTest, MatchesBruteForceOnServerSource) {
+  NetworkWorld w = MakeWorld(11, 40);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  Rng rng(12);
+  for (int trial = 0; trial < 25; ++trial) {
+    Vec2 q{rng.Uniform(200, 1800), rng.Uniform(200, 1800)};
+    ServerNnSource source(w.server.get(), q);
+    std::vector<NetworkRankedPoi> got = snnn.Execute(q, 4, &source);
+    std::vector<NetworkRankedPoi> want = TrueNetworkKnn(w, q, 4);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < want.size(); ++i) {
+      // Compare by network distance (ids may differ only on exact ties).
+      EXPECT_NEAR(got[i].network, want[i].network, 1e-6)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(SnnnTest, NetworkDistanceAtLeastEuclidean) {
+  NetworkWorld w = MakeWorld(13, 30);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  Rng rng(14);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec2 q{rng.Uniform(200, 1800), rng.Uniform(200, 1800)};
+    ServerNnSource source(w.server.get(), q);
+    for (const NetworkRankedPoi& n : snnn.Execute(q, 5, &source)) {
+      // The query point itself may sit off-network (snap distance), so allow
+      // that slack on the lower bound.
+      double snap = 0;
+      w.locator->Nearest(q, &snap);
+      EXPECT_GE(n.network + snap + 1e-6, n.euclidean) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SnnnTest, NetworkOrderDiffersFromEuclideanOrderSometimes) {
+  // The whole point of SNNN: Euclidean rank != network rank. Check the
+  // phenomenon occurs on a grid network.
+  NetworkWorld w = MakeWorld(15, 60);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  Rng rng(16);
+  int differs = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec2 q{rng.Uniform(200, 1800), rng.Uniform(200, 1800)};
+    ServerNnSource source(w.server.get(), q);
+    std::vector<NetworkRankedPoi> by_network = snnn.Execute(q, 3, &source);
+    ServerReply euclid = w.server->QueryKnn(q, 3);
+    ASSERT_EQ(by_network.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      if (by_network[static_cast<size_t>(i)].id !=
+          euclid.neighbors[static_cast<size_t>(i)].id) {
+        ++differs;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(SnnnTest, SennSourceMatchesServerSource) {
+  NetworkWorld w = MakeWorld(17, 40);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  SennOptions options;
+  options.server_request_k = 12;
+  SennProcessor senn(w.server.get(), options);
+  Rng rng(18);
+  for (int trial = 0; trial < 15; ++trial) {
+    Vec2 q{rng.Uniform(200, 1800), rng.Uniform(200, 1800)};
+    // A colocated warm peer: SENN answers locally for small k.
+    CachedResult peer;
+    peer.query_location = q;
+    ServerReply warm = w.server->QueryKnn(q, 12);
+    peer.neighbors = warm.neighbors;
+    SennNnSource senn_source(&senn, q, {&peer});
+    ServerNnSource server_source(w.server.get(), q);
+    std::vector<NetworkRankedPoi> a = snnn.Execute(q, 3, &senn_source);
+    std::vector<NetworkRankedPoi> b = snnn.Execute(q, 3, &server_source);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].network, b[i].network, 1e-6) << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(SnnnTest, KZeroReturnsEmpty) {
+  NetworkWorld w = MakeWorld(19, 10);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  ServerNnSource source(w.server.get(), {100, 100});
+  EXPECT_TRUE(snnn.Execute({100, 100}, 0, &source).empty());
+}
+
+TEST(SnnnTest, KLargerThanPoiCount) {
+  NetworkWorld w = MakeWorld(20, 5);
+  SnnnProcessor snnn(&w.graph, w.locator.get());
+  ServerNnSource source(w.server.get(), {500, 500});
+  std::vector<NetworkRankedPoi> got = snnn.Execute({500, 500}, 10, &source);
+  EXPECT_EQ(got.size(), 5u);
+  // Ascending network order.
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].network, got[i - 1].network);
+  }
+}
+
+TEST(SnnnTest, EmptyRoadNetworkYieldsNothing) {
+  roadnet::Graph empty_graph;
+  roadnet::EdgeLocator locator(&empty_graph);
+  SnnnProcessor snnn(&empty_graph, &locator);
+  SpatialServer server({{0, {1, 1}}});
+  ServerNnSource source(&server, {0, 0});
+  EXPECT_TRUE(snnn.Execute({0, 0}, 3, &source).empty());
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -1,0 +1,254 @@
+// Property tests for the kNN_single / kNN_multiple verification algorithms
+// (Lemmas 3.1-3.8): soundness (certified objects are true kNN members with
+// exact ranks) against a brute-force oracle over randomized worlds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/multi_peer.h"
+#include "src/core/single_peer.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+// Exact kNN by brute force, ascending.
+std::vector<RankedPoi> TrueKnn(const std::vector<Poi>& pois, Vec2 q, int k) {
+  std::vector<RankedPoi> all;
+  for (const Poi& p : pois) all.push_back({p.id, p.position, geom::Dist(q, p.position)});
+  std::sort(all.begin(), all.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+// A peer cache: the true kNN prefix at a random location (what a host would
+// hold after a server-answered query).
+CachedResult MakePeerCache(const std::vector<Poi>& pois, Vec2 at, int cache_size) {
+  CachedResult r;
+  r.query_location = at;
+  r.neighbors = TrueKnn(pois, at, cache_size);
+  return r;
+}
+
+// Asserts the core soundness property: heap.certain() is exactly the first
+// |certain| elements of the true kNN ordering (exact rank prefix).
+void ExpectExactRankPrefix(const CandidateHeap& heap, const std::vector<Poi>& pois, Vec2 q,
+                           const char* label) {
+  std::vector<RankedPoi> truth = TrueKnn(pois, q, static_cast<int>(heap.certain().size()));
+  ASSERT_LE(heap.certain().size(), truth.size()) << label;
+  for (size_t i = 0; i < heap.certain().size(); ++i) {
+    EXPECT_EQ(heap.certain()[i].id, truth[i].id)
+        << label << ": rank " << i + 1 << " mismatch";
+  }
+}
+
+TEST(SinglePeerTest, PeerAtQueryLocationCertifiesItsWholeCache) {
+  Rng rng(1);
+  std::vector<Poi> pois = RandomPois(50, &rng, 1000);
+  Vec2 q{500, 500};
+  CachedResult peer = MakePeerCache(pois, q, 5);  // delta = 0
+  CandidateHeap heap(5);
+  VerifyStats stats = VerifySinglePeer(q, peer, &heap);
+  EXPECT_EQ(stats.certified, 5);
+  EXPECT_EQ(stats.uncertain, 0);
+  ExpectExactRankPrefix(heap, pois, q, "delta=0");
+}
+
+TEST(SinglePeerTest, FarPeerCertifiesNothing) {
+  Rng rng(2);
+  std::vector<Poi> pois = RandomPois(50, &rng, 1000);
+  Vec2 q{0, 0};
+  CachedResult peer = MakePeerCache(pois, {1000, 1000}, 5);
+  CandidateHeap heap(5);
+  VerifyStats stats = VerifySinglePeer(q, peer, &heap);
+  EXPECT_EQ(stats.certified, 0);
+  EXPECT_EQ(stats.uncertain, 5);
+  EXPECT_TRUE(heap.certain().empty());
+}
+
+TEST(SinglePeerTest, EmptyPeerCacheIsNoop) {
+  CandidateHeap heap(3);
+  CachedResult empty;
+  VerifyStats stats = VerifySinglePeer({0, 0}, empty, &heap);
+  EXPECT_EQ(stats.candidates, 0);
+  EXPECT_EQ(heap.state(), HeapState::kEmpty);
+}
+
+TEST(SinglePeerTest, Lemma32BoundaryCase) {
+  // Hand-built: peer P at (10, 0) with POIs at distances 5 and 10 from P.
+  // Query Q at (6, 0): delta = 4.
+  //   n1 at (10, 5):  Dist(Q,n1) = sqrt(16+25) = 6.40; 6.40 + 4 > 10 -> uncertain
+  //   n2 at (10, -10): Dist(Q,n2) = sqrt(16+100) = 10.77 > 10 -> uncertain
+  //   n0 at (8, 0):   Dist(Q,n0) = 2; 2 + 4 <= 10 -> certain
+  CachedResult peer;
+  peer.query_location = {10, 0};
+  peer.neighbors = {
+      {0, {8, 0}, 2.0},     // dist to P = 2
+      {1, {10, 5}, 5.0},    // dist to P = 5
+      {2, {10, -10}, 10.0}  // dist to P = 10 (farthest: radius)
+  };
+  CandidateHeap heap(3);
+  VerifyStats stats = VerifySinglePeer({6, 0}, peer, &heap);
+  EXPECT_EQ(stats.certified, 1);
+  EXPECT_EQ(stats.uncertain, 2);
+  ASSERT_EQ(heap.certain().size(), 1u);
+  EXPECT_EQ(heap.certain()[0].id, 0);
+}
+
+TEST(SinglePeerTest, ExactEqualityIsCertain) {
+  // Dist(Q,n) + delta == radius exactly (Lemma 3.2 uses <=).
+  CachedResult peer;
+  peer.query_location = {4, 0};
+  peer.neighbors = {{0, {1, 0}, 3.0}, {1, {10, 0}, 6.0}};
+  // Q at (2,0): delta = 2, Dist(Q, n0) = 1; radius 6. Check n1: 8 + 2 > 6.
+  // Tweak: use n0 with Dist+delta = 3 <= 6 certain. Exact equality case:
+  // place Q at (0,0): delta 4, Dist(Q,n0) = 1, 1+4=5 <= 6 certain;
+  // n1: 10+4 > 6 uncertain.
+  CandidateHeap heap(2);
+  VerifySinglePeer({0, 0}, peer, &heap);
+  ASSERT_EQ(heap.certain().size(), 1u);
+  EXPECT_EQ(heap.certain()[0].id, 0);
+}
+
+// Parameterized randomized soundness sweep over cache sizes.
+class SinglePeerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SinglePeerPropertyTest, CertifiedObjectsAreExactRankPrefix) {
+  const int cache_size = GetParam();
+  Rng rng(1000 + cache_size);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Poi> pois = RandomPois(static_cast<int>(rng.UniformInt(5, 60)), &rng, 1000);
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    Vec2 p{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    CachedResult peer = MakePeerCache(pois, p, cache_size);
+    CandidateHeap heap(cache_size);
+    VerifySinglePeer(q, peer, &heap);
+    ExpectExactRankPrefix(heap, pois, q, "single-peer sweep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, SinglePeerPropertyTest, ::testing::Values(1, 2, 5, 10));
+
+TEST(SinglePeerTest, MultiplePeersAccumulateIntoPrefix) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Poi> pois = RandomPois(40, &rng, 500);
+    Vec2 q{rng.Uniform(100, 400), rng.Uniform(100, 400)};
+    CandidateHeap heap(8);
+    for (int peer = 0; peer < 5; ++peer) {
+      Vec2 p{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+      CachedResult cache = MakePeerCache(pois, p, 8);
+      VerifySinglePeer(q, cache, &heap);
+    }
+    ExpectExactRankPrefix(heap, pois, q, "accumulated");
+  }
+}
+
+class MultiPeerPropertyTest : public ::testing::TestWithParam<CoverageBackend> {};
+
+TEST_P(MultiPeerPropertyTest, CertifiedObjectsAreExactRankPrefix) {
+  Rng rng(4);
+  MultiPeerOptions options;
+  options.backend = GetParam();
+  for (int trial = 0; trial < 80; ++trial) {
+    std::vector<Poi> pois = RandomPois(40, &rng, 500);
+    Vec2 q{rng.Uniform(100, 400), rng.Uniform(100, 400)};
+    std::vector<CachedResult> caches;
+    for (int peer = 0; peer < 4; ++peer) {
+      caches.push_back(MakePeerCache(
+          pois, {rng.Uniform(0, 500), rng.Uniform(0, 500)}, 6));
+    }
+    std::vector<const CachedResult*> peers;
+    for (const CachedResult& c : caches) peers.push_back(&c);
+    CandidateHeap heap(6);
+    VerifyMultiPeer(q, peers, &heap, options);
+    ExpectExactRankPrefix(heap, pois, q, "multi-peer sweep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MultiPeerPropertyTest,
+                         ::testing::Values(CoverageBackend::kExactDisk,
+                                           CoverageBackend::kPolygonized));
+
+TEST(MultiPeerTest, UnionCertifiesWhatNoSinglePeerCan) {
+  // Figure 7 scenario: a POI verified only by the merged region of two
+  // peers. Count such cases across random trials — they must occur.
+  Rng rng(5);
+  int multi_wins = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Poi> pois = RandomPois(30, &rng, 400);
+    Vec2 q{rng.Uniform(100, 300), rng.Uniform(100, 300)};
+    std::vector<CachedResult> caches;
+    for (int peer = 0; peer < 4; ++peer) {
+      // Peers close to Q so their disks overlap around it.
+      caches.push_back(MakePeerCache(
+          pois, {q.x + rng.Uniform(-60, 60), q.y + rng.Uniform(-60, 60)}, 6));
+    }
+    std::vector<const CachedResult*> peers;
+    for (const CachedResult& c : caches) peers.push_back(&c);
+    CandidateHeap single_heap(6), multi_heap(6);
+    for (const CachedResult* p : peers) VerifySinglePeer(q, *p, &single_heap);
+    VerifyMultiPeer(q, peers, &multi_heap);
+    EXPECT_GE(multi_heap.certain().size(), single_heap.certain().size())
+        << "multi-peer certified fewer than single-peer at trial " << trial;
+    if (multi_heap.certain().size() > single_heap.certain().size()) ++multi_wins;
+  }
+  EXPECT_GT(multi_wins, 10);
+}
+
+TEST(MultiPeerTest, NoPeersCertifiesNothing) {
+  CandidateHeap heap(3);
+  VerifyStats stats = VerifyMultiPeer({0, 0}, {}, &heap);
+  EXPECT_EQ(stats.candidates, 0);
+  EXPECT_EQ(heap.state(), HeapState::kEmpty);
+}
+
+TEST(MultiPeerTest, DeduplicatesSharedPois) {
+  Rng rng(6);
+  std::vector<Poi> pois = RandomPois(10, &rng, 100);
+  Vec2 q{50, 50};
+  // Two peers at the same location: identical caches.
+  CachedResult a = MakePeerCache(pois, {48, 50}, 5);
+  CachedResult b = MakePeerCache(pois, {48, 50}, 5);
+  CandidateHeap heap(5);
+  VerifyStats stats = VerifyMultiPeer(q, {&a, &b}, &heap);
+  EXPECT_EQ(stats.candidates, 5);  // not 10
+}
+
+TEST(MultiPeerTest, PolygonizedNeverExceedsExact) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Poi> pois = RandomPois(30, &rng, 400);
+    Vec2 q{rng.Uniform(100, 300), rng.Uniform(100, 300)};
+    std::vector<CachedResult> caches;
+    for (int peer = 0; peer < 3; ++peer) {
+      caches.push_back(MakePeerCache(
+          pois, {q.x + rng.Uniform(-80, 80), q.y + rng.Uniform(-80, 80)}, 6));
+    }
+    std::vector<const CachedResult*> peers;
+    for (const CachedResult& c : caches) peers.push_back(&c);
+    CandidateHeap exact_heap(6), poly_heap(6);
+    MultiPeerOptions exact;
+    exact.backend = CoverageBackend::kExactDisk;
+    VerifyMultiPeer(q, peers, &exact_heap, exact);
+    MultiPeerOptions poly;
+    poly.backend = CoverageBackend::kPolygonized;
+    VerifyMultiPeer(q, peers, &poly_heap, poly);
+    EXPECT_LE(poly_heap.certain().size(), exact_heap.certain().size()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -1,0 +1,138 @@
+#include "src/geom/angular.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace senn::geom {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+TEST(AngularTest, EmptySet) {
+  AngularIntervalSet s;
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_FALSE(s.CoversFullCircle());
+  EXPECT_DOUBLE_EQ(s.Measure(), 0.0);
+}
+
+TEST(AngularTest, SingleArcMeasure) {
+  AngularIntervalSet s;
+  s.AddArc(0.5, 1.5);
+  EXPECT_FALSE(s.IsEmpty());
+  EXPECT_FALSE(s.CoversFullCircle());
+  EXPECT_NEAR(s.Measure(), 1.0, 1e-12);
+}
+
+TEST(AngularTest, WrappingArcSplits) {
+  AngularIntervalSet s;
+  s.AddArc(kTwoPi - 0.3, kTwoPi + 0.4);  // wraps across 0
+  EXPECT_NEAR(s.Measure(), 0.7, 1e-12);
+  auto ivs = s.Intervals();
+  ASSERT_EQ(ivs.size(), 2u);
+}
+
+TEST(AngularTest, NegativeAnglesNormalize) {
+  AngularIntervalSet s;
+  s.AddArc(-0.5, 0.5);
+  EXPECT_NEAR(s.Measure(), 1.0, 1e-12);
+}
+
+TEST(AngularTest, OverlappingArcsMerge) {
+  AngularIntervalSet s;
+  s.AddArc(0.0, 1.0);
+  s.AddArc(0.5, 2.0);
+  EXPECT_NEAR(s.Measure(), 2.0, 1e-12);
+  EXPECT_EQ(s.Intervals(1e-12).size(), 1u);
+}
+
+TEST(AngularTest, FullCoverageFromPieces) {
+  AngularIntervalSet s;
+  s.AddArc(0.0, 2.5);
+  s.AddArc(2.4, 5.0);
+  s.AddArc(4.9, kTwoPi);
+  EXPECT_TRUE(s.CoversFullCircle());
+}
+
+TEST(AngularTest, GapDetected) {
+  AngularIntervalSet s;
+  s.AddArc(0.0, 3.0);
+  s.AddArc(3.1, kTwoPi);
+  EXPECT_FALSE(s.CoversFullCircle(1e-6));
+  EXPECT_TRUE(s.CoversFullCircle(0.2));  // tolerance above the gap width
+}
+
+TEST(AngularTest, AddFull) {
+  AngularIntervalSet s;
+  s.AddFull();
+  EXPECT_TRUE(s.CoversFullCircle());
+  EXPECT_NEAR(s.Measure(), kTwoPi, 1e-12);
+}
+
+TEST(AngularTest, CenteredArcWidth) {
+  AngularIntervalSet s;
+  s.AddCenteredArc(1.0, 0.25);
+  EXPECT_NEAR(s.Measure(), 0.5, 1e-12);
+}
+
+TEST(AngularTest, CenteredArcHalfWidthPiIsFull) {
+  AngularIntervalSet s;
+  s.AddCenteredArc(2.0, M_PI);
+  EXPECT_TRUE(s.CoversFullCircle());
+}
+
+TEST(AngularTest, CenteredArcNonPositiveWidthIsEmpty) {
+  AngularIntervalSet s;
+  s.AddCenteredArc(2.0, 0.0);
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(AngularTest, ComplementOfArc) {
+  AngularIntervalSet s;
+  s.AddArc(1.0, 2.0);
+  AngularIntervalSet c = s.Complement();
+  EXPECT_NEAR(c.Measure(), kTwoPi - 1.0, 1e-12);
+  // Complement of the complement restores the measure.
+  EXPECT_NEAR(c.Complement().Measure(), 1.0, 1e-12);
+}
+
+TEST(AngularTest, ComplementOfEmptyIsFull) {
+  AngularIntervalSet s;
+  EXPECT_TRUE(s.Complement().CoversFullCircle());
+}
+
+TEST(AngularTest, SubtractRemovesCoveredPart) {
+  AngularIntervalSet s, hole;
+  s.AddArc(0.0, 3.0);
+  hole.AddArc(1.0, 2.0);
+  AngularIntervalSet diff = s.Subtract(hole);
+  EXPECT_NEAR(diff.Measure(), 2.0, 1e-12);
+  AngularIntervalSet all;
+  all.AddFull();
+  EXPECT_TRUE(s.Subtract(all).IsEmpty());
+}
+
+TEST(AngularTest, SubtractWithWrappingHole) {
+  AngularIntervalSet s, hole;
+  s.AddFull();
+  hole.AddArc(-0.5, 0.5);  // wraps
+  AngularIntervalSet diff = s.Subtract(hole);
+  EXPECT_NEAR(diff.Measure(), kTwoPi - 1.0, 1e-9);
+}
+
+TEST(AngularTest, SubtractDisjointLeavesUnchanged) {
+  AngularIntervalSet s, hole;
+  s.AddArc(0.0, 1.0);
+  hole.AddArc(2.0, 3.0);
+  EXPECT_NEAR(s.Subtract(hole).Measure(), 1.0, 1e-12);
+}
+
+TEST(AngularTest, MeasureIsCappedAtFullCircle) {
+  AngularIntervalSet s;
+  s.AddArc(0.0, 4.0);
+  s.AddArc(3.0, kTwoPi);
+  EXPECT_NEAR(s.Measure(), kTwoPi, 1e-12);
+}
+
+}  // namespace
+}  // namespace senn::geom

@@ -1,0 +1,71 @@
+#include "src/geom/circle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace senn::geom {
+namespace {
+
+TEST(CircleTest, ContainsPoint) {
+  Circle c({1, 1}, 2.0);
+  EXPECT_TRUE(c.Contains({1, 1}));
+  EXPECT_TRUE(c.Contains({3, 1}));   // boundary (closed disk)
+  EXPECT_FALSE(c.Contains({3.1, 1}));
+  EXPECT_TRUE(c.Contains({3.05, 1}, 0.1));  // with tolerance
+}
+
+TEST(CircleTest, ZeroRadiusIsAPoint) {
+  Circle c({5, 5}, 0.0);
+  EXPECT_TRUE(c.Contains({5, 5}));
+  EXPECT_FALSE(c.Contains({5, 5.001}));
+}
+
+TEST(CircleTest, ContainsCircle) {
+  Circle big({0, 0}, 5.0);
+  EXPECT_TRUE(big.ContainsCircle(Circle({1, 1}, 2.0)));
+  EXPECT_TRUE(big.ContainsCircle(Circle({3, 0}, 2.0)));   // inner tangency
+  EXPECT_FALSE(big.ContainsCircle(Circle({4, 0}, 2.0)));  // pokes out
+  EXPECT_FALSE(big.ContainsCircle(Circle({10, 0}, 1.0)));
+  // A circle contains itself.
+  EXPECT_TRUE(big.ContainsCircle(big));
+}
+
+TEST(CircleTest, Intersects) {
+  Circle a({0, 0}, 2.0);
+  EXPECT_TRUE(a.Intersects(Circle({3, 0}, 1.5)));
+  EXPECT_TRUE(a.Intersects(Circle({3.5, 0}, 1.5)));  // external tangency
+  EXPECT_FALSE(a.Intersects(Circle({4, 0}, 1.5)));
+  EXPECT_TRUE(a.Intersects(Circle({0.5, 0}, 0.1)));  // containment intersects
+}
+
+TEST(CircleTest, PointAtLiesOnBoundary) {
+  Circle c({2, -3}, 4.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    double angle = rng.Uniform(0, 2 * M_PI);
+    Vec2 p = c.PointAt(angle);
+    EXPECT_NEAR(Dist(p, c.center), 4.0, 1e-12);
+  }
+  EXPECT_NEAR(c.PointAt(0.0).x, 6.0, 1e-12);
+  EXPECT_NEAR(c.PointAt(M_PI / 2).y, 1.0, 1e-12);
+}
+
+TEST(CircleTest, ContainsCircleTransitivity) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    Circle a({rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, rng.Uniform(3, 6));
+    Circle b({a.center.x + rng.Uniform(-1, 1), a.center.y + rng.Uniform(-1, 1)},
+             rng.Uniform(1, 2));
+    Circle c({b.center.x + rng.Uniform(-0.3, 0.3), b.center.y + rng.Uniform(-0.3, 0.3)},
+             rng.Uniform(0.1, 0.5));
+    if (a.ContainsCircle(b) && b.ContainsCircle(c)) {
+      EXPECT_TRUE(a.ContainsCircle(c, 1e-12));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace senn::geom

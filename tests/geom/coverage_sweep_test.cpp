@@ -1,0 +1,99 @@
+// Parameterized property sweeps over the coverage machinery: exact vs
+// sampled vs polygonized verdicts across cover sizes, and the radius
+// monotonicity the kNN_multiple prefix argument relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/geom/disk_cover.h"
+#include "src/geom/region.h"
+
+namespace senn::geom {
+namespace {
+
+bool SampledCovered(const Circle& subject, const std::vector<Circle>& cover, int rings = 40,
+                    int spokes = 80) {
+  for (int i = 0; i <= rings; ++i) {
+    double r = subject.radius * i / rings;
+    int n = (i == 0) ? 1 : spokes;
+    for (int j = 0; j < n; ++j) {
+      double a = 2.0 * M_PI * j / n;
+      Vec2 p = subject.center + Vec2{r * std::cos(a), r * std::sin(a)};
+      bool inside = false;
+      for (const Circle& c : cover) inside |= c.Contains(p, 1e-9);
+      if (!inside) return false;
+    }
+  }
+  return true;
+}
+
+class CoverSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverSizeSweep, ExactTestAgreesWithMarginOracle) {
+  const int m = GetParam();
+  Rng rng(5000 + m);
+  const double margin = 2e-2;
+  int robust = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Circle subject({0, 0}, rng.Uniform(0.3, 1.2));
+    std::vector<Circle> cover, shrunk, inflated;
+    for (int i = 0; i < m; ++i) {
+      Circle c({rng.Uniform(-1.2, 1.2), rng.Uniform(-1.2, 1.2)}, rng.Uniform(0.2, 1.4));
+      cover.push_back(c);
+      shrunk.push_back(Circle(c.center, std::max(0.0, c.radius - margin)));
+      inflated.push_back(Circle(c.center, c.radius + margin));
+    }
+    bool analytic = DiskCoveredByUnion(subject, cover);
+    if (SampledCovered(subject, shrunk)) {
+      ++robust;
+      EXPECT_TRUE(analytic) << "m=" << m << " trial=" << trial;
+    } else if (!SampledCovered(subject, inflated)) {
+      ++robust;
+      EXPECT_FALSE(analytic) << "m=" << m << " trial=" << trial;
+    }
+  }
+  EXPECT_GT(robust, 40);  // the sweep exercises decisive cases
+}
+
+TEST_P(CoverSizeSweep, CoverageIsMonotoneInRadius) {
+  // If disk(Q, r2) is covered then disk(Q, r1) is covered for r1 < r2 —
+  // the property that makes the certified candidates a prefix.
+  const int m = GetParam();
+  Rng rng(6000 + m);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Circle> cover;
+    for (int i = 0; i < m; ++i) {
+      cover.push_back(Circle({rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                             rng.Uniform(0.3, 1.5)));
+    }
+    Vec2 q{rng.Uniform(-0.5, 0.5), rng.Uniform(-0.5, 0.5)};
+    double r2 = rng.Uniform(0.2, 1.2);
+    if (!DiskCoveredByUnion(Circle(q, r2), cover)) continue;
+    for (double f : {0.25, 0.5, 0.75, 0.95}) {
+      EXPECT_TRUE(DiskCoveredByUnion(Circle(q, r2 * f), cover))
+          << "m=" << m << " trial=" << trial << " f=" << f;
+    }
+  }
+}
+
+TEST_P(CoverSizeSweep, PolygonizedOneSidedAtEveryCoverSize) {
+  const int m = GetParam();
+  Rng rng(7000 + m);
+  for (int trial = 0; trial < 100; ++trial) {
+    Circle subject({0, 0}, rng.Uniform(0.3, 1.0));
+    std::vector<Circle> cover;
+    for (int i = 0; i < m; ++i) {
+      cover.push_back(Circle({rng.Uniform(-0.8, 0.8), rng.Uniform(-0.8, 0.8)},
+                             rng.Uniform(0.4, 1.4)));
+    }
+    if (PolygonizedDiskCoveredByUnion(subject, cover, {.sides = 24})) {
+      EXPECT_TRUE(DiskCoveredByUnion(subject, cover)) << "m=" << m << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoverSizes, CoverSizeSweep, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace senn::geom

@@ -1,0 +1,102 @@
+#include "src/geom/mbr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace senn::geom {
+namespace {
+
+TEST(MbrTest, EmptyBehaviour) {
+  Mbr m = Mbr::Empty();
+  EXPECT_TRUE(m.IsEmpty());
+  EXPECT_DOUBLE_EQ(m.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 0.0);
+}
+
+TEST(MbrTest, ExpandPoint) {
+  Mbr m = Mbr::Empty();
+  m.Expand({1, 2});
+  EXPECT_FALSE(m.IsEmpty());
+  EXPECT_TRUE(m.Contains({1, 2}));
+  EXPECT_DOUBLE_EQ(m.Area(), 0.0);
+  m.Expand({3, 5});
+  EXPECT_DOUBLE_EQ(m.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(m.Margin(), 5.0);
+}
+
+TEST(MbrTest, ExpandMbrAndContainment) {
+  Mbr a{{0, 0}, {2, 2}};
+  Mbr b{{1, 1}, {4, 3}};
+  Mbr merged = a;
+  merged.Expand(b);
+  EXPECT_TRUE(merged.ContainsMbr(a));
+  EXPECT_TRUE(merged.ContainsMbr(b));
+  EXPECT_DOUBLE_EQ(merged.Area(), 12.0);
+}
+
+TEST(MbrTest, OverlapArea) {
+  Mbr a{{0, 0}, {2, 2}};
+  Mbr b{{1, 1}, {3, 3}};
+  Mbr c{{5, 5}, {6, 6}};
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(MbrTest, TouchingRectanglesIntersectWithZeroOverlap) {
+  Mbr a{{0, 0}, {1, 1}};
+  Mbr b{{1, 0}, {2, 1}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 0.0);
+}
+
+TEST(MbrTest, Enlargement) {
+  Mbr a{{0, 0}, {2, 2}};
+  Mbr b{{3, 0}, {4, 2}};
+  // Merged covers [0,4]x[0,2]: area 8, so enlargement over a (area 4) is 4.
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 4.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(MbrTest, MinDistInsideIsZero) {
+  Mbr m{{0, 0}, {4, 4}};
+  EXPECT_DOUBLE_EQ(m.MinDist({2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(m.MinDist({0, 0}), 0.0);  // boundary counts as inside
+}
+
+TEST(MbrTest, MinDistOutside) {
+  Mbr m{{0, 0}, {4, 4}};
+  EXPECT_DOUBLE_EQ(m.MinDist({7, 8}), 5.0);   // corner distance
+  EXPECT_DOUBLE_EQ(m.MinDist({-3, 2}), 3.0);  // edge distance
+}
+
+TEST(MbrTest, MaxDistIsFarthestCorner) {
+  Mbr m{{0, 0}, {4, 4}};
+  EXPECT_DOUBLE_EQ(m.MaxDist({0, 0}), std::sqrt(32.0));
+  EXPECT_DOUBLE_EQ(m.MaxDist({2, 2}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(m.MaxDist({-3, 0}), std::sqrt(49.0 + 16.0));
+}
+
+// Property: for random query points and rectangles, MINDIST <= distance to
+// any contained point <= MAXDIST.
+TEST(MbrTest, MinMaxDistBracketContainedPoints) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec2 a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Vec2 b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    Mbr m = Mbr::OfPoint(a);
+    m.Expand(b);
+    Vec2 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    for (int i = 0; i < 20; ++i) {
+      Vec2 p{rng.Uniform(m.lo.x, m.hi.x), rng.Uniform(m.lo.y, m.hi.y)};
+      double d = Dist(q, p);
+      EXPECT_LE(m.MinDist(q), d + 1e-9);
+      EXPECT_GE(m.MaxDist(q), d - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace senn::geom

@@ -1,0 +1,112 @@
+#include "src/geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace senn::geom {
+namespace {
+
+TEST(PolygonTest, SquareArea) {
+  ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_DOUBLE_EQ(sq.Area(), 4.0);
+}
+
+TEST(PolygonTest, EmptyPolygon) {
+  ConvexPolygon p;
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_DOUBLE_EQ(p.Area(), 0.0);
+  EXPECT_FALSE(p.Contains({0, 0}));
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  ConvexPolygon tri({{0, 0}, {4, 0}, {0, 4}});
+  EXPECT_TRUE(tri.Contains({1, 1}));
+  EXPECT_TRUE(tri.Contains({2, 0}));   // edge
+  EXPECT_TRUE(tri.Contains({0, 0}));   // vertex
+  EXPECT_FALSE(tri.Contains({3, 3}));  // beyond hypotenuse
+  EXPECT_FALSE(tri.Contains({-1, 0}));
+}
+
+TEST(PolygonTest, InscribedPolygonVerticesOnCircle) {
+  Circle c({1, 2}, 3.0);
+  ConvexPolygon p = ConvexPolygon::InscribedInCircle(c, 16);
+  ASSERT_EQ(p.vertices().size(), 16u);
+  for (Vec2 v : p.vertices()) EXPECT_NEAR(Dist(v, c.center), 3.0, 1e-12);
+  // Inscribed area is below the disk area and converges to it.
+  EXPECT_LT(p.Area(), M_PI * 9.0);
+  EXPECT_GT(p.Area(), 0.95 * M_PI * 9.0);
+}
+
+TEST(PolygonTest, InscribedAreaFormula) {
+  // Area of a regular m-gon inscribed in radius r: (m/2) r^2 sin(2 pi / m).
+  Circle c({0, 0}, 2.0);
+  for (int m : {3, 4, 6, 12, 64}) {
+    ConvexPolygon p = ConvexPolygon::InscribedInCircle(c, m);
+    double expected = 0.5 * m * 4.0 * std::sin(2.0 * M_PI / m);
+    EXPECT_NEAR(p.Area(), expected, 1e-9) << "m=" << m;
+  }
+}
+
+TEST(PolygonTest, CircumscribedContainsCircle) {
+  Circle c({-1, 4}, 2.0);
+  ConvexPolygon p = ConvexPolygon::CircumscribedAboutCircle(c, 12);
+  // Every boundary point of the circle lies inside the polygon.
+  for (int i = 0; i < 360; ++i) {
+    EXPECT_TRUE(p.Contains(c.PointAt(i * M_PI / 180.0), 1e-9)) << i;
+  }
+  // And the polygon area exceeds the disk area (but not by much for m=12).
+  EXPECT_GT(p.Area(), M_PI * 4.0);
+  EXPECT_LT(p.Area(), 1.1 * M_PI * 4.0);
+}
+
+TEST(PolygonTest, InscribedInsideCircumscribed) {
+  Circle c({0, 0}, 1.0);
+  ConvexPolygon in = ConvexPolygon::InscribedInCircle(c, 8);
+  ConvexPolygon out = ConvexPolygon::CircumscribedAboutCircle(c, 8);
+  for (Vec2 v : in.vertices()) EXPECT_TRUE(out.Contains(v, 1e-9));
+}
+
+TEST(PolygonTest, ClipKeepsInsidePart) {
+  ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  // Half-plane x <= 1: inside is left of the upward line through (1,0)-(1,2)?
+  // The inside of a->b is to the left; a=(1,-1), b=(1,3) has inside x < 1.
+  ConvexPolygon clipped = sq.ClipToHalfPlane({{1, -1}, {1, 3}});
+  EXPECT_NEAR(clipped.Area(), 2.0, 1e-12);
+  EXPECT_TRUE(clipped.Contains({0.5, 1.0}));
+  EXPECT_FALSE(clipped.Contains({1.5, 1.0}));
+}
+
+TEST(PolygonTest, ClipEntirelyInside) {
+  ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  ConvexPolygon clipped = sq.ClipToHalfPlane({{-10, -10}, {10, -10}});
+  EXPECT_NEAR(clipped.Area(), 4.0, 1e-12);
+}
+
+TEST(PolygonTest, ClipEntirelyOutsideIsEmpty) {
+  ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  // Inside of a->b is to the left: for a=(-10,10), b=(10,10) that is y > 10.
+  ConvexPolygon clipped = sq.ClipToHalfPlane({{-10, 10}, {10, 10}});
+  EXPECT_TRUE(clipped.IsEmpty());
+}
+
+TEST(PolygonTest, EdgeHalfPlanesDescribePolygon) {
+  ConvexPolygon tri({{0, 0}, {4, 0}, {0, 4}});
+  auto edges = tri.EdgeHalfPlanes();
+  ASSERT_EQ(edges.size(), 3u);
+  Vec2 inside{1, 1}, outside{5, 5};
+  for (const HalfPlane& hp : edges) EXPECT_GE(hp.Side(inside), 0.0);
+  bool excluded = false;
+  for (const HalfPlane& hp : edges) excluded |= hp.Side(outside) < 0.0;
+  EXPECT_TRUE(excluded);
+}
+
+TEST(HalfPlaneTest, SideSign) {
+  HalfPlane hp{{0, 0}, {1, 0}};  // inside is y > 0
+  EXPECT_GT(hp.Side({0, 1}), 0.0);
+  EXPECT_LT(hp.Side({0, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(hp.Side({5, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace senn::geom

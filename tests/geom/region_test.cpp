@@ -1,0 +1,140 @@
+#include "src/geom/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/geom/disk_cover.h"
+
+namespace senn::geom {
+namespace {
+
+TEST(RegionTest, StartsWithOnePiece) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.PieceCount(), 1u);
+  EXPECT_DOUBLE_EQ(r.Area(), 4.0);
+}
+
+TEST(RegionTest, SubtractDisjointKeepsArea) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  r.SubtractConvex(ConvexPolygon({{5, 5}, {6, 5}, {6, 6}, {5, 6}}));
+  EXPECT_NEAR(r.Area(), 4.0, 1e-9);
+}
+
+TEST(RegionTest, SubtractContainingEmpties) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  r.SubtractConvex(ConvexPolygon({{-1, -1}, {3, -1}, {3, 3}, {-1, 3}}));
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+}
+
+TEST(RegionTest, SubtractOverlapAreaArithmetic) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  // Remove the unit square overlapping the top-right corner.
+  r.SubtractConvex(ConvexPolygon({{1, 1}, {3, 1}, {3, 3}, {1, 3}}));
+  EXPECT_NEAR(r.Area(), 3.0, 1e-9);
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(RegionTest, SubtractCenterLeavesFrame) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+  r.SubtractConvex(ConvexPolygon({{1, 1}, {3, 1}, {3, 3}, {1, 3}}));
+  EXPECT_NEAR(r.Area(), 12.0, 1e-9);
+  EXPECT_GE(r.PieceCount(), 4u);  // a frame cannot be one convex piece
+}
+
+TEST(RegionTest, SequentialSubtractionsAccumulate) {
+  ConvexPieceRegion r(ConvexPolygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+  r.SubtractConvex(ConvexPolygon({{0, 0}, {2, 0}, {2, 4}, {0, 4}}));  // left half
+  EXPECT_NEAR(r.Area(), 8.0, 1e-9);
+  r.SubtractConvex(ConvexPolygon({{2, 0}, {4, 0}, {4, 2}, {2, 2}}));  // bottom right
+  EXPECT_NEAR(r.Area(), 4.0, 1e-9);
+  r.SubtractConvex(ConvexPolygon({{2, 2}, {4, 2}, {4, 4}, {2, 4}}));  // rest
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+TEST(PolygonizedCoverTest, SingleBigDiskCovers) {
+  Circle subject({0, 0}, 1.0);
+  EXPECT_TRUE(PolygonizedDiskCoveredByUnion(subject, {Circle({0, 0}, 2.0)}));
+}
+
+TEST(PolygonizedCoverTest, ConservativeNearExactContainment) {
+  // Exact containment boundary: the polygonized test must NOT claim coverage
+  // (inscribed cover polygon is strictly inside the cover disk).
+  Circle subject({0.5, 0}, 1.0);
+  EXPECT_FALSE(PolygonizedDiskCoveredByUnion(subject, {Circle({0, 0}, 1.5)},
+                                             {.sides = 16, .min_area = 1e-9}));
+  // With slack it passes even at modest resolution.
+  EXPECT_TRUE(PolygonizedDiskCoveredByUnion(subject, {Circle({0, 0}, 1.6)},
+                                            {.sides = 32, .min_area = 1e-9}));
+}
+
+TEST(PolygonizedCoverTest, PointSubjectUsesExactMembership) {
+  EXPECT_TRUE(PolygonizedDiskCoveredByUnion(Circle({1, 1}, 0.0), {Circle({1, 1.5}, 1.0)}));
+  EXPECT_FALSE(PolygonizedDiskCoveredByUnion(Circle({1, 1}, 0.0), {Circle({9, 9}, 1.0)}));
+}
+
+TEST(PolygonizedCoverTest, DetectsCenterHole) {
+  Circle subject({0, 0}, 1.0);
+  std::vector<Circle> cover;
+  for (int i = 0; i < 3; ++i) {
+    double a = 2.0 * M_PI * i / 3;
+    cover.push_back(Circle({1.2 * std::cos(a), 1.2 * std::sin(a)}, 1.15));
+  }
+  EXPECT_FALSE(PolygonizedDiskCoveredByUnion(subject, cover));
+}
+
+// One-sided-error property: whenever the polygonized test reports covered,
+// the exact disk test agrees.
+TEST(PolygonizedCoverTest, NeverFalselyCertifies) {
+  Rng rng(777);
+  int polygon_yes = 0, exact_yes = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Circle subject({0, 0}, rng.Uniform(0.3, 1.2));
+    int m = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<Circle> cover;
+    for (int i = 0; i < m; ++i) {
+      cover.push_back(Circle({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)},
+                             rng.Uniform(0.3, 1.6)));
+    }
+    bool poly = PolygonizedDiskCoveredByUnion(subject, cover, {.sides = 24});
+    bool exact = DiskCoveredByUnion(subject, cover);
+    polygon_yes += poly;
+    exact_yes += exact;
+    if (poly) {
+      EXPECT_TRUE(exact) << "polygonized test over-certified, trial " << trial;
+    }
+  }
+  // The approximation should usually agree with the exact test.
+  EXPECT_GT(polygon_yes, 0);
+  EXPECT_GE(exact_yes, polygon_yes);
+  EXPECT_LT(exact_yes - polygon_yes, 40);
+}
+
+TEST(PolygonizedCoverTest, HigherResolutionCertifiesMore) {
+  Rng rng(888);
+  int low_yes = 0, high_yes = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Circle subject({0, 0}, rng.Uniform(0.3, 1.2));
+    std::vector<Circle> cover;
+    for (int i = 0; i < 3; ++i) {
+      cover.push_back(Circle({rng.Uniform(-0.8, 0.8), rng.Uniform(-0.8, 0.8)},
+                             rng.Uniform(0.5, 1.8)));
+    }
+    bool low = PolygonizedDiskCoveredByUnion(subject, cover, {.sides = 6});
+    bool high = PolygonizedDiskCoveredByUnion(subject, cover, {.sides = 64});
+    low_yes += low;
+    high_yes += high;
+    // Monotonicity is not guaranteed per-instance by the construction, but a
+    // low-res "yes" is still a conservative certificate of true coverage.
+    if (low) {
+      EXPECT_TRUE(DiskCoveredByUnion(subject, cover));
+    }
+  }
+  EXPECT_GE(high_yes, low_yes);
+}
+
+}  // namespace
+}  // namespace senn::geom

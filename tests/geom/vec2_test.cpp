@@ -1,0 +1,60 @@
+#include "src/geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace senn::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -0.5}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -2.0);
+  // Cross is positive when b is CCW from a.
+  EXPECT_GT((Vec2{1, 0}).Cross(Vec2{0, 1}), 0.0);
+}
+
+TEST(Vec2Test, Norms) {
+  Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  Vec2 unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(unit.x, 0.6, 1e-15);
+}
+
+TEST(Vec2Test, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.Normalized(), Vec2{});
+}
+
+TEST(Vec2Test, AngleQuadrants) {
+  EXPECT_NEAR((Vec2{1, 0}).Angle(), 0.0, 1e-15);
+  EXPECT_NEAR((Vec2{0, 1}).Angle(), M_PI / 2, 1e-15);
+  EXPECT_NEAR((Vec2{-1, 0}).Angle(), M_PI, 1e-15);
+  EXPECT_NEAR((Vec2{0, -1}).Angle(), -M_PI / 2, 1e-15);
+}
+
+TEST(Vec2Test, PerpIsCcwRotation) {
+  Vec2 v{2.0, 1.0};
+  Vec2 p = v.Perp();
+  EXPECT_DOUBLE_EQ(v.Dot(p), 0.0);
+  EXPECT_GT(v.Cross(p), 0.0);
+}
+
+TEST(Vec2Test, DistanceHelpers) {
+  Vec2 a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(Dist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Dist2(a, b), 25.0);
+}
+
+}  // namespace
+}  // namespace senn::geom

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/mobility/mover.h"
+#include "src/mobility/road_mover.h"
+#include "src/mobility/waypoint.h"
+#include "src/roadnet/generator.h"
+#include "src/roadnet/locate.h"
+
+namespace senn::mobility {
+namespace {
+
+TEST(StationaryMoverTest, NeverMoves) {
+  Rng rng(1);
+  StationaryMover m({10, 20});
+  for (int i = 0; i < 100; ++i) m.Advance(5.0, &rng);
+  EXPECT_EQ(m.position(), (geom::Vec2{10, 20}));
+  EXPECT_DOUBLE_EQ(m.current_speed(), 0.0);
+}
+
+TEST(WaypointMoverTest, StaysInsideArea) {
+  Rng rng(2);
+  WaypointConfig cfg;
+  cfg.area_side_m = 1000;
+  cfg.speed_mps = 20;
+  cfg.mean_pause_s = 5;
+  WaypointMover m(cfg, {500, 500}, &rng);
+  for (int i = 0; i < 5000; ++i) {
+    m.Advance(1.0, &rng);
+    geom::Vec2 p = m.position();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.x, 1000.0);
+    EXPECT_LE(p.y, 1000.0);
+  }
+}
+
+TEST(WaypointMoverTest, SpeedBoundRespected) {
+  Rng rng(3);
+  WaypointConfig cfg;
+  cfg.area_side_m = 1000;
+  cfg.speed_mps = 15;
+  cfg.mean_pause_s = 2;
+  WaypointMover m(cfg, {0, 0}, &rng);
+  geom::Vec2 prev = m.position();
+  for (int i = 0; i < 2000; ++i) {
+    m.Advance(1.0, &rng);
+    double moved = geom::Dist(prev, m.position());
+    EXPECT_LE(moved, 15.0 + 1e-9) << "step " << i;
+    prev = m.position();
+  }
+}
+
+TEST(WaypointMoverTest, EventuallyReachesWaypointsAndRepicks) {
+  Rng rng(4);
+  WaypointConfig cfg;
+  cfg.area_side_m = 200;
+  cfg.speed_mps = 50;
+  cfg.mean_pause_s = 1;
+  WaypointMover m(cfg, {100, 100}, &rng);
+  geom::Vec2 first_dest = m.destination();
+  bool changed = false;
+  for (int i = 0; i < 1000 && !changed; ++i) {
+    m.Advance(1.0, &rng);
+    changed = !(m.destination() == first_dest);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(WaypointMoverTest, CoversTheAreaOverTime) {
+  Rng rng(5);
+  WaypointConfig cfg;
+  cfg.area_side_m = 1000;
+  cfg.speed_mps = 30;
+  cfg.mean_pause_s = 1;
+  WaypointMover m(cfg, {0, 0}, &rng);
+  // Track quadrant visits: random waypoint should visit all four.
+  bool quadrant[4] = {false, false, false, false};
+  for (int i = 0; i < 20000; ++i) {
+    m.Advance(1.0, &rng);
+    geom::Vec2 p = m.position();
+    int qx = p.x < 500 ? 0 : 1;
+    int qy = p.y < 500 ? 0 : 1;
+    quadrant[qy * 2 + qx] = true;
+  }
+  EXPECT_TRUE(quadrant[0] && quadrant[1] && quadrant[2] && quadrant[3]);
+}
+
+class RoadMoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(6);
+    roadnet::RoadNetworkConfig cfg;
+    cfg.area_side_m = 2000;
+    cfg.block_spacing_m = 200;
+    graph_ = roadnet::GenerateRoadNetwork(cfg, &rng);
+    ASSERT_TRUE(graph_.IsConnected());
+    router_ = std::make_unique<roadnet::Router>(&graph_);
+  }
+
+  roadnet::Graph graph_;
+  std::unique_ptr<roadnet::Router> router_;
+};
+
+TEST_F(RoadMoverTest, StaysOnNetwork) {
+  Rng rng(7);
+  RoadMoverConfig cfg;
+  cfg.nominal_speed_mps = 20;
+  cfg.mean_pause_s = 3;
+  cfg.max_trip_m = 1500;
+  RoadMover m(cfg, &graph_, router_.get(), 0, &rng);
+  roadnet::EdgeLocator locator(&graph_, 200.0);
+  for (int i = 0; i < 2000; ++i) {
+    m.Advance(1.0, &rng);
+    double snap = 0;
+    locator.Nearest(m.position(), &snap);
+    EXPECT_LT(snap, 1e-6) << "left the network at step " << i;
+  }
+}
+
+TEST_F(RoadMoverTest, ScaledLimitsModelTracksRoadClass) {
+  // Default model: speed = class limit * nominal / 30 mph. With nominal
+  // 30 mph the host drives exactly the posted limit of its current segment.
+  Rng rng(8);
+  RoadMoverConfig cfg;
+  cfg.nominal_speed_mps = MphToMps(30.0);
+  cfg.mean_pause_s = 2;
+  double max_limit = roadnet::SpeedLimitMps(roadnet::RoadClass::kHighway);
+  bool saw_fast_road = false;
+  RoadMover m(cfg, &graph_, router_.get(), 3, &rng);
+  for (int i = 0; i < 3000; ++i) {
+    geom::Vec2 before = m.position();
+    m.Advance(1.0, &rng);
+    double moved = geom::Dist(before, m.position());
+    EXPECT_LE(moved, max_limit + 1e-6) << "step " << i;
+    double s = m.current_speed();
+    if (s > 0) {
+      EXPECT_NEAR(s, roadnet::SpeedLimitMps(m.current_road_class()), 1e-9);
+      saw_fast_road |= s > MphToMps(30.0) + 1e-9;
+    }
+  }
+  EXPECT_TRUE(saw_fast_road);  // the network has secondary roads/highways
+}
+
+TEST_F(RoadMoverTest, CappedModelNeverExceedsNominal) {
+  Rng rng(9);
+  RoadMoverConfig cfg;
+  cfg.nominal_speed_mps = MphToMps(10.0);
+  cfg.speed_model = SpeedModel::kCappedByNominal;
+  RoadMover m(cfg, &graph_, router_.get(), 5, &rng);
+  for (int i = 0; i < 500; ++i) {
+    m.Advance(1.0, &rng);
+    EXPECT_LE(m.current_speed(), MphToMps(10.0) + 1e-9);
+  }
+}
+
+TEST_F(RoadMoverTest, ScaledLimitsVelocityKnobScalesSpeed) {
+  // Doubling M_Velocity doubles the speed on every class.
+  Rng rng_a(10), rng_b(10);
+  RoadMoverConfig slow, fast;
+  slow.nominal_speed_mps = MphToMps(15.0);
+  fast.nominal_speed_mps = MphToMps(30.0);
+  RoadMover a(slow, &graph_, router_.get(), 2, &rng_a);
+  RoadMover b(fast, &graph_, router_.get(), 2, &rng_b);
+  for (int i = 0; i < 200; ++i) {
+    a.Advance(1.0, &rng_a);
+    b.Advance(1.0, &rng_b);
+    if (a.current_speed() > 0 && b.current_speed() > 0 &&
+        a.current_road_class() == b.current_road_class()) {
+      EXPECT_NEAR(b.current_speed(), 2.0 * a.current_speed(), 1e-9);
+    }
+  }
+}
+
+TEST_F(RoadMoverTest, MakesProgressAcrossTheMap) {
+  Rng rng(10);
+  RoadMoverConfig cfg;
+  cfg.nominal_speed_mps = 25;
+  cfg.mean_pause_s = 1;
+  cfg.max_trip_m = 4000;
+  RoadMover m(cfg, &graph_, router_.get(), 0, &rng);
+  geom::Vec2 start = m.position();
+  double max_excursion = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    m.Advance(1.0, &rng);
+    max_excursion = std::max(max_excursion, geom::Dist(start, m.position()));
+  }
+  EXPECT_GT(max_excursion, 500.0);
+}
+
+TEST_F(RoadMoverTest, DeterministicGivenSeeds) {
+  RoadMoverConfig cfg;
+  Rng rng_a(11), rng_b(11);
+  RoadMover a(cfg, &graph_, router_.get(), 2, &rng_a);
+  RoadMover b(cfg, &graph_, router_.get(), 2, &rng_b);
+  for (int i = 0; i < 500; ++i) {
+    a.Advance(1.0, &rng_a);
+    b.Advance(1.0, &rng_b);
+    ASSERT_EQ(a.position(), b.position()) << "diverged at step " << i;
+  }
+}
+
+TEST(RoadMoverSingleNodeTest, DegenerateGraphStaysPut) {
+  roadnet::Graph g;
+  g.AddNode({5, 5});
+  roadnet::Router router(&g);
+  Rng rng(12);
+  RoadMoverConfig cfg;
+  RoadMover m(cfg, &g, &router, 0, &rng);
+  for (int i = 0; i < 100; ++i) m.Advance(1.0, &rng);
+  EXPECT_EQ(m.position(), (geom::Vec2{5, 5}));
+}
+
+}  // namespace
+}  // namespace senn::mobility

@@ -1,0 +1,109 @@
+#include "src/roadnet/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace senn::roadnet {
+namespace {
+
+TEST(GeneratorTest, DefaultNetworkIsValidAndConnected) {
+  Rng rng(1);
+  Graph g = GenerateRoadNetwork(RoadNetworkConfig{}, &rng);
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate().ToString();
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_GT(g.node_count(), 100u);
+  EXPECT_GT(g.edge_count(), g.node_count());  // grid-like: E > V
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Rng rng_a(7), rng_b(7);
+  Graph a = GenerateRoadNetwork(RoadNetworkConfig{}, &rng_a);
+  Graph b = GenerateRoadNetwork(RoadNetworkConfig{}, &rng_b);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (size_t n = 0; n < a.node_count(); ++n) {
+    EXPECT_EQ(a.node_position(static_cast<NodeId>(n)),
+              b.node_position(static_cast<NodeId>(n)));
+  }
+}
+
+TEST(GeneratorTest, ContainsAllRoadClasses) {
+  Rng rng(2);
+  RoadNetworkConfig cfg;
+  cfg.diagonal_highways = 2;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  std::map<RoadClass, int> counts;
+  for (size_t e = 0; e < g.edge_count(); ++e) {
+    ++counts[g.edge(static_cast<EdgeId>(e)).road_class];
+  }
+  EXPECT_GT(counts[RoadClass::kHighway], 0);
+  EXPECT_GT(counts[RoadClass::kSecondary], 0);
+  EXPECT_GT(counts[RoadClass::kResidential], 0);
+  // Local streets dominate, as in real street networks.
+  EXPECT_GT(counts[RoadClass::kResidential], counts[RoadClass::kHighway]);
+}
+
+TEST(GeneratorTest, NodesStayInsideArea) {
+  Rng rng(3);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 5000;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  for (size_t n = 0; n < g.node_count(); ++n) {
+    geom::Vec2 p = g.node_position(static_cast<NodeId>(n));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.x, 5000.0);
+    EXPECT_LE(p.y, 5000.0);
+  }
+}
+
+TEST(GeneratorTest, RuralConfigUsesRuralClass) {
+  Rng rng(4);
+  RoadNetworkConfig cfg;
+  cfg.local_class = RoadClass::kRural;
+  cfg.block_spacing_m = 500;
+  cfg.removal_fraction = 0.3;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  EXPECT_TRUE(g.IsConnected());
+  int rural = 0;
+  for (size_t e = 0; e < g.edge_count(); ++e) {
+    rural += g.edge(static_cast<EdgeId>(e)).road_class == RoadClass::kRural;
+  }
+  EXPECT_GT(rural, 0);
+}
+
+TEST(GeneratorTest, HeavyRemovalStaysConnected) {
+  Rng rng(5);
+  RoadNetworkConfig cfg;
+  cfg.removal_fraction = 0.45;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GeneratorTest, LargeAreaScales) {
+  Rng rng(6);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = MilesToMeters(30.0);
+  cfg.block_spacing_m = 400.0;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_GT(g.node_count(), 10000u);
+}
+
+TEST(GeneratorTest, NoDiagonalHighwaysWhenDisabled) {
+  Rng rng(7);
+  RoadNetworkConfig cfg;
+  cfg.diagonal_highways = 0;
+  cfg.highway_every = 0;  // and no surface highways either
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  for (size_t e = 0; e < g.edge_count(); ++e) {
+    EXPECT_NE(g.edge(static_cast<EdgeId>(e)).road_class, RoadClass::kHighway);
+  }
+}
+
+}  // namespace
+}  // namespace senn::roadnet

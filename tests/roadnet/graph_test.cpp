@@ -1,0 +1,90 @@
+#include "src/roadnet/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace senn::roadnet {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({3, 4});
+  Result<EdgeId> e = g.AddEdge(a, b, RoadClass::kSecondary);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(*e).length, 5.0);
+  EXPECT_EQ(g.edge(*e).road_class, RoadClass::kSecondary);
+  EXPECT_EQ(g.edge(*e).OtherEnd(a), b);
+  EXPECT_EQ(g.edge(*e).OtherEnd(b), a);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  EXPECT_TRUE(g.AddEdge(a, a, RoadClass::kResidential).status().IsInvalidArgument());
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  EXPECT_FALSE(g.AddEdge(a, 7, RoadClass::kResidential).ok());
+  EXPECT_FALSE(g.AddEdge(-1, a, RoadClass::kResidential).ok());
+}
+
+TEST(GraphTest, AdjacencySymmetric) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  NodeId c = g.AddNode({0, 1});
+  ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(a, c, RoadClass::kResidential).ok());
+  EXPECT_EQ(g.incident_edges(a).size(), 2u);
+  EXPECT_EQ(g.incident_edges(b).size(), 1u);
+  EXPECT_EQ(g.incident_edges(c).size(), 1u);
+}
+
+TEST(GraphTest, PositionOfInterpolates) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({10, 0});
+  Result<EdgeId> e = g.AddEdge(a, b, RoadClass::kResidential);
+  ASSERT_TRUE(e.ok());
+  geom::Vec2 mid = g.PositionOf({*e, 5.0});
+  EXPECT_NEAR(mid.x, 5.0, 1e-12);
+  EXPECT_NEAR(mid.y, 0.0, 1e-12);
+  EXPECT_EQ(g.PositionOf({*e, 0.0}), g.node_position(a));
+  EXPECT_EQ(g.PositionOf({*e, 10.0}), g.node_position(b));
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  g.AddNode({5, 5});  // isolated
+  ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kResidential).ok());
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(GraphTest, SpeedLimitsOrdered) {
+  EXPECT_GT(SpeedLimitMps(RoadClass::kHighway), SpeedLimitMps(RoadClass::kSecondary));
+  EXPECT_GT(SpeedLimitMps(RoadClass::kSecondary), SpeedLimitMps(RoadClass::kResidential));
+  EXPECT_GT(SpeedLimitMps(RoadClass::kRural), SpeedLimitMps(RoadClass::kSecondary));
+  EXPECT_NEAR(SpeedLimitMps(RoadClass::kResidential), MphToMps(30.0), 1e-12);
+}
+
+TEST(GraphTest, RoadClassNames) {
+  EXPECT_STREQ(RoadClassName(RoadClass::kHighway), "highway");
+  EXPECT_STREQ(RoadClassName(RoadClass::kRural), "rural");
+}
+
+}  // namespace
+}  // namespace senn::roadnet

@@ -1,0 +1,158 @@
+#include "src/roadnet/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/roadnet/generator.h"
+
+namespace senn::roadnet {
+namespace {
+
+TEST(RoadClassParseTest, AllNamesRoundTrip) {
+  for (RoadClass rc : {RoadClass::kHighway, RoadClass::kSecondary,
+                       RoadClass::kResidential, RoadClass::kRural}) {
+    Result<RoadClass> parsed = ParseRoadClass(RoadClassName(rc));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, rc);
+  }
+  EXPECT_TRUE(ParseRoadClass("autobahn").status().IsNotFound());
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  Rng rng(1);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 1500;
+  cfg.diagonal_highways = 2;
+  Graph original = GenerateRoadNetwork(cfg, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(original, &buffer).ok());
+  Result<Graph> loaded = LoadGraph(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->node_count(), original.node_count());
+  ASSERT_EQ(loaded->edge_count(), original.edge_count());
+  for (size_t n = 0; n < original.node_count(); ++n) {
+    EXPECT_EQ(loaded->node_position(static_cast<NodeId>(n)),
+              original.node_position(static_cast<NodeId>(n)));
+  }
+  for (size_t e = 0; e < original.edge_count(); ++e) {
+    const Edge& a = original.edge(static_cast<EdgeId>(e));
+    const Edge& b = loaded->edge(static_cast<EdgeId>(e));
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.road_class, b.road_class);
+    EXPECT_DOUBLE_EQ(a.length, b.length);
+  }
+  EXPECT_TRUE(loaded->Validate().ok());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  Graph empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(empty, &buffer).ok());
+  Result<Graph> loaded = LoadGraph(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node_count(), 0u);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "senn-roadnet 1\n"
+      "# a comment\n"
+      "\n"
+      "node 0 0\n"
+      "node 3 4\n"
+      "edge 0 1 secondary\n");
+  Result<Graph> loaded = LoadGraph(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node_count(), 2u);
+  EXPECT_EQ(loaded->edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->edge(0).length, 5.0);
+}
+
+TEST(GraphIoTest, RejectsBadMagic) {
+  std::stringstream in("wrong-magic 1\n");
+  EXPECT_TRUE(LoadGraph(&in).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsBadVersion) {
+  std::stringstream in("senn-roadnet 99\n");
+  EXPECT_TRUE(LoadGraph(&in).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsDanglingEdgeWithLineNumber) {
+  std::stringstream in(
+      "senn-roadnet 1\n"
+      "node 0 0\n"
+      "edge 0 7 residential\n");
+  Status s = LoadGraph(&in).status();
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  std::stringstream in(
+      "senn-roadnet 1\n"
+      "vertex 0 0\n");
+  EXPECT_TRUE(LoadGraph(&in).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_TRUE(LoadGraph(&in).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(2);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 800;
+  Graph original = GenerateRoadNetwork(cfg, &rng);
+  std::string path = ::testing::TempDir() + "/graph_io_test.roadnet";
+  ASSERT_TRUE(SaveGraphToFile(original, path).ok());
+  Result<Graph> loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->edge_count(), original.edge_count());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadGraphFromFile("/nonexistent/dir/x.roadnet").status().IsNotFound());
+}
+
+TEST(PoiIoTest, RoundTrip) {
+  std::vector<core::Poi> pois{{7, {1.5, -2.25}}, {9, {0, 0}}, {12, {1e6, 1e-6}}};
+  std::stringstream buffer;
+  ASSERT_TRUE(SavePois(pois, &buffer).ok());
+  Result<std::vector<core::Poi>> loaded = LoadPois(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*loaded)[i].id, pois[i].id);
+    EXPECT_EQ((*loaded)[i].position, pois[i].position);
+  }
+}
+
+TEST(PoiIoTest, RejectsWrongMagic) {
+  std::stringstream in("senn-roadnet 1\n");
+  EXPECT_TRUE(LoadPois(&in).status().IsInvalidArgument());
+}
+
+TEST(PoiIoTest, RejectsMalformedPoi) {
+  std::stringstream in(
+      "senn-pois 1\n"
+      "poi 3 not-a-number 5\n");
+  Status s = LoadPois(&in).status();
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(PoiIoTest, EmptySetRoundTrips) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SavePois({}, &buffer).ok());
+  Result<std::vector<core::Poi>> loaded = LoadPois(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace senn::roadnet

@@ -1,0 +1,91 @@
+#include "src/roadnet/locate.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/roadnet/generator.h"
+
+namespace senn::roadnet {
+namespace {
+
+TEST(ProjectTest, InteriorProjection) {
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({0, 0}, {10, 0}, {4, 3}), 4.0);
+}
+
+TEST(ProjectTest, ClampsToEndpoints) {
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({0, 0}, {10, 0}, {-5, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({0, 0}, {10, 0}, {15, 2}), 10.0);
+}
+
+TEST(ProjectTest, DegenerateSegment) {
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({3, 3}, {3, 3}, {7, 7}), 0.0);
+}
+
+TEST(EdgeLocatorTest, EmptyGraph) {
+  Graph g;
+  EdgeLocator locator(&g);
+  double d = 0;
+  EdgePoint p = locator.Nearest({0, 0}, &d);
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(EdgeLocatorTest, SingleEdgeSnap) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({100, 0});
+  EdgeId e = *g.AddEdge(a, b, RoadClass::kResidential);
+  EdgeLocator locator(&g, 50.0);
+  double d = 0;
+  EdgePoint p = locator.Nearest({30, 40}, &d);
+  EXPECT_EQ(p.edge, e);
+  EXPECT_NEAR(p.offset, 30.0, 1e-9);
+  EXPECT_NEAR(d, 40.0, 1e-9);
+}
+
+TEST(EdgeLocatorTest, MatchesBruteForceOnGeneratedNetwork) {
+  Rng rng(9);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 2000;
+  cfg.block_spacing_m = 250;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  EdgeLocator locator(&g, 250.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    geom::Vec2 q{rng.Uniform(-100, 2100), rng.Uniform(-100, 2100)};
+    double got_d = 0;
+    EdgePoint got = locator.Nearest(q, &got_d);
+    // Brute force over all edges.
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(static_cast<EdgeId>(e));
+      geom::Vec2 a = g.node_position(edge.a), b = g.node_position(edge.b);
+      double off = ProjectOntoSegment(a, b, q);
+      geom::Vec2 closest = a + (b - a) * (off / edge.length);
+      best = std::min(best, geom::Dist(q, closest));
+    }
+    ASSERT_TRUE(got.IsValid());
+    EXPECT_NEAR(got_d, best, 1e-6) << "trial " << trial;
+    // The returned EdgePoint reproduces the reported distance.
+    EXPECT_NEAR(geom::Dist(q, g.PositionOf(got)), got_d, 1e-6);
+  }
+}
+
+TEST(EdgeLocatorTest, PointOnNetworkSnapsToItself) {
+  Rng rng(10);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 1000;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  EdgeLocator locator(&g);
+  for (int trial = 0; trial < 50; ++trial) {
+    EdgeId e = static_cast<EdgeId>(rng.NextIndex(g.edge_count()));
+    EdgePoint original{e, rng.Uniform(0, g.edge(e).length)};
+    geom::Vec2 p = g.PositionOf(original);
+    double d = 0;
+    locator.Nearest(p, &d);
+    EXPECT_NEAR(d, 0.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace senn::roadnet

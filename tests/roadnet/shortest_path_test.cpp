@@ -1,0 +1,188 @@
+#include "src/roadnet/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/roadnet/generator.h"
+
+namespace senn::roadnet {
+namespace {
+
+// 3x3 grid with unit spacing, ids row-major:
+//   6 7 8
+//   3 4 5
+//   0 1 2
+Graph MakeGrid3() {
+  Graph g;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) g.AddNode({static_cast<double>(x), static_cast<double>(y)});
+  }
+  auto add = [&](NodeId a, NodeId b) {
+    ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kResidential).ok());
+  };
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      NodeId n = y * 3 + x;
+      if (x < 2) add(n, n + 1);
+      if (y < 2) add(n, n + 3);
+    }
+  }
+  return g;
+}
+
+TEST(DijkstraTest, GridDistances) {
+  Graph g = MakeGrid3();
+  std::vector<double> dist = DijkstraFrom(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[4], 2.0);  // Manhattan path
+  EXPECT_DOUBLE_EQ(dist[8], 4.0);
+}
+
+TEST(DijkstraTest, UnreachableNodesAreInfinite) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  std::vector<double> dist = DijkstraFrom(g, a);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST(DijkstraTest, MaxDistanceCutsOff) {
+  Graph g = MakeGrid3();
+  std::vector<double> dist = DijkstraFrom(g, 0, 1.5);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  // Nodes beyond the bound may be unreported.
+  EXPECT_TRUE(dist[8] == kUnreachable || dist[8] == 4.0);
+  EXPECT_NE(dist[8], 3.0);
+}
+
+TEST(RouterTest, FindsShortestGridPath) {
+  Graph g = MakeGrid3();
+  Router router(&g);
+  std::vector<NodeId> path = router.FindPath(0, 8);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  EXPECT_DOUBLE_EQ(router.last_path_length(), 4.0);
+  // Path must be a connected chain.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    bool adjacent = false;
+    for (EdgeId eid : g.incident_edges(path[i])) {
+      adjacent |= g.edge(eid).OtherEnd(path[i]) == path[i + 1];
+    }
+    EXPECT_TRUE(adjacent) << "hop " << i;
+  }
+}
+
+TEST(RouterTest, PathToSelf) {
+  Graph g = MakeGrid3();
+  Router router(&g);
+  std::vector<NodeId> path = router.FindPath(4, 4);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 4);
+  EXPECT_DOUBLE_EQ(router.last_path_length(), 0.0);
+}
+
+TEST(RouterTest, UnreachableReturnsEmpty) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  Router router(&g);
+  EXPECT_TRUE(router.FindPath(a, b).empty());
+  EXPECT_EQ(router.last_path_length(), kUnreachable);
+}
+
+TEST(RouterTest, RepeatedQueriesMatchDijkstra) {
+  Rng rng(42);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 2000;
+  cfg.block_spacing_m = 200;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  ASSERT_TRUE(g.Validate().ok());
+  Router router(&g);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+    NodeId dst = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+    std::vector<double> dist = DijkstraFrom(g, src);
+    std::vector<NodeId> path = router.FindPath(src, dst);
+    if (dist[static_cast<size_t>(dst)] == kUnreachable) {
+      EXPECT_TRUE(path.empty());
+    } else {
+      ASSERT_FALSE(path.empty());
+      EXPECT_NEAR(router.last_path_length(), dist[static_cast<size_t>(dst)], 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(NetworkDistanceTest, SameEdgeDirect) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({10, 0});
+  EdgeId e = *g.AddEdge(a, b, RoadClass::kResidential);
+  EXPECT_DOUBLE_EQ(NetworkDistance(g, {e, 2.0}, {e, 7.5}), 5.5);
+}
+
+TEST(NetworkDistanceTest, AcrossGrid) {
+  Graph g = MakeGrid3();
+  // Point 0.5 along edge 0-1 to point 0.5 along edge 7-8.
+  EdgeId e01 = 0;  // first edge added is 0-1
+  // Find the edge between 7 and 8.
+  EdgeId e78 = kInvalidEdge;
+  for (EdgeId eid : g.incident_edges(7)) {
+    if (g.edge(eid).OtherEnd(7) == 8) e78 = eid;
+  }
+  ASSERT_NE(e78, kInvalidEdge);
+  double offset78 = g.edge(e78).a == 7 ? 0.5 : 0.5;  // symmetric either way
+  double d = NetworkDistance(g, {e01, 0.5}, {e78, offset78});
+  // Shortest route: 0.5 to node 1, up 2 to node 7, 0.5 along 7-8 (or the
+  // symmetric variant): total 3.0.
+  EXPECT_NEAR(d, 3.0, 1e-9);
+}
+
+TEST(NetworkDistanceOracleTest, MatchesDijkstraOnNodes) {
+  Rng rng(43);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 1500;
+  cfg.block_spacing_m = 150;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  // Source at a node (offset 0 of one of its edges).
+  NodeId src = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+  ASSERT_FALSE(g.incident_edges(src).empty());
+  EdgeId src_edge = g.incident_edges(src)[0];
+  double src_offset = g.edge(src_edge).a == src ? 0.0 : g.edge(src_edge).length;
+  NetworkDistanceOracle oracle(&g, {src_edge, src_offset});
+  std::vector<double> dist = DijkstraFrom(g, src);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId target = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+    if (g.incident_edges(target).empty()) continue;
+    EdgeId te = g.incident_edges(target)[0];
+    double toff = g.edge(te).a == target ? 0.0 : g.edge(te).length;
+    double got = oracle.DistanceTo({te, toff});
+    EXPECT_NEAR(got, dist[static_cast<size_t>(target)], 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(NetworkDistanceTest, EuclideanLowerBoundProperty) {
+  // ED(a, b) <= ND(a, b) for all point pairs — the property IER relies on.
+  Rng rng(44);
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 1200;
+  cfg.block_spacing_m = 200;
+  Graph g = GenerateRoadNetwork(cfg, &rng);
+  for (int trial = 0; trial < 60; ++trial) {
+    EdgeId e1 = static_cast<EdgeId>(rng.NextIndex(g.edge_count()));
+    EdgeId e2 = static_cast<EdgeId>(rng.NextIndex(g.edge_count()));
+    EdgePoint p1{e1, rng.Uniform(0, g.edge(e1).length)};
+    EdgePoint p2{e2, rng.Uniform(0, g.edge(e2).length)};
+    double nd = NetworkDistance(g, p1, p2);
+    double ed = geom::Dist(g.PositionOf(p1), g.PositionOf(p2));
+    EXPECT_LE(ed, nd + 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace senn::roadnet

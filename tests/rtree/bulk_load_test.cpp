@@ -1,0 +1,136 @@
+#include "src/rtree/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/rtree/knn.h"
+
+namespace senn::rtree {
+namespace {
+
+using geom::Vec2;
+
+std::vector<ObjectEntry> MakeRandomObjects(int n, Rng* rng, double extent = 1000.0) {
+  std::vector<ObjectEntry> objs;
+  for (int i = 0; i < n; ++i) {
+    objs.push_back({{rng->Uniform(0, extent), rng->Uniform(0, extent)}, i});
+  }
+  return objs;
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  RStarTree tree = BulkLoad({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, SmallInputFallsBackToInserts) {
+  Rng rng(1);
+  RStarTree tree = BulkLoad(MakeRandomObjects(20, &rng));
+  EXPECT_EQ(tree.size(), 20u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadSizeTest, InvariantsAndCompleteness) {
+  Rng rng(100 + GetParam());
+  int n = GetParam();
+  std::vector<ObjectEntry> objs = MakeRandomObjects(n, &rng);
+  RStarTree tree = BulkLoad(objs);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  std::vector<ObjectEntry> all;
+  tree.RangeQuery(tree.bounds(), &all);
+  std::set<int64_t> ids;
+  for (const ObjectEntry& o : all) ids.insert(o.id);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(n));
+}
+
+// Sizes straddling node-capacity boundaries (cap 30, min 12) including the
+// awkward tails that force slice/group rebalancing.
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(31, 60, 61, 89, 97, 300, 901, 4050, 12345));
+
+TEST(BulkLoadTest, QueriesMatchIncrementalTree) {
+  Rng rng(2);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(3000, &rng);
+  RStarTree bulk = BulkLoad(objs);
+  RStarTree incremental;
+  for (const ObjectEntry& o : objs) incremental.Insert(o.position, o.id);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    std::vector<Neighbor> a = BestFirstKnn(bulk, q, 10);
+    std::vector<Neighbor> b = BestFirstKnn(incremental, q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].object.id, b[i].object.id) << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(BulkLoadTest, PackedTreeIsShallowerOrEqual) {
+  Rng rng(3);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(5000, &rng);
+  RStarTree bulk = BulkLoad(objs);
+  RStarTree incremental;
+  for (const ObjectEntry& o : objs) incremental.Insert(o.position, o.id);
+  EXPECT_LE(bulk.height(), incremental.height());
+}
+
+TEST(BulkLoadTest, SupportsDynamicUpdatesAfterwards) {
+  Rng rng(4);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(1000, &rng);
+  RStarTree tree = BulkLoad(objs);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert({rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, 10000 + i);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Remove(objs[static_cast<size_t>(i)].position,
+                            objs[static_cast<size_t>(i)].id)
+                    .ok());
+  }
+  EXPECT_EQ(tree.size(), 1100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+}
+
+TEST(BulkLoadTest, HigherUtilizationThanIncremental) {
+  // STR packs near 100%: fewer leaves than one-at-a-time insertion.
+  Rng rng(5);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(6000, &rng);
+  RStarTree bulk = BulkLoad(objs);
+  RStarTree incremental;
+  for (const ObjectEntry& o : objs) incremental.Insert(o.position, o.id);
+  auto count_leaves = [](const RStarTree& tree) {
+    int leaves = 0;
+    std::vector<const RStarTree::Node*> stack{tree.root()};
+    while (!stack.empty()) {
+      const RStarTree::Node* n = stack.back();
+      stack.pop_back();
+      if (n->IsLeaf()) {
+        ++leaves;
+      } else {
+        for (const RStarTree::Slot& s : n->slots) stack.push_back(s.child.get());
+      }
+    }
+    return leaves;
+  };
+  EXPECT_LT(count_leaves(bulk), count_leaves(incremental));
+}
+
+TEST(BulkLoadTest, CustomOptionsRespected) {
+  Rng rng(6);
+  RStarTree::Options opts;
+  opts.max_entries = 8;
+  opts.min_entries = 3;
+  RStarTree tree = BulkLoad(MakeRandomObjects(500, &rng), opts);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.options().max_entries, 8);
+}
+
+}  // namespace
+}  // namespace senn::rtree

@@ -1,0 +1,237 @@
+#include "src/rtree/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace senn::rtree {
+namespace {
+
+using geom::Mbr;
+using geom::Vec2;
+
+std::vector<ObjectEntry> MakeRandomObjects(int n, Rng* rng, double extent = 1000.0) {
+  std::vector<ObjectEntry> objs;
+  objs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    objs.push_back({{rng->Uniform(0, extent), rng->Uniform(0, extent)}, i});
+  }
+  return objs;
+}
+
+RStarTree BuildTree(const std::vector<ObjectEntry>& objs, RStarTree::Options opts = {}) {
+  RStarTree tree(opts);
+  for (const ObjectEntry& o : objs) tree.Insert(o.position, o.id);
+  return tree;
+}
+
+std::set<int64_t> Ids(const std::vector<ObjectEntry>& objs) {
+  std::set<int64_t> ids;
+  for (const ObjectEntry& o : objs) ids.insert(o.id);
+  return ids;
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.bounds().IsEmpty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(Mbr{{0, 0}, {10, 10}}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, SingleInsert) {
+  RStarTree tree;
+  tree.Insert({5, 5}, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(Mbr{{0, 0}, {10, 10}}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 42);
+}
+
+TEST(RStarTreeTest, InvariantsHoldAcrossGrowth) {
+  Rng rng(1);
+  RStarTree tree;
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert({rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i);
+    if (i % 100 == 99) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_GE(tree.height(), 2);
+}
+
+TEST(RStarTreeTest, RangeQueryMatchesBruteForce) {
+  Rng rng(2);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(1500, &rng);
+  RStarTree tree = BuildTree(objs);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 a{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    Vec2 b{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    Mbr box = Mbr::OfPoint(a);
+    box.Expand(b);
+    std::vector<ObjectEntry> got;
+    tree.RangeQuery(box, &got);
+    std::set<int64_t> expected;
+    for (const ObjectEntry& o : objs) {
+      if (box.Contains(o.position)) expected.insert(o.id);
+    }
+    EXPECT_EQ(Ids(got), expected) << "trial " << trial;
+  }
+}
+
+TEST(RStarTreeTest, CircleQueryMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(800, &rng);
+  RStarTree tree = BuildTree(objs);
+  for (int trial = 0; trial < 50; ++trial) {
+    geom::Circle c({rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, rng.Uniform(10, 300));
+    std::vector<ObjectEntry> got;
+    tree.CircleQuery(c, &got);
+    std::set<int64_t> expected;
+    for (const ObjectEntry& o : objs) {
+      if (c.Contains(o.position)) expected.insert(o.id);
+    }
+    EXPECT_EQ(Ids(got), expected) << "trial " << trial;
+  }
+}
+
+TEST(RStarTreeTest, DuplicatePositionsAreKept) {
+  RStarTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert({7, 7}, i);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(Mbr::OfPoint({7, 7}), &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(RStarTreeTest, RemoveExistingObject) {
+  Rng rng(4);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(500, &rng);
+  RStarTree tree = BuildTree(objs);
+  ASSERT_TRUE(tree.Remove(objs[123].position, objs[123].id).ok());
+  EXPECT_EQ(tree.size(), 499u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(Mbr::OfPoint(objs[123].position), &out);
+  for (const ObjectEntry& o : out) EXPECT_NE(o.id, objs[123].id);
+}
+
+TEST(RStarTreeTest, RemoveMissingObjectReturnsNotFound) {
+  RStarTree tree;
+  tree.Insert({1, 1}, 1);
+  EXPECT_TRUE(tree.Remove({2, 2}, 1).IsNotFound());
+  EXPECT_TRUE(tree.Remove({1, 1}, 99).IsNotFound());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RStarTreeTest, RemoveEverythingShrinksTree) {
+  Rng rng(5);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(1000, &rng);
+  RStarTree tree = BuildTree(objs);
+  std::vector<size_t> order(objs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng shuffle_rng(6);
+  shuffle_rng.Shuffle(&order);
+  for (size_t idx : order) {
+    ASSERT_TRUE(tree.Remove(objs[idx].position, objs[idx].id).ok());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, InterleavedInsertRemoveKeepsInvariants) {
+  Rng rng(7);
+  RStarTree tree;
+  std::vector<ObjectEntry> live;
+  int64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      ObjectEntry o{{rng.Uniform(0, 100), rng.Uniform(0, 100)}, next_id++};
+      tree.Insert(o.position, o.id);
+      live.push_back(o);
+    } else {
+      size_t pick = rng.NextIndex(live.size());
+      ASSERT_TRUE(tree.Remove(live[pick].position, live[pick].id).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (step % 250 == 249) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+      ASSERT_EQ(tree.size(), live.size());
+    }
+  }
+}
+
+TEST(RStarTreeTest, BoundsCoverAllObjects) {
+  Rng rng(8);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(300, &rng);
+  RStarTree tree = BuildTree(objs);
+  Mbr b = tree.bounds();
+  for (const ObjectEntry& o : objs) EXPECT_TRUE(b.Contains(o.position));
+}
+
+TEST(RStarTreeTest, MoveSemantics) {
+  Rng rng(9);
+  RStarTree tree = BuildTree(MakeRandomObjects(100, &rng));
+  RStarTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_TRUE(moved.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, SmallBranchingFactorStressesSplits) {
+  Rng rng(10);
+  RStarTree::Options opts;
+  opts.max_entries = 4;
+  opts.min_entries = 2;
+  std::vector<ObjectEntry> objs = MakeRandomObjects(400, &rng);
+  RStarTree tree = BuildTree(objs, opts);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GE(tree.height(), 4);  // fan-out 4 forces depth
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(tree.bounds(), &out);
+  EXPECT_EQ(out.size(), objs.size());
+}
+
+TEST(RStarTreeTest, ClusteredDataStillValid) {
+  Rng rng(11);
+  RStarTree tree;
+  int64_t id = 0;
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    Vec2 center{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    for (int i = 0; i < 150; ++i) {
+      tree.Insert({center.x + rng.Normal(0, 2.0), center.y + rng.Normal(0, 2.0)}, id++);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), 1500u);
+}
+
+TEST(RStarTreeTest, AccessCounterCountsNodes) {
+  Rng rng(12);
+  RStarTree tree = BuildTree(MakeRandomObjects(2000, &rng));
+  AccessCounter counter;
+  std::vector<ObjectEntry> out;
+  tree.RangeQuery(tree.bounds(), &out, &counter);
+  // Scanning everything touches every node exactly once; leaves dominate.
+  EXPECT_GT(counter.leaf_nodes, 0u);
+  EXPECT_GT(counter.index_nodes, 0u);
+  EXPECT_GE(counter.leaf_nodes, counter.index_nodes);
+  uint64_t full_scan = counter.total();
+  counter.Reset();
+  tree.RangeQuery(Mbr{{0, 0}, {50, 50}}, &out, &counter);
+  EXPECT_LT(counter.total(), full_scan);  // selective query reads fewer pages
+}
+
+}  // namespace
+}  // namespace senn::rtree

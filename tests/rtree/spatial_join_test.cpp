@@ -1,0 +1,123 @@
+#include "src/rtree/spatial_join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/rtree/bulk_load.h"
+
+namespace senn::rtree {
+namespace {
+
+using geom::Vec2;
+
+std::vector<ObjectEntry> MakeRandomObjects(int n, Rng* rng, double extent,
+                                           int64_t id_base = 0) {
+  std::vector<ObjectEntry> objs;
+  for (int i = 0; i < n; ++i) {
+    objs.push_back({{rng->Uniform(0, extent), rng->Uniform(0, extent)}, id_base + i});
+  }
+  return objs;
+}
+
+std::set<std::pair<int64_t, int64_t>> BruteForcePairs(const std::vector<ObjectEntry>& a,
+                                                      const std::vector<ObjectEntry>& b,
+                                                      double d) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const ObjectEntry& x : a) {
+    for (const ObjectEntry& y : b) {
+      if (geom::Dist(x.position, y.position) <= d) pairs.insert({x.id, y.id});
+    }
+  }
+  return pairs;
+}
+
+std::set<std::pair<int64_t, int64_t>> Ids(const std::vector<JoinPair>& pairs) {
+  std::set<std::pair<int64_t, int64_t>> ids;
+  for (const JoinPair& p : pairs) ids.insert({p.left.id, p.right.id});
+  return ids;
+}
+
+TEST(DistanceJoinTest, MatchesBruteForce) {
+  Rng rng(1);
+  std::vector<ObjectEntry> a = MakeRandomObjects(300, &rng, 1000);
+  std::vector<ObjectEntry> b = MakeRandomObjects(250, &rng, 1000, 1000);
+  RStarTree ta = BulkLoad(a), tb = BulkLoad(b);
+  for (double d : {5.0, 25.0, 60.0, 150.0}) {
+    std::vector<JoinPair> got = DistanceJoin(ta, tb, d);
+    EXPECT_EQ(Ids(got), BruteForcePairs(a, b, d)) << "d=" << d;
+    for (const JoinPair& p : got) {
+      EXPECT_LE(p.distance, d);
+      EXPECT_NEAR(p.distance, geom::Dist(p.left.position, p.right.position), 1e-12);
+    }
+  }
+}
+
+TEST(DistanceJoinTest, DifferentTreeHeights) {
+  Rng rng(2);
+  std::vector<ObjectEntry> big = MakeRandomObjects(4000, &rng, 1000);
+  std::vector<ObjectEntry> small = MakeRandomObjects(15, &rng, 1000, 10000);
+  RStarTree tb = BulkLoad(big), ts = BulkLoad(small);
+  ASSERT_GT(tb.height(), ts.height());
+  std::vector<JoinPair> got = DistanceJoin(tb, ts, 30.0);
+  EXPECT_EQ(Ids(got), BruteForcePairs(big, small, 30.0));
+  // Symmetric call agrees (with roles swapped).
+  std::vector<JoinPair> swapped = DistanceJoin(ts, tb, 30.0);
+  std::set<std::pair<int64_t, int64_t>> flipped;
+  for (const JoinPair& p : swapped) flipped.insert({p.right.id, p.left.id});
+  EXPECT_EQ(Ids(got), flipped);
+}
+
+TEST(DistanceJoinTest, EmptyAndZeroCases) {
+  Rng rng(3);
+  RStarTree empty;
+  RStarTree some = BulkLoad(MakeRandomObjects(50, &rng, 100));
+  EXPECT_TRUE(DistanceJoin(empty, some, 10.0).empty());
+  EXPECT_TRUE(DistanceJoin(some, empty, 10.0).empty());
+  EXPECT_TRUE(DistanceJoin(some, some, -1.0).empty());
+}
+
+TEST(DistanceJoinTest, SelfJoinIncludesDiagonal) {
+  Rng rng(4);
+  std::vector<ObjectEntry> objs = MakeRandomObjects(100, &rng, 1000);
+  RStarTree tree = BulkLoad(objs);
+  std::vector<JoinPair> got = DistanceJoin(tree, tree, 0.0);
+  // Threshold 0: only the diagonal pairs (positions are almost surely
+  // distinct).
+  EXPECT_EQ(got.size(), 100u);
+  for (const JoinPair& p : got) EXPECT_EQ(p.left.id, p.right.id);
+}
+
+TEST(DistanceJoinTest, PrunesFarSubtrees) {
+  // Two well-separated clusters: the join must not touch the far cluster's
+  // leaves.
+  Rng rng(5);
+  std::vector<ObjectEntry> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back({{rng.Uniform(0, 100), rng.Uniform(0, 100)}, i});
+    b.push_back({{rng.Uniform(5000, 5100), rng.Uniform(0, 100)}, 1000 + i});
+  }
+  RStarTree ta = BulkLoad(a), tb = BulkLoad(b);
+  AccessCounter ca, cb;
+  std::vector<JoinPair> got = DistanceJoin(ta, tb, 50.0, &ca, &cb);
+  EXPECT_TRUE(got.empty());
+  // Only the roots (and perhaps one level) are touched.
+  EXPECT_LE(ca.total() + cb.total(), 6u);
+}
+
+TEST(DistanceJoinTest, SortedOutput) {
+  Rng rng(6);
+  std::vector<ObjectEntry> a = MakeRandomObjects(200, &rng, 300);
+  std::vector<ObjectEntry> b = MakeRandomObjects(200, &rng, 300, 1000);
+  std::vector<JoinPair> got = DistanceJoin(BulkLoad(a), BulkLoad(b), 40.0);
+  for (size_t i = 1; i < got.size(); ++i) {
+    bool ordered = got[i - 1].left.id < got[i].left.id ||
+                   (got[i - 1].left.id == got[i].left.id &&
+                    got[i - 1].right.id < got[i].right.id);
+    EXPECT_TRUE(ordered) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace senn::rtree

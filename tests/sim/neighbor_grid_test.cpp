@@ -1,0 +1,87 @@
+#include "src/sim/neighbor_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace senn::sim {
+namespace {
+
+TEST(NeighborGridTest, InsertAndQuery) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {100, 100});
+  grid.Insert(1, {150, 100});
+  grid.Insert(2, {900, 900});
+  std::vector<int32_t> out;
+  grid.QueryRadius({120, 100}, 60, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(NeighborGridTest, RadiusIsExact) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {500, 500});
+  grid.Insert(1, {500, 561});  // 61 m away
+  std::vector<int32_t> out;
+  grid.QueryRadius({500, 500}, 60, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  out.clear();
+  grid.QueryRadius({500, 500}, 61, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(NeighborGridTest, MoveUpdatesCells) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {100, 100});
+  grid.Move(0, {100, 100}, {800, 800});
+  std::vector<int32_t> out;
+  grid.QueryRadius({100, 100}, 150, &out);
+  EXPECT_TRUE(out.empty());
+  grid.QueryRadius({800, 800}, 10, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+}
+
+TEST(NeighborGridTest, PositionsOutsideAreaAreClamped) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {-50, 2000});  // clamped into border cells
+  std::vector<int32_t> out;
+  grid.QueryRadius({-50, 2000}, 1, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+}
+
+TEST(NeighborGridTest, MatchesBruteForceUnderChurn) {
+  Rng rng(1);
+  NeighborGrid grid(1000, 120);
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i < 300; ++i) {
+    positions.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    grid.Insert(i, positions.back());
+  }
+  for (int round = 0; round < 20; ++round) {
+    // Move a random third of the hosts.
+    for (int m = 0; m < 100; ++m) {
+      int id = static_cast<int>(rng.NextIndex(300));
+      geom::Vec2 next{positions[static_cast<size_t>(id)].x + rng.Uniform(-80, 80),
+                      positions[static_cast<size_t>(id)].y + rng.Uniform(-80, 80)};
+      grid.Move(id, positions[static_cast<size_t>(id)], next);
+      positions[static_cast<size_t>(id)] = next;
+    }
+    geom::Vec2 center{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    double radius = rng.Uniform(50, 300);
+    std::vector<int32_t> got;
+    grid.QueryRadius(center, radius, &got);
+    std::set<int32_t> expected;
+    for (int i = 0; i < 300; ++i) {
+      if (geom::Dist(positions[static_cast<size_t>(i)], center) <= radius) {
+        expected.insert(i);
+      }
+    }
+    EXPECT_EQ(std::set<int32_t>(got.begin(), got.end()), expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace senn::sim

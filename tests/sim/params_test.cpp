@@ -1,0 +1,81 @@
+#include "src/sim/params.h"
+
+#include <gtest/gtest.h>
+
+namespace senn::sim {
+namespace {
+
+TEST(ParamsTest, Table3ValuesMatchPaper) {
+  ParameterSet la = Table3(Region::kLosAngeles);
+  EXPECT_EQ(la.poi_number, 16);
+  EXPECT_EQ(la.mh_number, 463);
+  EXPECT_EQ(la.cache_size, 10);
+  EXPECT_DOUBLE_EQ(la.move_percentage, 0.8);
+  EXPECT_DOUBLE_EQ(la.velocity_mph, 30.0);
+  EXPECT_DOUBLE_EQ(la.queries_per_minute, 23.0);
+  EXPECT_DOUBLE_EQ(la.tx_range_m, 200.0);
+  EXPECT_EQ(la.k_nn, 3);
+  EXPECT_DOUBLE_EQ(la.execution_hours, 1.0);
+
+  ParameterSet syn = Table3(Region::kSyntheticSuburbia);
+  EXPECT_EQ(syn.poi_number, 11);
+  EXPECT_EQ(syn.mh_number, 257);
+  EXPECT_DOUBLE_EQ(syn.queries_per_minute, 13.0);
+
+  ParameterSet rv = Table3(Region::kRiverside);
+  EXPECT_EQ(rv.poi_number, 5);
+  EXPECT_EQ(rv.mh_number, 50);
+  EXPECT_DOUBLE_EQ(rv.queries_per_minute, 2.5);
+}
+
+TEST(ParamsTest, Table4ValuesMatchPaper) {
+  ParameterSet la = Table4(Region::kLosAngeles);
+  EXPECT_EQ(la.poi_number, 4050);
+  EXPECT_EQ(la.mh_number, 121500);
+  EXPECT_EQ(la.cache_size, 20);
+  EXPECT_DOUBLE_EQ(la.queries_per_minute, 8100.0);
+  EXPECT_EQ(la.k_nn, 5);
+  EXPECT_DOUBLE_EQ(la.execution_hours, 5.0);
+  EXPECT_DOUBLE_EQ(la.area_side_miles, 30.0);
+
+  ParameterSet syn = Table4(Region::kSyntheticSuburbia);
+  EXPECT_EQ(syn.poi_number, 3105);
+  EXPECT_EQ(syn.mh_number, 66600);
+  EXPECT_DOUBLE_EQ(syn.queries_per_minute, 4440.0);
+
+  ParameterSet rv = Table4(Region::kRiverside);
+  EXPECT_EQ(rv.poi_number, 2160);
+  EXPECT_EQ(rv.mh_number, 11700);
+  EXPECT_DOUBLE_EQ(rv.queries_per_minute, 780.0);
+}
+
+TEST(ParamsTest, UnitConversions) {
+  ParameterSet la = Table3(Region::kLosAngeles);
+  EXPECT_NEAR(la.AreaSideMeters(), 3218.688, 1e-6);
+  EXPECT_NEAR(la.VelocityMps(), 13.4112, 1e-6);
+}
+
+TEST(ParamsTest, DensityOrderingHolds) {
+  // LA is denser than Suburbia, which is denser than Riverside, in both MH
+  // and POI terms — the property the experiments hinge on.
+  for (auto table : {Table3, Table4}) {
+    ParameterSet la = table(Region::kLosAngeles);
+    ParameterSet syn = table(Region::kSyntheticSuburbia);
+    ParameterSet rv = table(Region::kRiverside);
+    EXPECT_GT(la.mh_number, syn.mh_number);
+    EXPECT_GT(syn.mh_number, rv.mh_number);
+    EXPECT_GT(la.poi_number, syn.poi_number);
+    EXPECT_GT(syn.poi_number, rv.poi_number);
+    EXPECT_GT(la.queries_per_minute, syn.queries_per_minute);
+    EXPECT_GT(syn.queries_per_minute, rv.queries_per_minute);
+  }
+}
+
+TEST(ParamsTest, Names) {
+  EXPECT_STREQ(RegionName(Region::kLosAngeles), "Los Angeles County");
+  EXPECT_STREQ(MovementModeName(MovementMode::kFreeMovement), "free movement");
+  EXPECT_NE(Table3(Region::kRiverside).name.find("Riverside"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace senn::sim

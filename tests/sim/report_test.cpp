@@ -1,0 +1,56 @@
+#include "src/sim/report.h"
+
+#include <gtest/gtest.h>
+
+namespace senn::sim {
+namespace {
+
+TEST(ReportTest, PrintFigureEmitsRowsAndCsv) {
+  FigureSeries series;
+  series.label = "Testville";
+  SimulationResult r;
+  r.measured_queries = 100;
+  r.pct_server = 25.0;
+  r.pct_single_peer = 60.0;
+  r.pct_multi_peer = 15.0;
+  series.rows.push_back({200.0, r});
+  ::testing::internal::CaptureStdout();
+  PrintFigure("Figure X", "tx_m", {series});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("Testville"), std::string::npos);
+  EXPECT_NE(out.find("csv,Testville,200,25.00,60.00,15.00,100"), std::string::npos);
+}
+
+TEST(ReportTest, PrintPageAccessFigureComputesSaving) {
+  PageAccessSeries series;
+  series.label = "LA";
+  series.rows.push_back({4, 8.0, 10.0});
+  ::testing::internal::CaptureStdout();
+  PrintPageAccessFigure("Fig 17", {series});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("20.0"), std::string::npos);  // 1 - 8/10 = 20% saving
+  EXPECT_NE(out.find("csv,LA,4,8.000,10.000"), std::string::npos);
+}
+
+TEST(ReportTest, PrintParameterSetShowsPaperValues) {
+  ::testing::internal::CaptureStdout();
+  PrintParameterSet(Table3(Region::kLosAngeles));
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Los Angeles"), std::string::npos);
+  EXPECT_NE(out.find("463"), std::string::npos);   // MH Number
+  EXPECT_NE(out.find("23.0"), std::string::npos);  // lambda_Query
+}
+
+TEST(ReportTest, ZeroPagesSavingIsZero) {
+  PageAccessSeries series;
+  series.label = "empty";
+  series.rows.push_back({4, 0.0, 0.0});
+  ::testing::internal::CaptureStdout();
+  PrintPageAccessFigure("Fig", {series});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("0.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace senn::sim

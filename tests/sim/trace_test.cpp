@@ -1,0 +1,72 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+namespace {
+
+TEST(QueryTraceTest, RecordsAndClears) {
+  QueryTrace trace;
+  trace.Record({1.5, 7, 3, core::Resolution::kServer, 4, 10, 5, 9, true});
+  trace.Record({2.0, 8, 3, core::Resolution::kSinglePeer, 2, 3, 0, 0, false});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].host_id, 7);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(QueryTraceTest, CsvFormat) {
+  QueryTrace trace;
+  trace.Record({1.5, 7, 3, core::Resolution::kServer, 4, 10, 5, 9, true});
+  std::stringstream out;
+  ASSERT_TRUE(trace.WriteCsv(&out).ok());
+  std::string text = out.str();
+  EXPECT_NE(text.find("time_s,host,k,resolution"), std::string::npos);
+  EXPECT_NE(text.find("1.5,7,3,server,4,10,5,9,1"), std::string::npos);
+}
+
+TEST(QueryTraceTest, SimulatorFillsTrace) {
+  SimulationConfig cfg;
+  cfg.params = Table3(Region::kLosAngeles);
+  cfg.mode = MovementMode::kFreeMovement;
+  cfg.seed = 77;
+  cfg.duration_s = 300.0;
+  cfg.warmup_fraction = 0.5;
+  Simulator sim(cfg);
+  QueryTrace trace;
+  sim.AttachTrace(&trace);
+  SimulationResult r = sim.Run();
+  // Every query (measured or warm-up) produced an event.
+  EXPECT_GT(trace.size(), r.measured_queries);
+  uint64_t measured = 0, servers = 0;
+  double last_time = 0.0;
+  for (const QueryEvent& e : trace.events()) {
+    EXPECT_GE(e.time_s, last_time);  // chronological
+    last_time = e.time_s;
+    EXPECT_GE(e.host_id, 0);
+    EXPECT_LT(e.host_id, cfg.params.mh_number);
+    EXPECT_EQ(e.k, cfg.params.k_nn);
+    measured += e.measured;
+    if (e.measured && e.resolution == core::Resolution::kServer) {
+      ++servers;
+      EXPECT_GT(e.inn_pages, 0u);
+    }
+  }
+  EXPECT_EQ(measured, r.measured_queries);
+  EXPECT_EQ(servers, r.by_server);
+}
+
+TEST(QueryTraceTest, FileWriting) {
+  QueryTrace trace;
+  trace.Record({0.0, 1, 1, core::Resolution::kMultiPeer, 3, 2, 0, 0, true});
+  std::string path = ::testing::TempDir() + "/trace_test.csv";
+  ASSERT_TRUE(trace.WriteCsvToFile(path).ok());
+  EXPECT_TRUE(trace.WriteCsvToFile("/nonexistent/dir/x.csv").IsNotFound());
+}
+
+}  // namespace
+}  // namespace senn::sim

@@ -1,0 +1,161 @@
+// senn_sim — command-line front end for the simulation engine.
+//
+// Runs one simulation with any parameter overridden from the shell and
+// prints the aggregate metrics (plus an optional per-query CSV trace), so
+// experiments beyond the canned benches need no C++:
+//
+//   senn_sim --region la --area 2x2 --mode road --tx 150 --duration 1800
+//   senn_sim --region riverside --area 30x30 --scale 5 --k 7 --trace /tmp/q.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace {
+
+using namespace senn;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --region la|suburbia|riverside   parameter set (default la)\n"
+      "  --area 2x2|30x30                 Table 3 or Table 4 scale (default 2x2)\n"
+      "  --mode road|free                 movement mode (default road)\n"
+      "  --scale S                        linear density-preserving scale-down (default 1)\n"
+      "  --duration S                     simulated seconds (default: the set's T_execution)\n"
+      "  --tx METERS                      transmission range override\n"
+      "  --cache N                        cache capacity override\n"
+      "  --speed MPH                      M_Velocity override\n"
+      "  --k N                            lambda_kNN override\n"
+      "  --seed N                         master seed (default 1)\n"
+      "  --step S                         movement time step seconds (default 1)\n"
+      "  --stationary-fraction            M_Percentage as population split (default: duty cycle)\n"
+      "  --no-multi-peer                  disable kNN_multiple (ablation)\n"
+      "  --ship-region                    region-aware server protocol (extension)\n"
+      "  --trace FILE                     write a per-query CSV trace\n",
+      argv0);
+  std::exit(2);
+}
+
+double ScaledDown(double value, double area_factor) { return value / area_factor; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::Region region = sim::Region::kLosAngeles;
+  bool big_area = false;
+  sim::SimulationConfig cfg;
+  double scale = 1.0;
+  std::string trace_path;
+  double tx = -1, cache = -1, speed = -1, k = -1;
+
+  auto need = [&](int i) {
+    if (i + 1 >= argc) Usage(argv[0]);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--region") {
+      std::string v = need(i++);
+      if (v == "la") {
+        region = sim::Region::kLosAngeles;
+      } else if (v == "suburbia") {
+        region = sim::Region::kSyntheticSuburbia;
+      } else if (v == "riverside") {
+        region = sim::Region::kRiverside;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--area") {
+      std::string v = need(i++);
+      big_area = v == "30x30";
+      if (!big_area && v != "2x2") Usage(argv[0]);
+    } else if (arg == "--mode") {
+      std::string v = need(i++);
+      cfg.mode = v == "free" ? sim::MovementMode::kFreeMovement
+                             : sim::MovementMode::kRoadNetwork;
+      if (v != "free" && v != "road") Usage(argv[0]);
+    } else if (arg == "--scale") {
+      scale = std::strtod(need(i++), nullptr);
+    } else if (arg == "--duration") {
+      cfg.duration_s = std::strtod(need(i++), nullptr);
+    } else if (arg == "--tx") {
+      tx = std::strtod(need(i++), nullptr);
+    } else if (arg == "--cache") {
+      cache = std::strtod(need(i++), nullptr);
+    } else if (arg == "--speed") {
+      speed = std::strtod(need(i++), nullptr);
+    } else if (arg == "--k") {
+      k = std::strtod(need(i++), nullptr);
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(need(i++), nullptr, 10);
+    } else if (arg == "--step") {
+      cfg.time_step_s = std::strtod(need(i++), nullptr);
+    } else if (arg == "--stationary-fraction") {
+      cfg.m_percentage_mode = sim::MPercentageMode::kStationaryFraction;
+    } else if (arg == "--no-multi-peer") {
+      cfg.senn.enable_multi_peer = false;
+    } else if (arg == "--ship-region") {
+      cfg.senn.ship_region = true;
+    } else if (arg == "--trace") {
+      trace_path = need(i++);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  cfg.params = big_area ? sim::Table4(region) : sim::Table3(region);
+  if (scale > 1.0) {
+    double area_factor = scale * scale;
+    cfg.params.area_side_miles /= scale;
+    cfg.params.poi_number =
+        std::max(1, static_cast<int>(ScaledDown(cfg.params.poi_number, area_factor) + 0.5));
+    cfg.params.mh_number =
+        std::max(1, static_cast<int>(ScaledDown(cfg.params.mh_number, area_factor) + 0.5));
+    cfg.params.queries_per_minute = ScaledDown(cfg.params.queries_per_minute, area_factor);
+  }
+  if (tx > 0) cfg.params.tx_range_m = tx;
+  if (cache > 0) cfg.params.cache_size = static_cast<int>(cache);
+  if (speed > 0) cfg.params.velocity_mph = speed;
+  if (k > 0) {
+    cfg.params.k_nn = static_cast<int>(k);
+    cfg.params.cache_size = std::max(cfg.params.cache_size, cfg.params.k_nn);
+  }
+
+  sim::PrintParameterSet(cfg.params);
+  std::printf("  %-22s %10s\n", "Movement mode", sim::MovementModeName(cfg.mode));
+  std::printf("  %-22s %10llu\n", "Seed",
+              static_cast<unsigned long long>(cfg.seed));
+
+  sim::Simulator simulator(cfg);
+  sim::QueryTrace trace;
+  if (!trace_path.empty()) simulator.AttachTrace(&trace);
+  sim::SimulationResult r = simulator.Run();
+
+  std::printf("\nresults over %llu measured queries (%.0f simulated seconds):\n",
+              static_cast<unsigned long long>(r.measured_queries), r.simulated_seconds);
+  std::printf("  server           %6.1f %%   (SQRR)\n", r.pct_server);
+  std::printf("  single-peer      %6.1f %%\n", r.pct_single_peer);
+  std::printf("  multi-peer       %6.1f %%\n", r.pct_multi_peer);
+  std::printf("  peers in range   %6.1f (mean)\n", r.peers_in_range.mean());
+  std::printf("  p2p msgs/query   %6.2f   (%.0f bytes)\n", r.p2p_messages_per_query.mean(),
+              r.p2p_bytes_per_query.mean());
+  if (r.by_server > 0) {
+    std::printf("  pages/server q   %6.2f EINN, %.2f INN\n", r.einn_pages.mean(),
+                r.inn_pages.mean());
+  }
+
+  if (!trace_path.empty()) {
+    Status s = trace.WriteCsvToFile(trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s\n", trace.size(), trace_path.c_str());
+  }
+  return 0;
+}
