@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mpercentage"
+  "../bench/bench_ablation_mpercentage.pdb"
+  "CMakeFiles/bench_ablation_mpercentage.dir/bench_ablation_mpercentage.cpp.o"
+  "CMakeFiles/bench_ablation_mpercentage.dir/bench_ablation_mpercentage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mpercentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

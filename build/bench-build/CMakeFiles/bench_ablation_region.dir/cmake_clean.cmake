@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_region"
+  "../bench/bench_ablation_region.pdb"
+  "CMakeFiles/bench_ablation_region.dir/bench_ablation_region.cpp.o"
+  "CMakeFiles/bench_ablation_region.dir/bench_ablation_region.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

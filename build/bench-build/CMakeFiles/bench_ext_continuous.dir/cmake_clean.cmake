@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_continuous"
+  "../bench/bench_ext_continuous.pdb"
+  "CMakeFiles/bench_ext_continuous.dir/bench_ext_continuous.cpp.o"
+  "CMakeFiles/bench_ext_continuous.dir/bench_ext_continuous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

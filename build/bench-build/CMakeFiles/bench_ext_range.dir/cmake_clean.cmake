@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_range"
+  "../bench/bench_ext_range.pdb"
+  "CMakeFiles/bench_ext_range.dir/bench_ext_range.cpp.o"
+  "CMakeFiles/bench_ext_range.dir/bench_ext_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

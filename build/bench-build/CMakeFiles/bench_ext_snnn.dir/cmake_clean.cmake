@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_snnn"
+  "../bench/bench_ext_snnn.pdb"
+  "CMakeFiles/bench_ext_snnn.dir/bench_ext_snnn.cpp.o"
+  "CMakeFiles/bench_ext_snnn.dir/bench_ext_snnn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_snnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

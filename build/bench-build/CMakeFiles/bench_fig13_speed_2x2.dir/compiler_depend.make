@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_speed_2x2.
+# This may be replaced when dependencies are built.

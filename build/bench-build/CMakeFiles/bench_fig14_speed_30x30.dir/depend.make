@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_speed_30x30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_einn_vs_inn"
+  "../bench/bench_fig17_einn_vs_inn.pdb"
+  "CMakeFiles/bench_fig17_einn_vs_inn.dir/bench_fig17_einn_vs_inn.cpp.o"
+  "CMakeFiles/bench_fig17_einn_vs_inn.dir/bench_fig17_einn_vs_inn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_einn_vs_inn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_params"
+  "../bench/bench_params.pdb"
+  "CMakeFiles/bench_params.dir/bench_params.cpp.o"
+  "CMakeFiles/bench_params.dir/bench_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

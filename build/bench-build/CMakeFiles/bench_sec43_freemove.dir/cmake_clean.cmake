@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec43_freemove"
+  "../bench/bench_sec43_freemove.pdb"
+  "CMakeFiles/bench_sec43_freemove.dir/bench_sec43_freemove.cpp.o"
+  "CMakeFiles/bench_sec43_freemove.dir/bench_sec43_freemove.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_freemove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_navigation.dir/continuous_navigation.cpp.o"
+  "CMakeFiles/continuous_navigation.dir/continuous_navigation.cpp.o.d"
+  "continuous_navigation"
+  "continuous_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

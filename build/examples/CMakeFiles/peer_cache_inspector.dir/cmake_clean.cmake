@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_cache_inspector.dir/peer_cache_inspector.cpp.o"
+  "CMakeFiles/peer_cache_inspector.dir/peer_cache_inspector.cpp.o.d"
+  "peer_cache_inspector"
+  "peer_cache_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_cache_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/nn_cache.cc" "src/CMakeFiles/senn.dir/cache/nn_cache.cc.o" "gcc" "src/CMakeFiles/senn.dir/cache/nn_cache.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/senn.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/senn.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/senn.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/senn.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/senn.dir/common/status.cc.o" "gcc" "src/CMakeFiles/senn.dir/common/status.cc.o.d"
+  "/root/repo/src/core/candidate_heap.cc" "src/CMakeFiles/senn.dir/core/candidate_heap.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/candidate_heap.cc.o.d"
+  "/root/repo/src/core/continuous.cc" "src/CMakeFiles/senn.dir/core/continuous.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/continuous.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/senn.dir/core/join.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/join.cc.o.d"
+  "/root/repo/src/core/multi_peer.cc" "src/CMakeFiles/senn.dir/core/multi_peer.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/multi_peer.cc.o.d"
+  "/root/repo/src/core/range.cc" "src/CMakeFiles/senn.dir/core/range.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/range.cc.o.d"
+  "/root/repo/src/core/senn.cc" "src/CMakeFiles/senn.dir/core/senn.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/senn.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/senn.dir/core/server.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/server.cc.o.d"
+  "/root/repo/src/core/single_peer.cc" "src/CMakeFiles/senn.dir/core/single_peer.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/single_peer.cc.o.d"
+  "/root/repo/src/core/snnn.cc" "src/CMakeFiles/senn.dir/core/snnn.cc.o" "gcc" "src/CMakeFiles/senn.dir/core/snnn.cc.o.d"
+  "/root/repo/src/geom/angular.cc" "src/CMakeFiles/senn.dir/geom/angular.cc.o" "gcc" "src/CMakeFiles/senn.dir/geom/angular.cc.o.d"
+  "/root/repo/src/geom/disk_cover.cc" "src/CMakeFiles/senn.dir/geom/disk_cover.cc.o" "gcc" "src/CMakeFiles/senn.dir/geom/disk_cover.cc.o.d"
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/senn.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/senn.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/senn.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/senn.dir/geom/polygon.cc.o.d"
+  "/root/repo/src/geom/region.cc" "src/CMakeFiles/senn.dir/geom/region.cc.o" "gcc" "src/CMakeFiles/senn.dir/geom/region.cc.o.d"
+  "/root/repo/src/mobility/road_mover.cc" "src/CMakeFiles/senn.dir/mobility/road_mover.cc.o" "gcc" "src/CMakeFiles/senn.dir/mobility/road_mover.cc.o.d"
+  "/root/repo/src/mobility/waypoint.cc" "src/CMakeFiles/senn.dir/mobility/waypoint.cc.o" "gcc" "src/CMakeFiles/senn.dir/mobility/waypoint.cc.o.d"
+  "/root/repo/src/roadnet/generator.cc" "src/CMakeFiles/senn.dir/roadnet/generator.cc.o" "gcc" "src/CMakeFiles/senn.dir/roadnet/generator.cc.o.d"
+  "/root/repo/src/roadnet/graph.cc" "src/CMakeFiles/senn.dir/roadnet/graph.cc.o" "gcc" "src/CMakeFiles/senn.dir/roadnet/graph.cc.o.d"
+  "/root/repo/src/roadnet/io.cc" "src/CMakeFiles/senn.dir/roadnet/io.cc.o" "gcc" "src/CMakeFiles/senn.dir/roadnet/io.cc.o.d"
+  "/root/repo/src/roadnet/locate.cc" "src/CMakeFiles/senn.dir/roadnet/locate.cc.o" "gcc" "src/CMakeFiles/senn.dir/roadnet/locate.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/CMakeFiles/senn.dir/roadnet/shortest_path.cc.o" "gcc" "src/CMakeFiles/senn.dir/roadnet/shortest_path.cc.o.d"
+  "/root/repo/src/rtree/bulk_load.cc" "src/CMakeFiles/senn.dir/rtree/bulk_load.cc.o" "gcc" "src/CMakeFiles/senn.dir/rtree/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/knn.cc" "src/CMakeFiles/senn.dir/rtree/knn.cc.o" "gcc" "src/CMakeFiles/senn.dir/rtree/knn.cc.o.d"
+  "/root/repo/src/rtree/rstar_tree.cc" "src/CMakeFiles/senn.dir/rtree/rstar_tree.cc.o" "gcc" "src/CMakeFiles/senn.dir/rtree/rstar_tree.cc.o.d"
+  "/root/repo/src/rtree/spatial_join.cc" "src/CMakeFiles/senn.dir/rtree/spatial_join.cc.o" "gcc" "src/CMakeFiles/senn.dir/rtree/spatial_join.cc.o.d"
+  "/root/repo/src/sim/mobile_host.cc" "src/CMakeFiles/senn.dir/sim/mobile_host.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/mobile_host.cc.o.d"
+  "/root/repo/src/sim/neighbor_grid.cc" "src/CMakeFiles/senn.dir/sim/neighbor_grid.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/neighbor_grid.cc.o.d"
+  "/root/repo/src/sim/params.cc" "src/CMakeFiles/senn.dir/sim/params.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/params.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/senn.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/senn.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/senn.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/senn.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for senn.
+# This may be replaced when dependencies are built.

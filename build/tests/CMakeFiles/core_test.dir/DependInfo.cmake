@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/candidate_heap_test.cpp" "tests/CMakeFiles/core_test.dir/core/candidate_heap_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/candidate_heap_test.cpp.o.d"
+  "/root/repo/tests/core/continuous_test.cpp" "tests/CMakeFiles/core_test.dir/core/continuous_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/continuous_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/core_test.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/join_test.cpp" "tests/CMakeFiles/core_test.dir/core/join_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/join_test.cpp.o.d"
+  "/root/repo/tests/core/range_test.cpp" "tests/CMakeFiles/core_test.dir/core/range_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/range_test.cpp.o.d"
+  "/root/repo/tests/core/region_protocol_test.cpp" "tests/CMakeFiles/core_test.dir/core/region_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/region_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/senn_test.cpp" "tests/CMakeFiles/core_test.dir/core/senn_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/senn_test.cpp.o.d"
+  "/root/repo/tests/core/server_test.cpp" "tests/CMakeFiles/core_test.dir/core/server_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/server_test.cpp.o.d"
+  "/root/repo/tests/core/snnn_test.cpp" "tests/CMakeFiles/core_test.dir/core/snnn_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/snnn_test.cpp.o.d"
+  "/root/repo/tests/core/verification_test.cpp" "tests/CMakeFiles/core_test.dir/core/verification_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/verification_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/senn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

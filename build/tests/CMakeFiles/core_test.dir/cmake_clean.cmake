@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/candidate_heap_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/candidate_heap_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/continuous_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/continuous_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/join_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/join_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/range_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/range_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/region_protocol_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/region_protocol_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/senn_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/senn_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/server_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/server_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/snnn_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/snnn_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/verification_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/verification_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

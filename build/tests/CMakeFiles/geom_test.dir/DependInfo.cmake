@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom/angular_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/angular_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/angular_test.cpp.o.d"
+  "/root/repo/tests/geom/circle_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/circle_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/circle_test.cpp.o.d"
+  "/root/repo/tests/geom/coverage_sweep_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/coverage_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/coverage_sweep_test.cpp.o.d"
+  "/root/repo/tests/geom/disk_cover_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/disk_cover_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/disk_cover_test.cpp.o.d"
+  "/root/repo/tests/geom/mbr_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/mbr_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/mbr_test.cpp.o.d"
+  "/root/repo/tests/geom/polygon_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o.d"
+  "/root/repo/tests/geom/region_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/region_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/region_test.cpp.o.d"
+  "/root/repo/tests/geom/vec2_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/vec2_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/vec2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/senn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

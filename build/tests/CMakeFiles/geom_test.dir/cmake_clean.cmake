@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_test.dir/geom/angular_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/angular_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/circle_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/circle_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/coverage_sweep_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/coverage_sweep_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/disk_cover_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/disk_cover_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/mbr_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/mbr_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/region_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/region_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/vec2_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/vec2_test.cpp.o.d"
+  "geom_test"
+  "geom_test.pdb"
+  "geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

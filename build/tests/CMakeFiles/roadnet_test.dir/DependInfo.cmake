@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/roadnet/generator_test.cpp" "tests/CMakeFiles/roadnet_test.dir/roadnet/generator_test.cpp.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet/generator_test.cpp.o.d"
+  "/root/repo/tests/roadnet/graph_test.cpp" "tests/CMakeFiles/roadnet_test.dir/roadnet/graph_test.cpp.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet/graph_test.cpp.o.d"
+  "/root/repo/tests/roadnet/io_test.cpp" "tests/CMakeFiles/roadnet_test.dir/roadnet/io_test.cpp.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet/io_test.cpp.o.d"
+  "/root/repo/tests/roadnet/locate_test.cpp" "tests/CMakeFiles/roadnet_test.dir/roadnet/locate_test.cpp.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet/locate_test.cpp.o.d"
+  "/root/repo/tests/roadnet/shortest_path_test.cpp" "tests/CMakeFiles/roadnet_test.dir/roadnet/shortest_path_test.cpp.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet/shortest_path_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/senn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

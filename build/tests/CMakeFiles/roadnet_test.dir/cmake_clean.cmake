@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_test.dir/roadnet/generator_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/generator_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/graph_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/graph_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/io_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/io_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/locate_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/locate_test.cpp.o.d"
+  "CMakeFiles/roadnet_test.dir/roadnet/shortest_path_test.cpp.o"
+  "CMakeFiles/roadnet_test.dir/roadnet/shortest_path_test.cpp.o.d"
+  "roadnet_test"
+  "roadnet_test.pdb"
+  "roadnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtree/bulk_load_test.cpp" "tests/CMakeFiles/rtree_test.dir/rtree/bulk_load_test.cpp.o" "gcc" "tests/CMakeFiles/rtree_test.dir/rtree/bulk_load_test.cpp.o.d"
+  "/root/repo/tests/rtree/count_mode_test.cpp" "tests/CMakeFiles/rtree_test.dir/rtree/count_mode_test.cpp.o" "gcc" "tests/CMakeFiles/rtree_test.dir/rtree/count_mode_test.cpp.o.d"
+  "/root/repo/tests/rtree/knn_test.cpp" "tests/CMakeFiles/rtree_test.dir/rtree/knn_test.cpp.o" "gcc" "tests/CMakeFiles/rtree_test.dir/rtree/knn_test.cpp.o.d"
+  "/root/repo/tests/rtree/rstar_tree_test.cpp" "tests/CMakeFiles/rtree_test.dir/rtree/rstar_tree_test.cpp.o" "gcc" "tests/CMakeFiles/rtree_test.dir/rtree/rstar_tree_test.cpp.o.d"
+  "/root/repo/tests/rtree/spatial_join_test.cpp" "tests/CMakeFiles/rtree_test.dir/rtree/spatial_join_test.cpp.o" "gcc" "tests/CMakeFiles/rtree_test.dir/rtree/spatial_join_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/senn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

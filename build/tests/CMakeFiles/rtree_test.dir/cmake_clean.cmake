@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_test.dir/rtree/bulk_load_test.cpp.o"
+  "CMakeFiles/rtree_test.dir/rtree/bulk_load_test.cpp.o.d"
+  "CMakeFiles/rtree_test.dir/rtree/count_mode_test.cpp.o"
+  "CMakeFiles/rtree_test.dir/rtree/count_mode_test.cpp.o.d"
+  "CMakeFiles/rtree_test.dir/rtree/knn_test.cpp.o"
+  "CMakeFiles/rtree_test.dir/rtree/knn_test.cpp.o.d"
+  "CMakeFiles/rtree_test.dir/rtree/rstar_tree_test.cpp.o"
+  "CMakeFiles/rtree_test.dir/rtree/rstar_tree_test.cpp.o.d"
+  "CMakeFiles/rtree_test.dir/rtree/spatial_join_test.cpp.o"
+  "CMakeFiles/rtree_test.dir/rtree/spatial_join_test.cpp.o.d"
+  "rtree_test"
+  "rtree_test.pdb"
+  "rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senn_sim.dir/senn_sim.cpp.o"
+  "CMakeFiles/senn_sim.dir/senn_sim.cpp.o.d"
+  "senn_sim"
+  "senn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
