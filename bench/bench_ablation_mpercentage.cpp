@@ -13,12 +13,11 @@ int main(int argc, char** argv) {
   bench::PrintRunBanner("Ablation: M_Percentage interpretation", args);
   double duration = args.full ? 3600.0 : 1800.0;
 
-  std::printf("%-24s %22s %24s\n", "parameter set", "duty-cycle server%",
-              "stationary-frac server%");
-  std::printf("csv,set,duty_cycle_server_pct,stationary_fraction_server_pct\n");
-  for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
-                             sim::Region::kRiverside}) {
-    double pct[2] = {0, 0};
+  const std::vector<sim::Region> regions{sim::Region::kLosAngeles,
+                                         sim::Region::kSyntheticSuburbia,
+                                         sim::Region::kRiverside};
+  std::vector<sim::SimulationConfig> configs;
+  for (sim::Region region : regions) {
     for (sim::MPercentageMode mode : {sim::MPercentageMode::kDutyCycle,
                                       sim::MPercentageMode::kStationaryFraction}) {
       sim::SimulationConfig cfg;
@@ -27,11 +26,19 @@ int main(int argc, char** argv) {
       cfg.m_percentage_mode = mode;
       cfg.seed = args.seed;
       cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration;
-      sim::SimulationResult r = sim::Simulator(cfg).Run();
-      pct[mode == sim::MPercentageMode::kStationaryFraction ? 1 : 0] = r.pct_server;
+      configs.push_back(std::move(cfg));
     }
-    std::printf("%-24s %22.1f %24.1f\n", sim::RegionName(region), pct[0], pct[1]);
-    std::printf("csv,%s,%.2f,%.2f\n", sim::RegionName(region), pct[0], pct[1]);
+  }
+  std::vector<sim::SimulationResult> results = sim::RunConfigs(configs, args.Sweep());
+
+  std::printf("%-24s %22s %24s\n", "parameter set", "duty-cycle server%",
+              "stationary-frac server%");
+  std::printf("csv,set,duty_cycle_server_pct,stationary_fraction_server_pct\n");
+  for (size_t i = 0; i < regions.size(); ++i) {
+    double duty = results[2 * i].pct_server;
+    double stationary = results[2 * i + 1].pct_server;
+    std::printf("%-24s %22.1f %24.1f\n", sim::RegionName(regions[i]), duty, stationary);
+    std::printf("csv,%s,%.2f,%.2f\n", sim::RegionName(regions[i]), duty, stationary);
   }
   return 0;
 }

@@ -14,20 +14,27 @@ int main(int argc, char** argv) {
   bench::PrintRunBanner("Extension: P2P communication overhead", args);
   double duration = args.full ? 3600.0 : 1800.0;
 
-  std::printf("%12s %10s %18s %16s\n", "tx_range_m", "server%", "p2p msgs/query",
-              "p2p bytes/query");
-  std::printf("csv,tx_range_m,server_pct,p2p_msgs,p2p_bytes\n");
-  for (double tx : {25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0}) {
+  const std::vector<double> tx_ranges{25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0};
+  std::vector<sim::SimulationConfig> configs;
+  for (double tx : tx_ranges) {
     sim::SimulationConfig cfg;
     cfg.params = sim::Table3(sim::Region::kLosAngeles);
     cfg.params.tx_range_m = tx;
     cfg.mode = sim::MovementMode::kRoadNetwork;
     cfg.seed = args.seed + static_cast<uint64_t>(tx);
     cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration;
-    sim::SimulationResult r = sim::Simulator(cfg).Run();
-    std::printf("%12.0f %10.1f %18.2f %16.0f\n", tx, r.pct_server,
+    configs.push_back(std::move(cfg));
+  }
+  std::vector<sim::SimulationResult> results = sim::RunConfigs(configs, args.Sweep());
+
+  std::printf("%12s %10s %18s %16s\n", "tx_range_m", "server%", "p2p msgs/query",
+              "p2p bytes/query");
+  std::printf("csv,tx_range_m,server_pct,p2p_msgs,p2p_bytes\n");
+  for (size_t i = 0; i < tx_ranges.size(); ++i) {
+    const sim::SimulationResult& r = results[i];
+    std::printf("%12.0f %10.1f %18.2f %16.0f\n", tx_ranges[i], r.pct_server,
                 r.p2p_messages_per_query.mean(), r.p2p_bytes_per_query.mean());
-    std::printf("csv,%.0f,%.2f,%.3f,%.1f\n", tx, r.pct_server,
+    std::printf("csv,%.0f,%.2f,%.3f,%.1f\n", tx_ranges[i], r.pct_server,
                 r.p2p_messages_per_query.mean(), r.p2p_bytes_per_query.mean());
   }
   std::printf("\nThe knee of this curve is the engineering trade-off: past it, extra\n"

@@ -30,13 +30,16 @@ int main(int argc, char** argv) {
   double duration = args.full ? 18000.0 : 900.0;
   std::vector<int> ks{4, 6, 8, 10, 12, 14};
 
-  for (rtree::AccessCountMode mode :
-       {rtree::AccessCountMode::kOnEnqueue, rtree::AccessCountMode::kOnExpand}) {
-    std::vector<sim::PageAccessSeries> series;
-    for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
-                               sim::Region::kRiverside}) {
-      sim::PageAccessSeries s;
-      s.label = sim::RegionName(region);
+  // Every (accounting, region, k) cell is one isolated run; build the whole
+  // grid first and let the sweep engine spread it over --threads workers.
+  const std::vector<rtree::AccessCountMode> modes{rtree::AccessCountMode::kOnEnqueue,
+                                                  rtree::AccessCountMode::kOnExpand};
+  const std::vector<sim::Region> regions{sim::Region::kLosAngeles,
+                                         sim::Region::kSyntheticSuburbia,
+                                         sim::Region::kRiverside};
+  std::vector<sim::SimulationConfig> configs;
+  for (rtree::AccessCountMode mode : modes) {
+    for (sim::Region region : regions) {
       for (int k : ks) {
         sim::SimulationConfig cfg;
         cfg.params = bench::ScaleDown(sim::Table4(region), scale);
@@ -47,7 +50,20 @@ int main(int argc, char** argv) {
         cfg.page_count_mode = mode;
         cfg.seed = args.seed + static_cast<uint64_t>(k);
         cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration;
-        sim::SimulationResult r = sim::Simulator(cfg).Run();
+        configs.push_back(std::move(cfg));
+      }
+    }
+  }
+  std::vector<sim::SimulationResult> results = sim::RunConfigs(configs, args.Sweep());
+
+  size_t cell = 0;
+  for (rtree::AccessCountMode mode : modes) {
+    std::vector<sim::PageAccessSeries> series;
+    for (sim::Region region : regions) {
+      sim::PageAccessSeries s;
+      s.label = sim::RegionName(region);
+      for (int k : ks) {
+        const sim::SimulationResult& r = results[cell++];
         s.rows.push_back({k, r.einn_pages.mean(), r.inn_pages.mean()});
       }
       series.push_back(std::move(s));

@@ -19,19 +19,19 @@ int main(int argc, char** argv) {
   double scale = args.full ? 1.0 : 5.0;
   const int repeats = args.full ? 8 : 4;
 
-  std::printf("%-52s %14s %14s %8s\n", "parameter set", "road server%", "free server%",
-              "delta");
-  std::printf("csv,set,road_server_pct,free_server_pct,delta\n");
+  // Flatten the whole (area, region, mode, repeat) grid into one batch so
+  // the repeats of every cell run concurrently under --threads.
+  std::vector<sim::SimulationConfig> configs;
+  std::vector<std::string> cell_names;
   for (bool big_area : {false, true}) {
     for (sim::Region region : {sim::Region::kLosAngeles, sim::Region::kSyntheticSuburbia,
                                sim::Region::kRiverside}) {
       sim::ParameterSet params = big_area
                                      ? bench::ScaleDown(sim::Table4(region), scale)
                                      : sim::Table3(region);
-      double server_pct[2] = {0, 0};
+      cell_names.push_back(params.name);
       for (sim::MovementMode mode :
            {sim::MovementMode::kRoadNetwork, sim::MovementMode::kFreeMovement}) {
-        double total = 0.0;
         for (int rep = 0; rep < repeats; ++rep) {
           sim::SimulationConfig cfg;
           cfg.params = params;
@@ -41,15 +41,28 @@ int main(int argc, char** argv) {
           cfg.duration_s = args.duration_s > 0
                                ? args.duration_s
                                : (big_area ? duration_big : duration_small);
-          total += sim::Simulator(cfg).Run().pct_server;
+          configs.push_back(std::move(cfg));
         }
-        server_pct[mode == sim::MovementMode::kFreeMovement ? 1 : 0] = total / repeats;
       }
-      std::printf("%-52s %14.1f %14.1f %+8.1f\n", params.name.c_str(), server_pct[0],
-                  server_pct[1], server_pct[1] - server_pct[0]);
-      std::printf("csv,%s,%.2f,%.2f,%.2f\n", params.name.c_str(), server_pct[0],
-                  server_pct[1], server_pct[1] - server_pct[0]);
     }
+  }
+  std::vector<sim::SimulationResult> results = sim::RunConfigs(configs, args.Sweep());
+
+  std::printf("%-52s %14s %14s %8s\n", "parameter set", "road server%", "free server%",
+              "delta");
+  std::printf("csv,set,road_server_pct,free_server_pct,delta\n");
+  size_t run = 0;
+  for (const std::string& name : cell_names) {
+    double server_pct[2] = {0, 0};
+    for (int mode_idx = 0; mode_idx < 2; ++mode_idx) {
+      double total = 0.0;
+      for (int rep = 0; rep < repeats; ++rep) total += results[run++].pct_server;
+      server_pct[mode_idx] = total / repeats;
+    }
+    std::printf("%-52s %14.1f %14.1f %+8.1f\n", name.c_str(), server_pct[0],
+                server_pct[1], server_pct[1] - server_pct[0]);
+    std::printf("csv,%s,%.2f,%.2f,%.2f\n", name.c_str(), server_pct[0], server_pct[1],
+                server_pct[1] - server_pct[0]);
   }
   return 0;
 }

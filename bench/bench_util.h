@@ -5,6 +5,10 @@
 //   --full        paper-scale run (full area, host count, longer duration)
 //   --seed N      master seed (default 20060403; printed with the output)
 //   --duration S  simulated seconds per sweep point (overrides defaults)
+//   --threads N   worker threads for the sweep engine (default 1; 0 = all
+//                 cores). Results are bit-identical for every N: each sweep
+//                 point is an isolated run whose randomness is a pure
+//                 function of its config (see sim/sweep.h).
 //
 // Scale-down: the 30x30-mile experiments sweep over 121,500 hosts for five
 // simulated hours. Quick mode shrinks the *area* by a linear factor s and
@@ -23,6 +27,7 @@
 
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
+#include "src/sim/sweep.h"
 
 namespace senn::bench {
 
@@ -30,6 +35,9 @@ struct BenchArgs {
   bool full = false;
   uint64_t seed = 20060403;  // ICDE 2006 :-)
   double duration_s = -1.0;  // <= 0: bench-specific default
+  int threads = 1;           // sweep-engine workers; 0 = hardware concurrency
+
+  sim::SweepOptions Sweep() const { return sim::SweepOptions{threads}; }
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -41,8 +49,12 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       args.duration_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.threads = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--full] [--seed N] [--duration S]\n", argv[0]);
+      std::printf("usage: %s [--full] [--seed N] [--duration S] [--threads N]\n", argv[0]);
       std::exit(0);
     }
   }
@@ -61,24 +73,37 @@ inline sim::ParameterSet ScaleDown(sim::ParameterSet p, double linear_factor) {
   return p;
 }
 
+/// Builds the config of one sweep point (see RunSweep).
+inline sim::SimulationConfig SweepPointConfig(
+    const sim::ParameterSet& params, sim::MovementMode mode, const BenchArgs& args,
+    double duration_s, double x,
+    const std::function<void(sim::SimulationConfig*, double)>& tweak) {
+  sim::SimulationConfig cfg;
+  cfg.params = params;
+  cfg.mode = mode;
+  cfg.seed = args.seed + static_cast<uint64_t>(x * 1000.0);
+  cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration_s;
+  tweak(&cfg, x);
+  return cfg;
+}
+
 /// Runs one series of a Figures 9-16 style sweep: for each x the tweak
-/// callback edits the run configuration, then a full simulation runs.
+/// callback edits the run configuration, then a full simulation runs. The
+/// points execute on the sweep engine's thread pool (args.threads workers);
+/// the rows are identical for every thread count.
 inline sim::FigureSeries RunSweep(
     const std::string& label, const sim::ParameterSet& params, sim::MovementMode mode,
     const BenchArgs& args, double duration_s, const std::vector<double>& xs,
     const std::function<void(sim::SimulationConfig*, double)>& tweak) {
   sim::FigureSeries series;
   series.label = label;
+  std::vector<sim::SimulationConfig> configs;
+  configs.reserve(xs.size());
   for (double x : xs) {
-    sim::SimulationConfig cfg;
-    cfg.params = params;
-    cfg.mode = mode;
-    cfg.seed = args.seed + static_cast<uint64_t>(x * 1000.0);
-    cfg.duration_s = args.duration_s > 0 ? args.duration_s : duration_s;
-    tweak(&cfg, x);
-    sim::SimulationResult r = sim::Simulator(cfg).Run();
-    series.rows.push_back({x, r});
+    configs.push_back(SweepPointConfig(params, mode, args, duration_s, x, tweak));
   }
+  std::vector<sim::SimulationResult> results = sim::RunConfigs(configs, args.Sweep());
+  for (size_t i = 0; i < xs.size(); ++i) series.rows.push_back({xs[i], results[i]});
   return series;
 }
 

@@ -15,9 +15,26 @@ uint64_t SplitMix64(uint64_t* x) {
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+// Feeds b into the splitmix state a; distinct inputs give decorrelated
+// outputs, and the combination is deterministic and order-free.
+uint64_t MixIn(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(&x);
+}
+
+uint64_t HashDomain(std::string_view domain) {
+  // FNV-1a over the label bytes.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : domain) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(&s);
 }
@@ -92,5 +109,9 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 Rng Rng::Split() { return Rng(NextU64()); }
+
+Rng Rng::Stream(std::string_view domain, uint64_t id) const {
+  return Rng(MixIn(MixIn(seed_, HashDomain(domain)), id));
+}
 
 }  // namespace senn

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -52,7 +53,21 @@ class Rng {
   double Normal(double mean, double stddev);
 
   /// Derives an independent child generator (e.g., one per mobile host).
+  /// Order-DEPENDENT: the child depends on how many draws preceded the call.
+  /// Prefer Stream() wherever reproducibility across code reorderings or
+  /// thread schedules matters.
   Rng Split();
+
+  /// Derives a named, counter-based child stream. The result depends only on
+  /// this generator's *construction seed*, the domain label, and the id —
+  /// never on how many values have been drawn — so streams are
+  /// order-independent: Stream("host", 7) yields the same generator no
+  /// matter when it is derived or what other streams exist. Distinct
+  /// (domain, id) pairs yield decorrelated streams.
+  Rng Stream(std::string_view domain, uint64_t id = 0) const;
+
+  /// The seed this generator was constructed with (the stream root).
+  uint64_t seed() const { return seed_; }
 
   /// Fisher-Yates shuffle of v.
   template <typename T>
@@ -64,6 +79,7 @@ class Rng {
   }
 
  private:
+  uint64_t seed_;
   uint64_t state_[4];
 };
 

@@ -50,6 +50,56 @@ void PrintPageAccessFigure(const std::string& title,
   std::printf("\n");
 }
 
+namespace {
+
+void AppendKv(std::string* out, const char* key, double value, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g%s", key, value, comma ? "," : "");
+  *out += buf;
+}
+
+void AppendKv(std::string* out, const char* key, uint64_t value, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu%s", key,
+                static_cast<unsigned long long>(value), comma ? "," : "");
+  *out += buf;
+}
+
+void AppendStats(std::string* out, const char* key, const RunningStats& s,
+                 bool comma = true) {
+  *out += '"';
+  *out += key;
+  *out += "\":{";
+  AppendKv(out, "n", s.count());
+  AppendKv(out, "mean", s.mean());
+  AppendKv(out, "var", s.variance());
+  AppendKv(out, "sum", s.sum());
+  AppendKv(out, "min", s.min());
+  AppendKv(out, "max", s.max(), false);
+  *out += comma ? "}," : "}";
+}
+
+}  // namespace
+
+std::string SimulationResultJson(const SimulationResult& r) {
+  std::string out = "{";
+  AppendKv(&out, "measured_queries", r.measured_queries);
+  AppendKv(&out, "by_single_peer", r.by_single_peer);
+  AppendKv(&out, "by_multi_peer", r.by_multi_peer);
+  AppendKv(&out, "by_server", r.by_server);
+  AppendKv(&out, "pct_single_peer", r.pct_single_peer);
+  AppendKv(&out, "pct_multi_peer", r.pct_multi_peer);
+  AppendKv(&out, "pct_server", r.pct_server);
+  AppendStats(&out, "einn_pages", r.einn_pages);
+  AppendStats(&out, "inn_pages", r.inn_pages);
+  AppendStats(&out, "peers_in_range", r.peers_in_range);
+  AppendStats(&out, "p2p_messages_per_query", r.p2p_messages_per_query);
+  AppendStats(&out, "p2p_bytes_per_query", r.p2p_bytes_per_query);
+  AppendKv(&out, "simulated_seconds", r.simulated_seconds, false);
+  out += "}";
+  return out;
+}
+
 void PrintParameterSet(const ParameterSet& p) {
   std::printf("--- %s ---\n", p.name.c_str());
   std::printf("  %-22s %10.0f x %.0f miles\n", "Area", p.area_side_miles, p.area_side_miles);

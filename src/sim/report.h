@@ -44,4 +44,10 @@ void PrintPageAccessFigure(const std::string& title,
 /// Prints one parameter set as a Table 3/4 style column.
 void PrintParameterSet(const ParameterSet& params);
 
+/// Serializes every metric of a result as one JSON object. Doubles are
+/// rendered with %.17g (round-trip exact), so two results are bit-identical
+/// iff their JSON strings are byte-identical — the determinism tests compare
+/// thread-count variants through this.
+std::string SimulationResultJson(const SimulationResult& result);
+
 }  // namespace senn::sim

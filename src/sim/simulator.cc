@@ -18,8 +18,11 @@ void Simulator::BuildWorld() {
   const ParameterSet& p = config_.params;
   const double side = p.AreaSideMeters();
 
-  // POIs uniformly distributed over the area (gas stations).
-  Rng poi_rng = rng_.Split();
+  // POIs uniformly distributed over the area (gas stations). Every
+  // subsystem draws from its own named stream (see the RNG stream layout in
+  // simulator.h) so the world is a pure function of the seed, independent of
+  // build order or thread schedule.
+  Rng poi_rng = rng_.Stream("world/poi");
   pois_.reserve(static_cast<size_t>(p.poi_number));
   for (int i = 0; i < p.poi_number; ++i) {
     pois_.push_back({i, {poi_rng.Uniform(0, side), poi_rng.Uniform(0, side)}});
@@ -40,7 +43,7 @@ void Simulator::BuildWorld() {
       road.block_spacing_m = side <= 10000.0 ? 200.0 : 400.0;
     }
     road.diagonal_highways = side <= 10000.0 ? 1 : 4;
-    Rng road_rng = rng_.Split();
+    Rng road_rng = rng_.Stream("world/road");
     graph_ = std::make_unique<roadnet::Graph>(GenerateRoadNetwork(road, &road_rng));
     router_ = std::make_unique<roadnet::Router>(graph_.get());
   }
@@ -65,18 +68,20 @@ void Simulator::BuildWorld() {
   hosts_.reserve(static_cast<size_t>(p.mh_number));
   grid_ = std::make_unique<NeighborGrid>(side, std::max(p.tx_range_m, 50.0));
   for (int i = 0; i < p.mh_number; ++i) {
-    Rng host_rng = rng_.Split();
+    // One stream per host: its placement, M_Percentage draw, and every later
+    // movement decision depend only on (seed, host id).
+    Rng host_rng = rng_.Stream("host", static_cast<uint64_t>(i));
     bool moving =
         config_.m_percentage_mode == MPercentageMode::kDutyCycle
             ? p.move_percentage > 0.0
-            : rng_.Bernoulli(p.move_percentage);
+            : host_rng.Bernoulli(p.move_percentage);
     std::unique_ptr<mobility::Mover> mover;
     if (!moving) {
-      geom::Vec2 start{rng_.Uniform(0, side), rng_.Uniform(0, side)};
+      geom::Vec2 start{host_rng.Uniform(0, side), host_rng.Uniform(0, side)};
       mover = std::make_unique<mobility::StationaryMover>(start);
     } else if (config_.mode == MovementMode::kRoadNetwork) {
       roadnet::NodeId start =
-          static_cast<roadnet::NodeId>(rng_.NextIndex(graph_->node_count()));
+          static_cast<roadnet::NodeId>(host_rng.NextIndex(graph_->node_count()));
       mobility::RoadMoverConfig mcfg;
       mcfg.nominal_speed_mps = p.VelocityMps();
       mcfg.mean_pause_s = mean_pause;
@@ -88,7 +93,7 @@ void Simulator::BuildWorld() {
       wcfg.area_side_m = side;
       wcfg.speed_mps = p.VelocityMps();
       wcfg.mean_pause_s = mean_pause;
-      geom::Vec2 start{rng_.Uniform(0, side), rng_.Uniform(0, side)};
+      geom::Vec2 start{host_rng.Uniform(0, side), host_rng.Uniform(0, side)};
       mover = std::make_unique<mobility::WaypointMover>(wcfg, start, &host_rng);
     }
     auto host = std::make_unique<MobileHost>(static_cast<int32_t>(i), std::move(mover),
@@ -150,7 +155,8 @@ void Simulator::WarmStartCaches() {
   }
   std::vector<int32_t> order(hosts_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
-  rng_.Shuffle(&order);
+  Rng warm_rng = rng_.Stream("warmstart");
+  warm_rng.Shuffle(&order);
   std::vector<int32_t> ids;
   std::vector<const core::CachedResult*> caches;
   for (int32_t id : order) {
@@ -225,7 +231,7 @@ SimulationResult Simulator::Run() {
   const double dt = std::max(config_.time_step_s, 1e-3);
   const double queries_per_second = p.queries_per_minute / kSecondsPerMinute;
 
-  Rng workload_rng = rng_.Split();
+  Rng workload_rng = rng_.Stream("workload");
   double now = 0.0;
   while (now < duration) {
     // Advance movement and keep the neighbor grid current.

@@ -13,6 +13,17 @@
 //    is exactly their steady state.
 //  * the road network is synthesized (see roadnet/generator.h) instead of
 //    digitized from TIGER/LINE files.
+//
+// RNG stream layout. All randomness derives from `SimulationConfig::seed`
+// through named counter-based streams (Rng::Stream), never from draw order:
+//   "world/poi"   POI placement
+//   "world/road"  road-network synthesis
+//   "host", i     host i's placement, M_Percentage draw, and movement
+//   "warmstart"   warm-start replay order
+//   "workload"    query launch times, querying host, and per-query k
+// Consequently a run is a pure function of its config: two Run()s with equal
+// configs produce bit-identical SimulationResults, regardless of how many
+// simulations execute concurrently elsewhere in the process (see sim/sweep.h).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,56 @@
+// Parallel sweep engine: runs many independent simulations across a thread
+// pool with per-run isolation.
+//
+// Every figure of the paper is a parameter grid (Figures 9-17 sweep
+// transmission range, cache size, velocity, and k over three regions), and
+// each grid cell is one self-contained `Simulator` run. Because a run is a
+// pure function of its `SimulationConfig` (see the RNG stream layout in
+// simulator.h), cells can execute on any thread in any order and still
+// produce bit-identical `SimulationResult`s: RunConfigs(configs, 1 thread)
+// == RunConfigs(configs, N threads), element for element. The determinism
+// test (tests/sim/determinism_test.cpp) pins this down.
+//
+// Seed sharding: one logical experiment can also be split into S runs with
+// decorrelated seeds whose results are merged (counters summed, streaming
+// stats combined via RunningStats::Merge) — variance reduction and
+// parallelism for a single grid cell.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+
+/// Thread-pool configuration for a sweep.
+struct SweepOptions {
+  /// Worker threads; <= 0 selects the hardware concurrency.
+  int threads = 1;
+};
+
+/// Resolves `requested` threads (<= 0: hardware concurrency, floor 1).
+int ResolveThreads(int requested);
+
+/// Runs one isolated simulation per config and returns the results in input
+/// order. Deterministic: the result vector depends only on `configs`, never
+/// on `options.threads` or scheduling.
+std::vector<SimulationResult> RunConfigs(const std::vector<SimulationConfig>& configs,
+                                         const SweepOptions& options = {});
+
+/// Merges shard results into one aggregate: query counters and simulated
+/// seconds are summed, the RunningStats streams merged, and the percentage
+/// split recomputed from the merged counters. Empty input yields a
+/// default-constructed result.
+SimulationResult MergeResults(const std::vector<SimulationResult>& parts);
+
+/// Derives the config of shard `shard` of `base`: identical parameters with
+/// a decorrelated seed drawn from base.seed's "shard" stream. Shard 0 keeps
+/// base.seed itself so a 1-shard run equals the plain run.
+SimulationConfig ShardConfig(const SimulationConfig& base, int shard);
+
+/// Runs `shards` decorrelated copies of `base` across the pool and merges
+/// them with MergeResults. Deterministic in (base, shards).
+SimulationResult RunSeedShards(const SimulationConfig& base, int shards,
+                               const SweepOptions& options = {});
+
+}  // namespace senn::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace senn {
 namespace {
 
@@ -62,6 +64,77 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   b.Merge(a_copy);  // empty left side: becomes the right side
   EXPECT_EQ(b.count(), 2u);
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, MergeBothEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingleObservationSides) {
+  RunningStats a, b, both;
+  a.Add(2.0);
+  b.Add(6.0);
+  both.Add(2.0);
+  both.Add(6.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_NEAR(a.variance(), both.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePassOnRandomSplits) {
+  // Merged moments must equal the single-pass moments of the concatenated
+  // data for every split point, including the empty and one-sided ones.
+  std::vector<double> data;
+  unsigned state = 12345;
+  for (int i = 0; i < 64; ++i) {
+    state = state * 1103515245u + 12345u;
+    data.push_back(static_cast<double>(state % 1000) / 7.0 - 40.0);
+  }
+  RunningStats whole;
+  for (double x : data) whole.Add(x);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{13}, size_t{63}, size_t{64}}) {
+    RunningStats left, right;
+    for (size_t i = 0; i < data.size(); ++i) (i < split ? left : right).Add(data[i]);
+    left.Merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  }
+}
+
+TEST(RunningStatsTest, MergeOrderInvariant) {
+  // Shard order must not matter beyond float round-off: merging A<-B equals
+  // merging B<-A on disjoint shards (the sweep engine merges shard results
+  // in deterministic input order, but the moments themselves are symmetric).
+  RunningStats ab_left, ab_right, ba_left, ba_right;
+  for (double x : {1.0, 5.0, 9.0}) {
+    ab_left.Add(x);
+    ba_right.Add(x);
+  }
+  for (double x : {-2.0, 0.5}) {
+    ab_right.Add(x);
+    ba_left.Add(x);
+  }
+  ab_left.Merge(ab_right);
+  ba_left.Merge(ba_right);
+  EXPECT_EQ(ab_left.count(), ba_left.count());
+  EXPECT_NEAR(ab_left.mean(), ba_left.mean(), 1e-12);
+  EXPECT_NEAR(ab_left.variance(), ba_left.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(ab_left.min(), ba_left.min());
+  EXPECT_DOUBLE_EQ(ab_left.max(), ba_left.max());
 }
 
 TEST(RunningStatsTest, ToStringMentionsCount) {

@@ -1,0 +1,173 @@
+// Randomized differential test of the SENN correctness core against a
+// brute-force O(n) oracle.
+//
+// Over a few hundred randomized worlds (POI set, peer caches, query point,
+// k) it checks the three exactness contracts the whole system rests on:
+//   * the server's (E)INN answer is exactly the oracle's top-k;
+//   * every kNN_single certain set (Lemmas 3.1/3.2) is a correct,
+//     correctly-ranked prefix of the oracle ranking;
+//   * every kNN_multiple certain set (Lemma 3.8) is such a prefix too;
+//   * the full SENN pipeline returns exactly the oracle's top-k and caches
+//     only certain (oracle-prefix) objects.
+// Peer caches are built the way the system builds them — as exact server
+// answers at the peer's past query location — so the CachedResult invariant
+// holds by construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/multi_peer.h"
+#include "src/core/senn.h"
+#include "src/core/server.h"
+#include "src/core/single_peer.h"
+
+namespace senn::core {
+namespace {
+
+constexpr int kTrials = 220;
+constexpr double kSide = 1000.0;
+
+/// One randomized world, fully determined by (master seed, trial index).
+struct World {
+  std::vector<Poi> pois;
+  std::unique_ptr<SpatialServer> server;
+  std::vector<CachedResult> peer_caches;
+  geom::Vec2 q;
+  int k = 1;
+};
+
+World BuildWorld(int trial) {
+  World w;
+  Rng rng = Rng(0xD1FFu).Stream("oracle-trial", static_cast<uint64_t>(trial));
+  int n = static_cast<int>(rng.UniformInt(1, 80));
+  w.pois.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w.pois.push_back({i, {rng.Uniform(0, kSide), rng.Uniform(0, kSide)}});
+  }
+  w.server = std::make_unique<SpatialServer>(w.pois);
+  w.q = {rng.Uniform(0, kSide), rng.Uniform(0, kSide)};
+  w.k = static_cast<int>(rng.UniformInt(1, 10));
+
+  // Peer caches: exact server answers at random past query locations, with
+  // random sizes — precisely what cache policies 1 and 2 produce. Clustering
+  // half of them near Q makes single/multi-peer certification actually fire.
+  int peers = static_cast<int>(rng.UniformInt(0, 8));
+  for (int p = 0; p < peers; ++p) {
+    geom::Vec2 loc;
+    if (rng.Bernoulli(0.5)) {
+      loc = {w.q.x + rng.Uniform(-80.0, 80.0), w.q.y + rng.Uniform(-80.0, 80.0)};
+    } else {
+      loc = {rng.Uniform(0, kSide), rng.Uniform(0, kSide)};
+    }
+    int size = static_cast<int>(rng.UniformInt(1, 12));
+    CachedResult cached;
+    cached.query_location = loc;
+    cached.neighbors = w.server->QueryKnn(loc, size).neighbors;
+    if (!cached.Empty()) w.peer_caches.push_back(std::move(cached));
+  }
+  return w;
+}
+
+std::vector<RankedPoi> OracleKnn(const std::vector<Poi>& pois, geom::Vec2 q) {
+  std::vector<RankedPoi> ranked;
+  ranked.reserve(pois.size());
+  for (const Poi& p : pois) ranked.push_back({p.id, p.position, geom::Dist(q, p.position)});
+  std::sort(ranked.begin(), ranked.end(), [](const RankedPoi& a, const RankedPoi& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  });
+  return ranked;
+}
+
+void ExpectRankedPrefix(const std::vector<RankedPoi>& prefix,
+                        const std::vector<RankedPoi>& oracle, const char* what, int trial) {
+  ASSERT_LE(prefix.size(), oracle.size()) << what << ", trial " << trial;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    ASSERT_EQ(prefix[i].id, oracle[i].id)
+        << what << ", trial " << trial << ": wrong POI at rank " << i;
+    EXPECT_NEAR(prefix[i].distance, oracle[i].distance, 1e-9)
+        << what << ", trial " << trial << ", rank " << i;
+  }
+}
+
+std::vector<const CachedResult*> CachePointers(const World& w) {
+  std::vector<const CachedResult*> ptrs;
+  for (const CachedResult& c : w.peer_caches) ptrs.push_back(&c);
+  return ptrs;
+}
+
+TEST(OracleDiffTest, ServerKnnMatchesBruteForce) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    ServerReply reply = w.server->QueryKnn(w.q, w.k);
+    size_t expect = std::min<size_t>(static_cast<size_t>(w.k), w.pois.size());
+    ASSERT_EQ(reply.neighbors.size(), expect) << "trial " << trial;
+    ExpectRankedPrefix(reply.neighbors, oracle, "server kNN", trial);
+  }
+}
+
+TEST(OracleDiffTest, SinglePeerCertainSetsAreOraclePrefixes) {
+  int certified_somewhere = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    for (const CachedResult& peer : w.peer_caches) {
+      CandidateHeap heap(w.k);
+      VerifyStats stats = VerifySinglePeer(w.q, peer, &heap);
+      EXPECT_EQ(stats.candidates, static_cast<int>(peer.neighbors.size()));
+      ExpectRankedPrefix(heap.certain(), oracle, "kNN_single certain set", trial);
+      certified_somewhere += heap.certain().empty() ? 0 : 1;
+    }
+  }
+  // The generator must actually exercise Lemma 3.2, not just vacuous cases.
+  EXPECT_GT(certified_somewhere, kTrials / 4);
+}
+
+TEST(OracleDiffTest, MultiPeerCertainSetsAreOraclePrefixes) {
+  int certified = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildWorld(trial);
+    if (w.peer_caches.size() < 2) continue;
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    std::vector<const CachedResult*> peers = CachePointers(w);
+    for (CoverageBackend backend : {CoverageBackend::kExactDisk,
+                                    CoverageBackend::kPolygonized}) {
+      CandidateHeap heap(w.k);
+      MultiPeerOptions options;
+      options.backend = backend;
+      VerifyMultiPeer(w.q, peers, &heap, options);
+      ExpectRankedPrefix(heap.certain(), oracle, "kNN_multiple certain set", trial);
+      certified += heap.certain().empty() ? 0 : 1;
+    }
+  }
+  EXPECT_GT(certified, kTrials / 8);
+}
+
+TEST(OracleDiffTest, SennPipelineMatchesBruteForce) {
+  int peer_answered = 0, server_answered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    SennOptions options;
+    options.server_request_k = std::max(w.k, 10);
+    SennProcessor processor(w.server.get(), options);
+    SennOutcome outcome = processor.Execute(w.q, w.k, CachePointers(w));
+    ASSERT_NE(outcome.resolution, Resolution::kUncertain);
+    size_t expect = std::min<size_t>(static_cast<size_t>(w.k), w.pois.size());
+    ASSERT_EQ(outcome.neighbors.size(), expect) << "trial " << trial;
+    ExpectRankedPrefix(outcome.neighbors, oracle, "SENN answer", trial);
+    // Whatever the host would cache afterwards must be certain, i.e. again
+    // an exact rank prefix (the CachedResult invariant for the next query).
+    ExpectRankedPrefix(outcome.certain_prefix, oracle, "SENN certain prefix", trial);
+    (outcome.resolution == Resolution::kServer ? server_answered : peer_answered) += 1;
+  }
+  // Both resolution families must occur, or the test lost its teeth.
+  EXPECT_GT(peer_answered, 10);
+  EXPECT_GT(server_answered, 10);
+}
+
+}  // namespace
+}  // namespace senn::core

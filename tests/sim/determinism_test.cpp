@@ -1,0 +1,126 @@
+// Determinism regression tests: a simulation run is a pure function of its
+// SimulationConfig (see the RNG stream layout in simulator.h), and the sweep
+// engine preserves that bit-for-bit under any thread count. Results are
+// compared through SimulationResultJson, whose %.17g rendering is round-trip
+// exact — byte-identical JSON iff bit-identical metrics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sweep.h"
+
+namespace senn::sim {
+namespace {
+
+SimulationConfig SmallConfig(Region region, MovementMode mode, uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.params = Table3(region);
+  cfg.mode = mode;
+  cfg.seed = seed;
+  cfg.duration_s = 180.0;
+  cfg.warmup_fraction = 0.25;
+  cfg.time_step_s = 1.0;
+  return cfg;
+}
+
+std::vector<SimulationConfig> SweepConfigs() {
+  // A miniature Figure-9-style grid: both movement modes, two regions, two
+  // transmission ranges.
+  std::vector<SimulationConfig> configs;
+  int i = 0;
+  for (MovementMode mode : {MovementMode::kFreeMovement, MovementMode::kRoadNetwork}) {
+    for (Region region : {Region::kLosAngeles, Region::kRiverside}) {
+      for (double tx : {100.0, 200.0}) {
+        SimulationConfig cfg = SmallConfig(region, mode, 100 + static_cast<uint64_t>(i++));
+        cfg.params.tx_range_m = tx;
+        configs.push_back(cfg);
+      }
+    }
+  }
+  return configs;
+}
+
+TEST(DeterminismTest, SameConfigRunsBitIdentical) {
+  for (MovementMode mode : {MovementMode::kFreeMovement, MovementMode::kRoadNetwork}) {
+    SimulationConfig cfg = SmallConfig(Region::kSyntheticSuburbia, mode, 42);
+    SimulationResult a = Simulator(cfg).Run();
+    SimulationResult b = Simulator(cfg).Run();
+    EXPECT_EQ(SimulationResultJson(a), SimulationResultJson(b));
+    EXPECT_GT(a.measured_queries, 0u);
+  }
+}
+
+TEST(DeterminismTest, SweepIsThreadCountInvariant) {
+  // The acceptance bar of the sweep engine: a 4-thread run of a sweep
+  // produces byte-identical JSON metrics to the 1-thread run, per config.
+  std::vector<SimulationConfig> configs = SweepConfigs();
+  std::vector<SimulationResult> serial = RunConfigs(configs, SweepOptions{1});
+  std::vector<SimulationResult> parallel = RunConfigs(configs, SweepOptions{4});
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(SimulationResultJson(serial[i]), SimulationResultJson(parallel[i]))
+        << "config " << i;
+    EXPECT_GT(serial[i].measured_queries, 0u) << "config " << i;
+  }
+}
+
+TEST(DeterminismTest, SweepResultsIndependentOfBatchComposition) {
+  // A config's result must not depend on what else runs in the same batch.
+  std::vector<SimulationConfig> configs = SweepConfigs();
+  SimulationResult alone = Simulator(configs[3]).Run();
+  std::vector<SimulationResult> batched = RunConfigs(configs, SweepOptions{3});
+  EXPECT_EQ(SimulationResultJson(alone), SimulationResultJson(batched[3]));
+}
+
+TEST(DeterminismTest, SeedShardingIsThreadCountInvariant) {
+  SimulationConfig base = SmallConfig(Region::kLosAngeles, MovementMode::kFreeMovement, 7);
+  SimulationResult serial = RunSeedShards(base, 4, SweepOptions{1});
+  SimulationResult parallel = RunSeedShards(base, 4, SweepOptions{4});
+  EXPECT_EQ(SimulationResultJson(serial), SimulationResultJson(parallel));
+  EXPECT_GT(serial.measured_queries, 0u);
+}
+
+TEST(DeterminismTest, ShardZeroKeepsTheBaseSeed) {
+  SimulationConfig base = SmallConfig(Region::kLosAngeles, MovementMode::kFreeMovement, 11);
+  EXPECT_EQ(ShardConfig(base, 0).seed, base.seed);
+  EXPECT_NE(ShardConfig(base, 1).seed, base.seed);
+  EXPECT_NE(ShardConfig(base, 1).seed, ShardConfig(base, 2).seed);
+}
+
+TEST(DeterminismTest, MergeResultsAggregatesCounters) {
+  SimulationConfig base = SmallConfig(Region::kLosAngeles, MovementMode::kFreeMovement, 13);
+  std::vector<SimulationConfig> shards{ShardConfig(base, 0), ShardConfig(base, 1)};
+  std::vector<SimulationResult> parts = RunConfigs(shards, SweepOptions{2});
+  SimulationResult merged = MergeResults(parts);
+  EXPECT_EQ(merged.measured_queries,
+            parts[0].measured_queries + parts[1].measured_queries);
+  EXPECT_EQ(merged.by_server, parts[0].by_server + parts[1].by_server);
+  EXPECT_EQ(merged.by_single_peer + merged.by_multi_peer + merged.by_server,
+            merged.measured_queries);
+  EXPECT_NEAR(merged.pct_single_peer + merged.pct_multi_peer + merged.pct_server, 100.0,
+              1e-6);
+  EXPECT_DOUBLE_EQ(merged.simulated_seconds,
+                   parts[0].simulated_seconds + parts[1].simulated_seconds);
+  EXPECT_EQ(merged.peers_in_range.count(),
+            parts[0].peers_in_range.count() + parts[1].peers_in_range.count());
+  EXPECT_EQ(merged.einn_pages.count(), merged.by_server);
+}
+
+TEST(DeterminismTest, JsonRendersEveryMetric) {
+  SimulationResult r = Simulator(SmallConfig(Region::kRiverside,
+                                             MovementMode::kFreeMovement, 17)).Run();
+  std::string json = SimulationResultJson(r);
+  for (const char* key : {"measured_queries", "by_single_peer", "by_multi_peer",
+                          "by_server", "pct_server", "einn_pages", "inn_pages",
+                          "peers_in_range", "p2p_messages_per_query",
+                          "p2p_bytes_per_query", "simulated_seconds"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace senn::sim

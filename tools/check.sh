@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repository check gate:
+#   1. regular Release build + the full ctest suite;
+#   2. ThreadSanitizer build of the library + the sim/core test binaries
+#      (sweep-engine races, determinism under real concurrency);
+#   3. (optional, CHECK_ASAN=1) AddressSanitizer pass over the same binaries.
+#
+# Usage: tools/check.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [1/3] Release build + full test suite ==="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "=== [2/3] ThreadSanitizer: sim + core test binaries ==="
+cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target sim_test core_test common_test
+"${PREFIX}-tsan/tests/sim_test"
+"${PREFIX}-tsan/tests/core_test" --gtest_filter='OracleDiffTest.*'
+"${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*'
+
+if [[ "${CHECK_ASAN:-0}" == "1" ]]; then
+  echo "=== [3/3] AddressSanitizer: sim + core test binaries ==="
+  cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${PREFIX}-asan" -j "${JOBS}" --target sim_test core_test
+  "${PREFIX}-asan/tests/sim_test"
+  "${PREFIX}-asan/tests/core_test"
+else
+  echo "=== [3/3] AddressSanitizer pass skipped (set CHECK_ASAN=1 to enable) ==="
+fi
+
+echo "check.sh: all green"

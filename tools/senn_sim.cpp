@@ -13,6 +13,7 @@
 
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
+#include "src/sim/sweep.h"
 #include "src/sim/trace.h"
 
 namespace {
@@ -36,7 +37,11 @@ using namespace senn;
       "  --stationary-fraction            M_Percentage as population split (default: duty cycle)\n"
       "  --no-multi-peer                  disable kNN_multiple (ablation)\n"
       "  --ship-region                    region-aware server protocol (extension)\n"
-      "  --trace FILE                     write a per-query CSV trace\n",
+      "  --shards N                       run N decorrelated seed shards and merge\n"
+      "  --threads N                      sweep-engine workers for the shards\n"
+      "                                   (default 1; 0 = all cores)\n"
+      "  --json                           also print the metrics as one JSON line\n"
+      "  --trace FILE                     write a per-query CSV trace (shard 0 only)\n",
       argv0);
   std::exit(2);
 }
@@ -52,6 +57,8 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   std::string trace_path;
   double tx = -1, cache = -1, speed = -1, k = -1;
+  int shards = 1, threads = 1;
+  bool print_json = false;
 
   auto need = [&](int i) {
     if (i + 1 >= argc) Usage(argv[0]);
@@ -101,6 +108,13 @@ int main(int argc, char** argv) {
       cfg.senn.enable_multi_peer = false;
     } else if (arg == "--ship-region") {
       cfg.senn.ship_region = true;
+    } else if (arg == "--shards") {
+      shards = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+      if (shards < 1) Usage(argv[0]);
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+    } else if (arg == "--json") {
+      print_json = true;
     } else if (arg == "--trace") {
       trace_path = need(i++);
     } else {
@@ -130,11 +144,31 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %10s\n", "Movement mode", sim::MovementModeName(cfg.mode));
   std::printf("  %-22s %10llu\n", "Seed",
               static_cast<unsigned long long>(cfg.seed));
+  if (shards > 1) {
+    std::printf("  %-22s %10d (x%d threads)\n", "Seed shards", shards,
+                sim::ResolveThreads(threads));
+  }
 
-  sim::Simulator simulator(cfg);
+  std::vector<sim::SimulationConfig> shard_cfgs;
+  shard_cfgs.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) shard_cfgs.push_back(sim::ShardConfig(cfg, s));
+
   sim::QueryTrace trace;
-  if (!trace_path.empty()) simulator.AttachTrace(&trace);
-  sim::SimulationResult r = simulator.Run();
+  std::vector<sim::SimulationResult> parts;
+  if (!trace_path.empty()) {
+    // The trace sink is single-threaded; run the traced shard on its own
+    // simulator and the rest on the pool.
+    sim::Simulator traced(shard_cfgs[0]);
+    traced.AttachTrace(&trace);
+    parts.push_back(traced.Run());
+    std::vector<sim::SimulationConfig> rest(shard_cfgs.begin() + 1, shard_cfgs.end());
+    std::vector<sim::SimulationResult> rest_results =
+        sim::RunConfigs(rest, sim::SweepOptions{threads});
+    parts.insert(parts.end(), rest_results.begin(), rest_results.end());
+  } else {
+    parts = sim::RunConfigs(shard_cfgs, sim::SweepOptions{threads});
+  }
+  sim::SimulationResult r = sim::MergeResults(parts);
 
   std::printf("\nresults over %llu measured queries (%.0f simulated seconds):\n",
               static_cast<unsigned long long>(r.measured_queries), r.simulated_seconds);
@@ -148,6 +182,8 @@ int main(int argc, char** argv) {
     std::printf("  pages/server q   %6.2f EINN, %.2f INN\n", r.einn_pages.mean(),
                 r.inn_pages.mean());
   }
+
+  if (print_json) std::printf("json %s\n", sim::SimulationResultJson(r).c_str());
 
   if (!trace_path.empty()) {
     Status s = trace.WriteCsvToFile(trace_path);
