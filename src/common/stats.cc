@@ -6,6 +6,154 @@
 
 namespace senn {
 
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  rate_[0] = 0.0;
+  rate_[1] = q_ / 2.0;
+  rate_[2] = q_;
+  rate_[3] = (1.0 + q_) / 2.0;
+  rate_[4] = 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] = 1.0 + 4.0 * rate_[i];
+}
+
+double P2Quantile::Parabolic(int i, int sign) const {
+  double d = static_cast<double>(sign);
+  return h_[i] + d / (pos_[i + 1] - pos_[i - 1]) *
+                     ((pos_[i] - pos_[i - 1] + d) * (h_[i + 1] - h_[i]) /
+                          (pos_[i + 1] - pos_[i]) +
+                      (pos_[i + 1] - pos_[i] - d) * (h_[i] - h_[i - 1]) /
+                          (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::LinearStep(int i, int sign) const {
+  return h_[i] + static_cast<double>(sign) * (h_[i + sign] - h_[i]) /
+                     (pos_[i + sign] - pos_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    h_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(h_, h_ + 5);
+      for (int i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+  ++count_;
+  int cell;
+  if (x < h_[0]) {
+    h_[0] = x;
+    cell = 0;
+  } else if (x >= h_[4]) {
+    h_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && h_[cell + 1] <= x) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += rate_[i];
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      int sign = d >= 0.0 ? 1 : -1;
+      double hp = Parabolic(i, sign);
+      if (!(h_[i - 1] < hp && hp < h_[i + 1])) hp = LinearStep(i, sign);
+      h_[i] = hp;
+      pos_[i] += static_cast<double>(sign);
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    double sorted[5];
+    std::copy(h_, h_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    double rank = q_ * static_cast<double>(count_ - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, static_cast<size_t>(count_ - 1));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return h_[2];
+}
+
+double P2Quantile::Cdf(double x) const {
+  // Piecewise-linear CDF through the five markers; marker i carries
+  // cumulative probability (pos_[i] - 1) / (count_ - 1).
+  if (x <= h_[0]) return 0.0;
+  if (x >= h_[4]) return 1.0;
+  int i = 0;
+  while (i < 3 && h_[i + 1] < x) ++i;
+  double n1 = static_cast<double>(count_ - 1);
+  double ci = (pos_[i] - 1.0) / n1;
+  double cj = (pos_[i + 1] - 1.0) / n1;
+  if (h_[i + 1] <= h_[i]) return cj;
+  return ci + (cj - ci) * (x - h_[i]) / (h_[i + 1] - h_[i]);
+}
+
+void P2Quantile::Merge(const P2Quantile& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ < 5) {
+    // The other side is still a raw buffer: replay it exactly.
+    for (uint64_t i = 0; i < other.count_; ++i) Add(other.h_[i]);
+    return;
+  }
+  if (count_ < 5) {
+    P2Quantile merged = other;
+    for (uint64_t i = 0; i < count_; ++i) merged.Add(h_[i]);
+    *this = merged;
+    return;
+  }
+  // Both sides have live markers. The merged CDF is the count-weighted
+  // average of the two piecewise-linear CDFs; the new markers are its
+  // inverse at the canonical P2 probabilities {0, q/2, q, (1+q)/2, 1}.
+  const uint64_t total = count_ + other.count_;
+  const double wa = static_cast<double>(count_) / static_cast<double>(total);
+  const double wb = 1.0 - wa;
+  double xs[10];
+  std::copy(h_, h_ + 5, xs);
+  std::copy(other.h_, other.h_ + 5, xs + 5);
+  std::sort(xs, xs + 10);
+  double fm[10];
+  for (int j = 0; j < 10; ++j) fm[j] = wa * Cdf(xs[j]) + wb * other.Cdf(xs[j]);
+  double nh[5];
+  for (int m = 0; m < 5; ++m) {
+    double t = rate_[m];
+    if (t <= fm[0]) {
+      nh[m] = xs[0];
+    } else if (t >= fm[9]) {
+      nh[m] = xs[9];
+    } else {
+      int j = 0;
+      while (j < 9 && fm[j + 1] < t) ++j;
+      nh[m] = fm[j + 1] > fm[j]
+                  ? xs[j] + (xs[j + 1] - xs[j]) * (t - fm[j]) / (fm[j + 1] - fm[j])
+                  : xs[j + 1];
+    }
+    if (m > 0) nh[m] = std::max(nh[m], nh[m - 1]);
+  }
+  count_ = total;
+  std::copy(nh, nh + 5, h_);
+  double n1 = static_cast<double>(total - 1);
+  pos_[0] = 1.0;
+  pos_[4] = static_cast<double>(total);
+  for (int i = 1; i <= 3; ++i) {
+    double want = std::floor(1.0 + n1 * rate_[i] + 0.5);
+    // Keep the ranks strictly increasing (P2's invariant).
+    double lo = pos_[i - 1] + 1.0;
+    double hi = static_cast<double>(total) - static_cast<double>(4 - i);
+    pos_[i] = std::clamp(want, lo, hi);
+  }
+  for (int i = 0; i < 5; ++i) desired_[i] = 1.0 + n1 * rate_[i];
+}
+
 void RunningStats::Add(double x) {
   ++count_;
   sum_ += x;

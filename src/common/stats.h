@@ -8,6 +8,55 @@
 
 namespace senn {
 
+/// Streaming quantile estimator (the P² algorithm of Jain & Chlamtac, CACM
+/// 1985): tracks one quantile of a stream in O(1) memory with five markers
+/// whose heights are adjusted by parabolic interpolation. Used for the
+/// latency percentiles (p50/p95/p99) of the messaging subsystem, where
+/// storing every observation would defeat the streaming metric design.
+///
+/// Merge-compatible like RunningStats: Merge(other) deterministically
+/// combines two estimators over the same quantile by reconstructing the
+/// five markers from the weighted average of both estimators'
+/// piecewise-linear CDFs (counts stay additive). The result is approximate
+/// — as is P² itself — but a pure function of the two operands, so shard
+/// merges stay bit-identical across thread counts.
+class P2Quantile {
+ public:
+  /// Tracks the `q`-quantile, q in [0, 1] (clamped).
+  explicit P2Quantile(double q = 0.5);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Current estimate; exact (interpolated order statistic) below five
+  /// observations, P² marker estimate afterwards. 0 when empty.
+  double value() const;
+
+  /// The tracked quantile (e.g. 0.95).
+  double quantile() const { return q_; }
+  /// Number of observations added so far (additive under Merge).
+  uint64_t count() const { return count_; }
+
+  /// Merges another estimator of the SAME quantile into this one.
+  void Merge(const P2Quantile& other);
+
+ private:
+  double Parabolic(int i, int sign) const;
+  double LinearStep(int i, int sign) const;
+  /// F(x) of the piecewise-linear CDF through the five markers.
+  double Cdf(double x) const;
+
+  double q_;
+  uint64_t count_ = 0;
+  /// Marker heights; below five observations this is the raw sample buffer.
+  double h_[5] = {0, 0, 0, 0, 0};
+  /// Actual marker positions (1-based ranks).
+  double pos_[5] = {1, 2, 3, 4, 5};
+  /// Desired marker positions and their per-observation increments.
+  double desired_[5];
+  double rate_[5];
+};
+
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 class RunningStats {
  public:

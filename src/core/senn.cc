@@ -22,12 +22,8 @@ const char* ResolutionName(Resolution r) {
 SennProcessor::SennProcessor(SpatialServer* server, SennOptions options)
     : server_(server), options_(options) {}
 
-SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
-                                   const std::vector<const CachedResult*>& peer_caches) const {
-  SennOutcome outcome;
-  const int heap_capacity = std::max(k, options_.server_request_k);
-  CandidateHeap heap(heap_capacity);
-
+std::vector<const CachedResult*> SennProcessor::UsablePeers(
+    geom::Vec2 q, const std::vector<const CachedResult*>& peer_caches) const {
   // Heuristic 3.3: consult peers whose cached query locations are closest
   // to Q first.
   std::vector<const CachedResult*> peers;
@@ -40,6 +36,33 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
       return geom::Dist2(q, a->query_location) < geom::Dist2(q, b->query_location);
     });
   }
+  return peers;
+}
+
+bool SennProcessor::ResolvesLocally(
+    geom::Vec2 q, int k, const std::vector<const CachedResult*>& peer_caches) const {
+  const int heap_capacity = std::max(k, options_.server_request_k);
+  CandidateHeap heap(heap_capacity);
+  std::vector<const CachedResult*> peers = UsablePeers(q, peer_caches);
+  for (const CachedResult* peer : peers) {
+    if (options_.early_exit && heap.HasCertain(k)) break;
+    VerifySinglePeer(q, *peer, &heap);
+  }
+  if (heap.HasCertain(k)) return true;
+  if (options_.enable_multi_peer && peers.size() > 1) {
+    VerifyMultiPeer(q, peers, &heap, options_.multi_peer);
+    if (heap.HasCertain(k)) return true;
+  }
+  return options_.accept_uncertain && heap.IsFull();
+}
+
+SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
+                                   const std::vector<const CachedResult*>& peer_caches) const {
+  SennOutcome outcome;
+  const int heap_capacity = std::max(k, options_.server_request_k);
+  CandidateHeap heap(heap_capacity);
+
+  std::vector<const CachedResult*> peers = UsablePeers(q, peer_caches);
 
   // Stage 1: kNN_single over each peer.
   for (const CachedResult* peer : peers) {

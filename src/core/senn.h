@@ -98,9 +98,22 @@ class SennProcessor {
   SennOutcome Execute(geom::Vec2 q, int k,
                       const std::vector<const CachedResult*>& peer_caches) const;
 
+  /// Runs only the peer stages of Algorithm 1 (kNN_single, kNN_multiple —
+  /// never the server) and reports whether the given peer set alone
+  /// certifies a k answer. This is the partial-peer entry point: a caller
+  /// whose harvest was truncated by the wireless channel can ask whether
+  /// the complete peer set would have sufficed (classifying a server
+  /// contact as loss-induced), without charging any page accesses.
+  bool ResolvesLocally(geom::Vec2 q, int k,
+                       const std::vector<const CachedResult*>& peer_caches) const;
+
   const SennOptions& options() const { return options_; }
 
  private:
+  /// Drops null/empty caches and applies the Heuristic 3.3 ordering.
+  std::vector<const CachedResult*> UsablePeers(
+      geom::Vec2 q, const std::vector<const CachedResult*>& peer_caches) const;
+
   SpatialServer* server_;
   SennOptions options_;
 };

@@ -1,0 +1,51 @@
+// Wireless channel model for the P2P messaging subsystem: per-transmission
+// loss and per-link latency, drawn deterministically from a caller-supplied
+// Rng stream so that every exchange is a pure function of (seed, query).
+//
+// The default configuration is the *ideal channel* — zero loss, zero
+// latency — under which the messaging layer degenerates to the original
+// instantaneous-and-lossless peer harvest (and draws nothing from the RNG),
+// preserving historical results bit-for-bit.
+#pragma once
+
+#include "src/common/rng.h"
+
+namespace senn::net {
+
+/// Channel and protocol-timer configuration of one simulated radio
+/// neighborhood.
+struct ChannelConfig {
+  /// Probability that any single transmission (REQ reception at one peer,
+  /// or one REPLY) is lost. 0 = lossless.
+  double loss = 0.0;
+  /// Mean one-way per-link latency in seconds, exponentially distributed
+  /// per transmission. 0 = instantaneous.
+  double latency_mean_s = 0.0;
+  /// How long the querying host collects replies after each broadcast
+  /// before verifying with whatever arrived.
+  double reply_timeout_s = 0.25;
+  /// Rebroadcasts after a completely silent collection round.
+  int max_retries = 2;
+
+  /// True when the channel neither loses nor delays messages; the exchange
+  /// then makes no RNG draws and completes instantaneously.
+  bool Ideal() const { return loss <= 0.0 && latency_mean_s <= 0.0; }
+};
+
+/// One loss draw: true when the transmission is dropped.
+inline bool DrawLost(const ChannelConfig& cfg, Rng* rng) {
+  return cfg.loss > 0.0 && rng->Bernoulli(cfg.loss);
+}
+
+/// One per-link latency draw (seconds).
+inline double DrawLatency(const ChannelConfig& cfg, Rng* rng) {
+  return cfg.latency_mean_s > 0.0 ? rng->Exponential(cfg.latency_mean_s) : 0.0;
+}
+
+/// Round trip to the infrastructure (server) link: same latency model, two
+/// legs, assumed lossless (base stations retransmit below our layer).
+inline double DrawServerRtt(const ChannelConfig& cfg, Rng* rng) {
+  return DrawLatency(cfg, rng) + DrawLatency(cfg, rng);
+}
+
+}  // namespace senn::net

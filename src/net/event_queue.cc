@@ -1,0 +1,29 @@
+#include "src/net/event_queue.h"
+
+#include <algorithm>
+
+namespace senn::net {
+
+bool EventQueue::Later(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+void EventQueue::Schedule(double time, EventKind kind, int payload) {
+  heap_.push_back(Event{time, next_seq_++, kind, payload});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+Event EventQueue::PopNext() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+void EventQueue::Clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace senn::net

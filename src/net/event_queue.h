@@ -1,0 +1,44 @@
+// Deterministic discrete-event queue for the messaging subsystem.
+//
+// Events pop in (time, insertion order) order: ties on the simulated clock
+// resolve FIFO by a monotone sequence number, never by pointer or heap
+// internals, so an exchange replays identically for a given draw sequence —
+// the property the simulator's cross-thread determinism rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace senn::net {
+
+/// What a scheduled event means to the exchange state machine.
+enum class EventKind {
+  kReplyArrival = 0,  // payload = candidate index whose REPLY lands now
+  kDeadline = 1,      // the collection timer for the current round fires
+};
+
+struct Event {
+  double time = 0.0;   // seconds since the query was issued
+  uint64_t seq = 0;    // insertion order; FIFO tie-break
+  EventKind kind = EventKind::kDeadline;
+  int payload = -1;
+};
+
+/// Binary-heap event queue with deterministic ordering.
+class EventQueue {
+ public:
+  void Schedule(double time, EventKind kind, int payload);
+  bool Empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Removes and returns the earliest event (FIFO among equal times).
+  Event PopNext();
+  void Clear();
+
+ private:
+  static bool Later(const Event& a, const Event& b);
+  std::vector<Event> heap_;  // min-heap via std::push_heap with Later
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace senn::net

@@ -1,0 +1,76 @@
+#include "src/net/exchange.h"
+
+#include <algorithm>
+
+#include "src/net/event_queue.h"
+#include "src/net/message.h"
+
+namespace senn::net {
+
+ExchangeResult RunExchange(const ChannelConfig& cfg,
+                           const std::vector<PeerProfile>& peers, Rng* rng) {
+  ExchangeResult res;
+  res.arrived.reserve(peers.size());
+  EventQueue queue;
+  const double timeout = std::max(cfg.reply_timeout_s, 0.0);
+  const int rounds = std::max(0, cfg.max_retries) + 1;
+
+  for (int round = 0; round < rounds; ++round) {
+    const double t0 = static_cast<double>(round) * timeout;
+    res.messages_sent += 1.0;  // the broadcast REQ
+    res.bytes_sent += RequestBytes();
+    queue.Clear();
+    for (size_t i = 0; i < peers.size(); ++i) {
+      // REQ reception at peer i (independent per receiver).
+      if (DrawLost(cfg, rng)) {
+        ++res.transmissions_lost;
+        continue;
+      }
+      const double req_leg = DrawLatency(cfg, rng);
+      // The peer transmits its REPLY whether or not it will survive.
+      res.messages_sent += 1.0;
+      res.bytes_sent += ReplyBytes(peers[i].reply_tuples);
+      if (DrawLost(cfg, rng)) {
+        ++res.transmissions_lost;
+        continue;
+      }
+      const double reply_leg = DrawLatency(cfg, rng);
+      queue.Schedule(t0 + req_leg + reply_leg, EventKind::kReplyArrival,
+                     static_cast<int>(i));
+    }
+    queue.Schedule(t0 + timeout, EventKind::kDeadline, -1);
+
+    size_t collected = 0;
+    double last_arrival = t0;
+    while (!queue.Empty()) {
+      Event e = queue.PopNext();
+      if (e.kind == EventKind::kDeadline) break;
+      res.arrived.push_back(e.payload);
+      ++collected;
+      last_arrival = e.time;
+      if (collected == peers.size()) break;  // full census: resolve early
+    }
+    // Whatever is still queued missed this round's deadline.
+    while (!queue.Empty()) {
+      if (queue.PopNext().kind == EventKind::kReplyArrival) ++res.replies_late;
+    }
+
+    if (collected == peers.size()) {
+      // Every candidate (possibly zero) delivered: resolve at the last
+      // arrival instead of waiting out the timer.
+      res.elapsed_s = last_arrival;
+      return res;
+    }
+    if (collected > 0) {
+      // Partial harvest: the host waited the full round for stragglers.
+      res.elapsed_s = t0 + timeout;
+      return res;
+    }
+    if (round + 1 < rounds) ++res.retries;
+  }
+  // Every round was silent.
+  res.elapsed_s = static_cast<double>(rounds) * timeout;
+  return res;
+}
+
+}  // namespace senn::net

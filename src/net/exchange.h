@@ -1,0 +1,63 @@
+// The per-query P2P exchange state machine: broadcast REQ, collect REPLYs
+// until a deadline, rebroadcast (bounded) after silent rounds, and report
+// which peers' caches actually made it to the querying host — plus the
+// communication bill (messages, bytes, retries, losses, elapsed time).
+//
+// Semantics:
+//  * One broadcast REQ per round; every candidate peer (a reachable host
+//    with a non-empty cache) receives it independently (broadcast over a
+//    lossy medium), loses it with probability `loss`, and otherwise
+//    transmits one REPLY, itself subject to loss and two link-latency
+//    draws (REQ leg + REPLY leg).
+//  * The querying host collects arrivals until the round's deadline
+//    (`reply_timeout_s` after the broadcast). Whatever arrived is the peer
+//    set SENN verifies with — partial harvests are a normal case.
+//  * A completely silent round triggers a rebroadcast at the deadline, up
+//    to `max_retries` times; after the last silent round the query falls
+//    through to the server with zero peers.
+//  * Idealization (documented in EXPERIMENTS.md): when every in-flight
+//    candidate's REPLY has arrived the host resolves immediately instead
+//    of waiting out the timer, so an ideal channel completes at t = 0 and
+//    reproduces the historical instantaneous behavior exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/channel.h"
+
+namespace senn::net {
+
+/// One reachable peer with a non-empty cache (the querying host's own
+/// cache never crosses the air and is not a candidate).
+struct PeerProfile {
+  int32_t id = 0;
+  size_t reply_tuples = 0;  // cached POIs its REPLY would carry
+};
+
+/// Outcome of one exchange.
+struct ExchangeResult {
+  /// Indices into the candidate vector whose replies arrived in time, in
+  /// arrival order (deterministic: FIFO among equal arrival times).
+  std::vector<int> arrived;
+  /// Seconds from the first broadcast until the host stopped collecting.
+  double elapsed_s = 0.0;
+  /// Transmissions put on the air: REQ broadcasts + peer REPLYs.
+  double messages_sent = 0.0;
+  double bytes_sent = 0.0;
+  /// Silent rounds that triggered a rebroadcast.
+  int retries = 0;
+  /// Transmissions the channel dropped (REQ receptions or REPLYs).
+  uint64_t transmissions_lost = 0;
+  /// REPLYs that were transmitted but landed after their round's deadline.
+  uint64_t replies_late = 0;
+};
+
+/// Runs one exchange. Deterministic in (cfg, peers, the rng's state); with
+/// cfg.Ideal() no draws are made and every candidate arrives at t = 0 in
+/// candidate order.
+ExchangeResult RunExchange(const ChannelConfig& cfg,
+                           const std::vector<PeerProfile>& peers, Rng* rng);
+
+}  // namespace senn::net

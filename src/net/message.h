@@ -1,0 +1,36 @@
+// Wire-size model of the P2P messages a SENN query exchanges.
+//
+// Two message kinds cross the air (Section 3.1's protocol sketch): the
+// query broadcast REQ(Q, k) and per-peer REPLY messages carrying the
+// peer's cached result tuples. The byte model is deliberately simple —
+// a fixed header that fits the addresses, the query point, k, and a
+// sequence number, plus a per-POI tuple cost — and matches the accounting
+// the pre-networking simulator used, so an ideal channel reproduces the
+// historical p2p_bytes_per_query metric byte-for-byte.
+#pragma once
+
+#include <cstddef>
+
+namespace senn::net {
+
+enum class MessageKind {
+  kRequest = 0,  // broadcast REQ(Q, k)
+  kReply = 1,    // unicast REPLY(cached tuples)
+};
+
+/// Fixed per-message framing: src/dst ids, query point, k, and sequence
+/// number all ride in the header.
+inline constexpr double kMessageHeaderBytes = 32.0;
+
+/// One POI tuple on the wire: id + two coordinates.
+inline constexpr double kPoiWireBytes = 20.0;
+
+/// REQ(Q, k): header only (the point and k fit in the header).
+inline constexpr double RequestBytes() { return kMessageHeaderBytes; }
+
+/// REPLY carrying `tuples` cached POIs.
+inline constexpr double ReplyBytes(std::size_t tuples) {
+  return kMessageHeaderBytes + kPoiWireBytes * static_cast<double>(tuples);
+}
+
+}  // namespace senn::net

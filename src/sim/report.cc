@@ -95,6 +95,16 @@ std::string SimulationResultJson(const SimulationResult& r) {
   AppendStats(&out, "peers_in_range", r.peers_in_range);
   AppendStats(&out, "p2p_messages_per_query", r.p2p_messages_per_query);
   AppendStats(&out, "p2p_bytes_per_query", r.p2p_bytes_per_query);
+  // Messaging-subsystem metrics (appended after the historical fields so
+  // golden JSON captured before the net/ layer stays a field-wise prefix).
+  AppendStats(&out, "query_latency_s", r.query_latency_s);
+  AppendKv(&out, "latency_p50_s", r.latency_p50.value());
+  AppendKv(&out, "latency_p95_s", r.latency_p95.value());
+  AppendKv(&out, "latency_p99_s", r.latency_p99.value());
+  AppendStats(&out, "retries_per_query", r.retries_per_query);
+  AppendKv(&out, "transmissions_lost", r.transmissions_lost);
+  AppendKv(&out, "replies_missed", r.replies_missed);
+  AppendKv(&out, "loss_induced_server_fallbacks", r.loss_induced_server_fallbacks);
   AppendKv(&out, "simulated_seconds", r.simulated_seconds, false);
   out += "}";
   return out;

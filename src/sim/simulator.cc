@@ -184,33 +184,68 @@ void Simulator::WarmStartCaches() {
   server_->ResetStats();  // priming traffic is not part of the experiment
 }
 
-namespace {
-// Rough wire-size model for the P2P overhead metric.
-constexpr double kMessageHeaderBytes = 32.0;
-constexpr double kPoiWireBytes = 20.0;  // id + 2 coordinates
-}  // namespace
-
 core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
   geom::Vec2 q = host->position();
   neighbor_ids_.clear();
   grid_->QueryRadius(q, config_.params.tx_range_m, &neighbor_ids_);
-  peer_caches_.clear();
-  last_p2p_messages_ = 1.0;  // the query broadcast itself
-  last_p2p_bytes_ = kMessageHeaderBytes;
+
+  // Radio candidates: reachable peers with non-empty caches, in grid scan
+  // order. The querying host's own cache participates ("a mobile host will
+  // first attempt to answer each spatial query from its local cache") but
+  // never crosses the air, so it is not an exchange candidate.
+  candidates_.clear();
+  candidate_caches_.clear();
+  full_caches_.clear();
+  int self_slot = -1;
   for (int32_t id : neighbor_ids_) {
-    // The querying host's own cache participates ("a mobile host will first
-    // attempt to answer each spatial query from its local cache").
     const core::CachedResult* cached = hosts_[static_cast<size_t>(id)]->cache().Get();
-    if (cached != nullptr && !cached->Empty()) {
-      peer_caches_.push_back(cached);
-      if (id != host->id()) {  // the local cache costs no radio traffic
-        last_p2p_messages_ += 1.0;
-        last_p2p_bytes_ += kMessageHeaderBytes +
-                           kPoiWireBytes * static_cast<double>(cached->neighbors.size());
-      }
+    if (cached == nullptr || cached->Empty()) continue;
+    full_caches_.push_back(cached);
+    if (id == host->id()) {
+      self_slot = static_cast<int>(full_caches_.size()) - 1;
+      continue;
     }
+    candidates_.push_back({id, cached->neighbors.size()});
+    candidate_caches_.push_back(cached);
   }
+
+  // Run the wireless exchange: broadcast REQ, collect replies until the
+  // deadline, rebroadcast after silent rounds. Channel draws come from the
+  // query's own named stream, so the run stays a pure function of the seed.
+  Rng net_rng = rng_.Stream("net", query_seq_++);
+  net::ExchangeResult ex = net::RunExchange(config_.channel, candidates_, &net_rng);
+  arrived_.assign(candidates_.size(), 0);
+  for (int idx : ex.arrived) arrived_[static_cast<size_t>(idx)] = 1;
+
+  // Assemble the harvested peer set, preserving grid scan order (what the
+  // pre-networking simulator passed; SENN re-sorts by Heuristic 3.3). A
+  // partial harvest is a normal case — SENN verifies with what arrived.
+  peer_caches_.clear();
+  size_t cursor = 0;
+  for (size_t slot = 0; slot < full_caches_.size(); ++slot) {
+    if (static_cast<int>(slot) == self_slot) {
+      peer_caches_.push_back(full_caches_[slot]);
+      continue;
+    }
+    if (arrived_[cursor++]) peer_caches_.push_back(full_caches_[slot]);
+  }
+
+  last_p2p_messages_ = ex.messages_sent;
+  last_p2p_bytes_ = ex.bytes_sent;
+  last_retries_ = ex.retries;
+  last_transmissions_lost_ = ex.transmissions_lost;
+  last_replies_missed_ = candidates_.size() - ex.arrived.size();
+
   core::SennOutcome outcome = senn_->Execute(q, k, peer_caches_);
+  last_latency_s_ = ex.elapsed_s;
+  if (outcome.resolution == core::Resolution::kServer) {
+    last_latency_s_ += net::DrawServerRtt(config_.channel, &net_rng);
+  }
+  // A server contact is loss-induced when the complete peer set (the ideal
+  // channel's harvest) would have certified the answer locally.
+  last_loss_induced_fallback_ =
+      outcome.resolution == core::Resolution::kServer && last_replies_missed_ > 0 &&
+      senn_->ResolvesLocally(q, k, full_caches_);
   // Cache policy 1: keep the certain neighbors of the most recent query.
   if (!outcome.certain_prefix.empty()) {
     core::CachedResult result;
@@ -272,6 +307,14 @@ SimulationResult Simulator::Run() {
       result.peers_in_range.Add(static_cast<double>(outcome.peers_consulted));
       result.p2p_messages_per_query.Add(last_p2p_messages_);
       result.p2p_bytes_per_query.Add(last_p2p_bytes_);
+      result.query_latency_s.Add(last_latency_s_);
+      result.latency_p50.Add(last_latency_s_);
+      result.latency_p95.Add(last_latency_s_);
+      result.latency_p99.Add(last_latency_s_);
+      result.retries_per_query.Add(static_cast<double>(last_retries_));
+      result.transmissions_lost += last_transmissions_lost_;
+      result.replies_missed += last_replies_missed_;
+      if (last_loss_induced_fallback_) ++result.loss_induced_server_fallbacks;
       switch (outcome.resolution) {
         case core::Resolution::kSinglePeer:
           ++result.by_single_peer;

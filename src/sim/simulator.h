@@ -21,6 +21,7 @@
 //   "host", i     host i's placement, M_Percentage draw, and movement
 //   "warmstart"   warm-start replay order
 //   "workload"    query launch times, querying host, and per-query k
+//   "net", n      channel draws (loss, latency) of the n-th executed query
 // Consequently a run is a pure function of its config: two Run()s with equal
 // configs produce bit-identical SimulationResults, regardless of how many
 // simulations execute concurrently elsewhere in the process (see sim/sweep.h).
@@ -35,6 +36,8 @@
 #include "src/core/senn.h"
 #include "src/core/server.h"
 #include "src/mobility/road_mover.h"
+#include "src/net/channel.h"
+#include "src/net/exchange.h"
 #include "src/mobility/waypoint.h"
 #include "src/roadnet/generator.h"
 #include "src/roadnet/locate.h"
@@ -96,6 +99,13 @@ struct SimulationConfig {
   /// How the server charges R*-tree page accesses (Figure 17 uses
   /// kOnEnqueue; see rtree/knn.h for the two accounting styles).
   rtree::AccessCountMode page_count_mode = rtree::AccessCountMode::kOnExpand;
+
+  /// Wireless channel of the P2P exchange (src/net/). The default is the
+  /// ideal channel — lossless and instantaneous — which reproduces the
+  /// pre-networking simulator bit-for-bit (golden-JSON tested). Warm-start
+  /// priming always runs over an ideal channel: it models the steady state
+  /// already accumulated before the measured window.
+  net::ChannelConfig channel;
 };
 
 /// Aggregated outcome of a run (the quantities Figures 9-17 plot).
@@ -118,11 +128,28 @@ struct SimulationResult {
   RunningStats peers_in_range;
 
   /// P2P communication overhead ("it may increase the communication
-  /// overheads among mobile hosts", Section 2): per query, one broadcast
-  /// plus one reply per peer with a non-empty cache; reply payloads carry
-  /// the cached POIs (kPoiWireBytes each plus kMessageHeaderBytes).
+  /// overheads among mobile hosts", Section 2): per query, broadcasts
+  /// (including rebroadcast retries) plus every reply transmission put on
+  /// the air; reply payloads carry the cached POIs (net::ReplyBytes).
   RunningStats p2p_messages_per_query;
   RunningStats p2p_bytes_per_query;
+
+  /// Query latency over the messaging subsystem: exchange time (reply
+  /// collection, timeouts, retries) plus the server round trip for
+  /// server-resolved queries. All zero on the ideal channel.
+  RunningStats query_latency_s;
+  P2Quantile latency_p50{0.50};
+  P2Quantile latency_p95{0.95};
+  P2Quantile latency_p99{0.99};
+  /// Silent collection rounds that triggered a rebroadcast.
+  RunningStats retries_per_query;
+  /// Transmissions the channel dropped (REQ receptions or replies).
+  uint64_t transmissions_lost = 0;
+  /// Candidate replies that never made any round's deadline (lost or late).
+  uint64_t replies_missed = 0;
+  /// Server contacts that the full peer set would have avoided — the
+  /// channel, not the cache population, forced them.
+  uint64_t loss_induced_server_fallbacks = 0;
 
   double simulated_seconds = 0.0;
 };
@@ -164,11 +191,23 @@ class Simulator {
   std::vector<std::unique_ptr<MobileHost>> hosts_;
   std::unique_ptr<NeighborGrid> grid_;
   QueryTrace* trace_ = nullptr;
+  // Per-query metrics of the most recent ExecuteQuery (read by Run()).
   double last_p2p_messages_ = 0.0;
   double last_p2p_bytes_ = 0.0;
+  double last_latency_s_ = 0.0;
+  int last_retries_ = 0;
+  uint64_t last_transmissions_lost_ = 0;
+  uint64_t last_replies_missed_ = 0;
+  bool last_loss_induced_fallback_ = false;
+  /// Sequence number of the executed query; names its "net" RNG stream.
+  uint64_t query_seq_ = 0;
   // Scratch buffers reused across queries.
   std::vector<int32_t> neighbor_ids_;
   std::vector<const core::CachedResult*> peer_caches_;
+  std::vector<const core::CachedResult*> full_caches_;
+  std::vector<net::PeerProfile> candidates_;
+  std::vector<const core::CachedResult*> candidate_caches_;
+  std::vector<char> arrived_;
 };
 
 }  // namespace senn::sim

@@ -52,6 +52,14 @@ SimulationResult MergeResults(const std::vector<SimulationResult>& parts) {
     merged.peers_in_range.Merge(part.peers_in_range);
     merged.p2p_messages_per_query.Merge(part.p2p_messages_per_query);
     merged.p2p_bytes_per_query.Merge(part.p2p_bytes_per_query);
+    merged.query_latency_s.Merge(part.query_latency_s);
+    merged.latency_p50.Merge(part.latency_p50);
+    merged.latency_p95.Merge(part.latency_p95);
+    merged.latency_p99.Merge(part.latency_p99);
+    merged.retries_per_query.Merge(part.retries_per_query);
+    merged.transmissions_lost += part.transmissions_lost;
+    merged.replies_missed += part.replies_missed;
+    merged.loss_induced_server_fallbacks += part.loss_induced_server_fallbacks;
     merged.simulated_seconds += part.simulated_seconds;
   }
   if (merged.measured_queries > 0) {

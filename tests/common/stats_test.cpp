@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace senn {
@@ -141,6 +142,155 @@ TEST(RunningStatsTest, ToStringMentionsCount) {
   RunningStats s;
   s.Add(1.0);
   EXPECT_NE(s.ToString().find("n=1"), std::string::npos);
+}
+
+// --- P2Quantile (streaming p50/p95/p99 for the messaging latency metrics) ---
+
+// Deterministic LCG so the tests are reproducible without the library Rng.
+double NextUniform(unsigned* state) {
+  *state = *state * 1103515245u + 12345u;
+  return static_cast<double>(*state % 100000u) / 100000.0;
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2QuantileTest, SmallSamplesAreExactOrderStatistics) {
+  P2Quantile median(0.5);
+  median.Add(9.0);
+  median.Add(1.0);
+  median.Add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  P2Quantile max_like(1.0);
+  max_like.Add(2.0);
+  max_like.Add(7.0);
+  EXPECT_DOUBLE_EQ(max_like.value(), 7.0);
+}
+
+TEST(P2QuantileTest, ConstantStreamStaysConstant) {
+  P2Quantile q(0.95);
+  for (int i = 0; i < 1000; ++i) q.Add(3.25);
+  EXPECT_DOUBLE_EQ(q.value(), 3.25);
+  EXPECT_EQ(q.count(), 1000u);
+}
+
+TEST(P2QuantileTest, TracksUniformQuantiles) {
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  unsigned state = 42;
+  for (int i = 0; i < 20000; ++i) {
+    double x = NextUniform(&state);
+    p50.Add(x);
+    p95.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.50, 0.03);
+  EXPECT_NEAR(p95.value(), 0.95, 0.02);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(P2QuantileTest, TracksSkewedDistribution) {
+  // Exponential-ish tail via inverse transform; p2 must follow the tail.
+  P2Quantile p95(0.95);
+  unsigned state = 7;
+  for (int i = 0; i < 20000; ++i) {
+    double u = NextUniform(&state);
+    p95.Add(-std::log(1.0 - 0.99999 * u));  // mean 1 exponential
+  }
+  // True p95 of Exp(1) is -ln(0.05) = 2.9957.
+  EXPECT_NEAR(p95.value(), 2.9957, 0.35);
+}
+
+TEST(P2QuantileTest, MergeIsCountAdditive) {
+  P2Quantile a(0.5), b(0.5);
+  unsigned state = 3;
+  for (int i = 0; i < 1000; ++i) a.Add(NextUniform(&state));
+  for (int i = 0; i < 500; ++i) b.Add(NextUniform(&state));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1500u);
+}
+
+TEST(P2QuantileTest, MergeWithEmptySides) {
+  P2Quantile a(0.5), b(0.5);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) a.Add(x);
+  P2Quantile a_copy = a;
+  a.Merge(b);  // empty right side: unchanged
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_DOUBLE_EQ(a.value(), a_copy.value());
+  b.Merge(a_copy);  // empty left side: adopts the right side
+  EXPECT_EQ(b.count(), 6u);
+  EXPECT_DOUBLE_EQ(b.value(), a_copy.value());
+}
+
+TEST(P2QuantileTest, MergeSmallBufferSidesAreExactReplays) {
+  // A side with fewer than five observations merges by exact replay.
+  P2Quantile a(0.5), b(0.5);
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0}) a.Add(x);
+  b.Add(35.0);
+  b.Add(45.0);
+  P2Quantile replay = a;
+  replay.Add(35.0);
+  replay.Add(45.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), replay.count());
+  EXPECT_DOUBLE_EQ(a.value(), replay.value());
+}
+
+TEST(P2QuantileTest, MergeApproximatesPooledStream) {
+  for (double quant : {0.5, 0.95, 0.99}) {
+    P2Quantile whole(quant), left(quant), right(quant);
+    unsigned state = 11;
+    for (int i = 0; i < 12000; ++i) {
+      double x = NextUniform(&state);
+      whole.Add(x);
+      (i % 3 == 0 ? left : right).Add(x);
+    }
+    left.Merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.value(), whole.value(), 0.05) << "q=" << quant;
+  }
+}
+
+TEST(P2QuantileTest, MergeIsDeterministic) {
+  // Shard merges must be pure functions of the operands (the determinism
+  // guarantee rests on it).
+  auto build = [](unsigned seed, int n) {
+    P2Quantile q(0.95);
+    unsigned state = seed;
+    for (int i = 0; i < n; ++i) q.Add(NextUniform(&state));
+    return q;
+  };
+  P2Quantile m1 = build(5, 3000);
+  m1.Merge(build(9, 2000));
+  P2Quantile m2 = build(5, 3000);
+  m2.Merge(build(9, 2000));
+  EXPECT_EQ(m1.count(), m2.count());
+  EXPECT_DOUBLE_EQ(m1.value(), m2.value());
+}
+
+TEST(P2QuantileTest, DisjointRangeMergeLandsBetween) {
+  // Left shard all-low, right shard all-high: the merged median must sit at
+  // the boundary region, p99 high in the right shard's range.
+  P2Quantile p50(0.5), p99(0.99);
+  P2Quantile lo50(0.5), lo99(0.99), hi50(0.5), hi99(0.99);
+  unsigned state = 23;
+  for (int i = 0; i < 4000; ++i) {
+    double x = NextUniform(&state);
+    lo50.Add(x);
+    lo99.Add(x);
+    double y = 10.0 + NextUniform(&state);
+    hi50.Add(y);
+    hi99.Add(y);
+  }
+  p50.Merge(lo50);
+  p50.Merge(hi50);
+  p99.Merge(lo99);
+  p99.Merge(hi99);
+  EXPECT_GT(p50.value(), 0.8);
+  EXPECT_LT(p50.value(), 10.2);
+  EXPECT_GT(p99.value(), 10.5);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+#include "src/net/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace senn::net {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Schedule(3.0, EventKind::kReplyArrival, 30);
+  q.Schedule(1.0, EventKind::kReplyArrival, 10);
+  q.Schedule(2.0, EventKind::kDeadline, -1);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PopNext().payload, 10);
+  EXPECT_EQ(q.PopNext().kind, EventKind::kDeadline);
+  EXPECT_EQ(q.PopNext().payload, 30);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, EqualTimesPopFifo) {
+  // Determinism hinges on FIFO among ties — never heap internals.
+  EventQueue q;
+  for (int i = 0; i < 16; ++i) q.Schedule(5.0, EventKind::kReplyArrival, i);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(q.PopNext().payload, i) << "tie " << i;
+  }
+}
+
+TEST(EventQueueTest, InterleavedSchedulingKeepsOrder) {
+  EventQueue q;
+  q.Schedule(2.0, EventKind::kReplyArrival, 0);
+  EXPECT_EQ(q.PopNext().payload, 0);
+  q.Schedule(1.0, EventKind::kReplyArrival, 1);
+  q.Schedule(1.0, EventKind::kReplyArrival, 2);
+  q.Schedule(0.5, EventKind::kReplyArrival, 3);
+  EXPECT_EQ(q.PopNext().payload, 3);
+  EXPECT_EQ(q.PopNext().payload, 1);
+  EXPECT_EQ(q.PopNext().payload, 2);
+}
+
+TEST(EventQueueTest, ClearResetsQueueAndSequence) {
+  EventQueue q;
+  q.Schedule(1.0, EventKind::kReplyArrival, 0);
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  q.Schedule(7.0, EventKind::kReplyArrival, 1);
+  Event e = q.PopNext();
+  EXPECT_EQ(e.payload, 1);
+  EXPECT_EQ(e.seq, 0u);  // sequence restarted
+}
+
+}  // namespace
+}  // namespace senn::net

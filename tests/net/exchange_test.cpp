@@ -1,0 +1,161 @@
+#include "src/net/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/message.h"
+
+namespace senn::net {
+namespace {
+
+std::vector<PeerProfile> Peers(std::initializer_list<size_t> tuples) {
+  std::vector<PeerProfile> peers;
+  int32_t id = 100;
+  for (size_t t : tuples) peers.push_back({id++, t});
+  return peers;
+}
+
+TEST(ExchangeTest, IdealChannelDeliversEverythingInstantly) {
+  ChannelConfig cfg;  // defaults: loss 0, latency 0 => ideal
+  ASSERT_TRUE(cfg.Ideal());
+  std::vector<PeerProfile> peers = Peers({3, 10, 1});
+  Rng rng(1);
+  uint64_t before = rng.NextU64();
+  Rng rng2(1);
+  ExchangeResult res = RunExchange(cfg, peers, &rng2);
+  // No draws were made on the ideal channel.
+  EXPECT_EQ(rng2.NextU64(), before);
+  // All three replies arrive, in candidate order, at t = 0.
+  EXPECT_EQ(res.arrived, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(res.elapsed_s, 0.0);
+  EXPECT_EQ(res.retries, 0);
+  EXPECT_EQ(res.transmissions_lost, 0u);
+  EXPECT_EQ(res.replies_late, 0u);
+  // One broadcast + three replies; bytes follow the wire model exactly.
+  EXPECT_DOUBLE_EQ(res.messages_sent, 4.0);
+  EXPECT_DOUBLE_EQ(res.bytes_sent,
+                   RequestBytes() + ReplyBytes(3) + ReplyBytes(10) + ReplyBytes(1));
+}
+
+TEST(ExchangeTest, NoCandidatesResolvesImmediately) {
+  ChannelConfig cfg;
+  cfg.loss = 0.5;
+  cfg.latency_mean_s = 0.05;
+  Rng rng(2);
+  ExchangeResult res = RunExchange(cfg, {}, &rng);
+  EXPECT_TRUE(res.arrived.empty());
+  EXPECT_DOUBLE_EQ(res.elapsed_s, 0.0);
+  EXPECT_DOUBLE_EQ(res.messages_sent, 1.0);  // the lone broadcast
+  EXPECT_DOUBLE_EQ(res.bytes_sent, RequestBytes());
+}
+
+TEST(ExchangeTest, TotalLossExhaustsRetriesAndTimesOut) {
+  ChannelConfig cfg;
+  cfg.loss = 1.0;
+  cfg.reply_timeout_s = 0.2;
+  cfg.max_retries = 3;
+  std::vector<PeerProfile> peers = Peers({4, 4});
+  Rng rng(3);
+  ExchangeResult res = RunExchange(cfg, peers, &rng);
+  EXPECT_TRUE(res.arrived.empty());
+  EXPECT_EQ(res.retries, 3);
+  // 4 rounds, each: one REQ on the air, both receptions dropped, no replies.
+  EXPECT_DOUBLE_EQ(res.messages_sent, 4.0);
+  EXPECT_DOUBLE_EQ(res.bytes_sent, 4.0 * RequestBytes());
+  EXPECT_EQ(res.transmissions_lost, 8u);
+  // The host waited out every round.
+  EXPECT_DOUBLE_EQ(res.elapsed_s, 4.0 * 0.2);
+}
+
+TEST(ExchangeTest, LatencyBeyondDeadlineMeansRepliesArriveLate) {
+  ChannelConfig cfg;
+  cfg.latency_mean_s = 10.0;     // links far slower than the deadline
+  cfg.reply_timeout_s = 0.001;
+  cfg.max_retries = 1;
+  std::vector<PeerProfile> peers = Peers({2, 2, 2});
+  Rng rng(4);
+  ExchangeResult res = RunExchange(cfg, peers, &rng);
+  EXPECT_TRUE(res.arrived.empty());
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_EQ(res.replies_late, 6u);  // 3 peers x 2 rounds, all transmitted, all late
+  EXPECT_DOUBLE_EQ(res.elapsed_s, 2.0 * 0.001);
+}
+
+TEST(ExchangeTest, DeterministicForEqualDrawStreams) {
+  ChannelConfig cfg;
+  cfg.loss = 0.3;
+  cfg.latency_mean_s = 0.02;
+  cfg.reply_timeout_s = 0.1;
+  cfg.max_retries = 2;
+  std::vector<PeerProfile> peers = Peers({1, 2, 3, 4, 5, 6, 7, 8});
+  Rng a(77), b(77);
+  ExchangeResult ra = RunExchange(cfg, peers, &a);
+  ExchangeResult rb = RunExchange(cfg, peers, &b);
+  EXPECT_EQ(ra.arrived, rb.arrived);
+  EXPECT_DOUBLE_EQ(ra.elapsed_s, rb.elapsed_s);
+  EXPECT_DOUBLE_EQ(ra.messages_sent, rb.messages_sent);
+  EXPECT_DOUBLE_EQ(ra.bytes_sent, rb.bytes_sent);
+  EXPECT_EQ(ra.retries, rb.retries);
+  EXPECT_EQ(ra.transmissions_lost, rb.transmissions_lost);
+  EXPECT_EQ(ra.replies_late, rb.replies_late);
+}
+
+TEST(ExchangeTest, PartialHarvestInvariants) {
+  // Over many seeds: arrivals are unique candidate indices, elapsed time is
+  // bounded by the rounds that could have run, and a partial round bills
+  // the full deadline while a full census may resolve earlier.
+  ChannelConfig cfg;
+  cfg.loss = 0.4;
+  cfg.latency_mean_s = 0.01;
+  cfg.reply_timeout_s = 0.08;
+  cfg.max_retries = 2;
+  std::vector<PeerProfile> peers = Peers({3, 3, 3, 3, 3});
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    ExchangeResult res = RunExchange(cfg, peers, &rng);
+    std::set<int> unique(res.arrived.begin(), res.arrived.end());
+    EXPECT_EQ(unique.size(), res.arrived.size()) << "seed " << seed;
+    for (int idx : res.arrived) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, static_cast<int>(peers.size()));
+    }
+    EXPECT_LE(res.elapsed_s, 3.0 * 0.08 + 1e-12) << "seed " << seed;
+    if (res.arrived.size() == peers.size()) {
+      EXPECT_LE(res.elapsed_s, 3.0 * 0.08);
+    } else if (!res.arrived.empty()) {
+      // Partial harvest: the host waited out a full round boundary.
+      double rounds = res.elapsed_s / 0.08;
+      EXPECT_NEAR(rounds, std::round(rounds), 1e-9) << "seed " << seed;
+    }
+    EXPECT_LE(res.retries, 2) << "seed " << seed;
+  }
+}
+
+TEST(ExchangeTest, LossMonotonicallyShrinksExpectedHarvest) {
+  // Averaged over seeds, higher loss must not deliver more replies.
+  ChannelConfig base;
+  base.latency_mean_s = 0.0;
+  base.reply_timeout_s = 0.1;
+  base.max_retries = 1;
+  std::vector<PeerProfile> peers = Peers({2, 2, 2, 2, 2, 2});
+  double prev = 1e9;
+  for (double loss : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    ChannelConfig cfg = base;
+    cfg.loss = loss;
+    double arrived = 0;
+    for (uint64_t seed = 1; seed <= 300; ++seed) {
+      Rng rng(seed);
+      arrived += static_cast<double>(RunExchange(cfg, peers, &rng).arrived.size());
+    }
+    EXPECT_LE(arrived, prev + 1e-9) << "loss " << loss;
+    prev = arrived;
+  }
+}
+
+}  // namespace
+}  // namespace senn::net

@@ -1,0 +1,125 @@
+// End-to-end tests of the lossy/latent channel inside the simulator: the
+// degraded channel must shift load to the server monotonically, populate the
+// latency/retry metrics, and stay bit-identical across sweep thread counts
+// (the "net" RNG stream is keyed per executed query, not per thread).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sweep.h"
+
+namespace senn::sim {
+namespace {
+
+SimulationConfig LossyConfig(double loss, uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.params = Table3(Region::kLosAngeles);
+  cfg.mode = MovementMode::kFreeMovement;
+  cfg.duration_s = 240.0;
+  cfg.seed = seed;
+  cfg.channel.loss = loss;
+  cfg.channel.latency_mean_s = 0.02;
+  cfg.channel.reply_timeout_s = 0.1;
+  cfg.channel.max_retries = 2;
+  return cfg;
+}
+
+TEST(ChannelSimTest, LossShiftsLoadToServerMonotonically) {
+  // The acceptance sweep: loss 0 -> 0.5 must never lower the server share,
+  // and should strictly raise it by the far end.
+  double prev_pct = -1.0;
+  uint64_t prev_fallbacks = 0;
+  for (double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    SimulationResult r = Simulator(LossyConfig(loss, 42)).Run();
+    ASSERT_GT(r.measured_queries, 0u);
+    EXPECT_GE(r.pct_server, prev_pct - 1e-9) << "loss " << loss;
+    EXPECT_GE(r.loss_induced_server_fallbacks, prev_fallbacks) << "loss " << loss;
+    prev_pct = r.pct_server;
+    prev_fallbacks = r.loss_induced_server_fallbacks;
+    if (loss == 0.0) {
+      // Lossless: nothing is dropped, though slow replies may still miss
+      // the collection deadline (latency-induced, not loss-induced).
+      EXPECT_EQ(r.transmissions_lost, 0u);
+    }
+  }
+  SimulationResult ideal = Simulator(LossyConfig(0.0, 42)).Run();
+  SimulationResult harsh = Simulator(LossyConfig(0.5, 42)).Run();
+  EXPECT_GT(harsh.pct_server, ideal.pct_server);
+  EXPECT_GT(harsh.loss_induced_server_fallbacks, 0u);
+  EXPECT_GT(harsh.replies_missed, 0u);
+  EXPECT_GT(harsh.transmissions_lost, 0u);
+}
+
+TEST(ChannelSimTest, LatencyPopulatesQuantilesAndOrdering) {
+  SimulationResult r = Simulator(LossyConfig(0.25, 42)).Run();
+  ASSERT_GT(r.measured_queries, 0u);
+  EXPECT_GT(r.query_latency_s.mean(), 0.0);
+  EXPECT_GT(r.latency_p50.value(), 0.0);
+  // Quantiles are tracked by independent P^2 estimators, so ordering holds
+  // only up to estimation error — allow a few percent of slack.
+  EXPECT_LE(r.latency_p50.value(), r.latency_p95.value() * 1.05);
+  EXPECT_LE(r.latency_p95.value(), r.latency_p99.value() * 1.05);
+  EXPECT_GE(r.latency_p50.value(), r.query_latency_s.min() - 1e-12);
+  EXPECT_LE(r.latency_p99.value(), r.query_latency_s.max() + 1e-12);
+  EXPECT_EQ(r.latency_p50.count(), r.measured_queries);
+  EXPECT_GT(r.retries_per_query.mean(), 0.0);
+}
+
+TEST(ChannelSimTest, LossyRunsAreReproducible) {
+  SimulationConfig cfg = LossyConfig(0.3, 9);
+  EXPECT_EQ(SimulationResultJson(Simulator(cfg).Run()),
+            SimulationResultJson(Simulator(cfg).Run()));
+}
+
+TEST(ChannelSimTest, LossySweepIsThreadCountInvariant) {
+  std::vector<SimulationConfig> configs;
+  for (uint64_t seed : {1, 2, 3, 4}) {
+    configs.push_back(LossyConfig(0.25, seed));
+  }
+  std::vector<SimulationResult> serial = RunConfigs(configs, SweepOptions{1});
+  std::vector<SimulationResult> parallel = RunConfigs(configs, SweepOptions{4});
+  ASSERT_EQ(serial.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(SimulationResultJson(serial[i]), SimulationResultJson(parallel[i]))
+        << "config " << i;
+  }
+}
+
+TEST(ChannelSimTest, MergedShardsAggregateChannelMetrics) {
+  SimulationConfig base = LossyConfig(0.3, 21);
+  std::vector<SimulationConfig> shards{ShardConfig(base, 0), ShardConfig(base, 1),
+                                       ShardConfig(base, 2)};
+  std::vector<SimulationResult> parts = RunConfigs(shards, SweepOptions{3});
+  SimulationResult merged = MergeResults(parts);
+  uint64_t lost = 0, missed = 0, fallbacks = 0, latencies = 0;
+  for (const SimulationResult& p : parts) {
+    lost += p.transmissions_lost;
+    missed += p.replies_missed;
+    fallbacks += p.loss_induced_server_fallbacks;
+    latencies += p.latency_p95.count();
+  }
+  EXPECT_EQ(merged.transmissions_lost, lost);
+  EXPECT_EQ(merged.replies_missed, missed);
+  EXPECT_EQ(merged.loss_induced_server_fallbacks, fallbacks);
+  EXPECT_EQ(merged.latency_p95.count(), latencies);
+  EXPECT_EQ(merged.query_latency_s.count(), merged.measured_queries);
+  // Merging the shards twice must be deterministic.
+  SimulationResult merged2 = MergeResults(parts);
+  EXPECT_EQ(SimulationResultJson(merged), SimulationResultJson(merged2));
+}
+
+TEST(ChannelSimTest, JsonRendersChannelMetrics) {
+  std::string json = SimulationResultJson(Simulator(LossyConfig(0.25, 5)).Run());
+  for (const char* key :
+       {"query_latency_s", "latency_p50_s", "latency_p95_s", "latency_p99_s",
+        "retries_per_query", "transmissions_lost", "replies_missed",
+        "loss_induced_server_fallbacks"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace senn::sim

@@ -36,6 +36,13 @@ std::vector<SimulationConfig> SweepConfigs() {
       for (double tx : {100.0, 200.0}) {
         SimulationConfig cfg = SmallConfig(region, mode, 100 + static_cast<uint64_t>(i++));
         cfg.params.tx_range_m = tx;
+        if (i % 2 == 0) {
+          // Interleave lossy-channel configs so the batch mixes ideal and
+          // degraded runs — the "net" stream must stay per-query either way.
+          cfg.channel.loss = 0.2;
+          cfg.channel.latency_mean_s = 0.02;
+          cfg.channel.reply_timeout_s = 0.1;
+        }
         configs.push_back(cfg);
       }
     }

@@ -1,0 +1,114 @@
+// Golden-JSON regression tests for the ideal channel.
+//
+// The channel model (src/net/) must be a strict extension: with loss = 0 and
+// latency = 0 — the defaults — a simulation reproduces the metrics of the
+// pre-messaging engine byte for byte. The goldens below were captured from
+// that engine (the fields up to and including "simulated_seconds"); new
+// metrics are appended before "simulated_seconds", so each golden must remain
+// a field-wise prefix of today's JSON, verbatim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+namespace {
+
+// senn_sim --mode free --duration 300 --seed 42 --json   (pre-channel build)
+constexpr const char* kGoldenLosAngeles =
+    "{\"measured_queries\":87,\"by_single_peer\":60,\"by_multi_peer\":11,"
+    "\"by_server\":16,\"pct_single_peer\":68.965517241379317,"
+    "\"pct_multi_peer\":12.64367816091954,\"pct_server\":18.390804597701148,"
+    "\"einn_pages\":{\"n\":16,\"mean\":1,\"var\":0,\"sum\":16,\"min\":1,\"max\":1},"
+    "\"inn_pages\":{\"n\":16,\"mean\":1,\"var\":0,\"sum\":16,\"min\":1,\"max\":1},"
+    "\"peers_in_range\":{\"n\":87,\"mean\":8.0919540229885047,"
+    "\"var\":12.619353114140607,\"sum\":704,\"min\":1,\"max\":18},"
+    "\"p2p_messages_per_query\":{\"n\":87,\"mean\":8.0919540229885047,"
+    "\"var\":12.619353114140607,\"sum\":704,\"min\":1,\"max\":18},"
+    "\"p2p_bytes_per_query\":{\"n\":87,\"mean\":1364,\"var\":457143.44186046493,"
+    "\"sum\":118668,\"min\":32,\"max\":3456},\"simulated_seconds\":300}";
+
+// senn_sim --region riverside --mode free --duration 240 --seed 7 --json
+constexpr const char* kGoldenRiverside =
+    "{\"measured_queries\":6,\"by_single_peer\":3,\"by_multi_peer\":0,"
+    "\"by_server\":3,\"pct_single_peer\":50,\"pct_multi_peer\":0,"
+    "\"pct_server\":50,"
+    "\"einn_pages\":{\"n\":3,\"mean\":1,\"var\":0,\"sum\":3,\"min\":1,\"max\":1},"
+    "\"inn_pages\":{\"n\":3,\"mean\":1,\"var\":0,\"sum\":3,\"min\":1,\"max\":1},"
+    "\"peers_in_range\":{\"n\":6,\"mean\":1.6666666666666667,"
+    "\"var\":0.66666666666666663,\"sum\":10,\"min\":1,\"max\":3},"
+    "\"p2p_messages_per_query\":{\"n\":6,\"mean\":1.6666666666666667,"
+    "\"var\":0.66666666666666663,\"sum\":10,\"min\":1,\"max\":3},"
+    "\"p2p_bytes_per_query\":{\"n\":6,\"mean\":116.66666666666666,"
+    "\"var\":10274.666666666666,\"sum\":700,\"min\":32,\"max\":276},"
+    "\"simulated_seconds\":240}";
+
+SimulationConfig GoldenConfig(Region region, double duration_s, uint64_t seed) {
+  // Mirrors what senn_sim builds from the flags above: Table 3 parameters,
+  // free movement, everything else at SimulationConfig defaults.
+  SimulationConfig cfg;
+  cfg.params = Table3(region);
+  cfg.mode = MovementMode::kFreeMovement;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void ExpectGoldenPrefix(const std::string& golden, const std::string& json) {
+  // Historical fields must match byte for byte; the channel metrics are
+  // inserted just before "simulated_seconds", which must still close the
+  // object with the same value.
+  const std::string tail_key = ",\"simulated_seconds\":";
+  size_t split = golden.rfind(tail_key);
+  ASSERT_NE(split, std::string::npos);
+  std::string head = golden.substr(0, split);
+  std::string tail = golden.substr(split);
+  EXPECT_EQ(json.compare(0, head.size(), head), 0)
+      << "historical field prefix diverged:\n golden: " << head
+      << "\n    got: " << json.substr(0, head.size());
+  ASSERT_GE(json.size(), tail.size());
+  EXPECT_EQ(json.compare(json.size() - tail.size(), tail.size(), tail), 0)
+      << "simulated_seconds tail diverged";
+}
+
+TEST(GoldenJsonTest, IdealChannelReproducesLosAngelesGolden) {
+  SimulationConfig cfg = GoldenConfig(Region::kLosAngeles, 300.0, 42);
+  ASSERT_TRUE(cfg.channel.Ideal());
+  ExpectGoldenPrefix(kGoldenLosAngeles, SimulationResultJson(Simulator(cfg).Run()));
+}
+
+TEST(GoldenJsonTest, IdealChannelReproducesRiversideGolden) {
+  SimulationConfig cfg = GoldenConfig(Region::kRiverside, 240.0, 7);
+  ASSERT_TRUE(cfg.channel.Ideal());
+  ExpectGoldenPrefix(kGoldenRiverside, SimulationResultJson(Simulator(cfg).Run()));
+}
+
+TEST(GoldenJsonTest, IdealChannelZeroesTheChannelMetrics) {
+  SimulationConfig cfg = GoldenConfig(Region::kLosAngeles, 300.0, 42);
+  SimulationResult r = Simulator(cfg).Run();
+  EXPECT_DOUBLE_EQ(r.query_latency_s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p50.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p95.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p99.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.retries_per_query.sum(), 0.0);
+  EXPECT_EQ(r.transmissions_lost, 0u);
+  EXPECT_EQ(r.replies_missed, 0u);
+  EXPECT_EQ(r.loss_induced_server_fallbacks, 0u);
+}
+
+TEST(GoldenJsonTest, TimeoutAndRetriesAreInertOnIdealChannel) {
+  // On a lossless zero-latency channel the deadline and retry knobs must not
+  // influence anything: no draws, no waiting, identical JSON.
+  SimulationConfig base = GoldenConfig(Region::kRiverside, 240.0, 7);
+  SimulationConfig tweaked = base;
+  tweaked.channel.reply_timeout_s = 5.0;
+  tweaked.channel.max_retries = 9;
+  ASSERT_TRUE(tweaked.channel.Ideal());
+  EXPECT_EQ(SimulationResultJson(Simulator(base).Run()),
+            SimulationResultJson(Simulator(tweaked).Run()));
+}
+
+}  // namespace
+}  // namespace senn::sim

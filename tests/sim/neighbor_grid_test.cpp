@@ -52,6 +52,89 @@ TEST(NeighborGridTest, PositionsOutsideAreaAreClamped) {
   EXPECT_EQ(out, std::vector<int32_t>{0});
 }
 
+TEST(NeighborGridTest, HostsOnCellBoundariesAreFound) {
+  // Hosts sitting exactly on cell edges and corners must land in exactly one
+  // cell and still be found by radius queries straddling the boundary.
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {100, 100});   // interior corner of four cells
+  grid.Insert(1, {200, 150});   // vertical edge
+  grid.Insert(2, {150, 300});   // horizontal edge
+  grid.Insert(3, {0, 0});       // area corner
+  grid.Insert(4, {1000, 1000});  // far area corner (boundary of last cell)
+  std::vector<int32_t> out;
+  grid.QueryRadius({100, 100}, 0, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  out.clear();
+  grid.QueryRadius({199, 150}, 1, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{1});
+  out.clear();
+  grid.QueryRadius({150, 301}, 1, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{2});
+  out.clear();
+  grid.QueryRadius({0, 0}, 0.5, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{3});
+  out.clear();
+  grid.QueryRadius({1000, 1000}, 0.5, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{4});
+}
+
+TEST(NeighborGridTest, MoveAlongCellBoundaryKeepsHostFindable) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {100, 50});
+  // Slide along the x=100 boundary line, then off it; never lose the host.
+  grid.Move(0, {100, 50}, {100, 100});
+  std::vector<int32_t> out;
+  grid.QueryRadius({100, 100}, 0, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  grid.Move(0, {100, 100}, {100, 199.5});
+  out.clear();
+  grid.QueryRadius({100, 199.5}, 0.25, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  grid.Move(0, {100, 199.5}, {99.9, 199.5});
+  out.clear();
+  grid.QueryRadius({100, 199.5}, 0.25, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+}
+
+TEST(NeighborGridTest, RangeLargerThanWorldSeesEveryone) {
+  // Tx range bigger than the whole area: every host is in range of every
+  // query point, and the scan must not walk cells out of bounds.
+  NeighborGrid grid(500, 100);
+  for (int i = 0; i < 25; ++i) {
+    grid.Insert(i, {static_cast<double>(20 * i), static_cast<double>(499 - 17 * i)});
+  }
+  std::vector<int32_t> out;
+  grid.QueryRadius({250, 250}, 5000, &out);
+  EXPECT_EQ(out.size(), 25u);
+  out.clear();
+  grid.QueryRadius({-1000, 4000}, 50000, &out);  // center far outside too
+  EXPECT_EQ(out.size(), 25u);
+}
+
+TEST(NeighborGridTest, CellSizeLargerThanWorldIsOneCell) {
+  NeighborGrid grid(300, 1000);  // degenerate: a single cell covers everything
+  grid.Insert(0, {10, 10});
+  grid.Insert(1, {290, 290});
+  std::vector<int32_t> out;
+  grid.QueryRadius({10, 10}, 50, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  out.clear();
+  grid.QueryRadius({150, 150}, 500, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(NeighborGridTest, ZeroRangeQueryMatchesOnlyExactPosition) {
+  NeighborGrid grid(1000, 100);
+  grid.Insert(0, {400, 400});
+  grid.Insert(1, {400.0001, 400});
+  std::vector<int32_t> out;
+  grid.QueryRadius({400, 400}, 0, &out);
+  EXPECT_EQ(out, std::vector<int32_t>{0});
+  out.clear();
+  grid.QueryRadius({401, 400}, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(NeighborGridTest, MatchesBruteForceUnderChurn) {
   Rng rng(1);
   NeighborGrid grid(1000, 120);

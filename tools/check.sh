@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Repository check gate:
 #   1. regular Release build + the full ctest suite;
-#   2. ThreadSanitizer build of the library + the sim/core test binaries
+#   2. ThreadSanitizer build of the library + the net/sim/core test binaries
 #      (sweep-engine races, determinism under real concurrency);
-#   3. (optional, CHECK_ASAN=1) AddressSanitizer pass over the same binaries.
+#   3. AddressSanitizer pass over the same binaries.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -17,21 +17,19 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "=== [2/3] ThreadSanitizer: sim + core test binaries ==="
+echo "=== [2/3] ThreadSanitizer: net + sim + core test binaries ==="
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target sim_test core_test common_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test
+"${PREFIX}-tsan/tests/net_test"
 "${PREFIX}-tsan/tests/sim_test"
 "${PREFIX}-tsan/tests/core_test" --gtest_filter='OracleDiffTest.*'
-"${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*'
+"${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*'
 
-if [[ "${CHECK_ASAN:-0}" == "1" ]]; then
-  echo "=== [3/3] AddressSanitizer: sim + core test binaries ==="
-  cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "${PREFIX}-asan" -j "${JOBS}" --target sim_test core_test
-  "${PREFIX}-asan/tests/sim_test"
-  "${PREFIX}-asan/tests/core_test"
-else
-  echo "=== [3/3] AddressSanitizer pass skipped (set CHECK_ASAN=1 to enable) ==="
-fi
+echo "=== [3/3] AddressSanitizer: net + sim + core test binaries ==="
+cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test
+"${PREFIX}-asan/tests/net_test"
+"${PREFIX}-asan/tests/sim_test"
+"${PREFIX}-asan/tests/core_test"
 
 echo "check.sh: all green"

@@ -37,6 +37,10 @@ using namespace senn;
       "  --stationary-fraction            M_Percentage as population split (default: duty cycle)\n"
       "  --no-multi-peer                  disable kNN_multiple (ablation)\n"
       "  --ship-region                    region-aware server protocol (extension)\n"
+      "  --loss P                         per-transmission loss probability (default 0)\n"
+      "  --latency-mean S                 mean one-way link latency seconds (default 0)\n"
+      "  --reply-timeout S                reply collection deadline seconds (default 0.25)\n"
+      "  --retries N                      rebroadcasts after silent rounds (default 2)\n"
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
@@ -108,6 +112,18 @@ int main(int argc, char** argv) {
       cfg.senn.enable_multi_peer = false;
     } else if (arg == "--ship-region") {
       cfg.senn.ship_region = true;
+    } else if (arg == "--loss") {
+      cfg.channel.loss = std::strtod(need(i++), nullptr);
+      if (cfg.channel.loss < 0.0 || cfg.channel.loss > 1.0) Usage(argv[0]);
+    } else if (arg == "--latency-mean") {
+      cfg.channel.latency_mean_s = std::strtod(need(i++), nullptr);
+      if (cfg.channel.latency_mean_s < 0.0) Usage(argv[0]);
+    } else if (arg == "--reply-timeout") {
+      cfg.channel.reply_timeout_s = std::strtod(need(i++), nullptr);
+      if (cfg.channel.reply_timeout_s < 0.0) Usage(argv[0]);
+    } else if (arg == "--retries") {
+      cfg.channel.max_retries = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+      if (cfg.channel.max_retries < 0) Usage(argv[0]);
     } else if (arg == "--shards") {
       shards = static_cast<int>(std::strtol(need(i++), nullptr, 10));
       if (shards < 1) Usage(argv[0]);
@@ -144,6 +160,11 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %10s\n", "Movement mode", sim::MovementModeName(cfg.mode));
   std::printf("  %-22s %10llu\n", "Seed",
               static_cast<unsigned long long>(cfg.seed));
+  if (!cfg.channel.Ideal()) {
+    std::printf("  %-22s loss=%.2f latency=%.0fms timeout=%.0fms retries=%d\n", "Channel",
+                cfg.channel.loss, cfg.channel.latency_mean_s * 1000.0,
+                cfg.channel.reply_timeout_s * 1000.0, cfg.channel.max_retries);
+  }
   if (shards > 1) {
     std::printf("  %-22s %10d (x%d threads)\n", "Seed shards", shards,
                 sim::ResolveThreads(threads));
@@ -178,6 +199,22 @@ int main(int argc, char** argv) {
   std::printf("  peers in range   %6.1f (mean)\n", r.peers_in_range.mean());
   std::printf("  p2p msgs/query   %6.2f   (%.0f bytes)\n", r.p2p_messages_per_query.mean(),
               r.p2p_bytes_per_query.mean());
+  std::printf("  query latency    p50 %.1f ms   p95 %.1f ms   p99 %.1f ms\n",
+              r.latency_p50.value() * 1000.0, r.latency_p95.value() * 1000.0,
+              r.latency_p99.value() * 1000.0);
+  if (r.transmissions_lost > 0 || r.replies_missed > 0 || r.retries_per_query.sum() > 0) {
+    std::printf("  channel          %llu transmissions lost, %llu replies missed, "
+                "%.2f retries/query\n",
+                static_cast<unsigned long long>(r.transmissions_lost),
+                static_cast<unsigned long long>(r.replies_missed),
+                r.retries_per_query.mean());
+    std::printf("  loss-induced server fallbacks %llu (%.1f %% of queries)\n",
+                static_cast<unsigned long long>(r.loss_induced_server_fallbacks),
+                r.measured_queries > 0
+                    ? 100.0 * static_cast<double>(r.loss_induced_server_fallbacks) /
+                          static_cast<double>(r.measured_queries)
+                    : 0.0);
+  }
   if (r.by_server > 0) {
     std::printf("  pages/server q   %6.2f EINN, %.2f INN\n", r.einn_pages.mean(),
                 r.inn_pages.mean());
