@@ -57,6 +57,35 @@ class P2Quantile {
   double rate_[5];
 };
 
+/// Hit/miss tally whose ratio merges exactly across seed shards: Merge sums
+/// the counts and the rate is recomputed from the totals. (Averaging
+/// per-shard rates would weight a 1-access shard like a 10^6-access shard;
+/// the buffer-pool hit rate of the storage engine flows through this.)
+class HitRate {
+ public:
+  void AddHits(uint64_t n) { hits_ += n; }
+  void AddMisses(uint64_t n) { misses_ += n; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t total() const { return hits_ + misses_; }
+  /// hits / (hits + misses); 0 when nothing was recorded.
+  double rate() const {
+    return total() > 0 ? static_cast<double>(hits_) / static_cast<double>(total()) : 0.0;
+  }
+
+  /// Adds the other tally's counts (commutative and associative, so shard
+  /// merges are order-invariant).
+  void Merge(const HitRate& other) {
+    hits_ += other.hits_;
+    misses_ += other.misses_;
+  }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 class RunningStats {
  public:

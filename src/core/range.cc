@@ -24,15 +24,14 @@ RangeProcessor::RangeProcessor(SpatialServer* server, RangeOptions options)
 
 std::vector<RankedPoi> PrunedCircleQuery(const rtree::RStarTree& tree, geom::Vec2 q,
                                          double radius, double inner,
-                                         rtree::AccessCounter* counter) {
+                                         rtree::AccessCounter* counter,
+                                         rtree::NodePageHook* hook) {
   std::vector<RankedPoi> out;
   std::vector<const rtree::RStarTree::Node*> stack{tree.root()};
   while (!stack.empty()) {
     const rtree::RStarTree::Node* node = stack.back();
     stack.pop_back();
-    if (counter != nullptr) {
-      (node->IsLeaf() ? counter->leaf_nodes : counter->index_nodes) += 1;
-    }
+    const bool pinned = rtree::ChargeNodeAccess(node, counter, hook);
     for (const rtree::RStarTree::Slot& s : node->slots) {
       if (node->IsLeaf()) {
         double d = geom::Dist(q, s.object.position);
@@ -48,6 +47,7 @@ std::vector<RankedPoi> PrunedCircleQuery(const rtree::RStarTree& tree, geom::Vec
         stack.push_back(s.child.get());
       }
     }
+    if (pinned) hook->Unpin(node);
   }
   std::sort(out.begin(), out.end(),
             [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });

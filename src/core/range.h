@@ -73,9 +73,13 @@ class RangeProcessor {
 /// Server-side circle query with a "known inner disk" exclusion: returns all
 /// POIs with inner < dist <= radius, pruning subtrees fully inside the inner
 /// disk (MAXDIST < inner) or fully outside the query disk (MINDIST >
-/// radius). Exposed for tests and the server facade.
+/// radius). Exposed for tests and the server facade. When `hook` is set the
+/// scan fetches each visited node through the storage engine (pinning the
+/// page for the duration of the slot scan), and the counter additionally
+/// records physical misses.
 std::vector<RankedPoi> PrunedCircleQuery(const rtree::RStarTree& tree, geom::Vec2 q,
                                          double radius, double inner,
-                                         rtree::AccessCounter* counter = nullptr);
+                                         rtree::AccessCounter* counter = nullptr,
+                                         rtree::NodePageHook* hook = nullptr);
 
 }  // namespace senn::core

@@ -10,7 +10,8 @@
 namespace senn::core {
 
 SpatialServer::SpatialServer(std::vector<Poi> pois, rtree::RStarTree::Options tree_options,
-                             rtree::AccessCountMode count_mode)
+                             rtree::AccessCountMode count_mode,
+                             std::optional<storage::BufferPoolOptions> storage)
     : pois_(std::move(pois)), tree_(tree_options), count_mode_(count_mode) {
   // Static POI sets are packed with STR: tighter leaves and much faster
   // construction than one-at-a-time insertion for county-scale data.
@@ -18,6 +19,9 @@ SpatialServer::SpatialServer(std::vector<Poi> pois, rtree::RStarTree::Options tr
   entries.reserve(pois_.size());
   for (const Poi& poi : pois_) entries.push_back({poi.position, poi.id});
   tree_ = rtree::BulkLoad(std::move(entries), tree_options);
+  if (storage.has_value()) {
+    pager_ = std::make_unique<storage::NodePager>(&tree_, *storage);
+  }
 }
 
 ServerReply SpatialServer::QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds bounds,
@@ -26,8 +30,9 @@ ServerReply SpatialServer::QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds boun
   int needed = k - already_certified;
   if (needed < 0) needed = 0;
 
-  // Answering run: EINN with the client's bounds.
-  rtree::BestFirstNnIterator einn(tree_, q, bounds, count_mode_, k);
+  // Answering run: EINN with the client's bounds, through the storage
+  // engine when one is configured.
+  rtree::BestFirstNnIterator einn(tree_, q, bounds, count_mode_, k, pager_.get());
   while (static_cast<int>(reply.neighbors.size()) < needed) {
     auto n = einn.Next();
     if (!n.has_value()) break;
@@ -83,7 +88,7 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
     return false;
   };
   auto expand = [&](const rtree::RStarTree::Node* node) {
-    (node->IsLeaf() ? reply.einn_accesses.leaf_nodes : reply.einn_accesses.index_nodes) += 1;
+    const bool pinned = rtree::ChargeNodeAccess(node, &reply.einn_accesses, pager_.get());
     for (const rtree::RStarTree::Slot& s : node->slots) {
       if (node->IsLeaf()) {
         double d = geom::Dist(q, s.object.position);
@@ -105,6 +110,7 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
         queue.push({s.mbr.MinDist(q), s.child.get(), {}});
       }
     }
+    if (pinned) pager_->Unpin(node);
   };
   expand(tree_.root());
   while (!queue.empty()) {
@@ -134,7 +140,8 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
 
 ServerReply SpatialServer::QueryRange(geom::Vec2 q, double radius, double inner) {
   ServerReply reply;
-  reply.neighbors = PrunedCircleQuery(tree_, q, radius, inner, &reply.einn_accesses);
+  reply.neighbors =
+      PrunedCircleQuery(tree_, q, radius, inner, &reply.einn_accesses, pager_.get());
   // Comparison run: the same range scan without the client's certain disk.
   PrunedCircleQuery(tree_, q, radius, 0.0, &reply.inn_accesses);
   ++stats_.queries;

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/core/types.h"
@@ -20,6 +22,7 @@
 #include "src/geom/vec2.h"
 #include "src/rtree/knn.h"
 #include "src/rtree/rstar_tree.h"
+#include "src/storage/node_pager.h"
 
 namespace senn::core {
 
@@ -47,9 +50,19 @@ class SpatialServer {
  public:
   /// Builds the R*-tree over the POI set. `tree_options` defaults to the
   /// paper's branching factor of 30.
+  ///
+  /// `storage`, when given, puts a paged storage engine (src/storage/)
+  /// under the tree: every ANSWERING traversal (EINN, the pruned range
+  /// scan) fetches nodes through a buffer pool, so the reply's access
+  /// counters additionally report physical misses. The counterfactual
+  /// comparison runs (plain INN / unpruned range) never touch the pool —
+  /// they are hypothetical work and must neither warm nor thrash the real
+  /// frames — so their miss counters stay zero. Logical access counts are
+  /// identical with and without a pool.
   explicit SpatialServer(std::vector<Poi> pois,
                          rtree::RStarTree::Options tree_options = DefaultTreeOptions(),
-                         rtree::AccessCountMode count_mode = rtree::AccessCountMode::kOnExpand);
+                         rtree::AccessCountMode count_mode = rtree::AccessCountMode::kOnExpand,
+                         std::optional<storage::BufferPoolOptions> storage = std::nullopt);
 
   static rtree::RStarTree::Options DefaultTreeOptions() {
     rtree::RStarTree::Options o;
@@ -90,12 +103,17 @@ class SpatialServer {
   const std::vector<Poi>& pois() const { return pois_; }
   const rtree::RStarTree& tree() const { return tree_; }
   const ServerStats& stats() const { return stats_; }
+  /// The paged storage engine, or null when the server runs in-memory.
+  /// Note ResetStats() clears the query counters but not the pool's
+  /// residency: a warmed pool is the steady state being measured.
+  const storage::NodePager* pager() const { return pager_.get(); }
   void ResetStats() { stats_ = ServerStats{}; }
 
  private:
   std::vector<Poi> pois_;
   rtree::RStarTree tree_;
   rtree::AccessCountMode count_mode_;
+  std::unique_ptr<storage::NodePager> pager_;
   ServerStats stats_;
 };
 

@@ -14,10 +14,8 @@ namespace {
 // distances as a max-heap; prune subtrees whose MINDIST exceeds the current
 // k-th distance.
 void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
-             std::vector<Neighbor>* best, AccessCounter* counter) {
-  if (counter != nullptr) {
-    (node->IsLeaf() ? counter->leaf_nodes : counter->index_nodes) += 1;
-  }
+             std::vector<Neighbor>* best, AccessCounter* counter, NodePageHook* hook) {
+  const bool pinned = ChargeNodeAccess(node, counter, hook);
   auto worst = [&]() {
     return static_cast<int>(best->size()) < k
                ? std::numeric_limits<double>::infinity()
@@ -37,6 +35,7 @@ void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
       best->push_back({s.object, d});
       std::push_heap(best->begin(), best->end(), by_distance);
     }
+    if (pinned) hook->Unpin(node);
     return;
   }
   // Visit children in MINDIST order (the classic heuristic) and prune with
@@ -46,22 +45,25 @@ void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
   for (const RStarTree::Slot& s : node->slots) {
     children.emplace_back(s.mbr.MinDist(query), s.child.get());
   }
+  // The node's slots are fully read into `children`; unpin before recursing
+  // so the depth-first path never holds more than one page pinned.
+  if (pinned) hook->Unpin(node);
   std::sort(children.begin(), children.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [mindist, child] : children) {
     if (mindist >= worst()) break;  // sorted: the rest are no better
-    DfVisit(child, query, k, best, counter);
+    DfVisit(child, query, k, best, counter, hook);
   }
 }
 
 }  // namespace
 
 std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, Vec2 query, int k,
-                                    AccessCounter* counter) {
+                                    AccessCounter* counter, NodePageHook* hook) {
   std::vector<Neighbor> best;  // max-heap by distance
   if (k <= 0) return best;
   best.reserve(static_cast<size_t>(k));
-  DfVisit(tree.root(), query, k, &best, counter);
+  DfVisit(tree.root(), query, k, &best, counter, hook);
   std::sort(best.begin(), best.end(),
             [](const Neighbor& a, const Neighbor& b) { return a.distance < b.distance; });
   return best;
@@ -69,11 +71,16 @@ std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, Vec2 query, int k,
 
 BestFirstNnIterator::BestFirstNnIterator(const RStarTree& tree, Vec2 query,
                                          PruneBounds bounds, AccessCountMode count_mode,
-                                         std::optional<int> prune_to_k)
-    : query_(query), bounds_(bounds), count_mode_(count_mode), prune_to_k_(prune_to_k) {
-  // The root page is always fetched.
-  (tree.root()->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
+                                         std::optional<int> prune_to_k, NodePageHook* hook)
+    : query_(query),
+      bounds_(bounds),
+      count_mode_(count_mode),
+      prune_to_k_(prune_to_k),
+      hook_(hook) {
+  // The root page is always fetched (in both accounting modes).
+  const bool pinned = ChargeNodeAccess(tree.root(), &accesses_, hook_);
   ExpandNode(tree.root());
+  if (pinned) hook_->Unpin(tree.root());
 }
 
 void BestFirstNnIterator::FeedDynamicBound(double distance) {
@@ -96,10 +103,9 @@ double BestFirstNnIterator::EffectiveUpper() const {
 }
 
 void BestFirstNnIterator::ExpandNode(const RStarTree::Node* node) {
-  if (count_mode_ == AccessCountMode::kOnExpand && node->parent != nullptr) {
-    // Reading a node's slots is one page access (root charged at init).
-    (node->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
-  }
+  // Accesses are charged by the caller: the constructor for the root, and
+  // Next() (kOnExpand) or the enqueue site below (kOnEnqueue) otherwise, so
+  // the page stays pinned exactly while the slots are read here.
   for (const RStarTree::Slot& s : node->slots) {
     if (node->IsLeaf()) {
       double d = geom::Dist(query_, s.object.position);
@@ -121,7 +127,11 @@ void BestFirstNnIterator::ExpandNode(const RStarTree::Node* node) {
       // only POIs the client has already verified.
       if (bounds_.lower.has_value() && s.mbr.MaxDist(query_) < *bounds_.lower) continue;
       if (count_mode_ == AccessCountMode::kOnEnqueue) {
-        (s.child->IsLeaf() ? accesses_.leaf_nodes : accesses_.index_nodes) += 1;
+        // Enqueue accounting fetches the child page as it enters the queue;
+        // the pin is transient (expansion later reads the queued copy).
+        if (ChargeNodeAccess(s.child.get(), &accesses_, hook_)) {
+          hook_->Unpin(s.child.get());
+        }
       }
       queue_.push({mindist, s.child.get(), ObjectEntry{}});
     }
@@ -133,16 +143,25 @@ std::optional<Neighbor> BestFirstNnIterator::Next() {
     QueueItem item = queue_.top();
     queue_.pop();
     if (item.node == nullptr) return Neighbor{item.object, item.key};
+    // Only non-root nodes reach the queue, so charging every expansion here
+    // matches the historical "root at init, others on expand" counting.
+    bool pinned = false;
+    if (count_mode_ == AccessCountMode::kOnExpand) {
+      pinned = ChargeNodeAccess(item.node, &accesses_, hook_);
+    }
     ExpandNode(item.node);
+    if (pinned) hook_->Unpin(item.node);
   }
   return std::nullopt;
 }
 
 std::vector<Neighbor> BestFirstKnn(const RStarTree& tree, Vec2 query, int k,
-                                   PruneBounds bounds, AccessCounter* counter) {
+                                   PruneBounds bounds, AccessCounter* counter,
+                                   NodePageHook* hook) {
   std::vector<Neighbor> out;
   if (k <= 0) return out;
-  BestFirstNnIterator it(tree, query, bounds);
+  BestFirstNnIterator it(tree, query, bounds, AccessCountMode::kOnExpand, std::nullopt,
+                         hook);
   out.reserve(static_cast<size_t>(k));
   while (static_cast<int>(out.size()) < k) {
     std::optional<Neighbor> n = it.Next();

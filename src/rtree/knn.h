@@ -65,9 +65,13 @@ struct PruneBounds {
 
 /// Returns the k nearest objects to `query` in ascending distance order
 /// using depth-first branch-and-bound. Counts node accesses into `counter`
-/// when provided. Returns fewer than k when the tree is smaller than k.
+/// when provided; `hook` routes each access through the storage engine
+/// (pages are pinned only while a node's slots are read, so the traversal
+/// needs a single free frame). Returns fewer than k when the tree is
+/// smaller than k.
 std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, geom::Vec2 query, int k,
-                                    AccessCounter* counter = nullptr);
+                                    AccessCounter* counter = nullptr,
+                                    NodePageHook* hook = nullptr);
 
 /// Incremental best-first nearest-neighbor iterator (INN), optionally with
 /// EINN pruning bounds. Next() reports objects in non-decreasing distance.
@@ -85,9 +89,15 @@ class BestFirstNnIterator {
   /// toward the k. Only the first k (minus any lower-bound-known) results
   /// are guaranteed complete; entries already enqueued before the bound
   /// tightened may still be reported afterwards.
+  /// `hook`, when attached, routes every charged access through the paged
+  /// storage engine. In kOnExpand mode the node's page is pinned while its
+  /// slots are read; in kOnEnqueue mode the pin is transient at enqueue
+  /// time (the accounting style fetches a node when it enters the queue,
+  /// and expansion reads the queued copy).
   BestFirstNnIterator(const RStarTree& tree, geom::Vec2 query, PruneBounds bounds = {},
                       AccessCountMode count_mode = AccessCountMode::kOnExpand,
-                      std::optional<int> prune_to_k = std::nullopt);
+                      std::optional<int> prune_to_k = std::nullopt,
+                      NodePageHook* hook = nullptr);
 
   /// Returns the next nearest object, or nullopt when the search space is
   /// exhausted (including exhausted-by-upper-bound).
@@ -116,6 +126,7 @@ class BestFirstNnIterator {
   PruneBounds bounds_;
   AccessCountMode count_mode_;
   std::optional<int> prune_to_k_;
+  NodePageHook* hook_ = nullptr;
   // Max-heap of the best prune_to_k_ object distances discovered so far.
   std::priority_queue<double> best_distances_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> queue_;
@@ -124,6 +135,7 @@ class BestFirstNnIterator {
 
 /// Convenience wrapper: the first k results of the (E)INN iterator.
 std::vector<Neighbor> BestFirstKnn(const RStarTree& tree, geom::Vec2 query, int k,
-                                   PruneBounds bounds = {}, AccessCounter* counter = nullptr);
+                                   PruneBounds bounds = {}, AccessCounter* counter = nullptr,
+                                   NodePageHook* hook = nullptr);
 
 }  // namespace senn::rtree

@@ -366,14 +366,12 @@ void RStarTree::ReinsertSubtree(Slot slot, int level) {
 }
 
 void RStarTree::RangeQuery(const Mbr& box, std::vector<ObjectEntry>* out,
-                           AccessCounter* counter) const {
+                           AccessCounter* counter, NodePageHook* hook) const {
   std::vector<const Node*> stack{root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    if (counter != nullptr) {
-      (node->IsLeaf() ? counter->leaf_nodes : counter->index_nodes) += 1;
-    }
+    const bool pinned = ChargeNodeAccess(node, counter, hook);
     for (const Slot& s : node->slots) {
       if (!box.Intersects(s.mbr)) continue;
       if (node->IsLeaf()) {
@@ -382,15 +380,16 @@ void RStarTree::RangeQuery(const Mbr& box, std::vector<ObjectEntry>* out,
         stack.push_back(s.child.get());
       }
     }
+    if (pinned) hook->Unpin(node);
   }
 }
 
 void RStarTree::CircleQuery(const geom::Circle& circle, std::vector<ObjectEntry>* out,
-                            AccessCounter* counter) const {
+                            AccessCounter* counter, NodePageHook* hook) const {
   Mbr box{{circle.center.x - circle.radius, circle.center.y - circle.radius},
           {circle.center.x + circle.radius, circle.center.y + circle.radius}};
   std::vector<ObjectEntry> candidates;
-  RangeQuery(box, &candidates, counter);
+  RangeQuery(box, &candidates, counter, hook);
   for (const ObjectEntry& o : candidates) {
     if (circle.Contains(o.position)) out->push_back(o);
   }

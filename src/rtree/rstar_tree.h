@@ -30,18 +30,32 @@ struct ObjectEntry {
 
 /// Node (page) access counts, split by node kind. The paper's PAR metric
 /// counts R*-tree node accesses as the predictor of I/O cost.
+///
+/// `index_nodes`/`leaf_nodes` are LOGICAL accesses (every charged node
+/// visit); `index_misses`/`leaf_misses` are the PHYSICAL subset — buffer-
+/// pool misses — which stays zero unless the traversal ran through a paged
+/// storage engine (src/storage/node_pager.h). Logical counts never depend
+/// on the pool, so pre-storage goldens pin them byte-for-byte.
 struct AccessCounter {
   uint64_t index_nodes = 0;
   uint64_t leaf_nodes = 0;
+  uint64_t index_misses = 0;
+  uint64_t leaf_misses = 0;
 
   uint64_t total() const { return index_nodes + leaf_nodes; }
-  void Reset() { index_nodes = leaf_nodes = 0; }
+  uint64_t misses() const { return index_misses + leaf_misses; }
+  uint64_t hits() const { return total() - misses(); }
+  void Reset() { index_nodes = leaf_nodes = index_misses = leaf_misses = 0; }
   AccessCounter& operator+=(const AccessCounter& o) {
     index_nodes += o.index_nodes;
     leaf_nodes += o.leaf_nodes;
+    index_misses += o.index_misses;
+    leaf_misses += o.leaf_misses;
     return *this;
   }
 };
+
+class NodePageHook;  // defined below (needs RStarTree::Node)
 
 /// An R*-tree storing point objects.
 class RStarTree {
@@ -103,13 +117,14 @@ class RStarTree {
   const Node* root() const { return root_.get(); }
 
   /// Appends all objects whose position lies in `box` to `out`. Counts node
-  /// accesses into `counter` when provided.
+  /// accesses into `counter` when provided; routes them through `hook` (the
+  /// storage engine) when attached.
   void RangeQuery(const geom::Mbr& box, std::vector<ObjectEntry>* out,
-                  AccessCounter* counter = nullptr) const;
+                  AccessCounter* counter = nullptr, NodePageHook* hook = nullptr) const;
 
   /// Appends all objects within the closed disk to `out`.
   void CircleQuery(const geom::Circle& circle, std::vector<ObjectEntry>* out,
-                   AccessCounter* counter = nullptr) const;
+                   AccessCounter* counter = nullptr, NodePageHook* hook = nullptr) const;
 
   /// Structural validation for tests: MBR containment, fan-out limits, leaf
   /// depth uniformity, object count. Returns the first violation found.
@@ -136,5 +151,40 @@ class RStarTree {
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
 };
+
+/// Storage-engine hook for tree traversals. When attached, every charged
+/// node access additionally fetches the node's backing page, so a buffer
+/// pool (src/storage/) can model residency, eviction, and physical I/O
+/// under the logical access stream. Implementations must be deterministic
+/// functions of the fetch/unpin sequence.
+class NodePageHook {
+ public:
+  virtual ~NodePageHook() = default;
+  /// Fetches and pins the page backing `node`; returns true when the fetch
+  /// was a physical miss (the page was not resident). Every Fetch is paired
+  /// with exactly one Unpin after the node's slots have been read.
+  virtual bool Fetch(const RStarTree::Node* node) = 0;
+  virtual void Unpin(const RStarTree::Node* node) = 0;
+};
+
+/// Charges one logical access for `node` into `counter` (split by node
+/// kind) and, when `hook` is attached, fetches the backing page and records
+/// the physical miss alongside. Returns true when the hook pinned a page —
+/// the caller must call `hook->Unpin(node)` once it is done reading the
+/// node's slots. Either pointer may be null.
+inline bool ChargeNodeAccess(const RStarTree::Node* node, AccessCounter* counter,
+                             NodePageHook* hook) {
+  const bool miss = hook != nullptr && hook->Fetch(node);
+  if (counter != nullptr) {
+    if (node->IsLeaf()) {
+      counter->leaf_nodes += 1;
+      if (miss) counter->leaf_misses += 1;
+    } else {
+      counter->index_nodes += 1;
+      if (miss) counter->index_misses += 1;
+    }
+  }
+  return hook != nullptr;
+}
 
 }  // namespace senn::rtree

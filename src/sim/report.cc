@@ -105,6 +105,13 @@ std::string SimulationResultJson(const SimulationResult& r) {
   AppendKv(&out, "transmissions_lost", r.transmissions_lost);
   AppendKv(&out, "replies_missed", r.replies_missed);
   AppendKv(&out, "loss_induced_server_fallbacks", r.loss_induced_server_fallbacks);
+  // Storage-engine metrics (appended after the historical fields, same
+  // prefix convention as above; all zero unless paged_storage is on).
+  AppendStats(&out, "einn_miss_pages", r.einn_miss_pages);
+  AppendKv(&out, "buffer_logical_accesses", r.buffer.total());
+  AppendKv(&out, "buffer_hits", r.buffer.hits());
+  AppendKv(&out, "buffer_misses", r.buffer.misses());
+  AppendKv(&out, "buffer_hit_rate", r.buffer.rate());
   AppendKv(&out, "simulated_seconds", r.simulated_seconds, false);
   out += "}";
   return out;

@@ -27,8 +27,10 @@ void Simulator::BuildWorld() {
   for (int i = 0; i < p.poi_number; ++i) {
     pois_.push_back({i, {poi_rng.Uniform(0, side), poi_rng.Uniform(0, side)}});
   }
-  server_ = std::make_unique<core::SpatialServer>(pois_, core::SpatialServer::DefaultTreeOptions(),
-                                                  config_.page_count_mode);
+  server_ = std::make_unique<core::SpatialServer>(
+      pois_, core::SpatialServer::DefaultTreeOptions(), config_.page_count_mode,
+      config_.paged_storage ? std::optional<storage::BufferPoolOptions>(config_.buffer)
+                            : std::nullopt);
   senn_ = std::make_unique<core::SennProcessor>(server_.get(), config_.senn);
 
   // Road network (road mode only).
@@ -331,6 +333,16 @@ SimulationResult Simulator::Run() {
           ++result.by_server;
           result.einn_pages.Add(static_cast<double>(outcome.einn_accesses.total()));
           result.inn_pages.Add(static_cast<double>(outcome.inn_accesses.total()));
+          if (config_.paged_storage) {
+            // Physical (buffer-pool miss) cost of the answering run. The
+            // logical count above is pool-independent; only this differs
+            // across pool sizes and policies.
+            const uint64_t logical = outcome.einn_accesses.total();
+            const uint64_t misses = outcome.einn_accesses.misses();
+            result.einn_miss_pages.Add(static_cast<double>(misses));
+            result.buffer.AddMisses(misses);
+            result.buffer.AddHits(logical - misses);
+          }
           break;
       }
     }

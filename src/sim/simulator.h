@@ -106,6 +106,15 @@ struct SimulationConfig {
   /// priming always runs over an ideal channel: it models the steady state
   /// already accumulated before the measured window.
   net::ChannelConfig channel;
+
+  /// When true the server answers through the paged storage engine
+  /// (src/storage/): EINN traversals fetch R*-tree nodes through a buffer
+  /// pool sized by `buffer`, and the result additionally reports physical
+  /// misses and the pool hit rate. Logical page counts are unchanged — the
+  /// default (off) and an unbounded pool both reproduce the historical
+  /// metrics bit-for-bit (golden-JSON tested).
+  bool paged_storage = false;
+  storage::BufferPoolOptions buffer;
 };
 
 /// Aggregated outcome of a run (the quantities Figures 9-17 plot).
@@ -123,6 +132,14 @@ struct SimulationResult {
   /// R*-tree pages accessed per server-bound query (Figure 17 inputs).
   RunningStats einn_pages;
   RunningStats inn_pages;
+
+  /// Storage-engine metrics (all zero unless `paged_storage` is on).
+  /// Physical (buffer-pool miss) pages per server-bound EINN query; with an
+  /// unbounded pool these are the cold first-touch reads only.
+  RunningStats einn_miss_pages;
+  /// Pool-wide hit/miss tally over the measured window (exact-merging
+  /// across seed shards — counts are summed, the rate is recomputed).
+  HitRate buffer;
 
   /// Peers reachable per query (diagnostic).
   RunningStats peers_in_range;

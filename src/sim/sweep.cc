@@ -60,6 +60,8 @@ SimulationResult MergeResults(const std::vector<SimulationResult>& parts) {
     merged.transmissions_lost += part.transmissions_lost;
     merged.replies_missed += part.replies_missed;
     merged.loss_induced_server_fallbacks += part.loss_induced_server_fallbacks;
+    merged.einn_miss_pages.Merge(part.einn_miss_pages);
+    merged.buffer.Merge(part.buffer);
     merged.simulated_seconds += part.simulated_seconds;
   }
   if (merged.measured_queries > 0) {

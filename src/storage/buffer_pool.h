@@ -1,0 +1,99 @@
+// A buffer pool over fixed-size pages with pin/unpin semantics and
+// pluggable replacement (LRU, CLOCK).
+//
+// Single-threaded by design: the spatial server processes one query at a
+// time per simulation, and the sweep engine isolates whole simulations per
+// worker, so the pool needs no locking (ASan/TSan stages of tools/check.sh
+// run the storage tests to keep this honest).
+//
+// Determinism: eviction decisions depend only on the fetch/unpin sequence —
+// frames are scanned by index, recency is a logical tick counter, and no
+// hash-map iteration order ever reaches a decision — so a simulation with a
+// bounded pool remains a pure function of its config.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/page.h"
+
+namespace senn::storage {
+
+class BufferPool {
+ public:
+  explicit BufferPool(BufferPoolOptions options);
+
+  /// Outcome of a Fetch.
+  struct FetchResult {
+    /// The pinned page frame, or nullptr when the pool is at capacity with
+    /// every frame pinned (nothing is charged in that case).
+    Page* page = nullptr;
+    /// True when the page was not resident: the caller must materialize the
+    /// payload (the simulated disk read).
+    bool miss = false;
+  };
+
+  /// Pins page `id`, faulting it into a frame on a miss. A miss on a full
+  /// pool evicts one unpinned resident page chosen by the replacement
+  /// policy; a freshly loaded frame has a zeroed payload.
+  FetchResult Fetch(PageId id);
+
+  /// Releases one pin of a resident page. Fetch/Unpin calls must pair.
+  void Unpin(PageId id);
+
+  bool Resident(PageId id) const { return table_.find(id) != table_.end(); }
+  /// Pin count of a page (0 when unpinned or not resident).
+  uint32_t PinCount(PageId id) const;
+  size_t resident_pages() const { return table_.size(); }
+  size_t pinned_pages() const;
+
+  const BufferPoolOptions& options() const { return options_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  struct Frame {
+    Page page;
+    uint32_t pins = 0;
+    bool referenced = false;  // CLOCK second-chance bit
+    uint64_t last_use = 0;    // LRU recency (logical fetch tick)
+  };
+  static constexpr size_t kNoFrame = static_cast<size_t>(-1);
+
+  /// Index of the frame to evict, or kNoFrame when every frame is pinned.
+  size_t PickVictim();
+  size_t PickVictimLru() const;
+  size_t PickVictimClock();
+
+  BufferPoolOptions options_;
+  BufferPoolStats stats_;
+  // unique_ptr frames so Page* handed to callers stay stable across growth.
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  size_t clock_hand_ = 0;
+  uint64_t tick_ = 0;
+};
+
+/// RAII pin: fetches on construction, unpins on destruction. `hit()` and
+/// `page()` expose the outcome; a failed fetch leaves page() null.
+class PageGuard {
+ public:
+  PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id), result_(pool->Fetch(id)) {}
+  ~PageGuard() {
+    if (result_.page != nullptr) pool_->Unpin(id_);
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  Page* page() const { return result_.page; }
+  bool miss() const { return result_.miss; }
+
+ private:
+  BufferPool* pool_;
+  PageId id_;
+  BufferPool::FetchResult result_;
+};
+
+}  // namespace senn::storage

@@ -293,5 +293,104 @@ TEST(P2QuantileTest, DisjointRangeMergeLandsBetween) {
   EXPECT_GT(p99.value(), 10.5);
 }
 
+TEST(P2QuantileTest, MergeSingleObservationShard) {
+  // A seed shard that measured exactly one server query is a legal operand;
+  // merging it must behave like appending that one observation.
+  P2Quantile a(0.95), b(0.95);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) a.Add(x);
+  b.Add(4.5);
+  P2Quantile replay = a;
+  replay.Add(4.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 9u);
+  EXPECT_DOUBLE_EQ(a.value(), replay.value());
+}
+
+TEST(P2QuantileTest, MergeAllIdenticalValuesStaysTheConstant) {
+  // Both shards saw only the constant c: every quantile of the pooled
+  // stream is c, and the merged markers must not drift off it.
+  for (double quant : {0.5, 0.95, 0.99}) {
+    P2Quantile a(quant), b(quant);
+    for (int i = 0; i < 100; ++i) a.Add(7.25);
+    for (int i = 0; i < 3; ++i) b.Add(7.25);
+    a.Merge(b);
+    EXPECT_EQ(a.count(), 103u);
+    EXPECT_DOUBLE_EQ(a.value(), 7.25) << "q=" << quant;
+  }
+}
+
+// --- HitRate (buffer-pool hit rate of the storage engine) -------------------
+
+TEST(HitRateTest, EmptyRateIsZero) {
+  HitRate h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.rate(), 0.0);
+}
+
+TEST(HitRateTest, RateIsRecomputedFromTotals) {
+  HitRate h;
+  h.AddHits(3);
+  h.AddMisses(1);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.rate(), 0.75);
+}
+
+TEST(HitRateTest, MergeWithEmptySides) {
+  HitRate a, empty;
+  a.AddHits(10);
+  a.AddMisses(5);
+  a.Merge(empty);  // empty right side: no change
+  EXPECT_EQ(a.hits(), 10u);
+  EXPECT_EQ(a.misses(), 5u);
+  HitRate b;
+  b.Merge(a);  // empty left side: adopts the right side
+  EXPECT_EQ(b.hits(), 10u);
+  EXPECT_DOUBLE_EQ(b.rate(), a.rate());
+}
+
+TEST(HitRateTest, MergeWeightsByCountsNotByRates) {
+  // A 1-access shard (rate 0) against a 999-hit shard: averaging the rates
+  // would give 0.5; summing the counts gives the true pooled rate.
+  HitRate small, large;
+  small.AddMisses(1);
+  large.AddHits(999);
+  small.Merge(large);
+  EXPECT_EQ(small.total(), 1000u);
+  EXPECT_DOUBLE_EQ(small.rate(), 0.999);
+}
+
+TEST(HitRateTest, MergeSingleObservationAndIdenticalValueShards) {
+  HitRate a, b, c;
+  a.AddHits(1);  // single-observation shard
+  b.AddHits(50); // all-identical (all hits)
+  c.AddMisses(50);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.rate(), 1.0);
+  a.Merge(c);
+  EXPECT_EQ(a.total(), 101u);
+  EXPECT_DOUBLE_EQ(a.rate(), 51.0 / 101.0);
+}
+
+TEST(HitRateTest, MergeMatchesSequentialAndIsOrderInvariant) {
+  HitRate seq;
+  seq.AddHits(7);
+  seq.AddMisses(2);
+  seq.AddHits(11);
+  seq.AddMisses(9);
+  HitRate x, y;
+  x.AddHits(7);
+  x.AddMisses(2);
+  y.AddHits(11);
+  y.AddMisses(9);
+  HitRate xy = x, yx = y;
+  xy.Merge(y);
+  yx.Merge(x);
+  EXPECT_EQ(xy.hits(), seq.hits());
+  EXPECT_EQ(xy.misses(), seq.misses());
+  EXPECT_EQ(yx.hits(), seq.hits());
+  EXPECT_EQ(yx.misses(), seq.misses());
+  EXPECT_DOUBLE_EQ(xy.rate(), yx.rate());
+}
+
 }  // namespace
 }  // namespace senn

@@ -5,7 +5,16 @@
 // pre-messaging engine byte for byte. The goldens below were captured from
 // that engine (the fields up to and including "simulated_seconds"); new
 // metrics are appended before "simulated_seconds", so each golden must remain
-// a field-wise prefix of today's JSON, verbatim.
+// a field-wise prefix of today's JSON, verbatim. The same convention covers
+// the storage engine (src/storage/): logical page counts are charged at the
+// historical sites independent of the buffer pool, so paged runs — bounded
+// or unbounded — must also reproduce the prefix.
+//
+// Regenerating (only after an INTENDED metric change — run tools/regen_goldens.sh,
+// which builds senn_sim and replays the two configs):
+//   senn_sim --mode free --duration 300 --seed 42 --json
+//   senn_sim --region riverside --mode free --duration 240 --seed 7 --json
+// Paste each "json " line's historical prefix here.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -108,6 +117,75 @@ TEST(GoldenJsonTest, TimeoutAndRetriesAreInertOnIdealChannel) {
   ASSERT_TRUE(tweaked.channel.Ideal());
   EXPECT_EQ(SimulationResultJson(Simulator(base).Run()),
             SimulationResultJson(Simulator(tweaked).Run()));
+}
+
+TEST(GoldenJsonTest, UnboundedBufferPoolReproducesGoldenPrefix) {
+  // senn_sim ... --buffer-pages unbounded: the storage engine observes the
+  // traversals without changing them, so the historical fields stay byte
+  // identical — for both replacement policies (with no evictions the policy
+  // cannot matter).
+  for (storage::ReplacementPolicy policy :
+       {storage::ReplacementPolicy::kLru, storage::ReplacementPolicy::kClock}) {
+    SimulationConfig cfg = GoldenConfig(Region::kLosAngeles, 300.0, 42);
+    cfg.paged_storage = true;
+    cfg.buffer.capacity_pages = 0;
+    cfg.buffer.policy = policy;
+    SimulationResult r = Simulator(cfg).Run();
+    ExpectGoldenPrefix(kGoldenLosAngeles, SimulationResultJson(r));
+    // Every logical EINN page flows through the pool: the tallies agree.
+    EXPECT_EQ(r.buffer.total(), static_cast<uint64_t>(r.einn_pages.sum()));
+    EXPECT_EQ(static_cast<double>(r.buffer.misses()), r.einn_miss_pages.sum());
+  }
+}
+
+TEST(GoldenJsonTest, BoundedBufferPoolPreservesLogicalMetrics) {
+  // A tiny pool thrashes physically but must not move any historical field.
+  SimulationConfig cfg = GoldenConfig(Region::kRiverside, 240.0, 7);
+  cfg.paged_storage = true;
+  cfg.buffer.capacity_pages = 2;
+  SimulationResult r = Simulator(cfg).Run();
+  std::string json = SimulationResultJson(r);
+  ExpectGoldenPrefix(kGoldenRiverside, json);
+  EXPECT_GE(r.buffer.rate(), 0.0);
+  EXPECT_LE(r.buffer.rate(), 1.0);
+  EXPECT_EQ(r.buffer.total(), r.buffer.hits() + r.buffer.misses());
+  // The new fields are present in the report.
+  EXPECT_NE(json.find("\"einn_miss_pages\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_logical_accesses\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_misses\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_hit_rate\":"), std::string::npos);
+}
+
+TEST(GoldenJsonTest, DefaultRunEmitsZeroBufferMetrics) {
+  SimulationConfig cfg = GoldenConfig(Region::kRiverside, 240.0, 7);
+  ASSERT_FALSE(cfg.paged_storage);
+  SimulationResult r = Simulator(cfg).Run();
+  EXPECT_EQ(r.buffer.total(), 0u);
+  EXPECT_DOUBLE_EQ(r.buffer.rate(), 0.0);
+  EXPECT_EQ(r.einn_miss_pages.count(), 0u);
+  std::string json = SimulationResultJson(r);
+  EXPECT_NE(json.find("\"buffer_logical_accesses\":0,"), std::string::npos);
+  EXPECT_NE(json.find("\"buffer_hit_rate\":0,"), std::string::npos);
+}
+
+TEST(GoldenJsonTest, PagedRunsAreIdenticalUpToPhysicalMisses) {
+  // Pool size is invisible to everything except the three miss-derived
+  // metrics: strip those and the JSON lines must be equal.
+  auto run = [](size_t pages) {
+    SimulationConfig cfg = GoldenConfig(Region::kLosAngeles, 300.0, 42);
+    cfg.paged_storage = true;
+    cfg.buffer.capacity_pages = pages;
+    return SimulationResultJson(Simulator(cfg).Run());
+  };
+  auto strip = [](std::string json) {
+    size_t begin = json.find("\"einn_miss_pages\":");
+    size_t end = json.find("\"simulated_seconds\":");
+    EXPECT_NE(begin, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    return json.substr(0, begin) + json.substr(end);
+  };
+  EXPECT_EQ(strip(run(4)), strip(run(0)));
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// NodePager: the node-to-page mapping and serialization layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rtree/bulk_load.h"
+#include "src/rtree/knn.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/storage/node_pager.h"
+
+namespace senn::storage {
+namespace {
+
+rtree::RStarTree MakeTree(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rtree::ObjectEntry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i});
+  }
+  rtree::RStarTree::Options options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  return rtree::BulkLoad(std::move(entries), options);
+}
+
+void CollectPreorder(const rtree::RStarTree::Node* node,
+                     std::vector<const rtree::RStarTree::Node*>* out) {
+  out->push_back(node);
+  if (node->IsLeaf()) return;
+  for (const rtree::RStarTree::Slot& s : node->slots) CollectPreorder(s.child.get(), out);
+}
+
+TEST(NodePagerTest, PageIdsAreAPureFunctionOfTheTreeShape) {
+  rtree::RStarTree tree = MakeTree(300, 1);
+  NodePager a(&tree, BufferPoolOptions{});
+  NodePager b(&tree, BufferPoolOptions{});
+
+  std::vector<const rtree::RStarTree::Node*> nodes;
+  CollectPreorder(tree.root(), &nodes);
+  ASSERT_EQ(a.page_count(), nodes.size());
+  ASSERT_EQ(b.page_count(), nodes.size());
+  EXPECT_EQ(a.PageOf(tree.root()), PageId{0});
+  for (const rtree::RStarTree::Node* node : nodes) {
+    EXPECT_EQ(a.PageOf(node), b.PageOf(node));
+    EXPECT_LT(a.PageOf(node), nodes.size());
+  }
+}
+
+TEST(NodePagerTest, MaterializedPagesRoundTrip) {
+  rtree::RStarTree tree = MakeTree(200, 2);
+  NodePager pager(&tree, BufferPoolOptions{});
+
+  std::vector<const rtree::RStarTree::Node*> nodes;
+  CollectPreorder(tree.root(), &nodes);
+  for (const rtree::RStarTree::Node* node : nodes) {
+    ASSERT_LE(SerializedNodeBytes(node->slots.size()), kPageSizeBytes);
+    EXPECT_TRUE(pager.Fetch(node)) << "first touch must miss";
+    const Page* page = pager.pool().Fetch(pager.PageOf(node)).page;
+    ASSERT_NE(page, nullptr);
+
+    const PageHeader header = ReadPageHeader(*page);
+    EXPECT_EQ(header.level, static_cast<uint32_t>(node->level));
+    ASSERT_EQ(header.slot_count, node->slots.size());
+    for (size_t i = 0; i < node->slots.size(); ++i) {
+      const rtree::RStarTree::Slot& expected = node->slots[i];
+      const PageSlot got = ReadPageSlot(*page, i);
+      EXPECT_EQ(got.mbr.lo.x, expected.mbr.lo.x);
+      EXPECT_EQ(got.mbr.lo.y, expected.mbr.lo.y);
+      EXPECT_EQ(got.mbr.hi.x, expected.mbr.hi.x);
+      EXPECT_EQ(got.mbr.hi.y, expected.mbr.hi.y);
+      if (node->IsLeaf()) {
+        EXPECT_EQ(got.object_id, expected.object.id);
+        EXPECT_EQ(got.object_x, expected.object.position.x);
+        EXPECT_EQ(got.object_y, expected.object.position.y);
+      } else {
+        EXPECT_EQ(got.child, pager.PageOf(expected.child.get()));
+      }
+    }
+    pager.pool().Unpin(pager.PageOf(node));  // the extra inspection pin
+    pager.Unpin(node);
+  }
+}
+
+TEST(NodePagerTest, UnboundedPoolHitsOnSecondPass) {
+  rtree::RStarTree tree = MakeTree(250, 3);
+  NodePager pager(&tree, BufferPoolOptions{});
+  std::vector<const rtree::RStarTree::Node*> nodes;
+  CollectPreorder(tree.root(), &nodes);
+  for (const rtree::RStarTree::Node* node : nodes) {
+    EXPECT_TRUE(pager.Fetch(node));
+    pager.Unpin(node);
+  }
+  for (const rtree::RStarTree::Node* node : nodes) {
+    EXPECT_FALSE(pager.Fetch(node));
+    pager.Unpin(node);
+  }
+  EXPECT_EQ(pager.pool().stats().misses, nodes.size());
+  EXPECT_EQ(pager.pool().stats().hits, nodes.size());
+  EXPECT_EQ(pager.pool().stats().evictions, 0u);
+}
+
+TEST(NodePagerTest, BoundedCapacityIsClampedToTwoFrames) {
+  rtree::RStarTree tree = MakeTree(100, 4);
+  BufferPoolOptions options;
+  options.capacity_pages = 1;  // below the traversal floor
+  NodePager pager(&tree, options);
+  EXPECT_EQ(pager.pool().options().capacity_pages, 2u);
+  // Unbounded stays unbounded.
+  NodePager unbounded(&tree, BufferPoolOptions{});
+  EXPECT_EQ(unbounded.pool().options().capacity_pages, 0u);
+}
+
+TEST(NodePagerTest, HookedKnnMatchesUnhookedAndOnlyMissesDiffer) {
+  rtree::RStarTree tree = MakeTree(400, 5);
+  NodePager pager(&tree, BufferPoolOptions{});
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    geom::Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const int k = 1 + static_cast<int>(rng.NextIndex(10));
+    rtree::AccessCounter plain, paged;
+    std::vector<rtree::Neighbor> expected = rtree::BestFirstKnn(tree, q, k, {}, &plain);
+    std::vector<rtree::Neighbor> got = rtree::BestFirstKnn(tree, q, k, {}, &paged, &pager);
+    ASSERT_EQ(expected.size(), got.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].object.id, got[i].object.id);
+      EXPECT_EQ(expected[i].distance, got[i].distance);
+    }
+    // Identical logical counts; physical misses bounded by the logical.
+    EXPECT_EQ(plain.total(), paged.total());
+    EXPECT_EQ(plain.misses(), 0u);
+    EXPECT_LE(paged.misses(), paged.total());
+  }
+  // The pool is unbounded: repeating a query touches only pages its first
+  // execution faulted in, so the replay misses nothing.
+  rtree::AccessCounter cold, warm;
+  rtree::BestFirstKnn(tree, {500, 500}, 8, {}, &cold, &pager);
+  rtree::BestFirstKnn(tree, {500, 500}, 8, {}, &warm, &pager);
+  EXPECT_EQ(warm.total(), cold.total());
+  EXPECT_EQ(warm.misses(), 0u);
+  EXPECT_EQ(pager.pool().pinned_pages(), 0u);  // all traversal pins released
+}
+
+}  // namespace
+}  // namespace senn::storage

@@ -1,0 +1,139 @@
+// Metamorphic test for the server under paging: the storage engine is a
+// pure observer of the traversals. Across pool sizes {2, 8, unbounded} and
+// both replacement policies — and against a server with no storage engine
+// at all — every query must return the identical result set with identical
+// LOGICAL page-access counts; only the physical miss counters may differ,
+// and those never exceed the logical count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/server.h"
+#include "src/storage/page.h"
+
+namespace senn::core {
+namespace {
+
+struct ServerVariant {
+  const char* label;
+  std::unique_ptr<SpatialServer> server;
+};
+
+std::vector<ServerVariant> MakeVariants(const std::vector<Poi>& pois,
+                                        rtree::AccessCountMode mode) {
+  auto make = [&](std::optional<storage::BufferPoolOptions> options) {
+    return std::make_unique<SpatialServer>(pois, SpatialServer::DefaultTreeOptions(), mode,
+                                           options);
+  };
+  auto opts = [](size_t pages, storage::ReplacementPolicy policy) {
+    storage::BufferPoolOptions o;
+    o.capacity_pages = pages;
+    o.policy = policy;
+    return o;
+  };
+  std::vector<ServerVariant> variants;
+  variants.push_back({"no-storage", make(std::nullopt)});
+  variants.push_back({"unbounded-lru", make(opts(0, storage::ReplacementPolicy::kLru))});
+  variants.push_back({"2-lru", make(opts(2, storage::ReplacementPolicy::kLru))});
+  variants.push_back({"8-lru", make(opts(8, storage::ReplacementPolicy::kLru))});
+  variants.push_back({"2-clock", make(opts(2, storage::ReplacementPolicy::kClock))});
+  variants.push_back({"8-clock", make(opts(8, storage::ReplacementPolicy::kClock))});
+  return variants;
+}
+
+void ExpectSameAnswer(const ServerReply& expected, const ServerReply& got,
+                      const char* label) {
+  ASSERT_EQ(expected.neighbors.size(), got.neighbors.size()) << label;
+  for (size_t i = 0; i < expected.neighbors.size(); ++i) {
+    EXPECT_EQ(expected.neighbors[i].id, got.neighbors[i].id) << label << " rank " << i;
+    EXPECT_EQ(expected.neighbors[i].distance, got.neighbors[i].distance)
+        << label << " rank " << i;
+  }
+  // The paper's metric: logical accesses are pool-independent.
+  EXPECT_EQ(expected.einn_accesses.total(), got.einn_accesses.total()) << label;
+  EXPECT_EQ(expected.inn_accesses.total(), got.inn_accesses.total()) << label;
+  // Only the physical misses may differ, bounded by the logical count. The
+  // comparison (INN) run bypasses the pool in every variant.
+  EXPECT_LE(got.einn_accesses.misses(), got.einn_accesses.total()) << label;
+  EXPECT_EQ(got.inn_accesses.misses(), 0u) << label;
+}
+
+TEST(PagingMetamorphicTest, ResultsAndLogicalCountsAreIdenticalAcrossPools) {
+  constexpr double kSide = 2000.0;
+  for (uint64_t world = 0; world < 100; ++world) {
+    Rng rng(1000 + world);
+    const int poi_count = 50 + static_cast<int>(rng.NextIndex(351));  // 50..400
+    std::vector<Poi> pois;
+    pois.reserve(static_cast<size_t>(poi_count));
+    for (int i = 0; i < poi_count; ++i) {
+      pois.push_back({i, {rng.Uniform(0, kSide), rng.Uniform(0, kSide)}});
+    }
+    // Alternate the accounting mode: kOnEnqueue holds the expanding node
+    // pinned while fetching each child, so it exercises the two-pin floor
+    // of the capacity-2 pools.
+    const rtree::AccessCountMode mode = world % 2 == 0
+                                            ? rtree::AccessCountMode::kOnExpand
+                                            : rtree::AccessCountMode::kOnEnqueue;
+    std::vector<ServerVariant> variants = MakeVariants(pois, mode);
+
+    // A few kNN queries, some with EINN bounds, plus range queries.
+    for (int trial = 0; trial < 4; ++trial) {
+      geom::Vec2 q{rng.Uniform(0, kSide), rng.Uniform(0, kSide)};
+      const int k = 1 + static_cast<int>(rng.NextIndex(10));
+      rtree::PruneBounds bounds;
+      if (rng.Bernoulli(0.5)) bounds.lower = rng.Uniform(0, kSide / 10.0);
+      if (rng.Bernoulli(0.5)) bounds.upper = rng.Uniform(kSide / 10.0, kSide / 2.0);
+      ServerReply expected = variants[0].server->QueryKnn(q, k, bounds);
+      for (size_t v = 1; v < variants.size(); ++v) {
+        SCOPED_TRACE(testing::Message() << "world " << world << " knn trial " << trial);
+        ServerReply got = variants[v].server->QueryKnn(q, k, bounds);
+        ExpectSameAnswer(expected, got, variants[v].label);
+        if (HasFatalFailure()) return;
+      }
+    }
+    for (int trial = 0; trial < 2; ++trial) {
+      geom::Vec2 q{rng.Uniform(0, kSide), rng.Uniform(0, kSide)};
+      const double radius = rng.Uniform(kSide / 20.0, kSide / 4.0);
+      const double inner = rng.Bernoulli(0.5) ? rng.Uniform(0, radius / 2.0) : 0.0;
+      ServerReply expected = variants[0].server->QueryRange(q, radius, inner);
+      for (size_t v = 1; v < variants.size(); ++v) {
+        SCOPED_TRACE(testing::Message() << "world " << world << " range trial " << trial);
+        ServerReply got = variants[v].server->QueryRange(q, radius, inner);
+        ExpectSameAnswer(expected, got, variants[v].label);
+        if (HasFatalFailure()) return;
+      }
+    }
+
+    // No traversal leaks a pin.
+    for (const ServerVariant& v : variants) {
+      if (v.server->pager() != nullptr) {
+        EXPECT_EQ(v.server->pager()->pool().pinned_pages(), 0u) << v.label;
+      }
+    }
+  }
+}
+
+TEST(PagingMetamorphicTest, UnboundedPoolMissesExactlyThePagesItFirstTouches) {
+  Rng rng(7);
+  std::vector<Poi> pois;
+  for (int i = 0; i < 300; ++i) {
+    pois.push_back({i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}});
+  }
+  SpatialServer server(pois, SpatialServer::DefaultTreeOptions(),
+                       rtree::AccessCountMode::kOnExpand,
+                       storage::BufferPoolOptions{});
+  for (int trial = 0; trial < 30; ++trial) {
+    geom::Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    server.QueryKnn(q, 5);
+  }
+  const storage::BufferPoolStats& st = server.pager()->pool().stats();
+  // Every miss is a distinct page faulted in exactly once.
+  EXPECT_EQ(st.misses, server.pager()->pool().resident_pages());
+  EXPECT_EQ(st.logical, st.hits + st.misses);
+  EXPECT_LE(st.misses, server.pager()->page_count());
+}
+
+}  // namespace
+}  // namespace senn::core

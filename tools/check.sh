@@ -15,21 +15,26 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "=== [1/3] Release build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
+# Quick gate first: the fast tier-1 suites fail in seconds when something is
+# fundamentally broken, before the slow simulation suites spin up.
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "=== [2/3] ThreadSanitizer: net + sim + core test binaries ==="
+echo "=== [2/3] ThreadSanitizer: net + sim + core + storage test binaries ==="
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test
 "${PREFIX}-tsan/tests/net_test"
 "${PREFIX}-tsan/tests/sim_test"
 "${PREFIX}-tsan/tests/core_test" --gtest_filter='OracleDiffTest.*'
-"${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*'
+"${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
+"${PREFIX}-tsan/tests/storage_test"
 
-echo "=== [3/3] AddressSanitizer: net + sim + core test binaries ==="
+echo "=== [3/3] AddressSanitizer: net + sim + core + storage test binaries ==="
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test
 "${PREFIX}-asan/tests/net_test"
 "${PREFIX}-asan/tests/sim_test"
 "${PREFIX}-asan/tests/core_test"
+"${PREFIX}-asan/tests/storage_test"
 
 echo "check.sh: all green"

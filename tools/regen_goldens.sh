@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates the golden JSON lines pinned in tests/sim/golden_json_test.cpp.
+#
+# Run this ONLY after an intended metric change (a new field appended before
+# "simulated_seconds", or a deliberate behavior change) — never to paper over
+# an unexplained diff. The goldens pin the historical field prefix; compare
+# the output below against the constants in the test and update the prefix
+# by hand, keeping the prefix convention intact.
+#
+# Usage: tools/regen_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}" --target senn_sim >/dev/null
+
+echo "# kGoldenLosAngeles  (senn_sim --mode free --duration 300 --seed 42 --json)"
+"${BUILD}/tools/senn_sim" --mode free --duration 300 --seed 42 --json | grep '^json ' | cut -c6-
+
+echo
+echo "# kGoldenRiverside  (senn_sim --region riverside --mode free --duration 240 --seed 7 --json)"
+"${BUILD}/tools/senn_sim" --region riverside --mode free --duration 240 --seed 7 --json | grep '^json ' | cut -c6-

@@ -41,6 +41,9 @@ using namespace senn;
       "  --latency-mean S                 mean one-way link latency seconds (default 0)\n"
       "  --reply-timeout S                reply collection deadline seconds (default 0.25)\n"
       "  --retries N                      rebroadcasts after silent rounds (default 2)\n"
+      "  --buffer-pages N|unbounded       answer through the paged storage engine with an\n"
+      "                                   N-frame buffer pool (unbounded = every page resident)\n"
+      "  --replacement lru|clock          buffer-pool replacement policy (default lru)\n"
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
@@ -124,6 +127,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       cfg.channel.max_retries = static_cast<int>(std::strtol(need(i++), nullptr, 10));
       if (cfg.channel.max_retries < 0) Usage(argv[0]);
+    } else if (arg == "--buffer-pages") {
+      std::string v = need(i++);
+      cfg.paged_storage = true;
+      if (v == "unbounded") {
+        cfg.buffer.capacity_pages = 0;
+      } else {
+        long pages = std::strtol(v.c_str(), nullptr, 10);
+        if (pages < 1) Usage(argv[0]);
+        cfg.buffer.capacity_pages = static_cast<size_t>(pages);
+      }
+    } else if (arg == "--replacement") {
+      std::string v = need(i++);
+      if (v == "lru") {
+        cfg.buffer.policy = storage::ReplacementPolicy::kLru;
+      } else if (v == "clock") {
+        cfg.buffer.policy = storage::ReplacementPolicy::kClock;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--shards") {
       shards = static_cast<int>(std::strtol(need(i++), nullptr, 10));
       if (shards < 1) Usage(argv[0]);
@@ -168,6 +190,15 @@ int main(int argc, char** argv) {
   if (shards > 1) {
     std::printf("  %-22s %10d (x%d threads)\n", "Seed shards", shards,
                 sim::ResolveThreads(threads));
+  }
+  if (cfg.paged_storage) {
+    if (cfg.buffer.capacity_pages == 0) {
+      std::printf("  %-22s  unbounded (%s)\n", "Buffer pool",
+                  storage::ReplacementPolicyName(cfg.buffer.policy));
+    } else {
+      std::printf("  %-22s %10zu pages (%s)\n", "Buffer pool", cfg.buffer.capacity_pages,
+                  storage::ReplacementPolicyName(cfg.buffer.policy));
+    }
   }
 
   std::vector<sim::SimulationConfig> shard_cfgs;
@@ -218,6 +249,13 @@ int main(int argc, char** argv) {
   if (r.by_server > 0) {
     std::printf("  pages/server q   %6.2f EINN, %.2f INN\n", r.einn_pages.mean(),
                 r.inn_pages.mean());
+  }
+  if (cfg.paged_storage && r.buffer.total() > 0) {
+    std::printf("  buffer pool      %6.1f %% hit rate (%llu hits / %llu accesses), "
+                "%.2f miss pages/server q\n",
+                100.0 * r.buffer.rate(), static_cast<unsigned long long>(r.buffer.hits()),
+                static_cast<unsigned long long>(r.buffer.total()),
+                r.einn_miss_pages.mean());
   }
 
   if (print_json) std::printf("json %s\n", sim::SimulationResultJson(r).c_str());
