@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/paranoid.h"
+
 namespace senn::core {
 
 namespace {
 
-bool ByDistance(const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; }
-
+// Both lists are sorted by the system (distance, id) rank order. Sorting by
+// distance alone would leave co-distant entries in insertion order, so the
+// heap layout — and through it the certified ranks — would depend on which
+// peer happened to answer first.
 void InsertSorted(std::vector<RankedPoi>* v, const RankedPoi& poi) {
-  v->insert(std::upper_bound(v->begin(), v->end(), poi, ByDistance), poi);
+  v->insert(std::upper_bound(v->begin(), v->end(), poi,
+                             [](const RankedPoi& a, const RankedPoi& b) {
+                               return RanksBefore(a, b);
+                             }),
+            poi);
 }
 
 bool ContainsId(const std::vector<RankedPoi>& v, PoiId id) {
@@ -46,7 +54,21 @@ bool CandidateHeap::Contains(PoiId id) const {
 }
 
 void CandidateHeap::InsertCertain(const RankedPoi& poi) {
-  if (ContainsId(certain_, poi.id)) return;
+  auto existing = std::find_if(certain_.begin(), certain_.end(),
+                               [&](const RankedPoi& p) { return p.id == poi.id; });
+  if (existing != certain_.end()) {
+    // Re-sighting of an already-certain id: peers measured the same POI
+    // from the same query point, but a fresher (or better-positioned) cache
+    // can report a smaller distance. Keep the minimum-distance sighting —
+    // dropping the better one would inflate the lower bound shipped to the
+    // server.
+    if (!RanksBefore(poi, *existing)) return;
+    certain_.erase(existing);
+    InsertSorted(&certain_, poi);
+    SENN_PARANOID_CHECK(static_cast<int>(certain_.size()) <= capacity_,
+                        "certain list within capacity");
+    return;
+  }
   // A certain discovery supersedes an uncertain sighting of the same POI.
   uncertain_.erase(
       std::remove_if(uncertain_.begin(), uncertain_.end(),
@@ -58,7 +80,7 @@ void CandidateHeap::InsertCertain(const RankedPoi& poi) {
     // certain set. The union of certified sets is always a rank prefix
     // (DESIGN.md section 6), so keeping the closest `capacity` preserves
     // exact ranks.
-    if (poi.distance >= certain_.back().distance) return;
+    if (!RanksBefore(poi, certain_.back())) return;
     certain_.pop_back();
   }
   InsertSorted(&certain_, poi);
@@ -71,7 +93,7 @@ void CandidateHeap::InsertUncertain(const RankedPoi& poi) {
   if (Contains(poi.id)) return;
   if (static_cast<int>(certain_.size()) >= capacity_) return;
   if (IsFull()) {
-    if (uncertain_.empty() || poi.distance >= uncertain_.back().distance) return;
+    if (uncertain_.empty() || !RanksBefore(poi, uncertain_.back())) return;
     uncertain_.pop_back();
   }
   InsertSorted(&uncertain_, poi);
@@ -96,6 +118,7 @@ rtree::PruneBounds CandidateHeap::ComputeBounds() const {
     case HeapState::kSolved:
     case HeapState::kFullMixed: {
       bounds.lower = certain_.back().distance;
+      bounds.lower_id_cut = certain_.back().id;
       double last = certain_.back().distance;
       if (!uncertain_.empty()) last = std::max(last, uncertain_.back().distance);
       bounds.upper = last;
@@ -107,12 +130,38 @@ rtree::PruneBounds CandidateHeap::ComputeBounds() const {
     case HeapState::kPartialMixed:
     case HeapState::kPartialCertainOnly:
       bounds.lower = certain_.back().distance;
+      bounds.lower_id_cut = certain_.back().id;
       break;
     case HeapState::kPartialUncertainOnly:
     case HeapState::kEmpty:
       break;
   }
+  SENN_PARANOID_CHECK(
+      !bounds.lower.has_value() || !bounds.upper.has_value() || *bounds.lower <= *bounds.upper,
+      "ComputeBounds lower <= upper");
   return bounds;
+}
+
+void CandidateHeap::AssertInvariants() const {
+#if SENN_PARANOID_ENABLED
+  auto check_list = [this](const std::vector<RankedPoi>& v) {
+    for (size_t i = 1; i < v.size(); ++i) {
+      SENN_PARANOID_CHECK(RanksBefore(v[i - 1], v[i]), "list sorted by (distance, id)");
+    }
+    for (const RankedPoi& p : v) {
+      SENN_PARANOID_CHECK(p.distance >= 0.0, "non-negative distance");
+    }
+  };
+  check_list(certain_);
+  check_list(uncertain_);
+  for (const RankedPoi& p : certain_) {
+    SENN_PARANOID_CHECK(!ContainsId(uncertain_, p.id), "certain/uncertain ids disjoint");
+  }
+  SENN_PARANOID_CHECK(static_cast<int>(certain_.size()) <= capacity_,
+                      "certain list within capacity");
+  SENN_PARANOID_CHECK(uncertain_.empty() || size() <= capacity_,
+                      "uncertain entries only while heap within capacity");
+#endif
 }
 
 }  // namespace senn::core

@@ -74,6 +74,11 @@ class CandidateHeap {
   /// True iff a POI with this id is present (certain or uncertain).
   bool Contains(PoiId id) const;
 
+  /// Paranoid-mode structural checks (no-op unless built with
+  /// SENN_PARANOID): both lists (distance, id)-sorted, ids disjoint, sizes
+  /// within capacity.
+  void AssertInvariants() const;
+
  private:
   int capacity_;
   std::vector<RankedPoi> certain_;

@@ -26,7 +26,7 @@ VerifyStats VerifyMultiPeer(geom::Vec2 q, const std::vector<const CachedResult*>
   }
   if (region.empty()) return stats;
   std::sort(candidates.begin(), candidates.end(),
-            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
 
   auto covered = [&](double radius) {
     geom::Circle subject(q, radius);

@@ -50,7 +50,7 @@ std::vector<RankedPoi> PrunedCircleQuery(const rtree::RStarTree& tree, geom::Vec
     if (pinned) hook->Unpin(node);
   }
   std::sort(out.begin(), out.end(),
-            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
   return out;
 }
 
@@ -78,7 +78,7 @@ RangeOutcome RangeProcessor::Execute(
     }
   }
   std::sort(known_in_range.begin(), known_in_range.end(),
-            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
 
   // Completeness check: is the query disk covered by the certain region?
   if (!region.empty() && geom::DiskCoveredByUnion(query_disk, region)) {
@@ -113,7 +113,7 @@ RangeOutcome RangeProcessor::Execute(
     if (in_answer.insert(n.id).second) merged.push_back(n);
   }
   std::sort(merged.begin(), merged.end(),
-            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
   outcome.pois = std::move(merged);
   return outcome;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/obs/trace.h"
+
 namespace senn::core {
 
 const char* ResolutionName(Resolution r) {
@@ -57,7 +59,8 @@ bool SennProcessor::ResolvesLocally(
 }
 
 SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
-                                   const std::vector<const CachedResult*>& peer_caches) const {
+                                   const std::vector<const CachedResult*>& peer_caches,
+                                   obs::QueryTracer* tracer) const {
   SennOutcome outcome;
   const int heap_capacity = std::max(k, options_.server_request_k);
   CandidateHeap heap(heap_capacity);
@@ -65,13 +68,20 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
   std::vector<const CachedResult*> peers = UsablePeers(q, peer_caches);
 
   // Stage 1: kNN_single over each peer.
-  for (const CachedResult* peer : peers) {
-    if (options_.early_exit && heap.HasCertain(k)) break;
-    VerifyStats s = VerifySinglePeer(q, *peer, &heap);
-    outcome.single_peer_stats.candidates += s.candidates;
-    outcome.single_peer_stats.certified += s.certified;
-    outcome.single_peer_stats.uncertain += s.uncertain;
-    ++outcome.peers_consulted;
+  {
+    obs::ScopedSpan span(tracer, obs::Phase::kVerifySingle);
+    for (const CachedResult* peer : peers) {
+      if (options_.early_exit && heap.HasCertain(k)) break;
+      VerifyStats s = VerifySinglePeer(q, *peer, &heap);
+      outcome.single_peer_stats.candidates += s.candidates;
+      outcome.single_peer_stats.certified += s.certified;
+      outcome.single_peer_stats.uncertain += s.uncertain;
+      ++outcome.peers_consulted;
+    }
+    heap.AssertInvariants();
+    span.AddArg("peers", static_cast<uint64_t>(outcome.peers_consulted));
+    span.AddArg("candidates", static_cast<uint64_t>(outcome.single_peer_stats.candidates));
+    span.AddArg("certified", static_cast<uint64_t>(outcome.single_peer_stats.certified));
   }
   if (heap.HasCertain(k)) {
     outcome.resolution = Resolution::kSinglePeer;
@@ -83,7 +93,12 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
 
   // Stage 2: kNN_multiple over the merged certain region.
   if (options_.enable_multi_peer && peers.size() > 1) {
+    obs::ScopedSpan span(tracer, obs::Phase::kVerifyMulti);
     outcome.multi_peer_stats = VerifyMultiPeer(q, peers, &heap, options_.multi_peer);
+    heap.AssertInvariants();
+    span.AddArg("candidates", static_cast<uint64_t>(outcome.multi_peer_stats.candidates));
+    span.AddArg("certified", static_cast<uint64_t>(outcome.multi_peer_stats.certified));
+    span.AddArg("uncertain", static_cast<uint64_t>(outcome.multi_peer_stats.uncertain));
     if (heap.HasCertain(k)) {
       outcome.resolution = Resolution::kMultiPeer;
       outcome.heap_state = heap.state();
@@ -93,7 +108,15 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     }
   }
 
-  outcome.heap_state = heap.state();
+  // The heap could not be solved locally: classify its terminal state
+  // (Section 3.3). The solved early-return branches above never get here.
+  {
+    obs::ScopedSpan span(tracer, obs::Phase::kHeapClassify);
+    outcome.heap_state = heap.state();
+    span.AddArg("state", static_cast<uint64_t>(outcome.heap_state));
+    span.AddArg("certain", static_cast<uint64_t>(heap.certain().size()));
+    span.AddArg("uncertain", static_cast<uint64_t>(heap.uncertain().size()));
+  }
 
   // Stage 3: optionally accept an uncertain answer (Algorithm 1, line 15).
   if (options_.accept_uncertain && heap.IsFull()) {
@@ -102,7 +125,7 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     std::vector<RankedPoi> merged = heap.certain();
     merged.insert(merged.end(), heap.uncertain().begin(), heap.uncertain().end());
     std::sort(merged.begin(), merged.end(),
-              [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+              [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
     if (static_cast<int>(merged.size()) > k) merged.resize(static_cast<size_t>(k));
     outcome.neighbors = std::move(merged);
     return outcome;
@@ -116,6 +139,7 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
 
   std::vector<RankedPoi> merged;
   ServerReply reply;
+  obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
   if (options_.ship_region && outcome.bounds.upper.has_value()) {
     // Region protocol (extension): the server returns every POI within the
     // upper-bound horizon that lies outside R_c; the client merges with ALL
@@ -125,7 +149,8 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     for (const CachedResult* peer : peers) {
       region.emplace_back(peer->query_location, peer->Radius());
     }
-    reply = server_->QueryKnnWithRegion(q, heap_capacity, *outcome.bounds.upper, region);
+    reply = server_->QueryKnnWithRegion(q, heap_capacity, *outcome.bounds.upper, region,
+                                        tracer);
     std::unordered_set<PoiId> seen;
     for (const CachedResult* peer : peers) {
       for (const RankedPoi& n : peer->neighbors) {
@@ -138,7 +163,7 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     }
   } else {
     reply = server_->QueryKnn(q, heap_capacity, outcome.bounds,
-                              static_cast<int>(certain.size()));
+                              static_cast<int>(certain.size()), tracer);
     merged = certain;
     for (const RankedPoi& n : reply.neighbors) {
       bool duplicate = std::any_of(merged.begin(), merged.end(),
@@ -148,8 +173,11 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
   }
   outcome.einn_accesses = reply.einn_accesses;
   outcome.inn_accesses = reply.inn_accesses;
+  server_span.AddArg("einn_pages", reply.einn_accesses.total());
+  server_span.AddArg("inn_pages", reply.inn_accesses.total());
+  server_span.AddArg("returned", static_cast<uint64_t>(reply.neighbors.size()));
   std::sort(merged.begin(), merged.end(),
-            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
   if (static_cast<int>(merged.size()) > heap_capacity) {
     merged.resize(static_cast<size_t>(heap_capacity));
   }

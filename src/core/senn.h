@@ -21,6 +21,10 @@
 #include "src/core/single_peer.h"
 #include "src/core/types.h"
 
+namespace senn::obs {
+class QueryTracer;
+}
+
 namespace senn::core {
 
 /// How a query was ultimately resolved (the classification the paper's
@@ -94,9 +98,13 @@ class SennProcessor {
   SennProcessor(SpatialServer* server, SennOptions options);
 
   /// Runs Algorithm 1 for query point q and result size k over the given
-  /// peer caches (nullptr / empty entries are ignored).
+  /// peer caches (nullptr / empty entries are ignored). `tracer`, when
+  /// given, receives one span per executed stage (verify_single,
+  /// verify_multi, heap_classify, server_einn); null is the zero-cost
+  /// default.
   SennOutcome Execute(geom::Vec2 q, int k,
-                      const std::vector<const CachedResult*>& peer_caches) const;
+                      const std::vector<const CachedResult*>& peer_caches,
+                      obs::QueryTracer* tracer = nullptr) const;
 
   /// Runs only the peer stages of Algorithm 1 (kNN_single, kNN_multiple —
   /// never the server) and reports whether the given peer set alone

@@ -5,6 +5,7 @@
 
 #include "src/core/range.h"
 #include "src/geom/region.h"
+#include "src/obs/trace.h"
 #include "src/rtree/bulk_load.h"
 
 namespace senn::core {
@@ -25,20 +26,32 @@ SpatialServer::SpatialServer(std::vector<Poi> pois, rtree::RStarTree::Options tr
 }
 
 ServerReply SpatialServer::QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds bounds,
-                                    int already_certified) {
+                                    int already_certified, obs::QueryTracer* tracer) {
   ServerReply reply;
   int needed = k - already_certified;
   if (needed < 0) needed = 0;
 
-  // Answering run: EINN with the client's bounds, through the storage
-  // engine when one is configured.
-  rtree::BestFirstNnIterator einn(tree_, q, bounds, count_mode_, k, pager_.get());
-  while (static_cast<int>(reply.neighbors.size()) < needed) {
-    auto n = einn.Next();
-    if (!n.has_value()) break;
-    reply.neighbors.push_back({n->object.id, n->object.position, n->distance});
+  {
+    // Answering run: EINN with the client's bounds, through the storage
+    // engine when one is configured. buffer_fetch brackets only this run's
+    // pool activity — the comparison INN below never touches the pool.
+    obs::ScopedSpan fetch(pager_ != nullptr ? tracer : nullptr, obs::Phase::kBufferFetch);
+    const storage::BufferPoolStats before =
+        fetch.active() ? pager_->pool().stats() : storage::BufferPoolStats{};
+    rtree::BestFirstNnIterator einn(tree_, q, bounds, count_mode_, k, pager_.get());
+    while (static_cast<int>(reply.neighbors.size()) < needed) {
+      auto n = einn.Next();
+      if (!n.has_value()) break;
+      reply.neighbors.push_back({n->object.id, n->object.position, n->distance});
+    }
+    reply.einn_accesses = einn.accesses();
+    if (fetch.active()) {
+      const storage::BufferPoolStats& after = pager_->pool().stats();
+      fetch.AddArg("hits", after.hits - before.hits);
+      fetch.AddArg("misses", after.misses - before.misses);
+      fetch.AddArg("evictions", after.evictions - before.evictions);
+    }
   }
-  reply.einn_accesses = einn.accesses();
 
   // Comparison run: plain INN answering the full k-NN query without help.
   rtree::BestFirstNnIterator inn(tree_, q, rtree::PruneBounds{}, count_mode_, k);
@@ -54,7 +67,8 @@ ServerReply SpatialServer::QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds boun
 }
 
 ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizon,
-                                              const std::vector<geom::Circle>& region) {
+                                              const std::vector<geom::Circle>& region,
+                                              obs::QueryTracer* tracer) {
   ServerReply reply;
   // Best-first search with three pruning sources: the client's horizon (its
   // k-th candidate distance), the running k-th-best distance over ALL seen
@@ -65,7 +79,17 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
     const rtree::RStarTree::Node* node;  // null for objects
     RankedPoi poi;
   };
-  auto greater = [](const Item& a, const Item& b) { return a.key > b.key; };
+  // Same tie rule as BestFirstNnIterator: at equal key nodes pop before
+  // objects (a node with MINDIST == d may hide a co-distant smaller-id
+  // object), and co-distant objects pop in ascending id.
+  auto greater = [](const Item& a, const Item& b) {
+    if (a.key != b.key) return a.key > b.key;
+    const bool a_object = a.node == nullptr;
+    const bool b_object = b.node == nullptr;
+    if (a_object != b_object) return a_object;
+    if (a_object) return a.poi.id > b.poi.id;
+    return false;
+  };
   std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
   std::priority_queue<double> best;  // max-heap of the k best seen distances
   auto effective_bound = [&]() {
@@ -112,16 +136,27 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
     }
     if (pinned) pager_->Unpin(node);
   };
-  expand(tree_.root());
-  while (!queue.empty()) {
-    Item item = queue.top();
-    if (item.key > effective_bound() && item.node != nullptr) break;
-    queue.pop();
-    if (item.node != nullptr) {
-      expand(item.node);
-    } else {
-      reply.neighbors.push_back(item.poi);
-      if (static_cast<int>(reply.neighbors.size()) >= k) break;  // plenty for the merge
+  {
+    obs::ScopedSpan fetch(pager_ != nullptr ? tracer : nullptr, obs::Phase::kBufferFetch);
+    const storage::BufferPoolStats before =
+        fetch.active() ? pager_->pool().stats() : storage::BufferPoolStats{};
+    expand(tree_.root());
+    while (!queue.empty()) {
+      Item item = queue.top();
+      if (item.key > effective_bound() && item.node != nullptr) break;
+      queue.pop();
+      if (item.node != nullptr) {
+        expand(item.node);
+      } else {
+        reply.neighbors.push_back(item.poi);
+        if (static_cast<int>(reply.neighbors.size()) >= k) break;  // plenty for the merge
+      }
+    }
+    if (fetch.active()) {
+      const storage::BufferPoolStats& after = pager_->pool().stats();
+      fetch.AddArg("hits", after.hits - before.hits);
+      fetch.AddArg("misses", after.misses - before.misses);
+      fetch.AddArg("evictions", after.evictions - before.evictions);
     }
   }
 

@@ -24,6 +24,10 @@
 #include "src/rtree/rstar_tree.h"
 #include "src/storage/node_pager.h"
 
+namespace senn::obs {
+class QueryTracer;
+}
+
 namespace senn::core {
 
 /// Cumulative server-side counters (the PAR metric inputs).
@@ -75,8 +79,11 @@ class SpatialServer {
   /// when `bounds.lower` is set and `certified` of the client's POIs lie at
   /// distance <= lower, the server needs to return only k - certified new
   /// neighbors; pass the number through `already_certified`.
+  /// `tracer`, when given and a storage engine is configured, receives one
+  /// buffer_fetch span bracketing the answering traversal's pool activity
+  /// (hit/miss/eviction deltas); the comparison run is never traced.
   ServerReply QueryKnn(geom::Vec2 q, int k, rtree::PruneBounds bounds = {},
-                       int already_certified = 0);
+                       int already_certified = 0, obs::QueryTracer* tracer = nullptr);
 
   /// Region-aware kNN (extension beyond the paper's scalar bounds): the
   /// client ships its whole certain region R_c (the peer disks) plus the
@@ -90,7 +97,8 @@ class SpatialServer {
   /// known set and take the exact top k. `einn_accesses` holds the pruned
   /// search's pages; `inn_accesses` the plain INN kNN cost for the same k.
   ServerReply QueryKnnWithRegion(geom::Vec2 q, int k, double horizon,
-                                 const std::vector<geom::Circle>& region);
+                                 const std::vector<geom::Circle>& region,
+                                 obs::QueryTracer* tracer = nullptr);
 
   /// Answers a range query: every POI with inner < distance <= radius,
   /// ascending. `inner` is the client's certain radius (POIs inside it are

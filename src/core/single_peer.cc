@@ -7,11 +7,28 @@ VerifyStats VerifySinglePeer(geom::Vec2 q, const CachedResult& peer, CandidateHe
   if (peer.Empty()) return stats;
   const double delta = geom::Dist(q, peer.query_location);
   const double radius = peer.Radius();
+  // Lemma 3.2 certifies a cached POI when its distance d satisfies
+  // d + delta <= radius: any POI ranking before it lies within `radius` of
+  // the peer and is therefore cached. That premise has one exception. The
+  // cache is a (distance, id) rank prefix around the peer's location, so
+  // when its boundary cuts through a ring of co-distant POIs, the ties that
+  // lost the id comparison are at distance exactly `radius` yet UNCACHED.
+  // At d + delta == radius such an uncached tie y can beat the candidate c
+  // only if the triangle inequality is tight (dist(peer,y) == radius and
+  // dist(q,y) == d) and last_id < y.id < c.id, where last_id is the id of
+  // the worst-ranked cached entry. Certification at exact equality is thus
+  // sound precisely when no integer id fits in that gap (c.id <= last_id+1
+  // — which covers the everyday case c == last entry). Strict inequality
+  // needs no guard, and exact equality with delta > 0 has measure zero for
+  // continuous POI positions, so this changes nothing off the degenerate
+  // (e.g. lattice) configurations it exists for.
+  const PoiId last_id = peer.neighbors.back().id;
   for (const RankedPoi& n : peer.neighbors) {
     double d = geom::Dist(q, n.position);
     RankedPoi candidate{n.id, n.position, d};
     ++stats.candidates;
-    if (d + delta <= radius) {  // Lemma 3.2
+    const double reach = d + delta;
+    if (reach < radius || (reach == radius && n.id <= last_id + 1)) {
       heap->InsertCertain(candidate);
       ++stats.certified;
     } else {  // Lemma 3.1

@@ -27,6 +27,19 @@ struct RankedPoi {
   double distance = 0.0;
 };
 
+/// THE ranking order of the system: ascending distance, ties broken by
+/// ascending POI id. A strict weak order — unlike distance-only comparison,
+/// which makes co-distant POIs rank by insertion order, so peer-iteration
+/// order (a function of harvest timing) leaks into results. Every distance
+/// sort and every heap comparator must go through this.
+inline bool RanksBefore(double distance_a, PoiId id_a, double distance_b, PoiId id_b) {
+  if (distance_a != distance_b) return distance_a < distance_b;
+  return id_a < id_b;
+}
+inline bool RanksBefore(const RankedPoi& a, const RankedPoi& b) {
+  return RanksBefore(a.distance, a.id, b.distance, b.id);
+}
+
 /// A cached kNN result: the location the query was issued from plus the
 /// certain nearest neighbors obtained, in ascending distance order.
 ///

@@ -23,7 +23,12 @@ void AngularIntervalSet::AddArc(double a, double b) {
     AddFull();
     return;
   }
-  if (b <= a) return;
+  if (b == a) return;
+  // Wrapped input (end < begin after the caller normalized both angles into
+  // [0, 2pi)) means the arc crosses 0: unwrap by advancing `b` past `a`.
+  // Silently dropping such arcs loses real coverage and can make
+  // kNN_multiple falsely reject a certain candidate.
+  while (b < a) b += kTwoPi;
   double begin = WrapAngle(a);
   double length = b - a;
   double end = begin + length;

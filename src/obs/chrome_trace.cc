@@ -1,0 +1,68 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace senn::obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceWriter::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& span : spans_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += PhaseName(span.phase);
+    out += "\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    AppendU64(&out, span.query_id);
+    out += ",\"ts\":";
+    AppendU64(&out, span.ts_us);
+    out += ",\"dur\":";
+    AppendU64(&out, span.dur_us);
+    out += ",\"args\":{";
+    for (int i = 0; i < span.arg_count; ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      out += span.args[i].name;
+      out += "\":";
+      AppendU64(&out, span.args[i].value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status ChromeTraceWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size() && std::fputc('\n', f) != EOF;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::Internal("short write to trace output file: " + path);
+  return Status::OK();
+}
+
+void PhaseMetricsSink::OnSpan(const SpanEvent& span) {
+  const std::string name = PhaseName(span.phase);
+  registry_->Inc("span/" + name);
+  registry_->Observe(name + "/ticks", static_cast<double>(span.dur_us));
+  for (int i = 0; i < span.arg_count; ++i) {
+    registry_->Observe(name + "/" + span.args[i].name,
+                       static_cast<double>(span.args[i].value));
+  }
+}
+
+}  // namespace senn::obs

@@ -1,0 +1,68 @@
+// TraceSink implementations: the Chrome trace_event exporter behind
+// `senn_sim --trace-out`, the per-phase MetricsRegistry collector behind the
+// per-phase cost table, and a tee for running both off one span stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace senn::obs {
+
+/// Buffers spans and renders them as Chrome trace_event JSON
+/// (`{"traceEvents":[...]}`), openable in Perfetto / chrome://tracing.
+///
+/// Each span becomes one complete ("ph":"X") event whose `tid` is the query
+/// id — every traced query gets its own track, and the per-query tick
+/// counters can never collide across queries issued at the same simulation
+/// time. Timestamps are the deterministic sim-time ticks from QueryTracer,
+/// rendered as integers, so a fixed-seed run writes a byte-identical file
+/// regardless of thread count or machine.
+class ChromeTraceWriter : public TraceSink {
+ public:
+  void OnSpan(const SpanEvent& span) override { spans_.push_back(span); }
+
+  size_t span_count() const { return spans_.size(); }
+  const std::vector<SpanEvent>& spans() const { return spans_; }
+
+  /// The full trace document. Deterministic: events appear in emission
+  /// order, all numbers are integers.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (trailing newline included).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<SpanEvent> spans_;
+};
+
+/// Folds the span stream into a MetricsRegistry: per phase a `span/<name>`
+/// counter, a `<name>/ticks` duration histogram, and one `<name>/<arg>`
+/// histogram per span argument. This is what the per-phase cost table in
+/// senn_sim prints (the phase-decomposed counterpart of the paper's
+/// Figs. 10-13 aggregates).
+class PhaseMetricsSink : public TraceSink {
+ public:
+  explicit PhaseMetricsSink(MetricsRegistry* registry) : registry_(registry) {}
+  void OnSpan(const SpanEvent& span) override;
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+/// Forwards each span to every attached sink, in attachment order.
+class TeeSink : public TraceSink {
+ public:
+  void Add(TraceSink* sink) { sinks_.push_back(sink); }
+  void OnSpan(const SpanEvent& span) override {
+    for (TraceSink* sink : sinks_) sink->OnSpan(span);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace senn::obs

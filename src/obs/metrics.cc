@@ -1,0 +1,75 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+
+namespace senn::obs {
+
+namespace {
+
+void AppendKv(std::string* out, const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+void AppendKv(std::string* out, const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, stats] : other.histograms_) histograms_[name].Merge(stats);
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const RunningStats* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKv(&out, name, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{";
+    AppendKv(&out, "n", stats.count());
+    out += ',';
+    AppendKv(&out, "mean", stats.mean());
+    out += ',';
+    AppendKv(&out, "sum", stats.sum());
+    out += ',';
+    AppendKv(&out, "min", stats.min());
+    out += ',';
+    AppendKv(&out, "max", stats.max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace senn::obs

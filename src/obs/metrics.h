@@ -1,0 +1,52 @@
+// Named counters and histograms with deterministic, shard-mergeable output.
+//
+// A `MetricsRegistry` is the aggregate companion of the span stream: where
+// the trace records each query's phases individually, the registry folds
+// them into named counters (monotone sums) and histograms (`RunningStats`
+// moments). Registries merge the way the sweep engine merges per-seed
+// shards — `Merge` is commutative and associative over counters and
+// delegates to `RunningStats::Merge` for histograms — so a sharded run
+// produces the same registry no matter the thread count.
+//
+// Iteration order (and therefore `ToJson` output) is the lexicographic
+// order of metric names: the registry is a `std::map`, never a hash map,
+// because byte-reproducible output is part of the contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace senn::obs {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (created at zero on first use).
+  void Inc(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+
+  /// Adds one observation to the named histogram.
+  void Observe(const std::string& name, double value) { histograms_[name].Add(value); }
+
+  /// Folds another registry into this one (counters add, histograms merge).
+  void Merge(const MetricsRegistry& other);
+
+  uint64_t counter(const std::string& name) const;
+  /// Null when the histogram was never observed.
+  const RunningStats* histogram(const std::string& name) const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, RunningStats>& histograms() const { return histograms_; }
+
+  /// `{"counters":{...},"histograms":{"name":{"n":..,"mean":..,...}}}` with
+  /// keys in lexicographic order and doubles rendered %.17g, so two equal
+  /// registries serialize byte-identically.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, RunningStats> histograms_;
+};
+
+}  // namespace senn::obs

@@ -1,0 +1,37 @@
+// Paranoid build mode: algorithmic invariant checks that are too expensive
+// (or too noisy) for production builds but cheap insurance in CI.
+//
+// Enabled with -DSENN_PARANOID=ON at configure time (tools/check.sh runs the
+// tier-1 suite under such a build). When disabled, SENN_PARANOID_CHECK
+// compiles to an unevaluated sizeof — zero code, zero branches — so release
+// binaries and goldens are byte-for-byte unaffected.
+//
+// Checked invariants live next to the data structures that own them:
+//   * CandidateHeap — certain/uncertain lists are (distance, id)-sorted rank
+//     sequences, ids unique, size within capacity, and
+//     ComputeBounds().lower <= upper whenever both exist;
+//   * BufferPool — pin balance (no leaked pins at destruction, no unpin
+//     without a matching fetch);
+//   * SennProcessor — the certified prefix shipped to the caller is sorted
+//     and within the heap bounds, checked inside the heap_classify span.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(SENN_PARANOID)
+#define SENN_PARANOID_ENABLED 1
+#define SENN_PARANOID_CHECK(cond, what)                                         \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "SENN_PARANOID violation: %s at %s:%d (%s)\n", what, \
+                   __FILE__, __LINE__, #cond);                                  \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+#else
+#define SENN_PARANOID_ENABLED 0
+// Unevaluated: keeps `cond`'s operands "used" for -Wunused purposes while
+// generating no code.
+#define SENN_PARANOID_CHECK(cond, what) ((void)sizeof(!(cond)))
+#endif

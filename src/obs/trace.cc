@@ -1,0 +1,43 @@
+#include "src/obs/trace.h"
+
+namespace senn::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPeerHarvest:
+      return "peer_harvest";
+    case Phase::kVerifySingle:
+      return "verify_single";
+    case Phase::kVerifyMulti:
+      return "verify_multi";
+    case Phase::kHeapClassify:
+      return "heap_classify";
+    case Phase::kServerEinn:
+      return "server_einn";
+    case Phase::kNetExchange:
+      return "net_exchange";
+    case Phase::kBufferFetch:
+      return "buffer_fetch";
+  }
+  return "unknown";
+}
+
+ScopedSpan::ScopedSpan(QueryTracer* tracer, Phase phase) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.phase = phase;
+  event_.query_id = tracer_->query_id();
+  event_.ts_us = tracer_->NextTick();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = tracer_->NextTick() - event_.ts_us;
+  tracer_->Emit(event_);
+}
+
+void ScopedSpan::AddArg(const char* name, uint64_t value) {
+  if (tracer_ == nullptr || event_.arg_count >= kMaxSpanArgs) return;
+  event_.args[event_.arg_count++] = {name, value};
+}
+
+}  // namespace senn::obs

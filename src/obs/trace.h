@@ -1,0 +1,117 @@
+// Structured per-query tracing: zero cost when disabled, byte-reproducible
+// when enabled.
+//
+// Every executed query decomposes into the phases the paper's evaluation
+// charts separately (Section 4, Figs. 10-17): harvesting peer caches over
+// the air, local verification (kNN_single / kNN_multiple), classifying the
+// candidate heap into one of the six terminal states, and the server
+// fallback (EINN) with its storage-engine fetches. A `QueryTracer` records
+// one `SpanEvent` per phase and hands it to a `TraceSink` (the Chrome
+// trace_event exporter and the per-phase metrics collector live in
+// chrome_trace.h).
+//
+// Determinism. Span timestamps are NOT wall-clock: a span's `ts_us` is the
+// query's simulation time in microseconds plus a per-query sequence counter
+// (one tick per span begin/end), and `dur_us` is the tick distance between
+// begin and end. Both are pure functions of the query's execution path, so
+// a fixed-seed run produces a byte-identical trace no matter how many other
+// simulations run concurrently in the process (the same guarantee the
+// sweep engine gives for metrics).
+//
+// Cost. Emission sites hold a `QueryTracer*` that is null when tracing is
+// off (the `rtree::NodePageHook` pattern): the entire layer then costs one
+// pointer compare per span site and produces no observable side effects —
+// golden JSON outputs are byte-identical with and without the layer built
+// in.
+#pragma once
+
+#include <cstdint>
+
+namespace senn::obs {
+
+/// The query phases the evaluation decomposes into (span names).
+enum class Phase {
+  kPeerHarvest = 0,   // collecting reachable peers' caches
+  kVerifySingle = 1,  // kNN_single over each harvested peer
+  kVerifyMulti = 2,   // kNN_multiple over the merged certain region
+  kHeapClassify = 3,  // terminal heap-state + bounds computation
+  kServerEinn = 4,    // server fallback: EINN with shipped bounds
+  kNetExchange = 5,   // wireless broadcast/collect/retry exchange
+  kBufferFetch = 6,   // storage-engine page fetches under the EINN run
+};
+inline constexpr int kPhaseCount = 7;
+
+/// Stable span name ("peer_harvest", "verify_single", ...).
+const char* PhaseName(Phase phase);
+
+/// One span argument: a static name plus an integer value.
+struct SpanArg {
+  const char* name = nullptr;
+  uint64_t value = 0;
+};
+
+inline constexpr int kMaxSpanArgs = 4;
+
+/// One completed span.
+struct SpanEvent {
+  Phase phase = Phase::kPeerHarvest;
+  /// Trace-wide query identifier (the simulator's query sequence number).
+  uint64_t query_id = 0;
+  /// Deterministic begin timestamp: sim time (us) + per-query sequence.
+  uint64_t ts_us = 0;
+  /// Tick distance between span begin and end (>= 1).
+  uint64_t dur_us = 0;
+  int arg_count = 0;
+  SpanArg args[kMaxSpanArgs];
+};
+
+/// Receives completed spans. Implementations must not reorder or drop
+/// events if they claim byte-reproducible output.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpan(const SpanEvent& span) = 0;
+};
+
+/// Per-query tracing context: owns the deterministic tick counter. Created
+/// by the driver (the simulator) for each traced query and passed down the
+/// phase call chain as an optional pointer.
+class QueryTracer {
+ public:
+  QueryTracer(TraceSink* sink, uint64_t query_id, uint64_t sim_time_us)
+      : sink_(sink), query_id_(query_id), base_us_(sim_time_us) {}
+
+  /// Next deterministic timestamp (monotone within the query).
+  uint64_t NextTick() { return base_us_ + seq_++; }
+  uint64_t query_id() const { return query_id_; }
+  void Emit(const SpanEvent& event) { sink_->OnSpan(event); }
+
+ private:
+  TraceSink* sink_;
+  uint64_t query_id_;
+  uint64_t base_us_;
+  uint64_t seq_ = 0;
+};
+
+/// RAII span. A null tracer makes every operation a no-op, so call sites
+/// need no branches beyond constructing the guard.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTracer* tracer, Phase phase);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an integer argument (at most kMaxSpanArgs; extras dropped).
+  /// `name` must be a static string.
+  void AddArg(const char* name, uint64_t value);
+  /// True when a live tracer is attached (lets call sites skip computing
+  /// argument values that exist only for the trace).
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  QueryTracer* tracer_;
+  SpanEvent event_;
+};
+
+}  // namespace senn::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/core/types.h"
+
 namespace senn::rtree {
 
 using geom::Vec2;
@@ -16,24 +18,30 @@ namespace {
 void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
              std::vector<Neighbor>* best, AccessCounter* counter, NodePageHook* hook) {
   const bool pinned = ChargeNodeAccess(node, counter, hook);
-  auto worst = [&]() {
+  auto worst_distance = [&]() {
     return static_cast<int>(best->size()) < k
                ? std::numeric_limits<double>::infinity()
                : best->front().distance;
   };
-  auto by_distance = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance;
+  // Max-heap under the system (distance, id) rank order: the front is the
+  // worst of the best k, and co-distant objects keep the smaller ids.
+  auto by_rank = [](const Neighbor& a, const Neighbor& b) {
+    return core::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
+  };
+  auto beats_worst = [&](double d, int64_t id) {
+    return static_cast<int>(best->size()) < k ||
+           core::RanksBefore(d, id, best->front().distance, best->front().object.id);
   };
   if (node->IsLeaf()) {
     for (const RStarTree::Slot& s : node->slots) {
       double d = geom::Dist(query, s.object.position);
-      if (d >= worst()) continue;
+      if (!beats_worst(d, s.object.id)) continue;
       if (static_cast<int>(best->size()) == k) {
-        std::pop_heap(best->begin(), best->end(), by_distance);
+        std::pop_heap(best->begin(), best->end(), by_rank);
         best->pop_back();
       }
       best->push_back({s.object, d});
-      std::push_heap(best->begin(), best->end(), by_distance);
+      std::push_heap(best->begin(), best->end(), by_rank);
     }
     if (pinned) hook->Unpin(node);
     return;
@@ -51,7 +59,9 @@ void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
   std::sort(children.begin(), children.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [mindist, child] : children) {
-    if (mindist >= worst()) break;  // sorted: the rest are no better
+    // Strict >: a child whose MINDIST ties the current k-th distance can
+    // still hold a co-distant object with a smaller id that outranks it.
+    if (mindist > worst_distance()) break;  // sorted: the rest are no better
     DfVisit(child, query, k, best, counter, hook);
   }
 }
@@ -64,8 +74,9 @@ std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, Vec2 query, int k,
   if (k <= 0) return best;
   best.reserve(static_cast<size_t>(k));
   DfVisit(tree.root(), query, k, &best, counter, hook);
-  std::sort(best.begin(), best.end(),
-            [](const Neighbor& a, const Neighbor& b) { return a.distance < b.distance; });
+  std::sort(best.begin(), best.end(), [](const Neighbor& a, const Neighbor& b) {
+    return core::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
+  });
   return best;
 }
 
@@ -110,8 +121,13 @@ void BestFirstNnIterator::ExpandNode(const RStarTree::Node* node) {
     if (node->IsLeaf()) {
       double d = geom::Dist(query_, s.object.position);
       // Objects inside the certain disk are already known to the client;
-      // they still witness the dynamic top-k bound.
-      if (bounds_.lower.has_value() && d <= *bounds_.lower) {
+      // they still witness the dynamic top-k bound. On the disk's boundary
+      // the client holds only the ids up to its rank cut — a co-distant
+      // object past the cut was tie-broken out of the client's certain
+      // prefix and must be reported like any other candidate.
+      if (bounds_.lower.has_value() &&
+          (d < *bounds_.lower ||
+           (d == *bounds_.lower && s.object.id <= bounds_.lower_id_cut))) {
         FeedDynamicBound(d);
         continue;
       }

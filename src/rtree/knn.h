@@ -21,6 +21,8 @@
 //                       the client certified them locally.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -61,6 +63,15 @@ struct PruneBounds {
   /// Branch-expanding upper bound: distance of the k-th (last) entry in H.
   /// No true nearest neighbor can lie beyond it.
   std::optional<double> upper;
+  /// Id of the client's worst-ranked certified object — the (distance, id)
+  /// rank cut that `lower` abbreviates. The client's certain set is a rank
+  /// prefix, so an object at distance exactly `lower` is known to the
+  /// client only if its id is <= this cut: co-distant objects that lost the
+  /// id tie-break at the prefix boundary must still be reported. The
+  /// default (max) skips every object at the lower bound, which is the
+  /// correct reading when the cut id is unknown-but-maximal and matches the
+  /// historical behavior for callers that set `lower` alone.
+  int64_t lower_id_cut = std::numeric_limits<int64_t>::max();
 };
 
 /// Returns the k nearest objects to `query` in ascending distance order
@@ -113,7 +124,20 @@ class BestFirstNnIterator {
     ObjectEntry object;
   };
   struct Greater {
-    bool operator()(const QueueItem& a, const QueueItem& b) const { return a.key > b.key; }
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      // At equal key a node must pop before an object: its MINDIST equals
+      // the object's distance, so it may still contain a co-distant object
+      // of smaller id. Co-distant objects pop in ascending id, making the
+      // reported neighbor sequence follow the system (distance, id) rank
+      // order. Nodes compare equal — their pop order is the deterministic
+      // push order (never compare pointers: heap addresses vary per run).
+      const bool a_object = a.node == nullptr;
+      const bool b_object = b.node == nullptr;
+      if (a_object != b_object) return a_object;
+      if (a_object) return a.object.id > b.object.id;
+      return false;
+    }
   };
 
   void ExpandNode(const RStarTree::Node* node);

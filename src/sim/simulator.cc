@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace senn::sim {
 
@@ -187,49 +188,74 @@ void Simulator::WarmStartCaches() {
 }
 
 core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
-  geom::Vec2 q = host->position();
-  neighbor_ids_.clear();
-  grid_->QueryRadius(q, config_.params.tx_range_m, &neighbor_ids_);
-
-  // Radio candidates: reachable peers with non-empty caches, in grid scan
-  // order. The querying host's own cache participates ("a mobile host will
-  // first attempt to answer each spatial query from its local cache") but
-  // never crosses the air, so it is not an exchange candidate.
-  candidates_.clear();
-  candidate_caches_.clear();
-  full_caches_.clear();
-  int self_slot = -1;
-  for (int32_t id : neighbor_ids_) {
-    const core::CachedResult* cached = hosts_[static_cast<size_t>(id)]->cache().Get();
-    if (cached == nullptr || cached->Empty()) continue;
-    full_caches_.push_back(cached);
-    if (id == host->id()) {
-      self_slot = static_cast<int>(full_caches_.size()) - 1;
-      continue;
-    }
-    candidates_.push_back({id, cached->neighbors.size()});
-    candidate_caches_.push_back(cached);
+  const uint64_t qid = query_seq_++;
+  // Structured tracing: the tracer exists only for sampled queries; a null
+  // pointer keeps every span site a single pointer compare. Timestamps are
+  // sim time in microseconds — never wall clock — so traces are
+  // byte-reproducible regardless of thread count (see src/obs/trace.h).
+  std::optional<obs::QueryTracer> tracer_storage;
+  if (span_sink_ != nullptr && qid % span_sample_ == 0) {
+    tracer_storage.emplace(span_sink_, qid,
+                           static_cast<uint64_t>(std::llround(now * 1e6)));
   }
+  obs::QueryTracer* tracer = tracer_storage.has_value() ? &*tracer_storage : nullptr;
 
-  // Run the wireless exchange: broadcast REQ, collect replies until the
-  // deadline, rebroadcast after silent rounds. Channel draws come from the
-  // query's own named stream, so the run stays a pure function of the seed.
-  Rng net_rng = rng_.Stream("net", query_seq_++);
-  net::ExchangeResult ex = net::RunExchange(config_.channel, candidates_, &net_rng);
-  arrived_.assign(candidates_.size(), 0);
-  for (int idx : ex.arrived) arrived_[static_cast<size_t>(idx)] = 1;
+  geom::Vec2 q = host->position();
+  Rng net_rng = rng_.Stream("net", qid);
+  net::ExchangeResult ex;
+  {
+    obs::ScopedSpan harvest(tracer, obs::Phase::kPeerHarvest);
+    neighbor_ids_.clear();
+    grid_->QueryRadius(q, config_.params.tx_range_m, &neighbor_ids_);
 
-  // Assemble the harvested peer set, preserving grid scan order (what the
-  // pre-networking simulator passed; SENN re-sorts by Heuristic 3.3). A
-  // partial harvest is a normal case — SENN verifies with what arrived.
-  peer_caches_.clear();
-  size_t cursor = 0;
-  for (size_t slot = 0; slot < full_caches_.size(); ++slot) {
-    if (static_cast<int>(slot) == self_slot) {
-      peer_caches_.push_back(full_caches_[slot]);
-      continue;
+    // Radio candidates: reachable peers with non-empty caches, in grid scan
+    // order. The querying host's own cache participates ("a mobile host will
+    // first attempt to answer each spatial query from its local cache") but
+    // never crosses the air, so it is not an exchange candidate.
+    candidates_.clear();
+    candidate_caches_.clear();
+    full_caches_.clear();
+    int self_slot = -1;
+    for (int32_t id : neighbor_ids_) {
+      const core::CachedResult* cached = hosts_[static_cast<size_t>(id)]->cache().Get();
+      if (cached == nullptr || cached->Empty()) continue;
+      full_caches_.push_back(cached);
+      if (id == host->id()) {
+        self_slot = static_cast<int>(full_caches_.size()) - 1;
+        continue;
+      }
+      candidates_.push_back({id, cached->neighbors.size()});
+      candidate_caches_.push_back(cached);
     }
-    if (arrived_[cursor++]) peer_caches_.push_back(full_caches_[slot]);
+
+    // Run the wireless exchange: broadcast REQ, collect replies until the
+    // deadline, rebroadcast after silent rounds. Channel draws come from the
+    // query's own named stream, so the run stays a pure function of the seed.
+    {
+      obs::ScopedSpan exchange(tracer, obs::Phase::kNetExchange);
+      ex = net::RunExchange(config_.channel, candidates_, &net_rng);
+      exchange.AddArg("candidates", static_cast<uint64_t>(candidates_.size()));
+      exchange.AddArg("arrived", static_cast<uint64_t>(ex.arrived.size()));
+      exchange.AddArg("retries", static_cast<uint64_t>(ex.retries));
+      exchange.AddArg("lost", ex.transmissions_lost);
+    }
+    arrived_.assign(candidates_.size(), 0);
+    for (int idx : ex.arrived) arrived_[static_cast<size_t>(idx)] = 1;
+
+    // Assemble the harvested peer set, preserving grid scan order (what the
+    // pre-networking simulator passed; SENN re-sorts by Heuristic 3.3). A
+    // partial harvest is a normal case — SENN verifies with what arrived.
+    peer_caches_.clear();
+    size_t cursor = 0;
+    for (size_t slot = 0; slot < full_caches_.size(); ++slot) {
+      if (static_cast<int>(slot) == self_slot) {
+        peer_caches_.push_back(full_caches_[slot]);
+        continue;
+      }
+      if (arrived_[cursor++]) peer_caches_.push_back(full_caches_[slot]);
+    }
+    harvest.AddArg("reachable", static_cast<uint64_t>(full_caches_.size()));
+    harvest.AddArg("harvested", static_cast<uint64_t>(peer_caches_.size()));
   }
 
   last_p2p_messages_ = ex.messages_sent;
@@ -238,7 +264,7 @@ core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
   last_transmissions_lost_ = ex.transmissions_lost;
   last_replies_missed_ = candidates_.size() - ex.arrived.size();
 
-  core::SennOutcome outcome = senn_->Execute(q, k, peer_caches_);
+  core::SennOutcome outcome = senn_->Execute(q, k, peer_caches_, tracer);
   last_latency_s_ = ex.elapsed_s;
   if (outcome.resolution == core::Resolution::kServer) {
     last_latency_s_ += net::DrawServerRtt(config_.channel, &net_rng);

@@ -37,6 +37,7 @@
 #include "src/core/server.h"
 #include "src/mobility/road_mover.h"
 #include "src/net/channel.h"
+#include "src/obs/trace.h"
 #include "src/net/exchange.h"
 #include "src/mobility/waypoint.h"
 #include "src/roadnet/generator.h"
@@ -185,6 +186,16 @@ class Simulator {
   /// detach. The trace must outlive the next Run() call.
   void AttachTrace(QueryTrace* trace) { trace_ = trace; }
 
+  /// Attaches a structured span sink (src/obs/): every `sample_every`-th
+  /// executed query (by query sequence number, so sampling is deterministic)
+  /// emits per-phase spans with sim-time timestamps. Pass nullptr to detach.
+  /// The sink must outlive the next Run() call. Warm-start priming runs
+  /// before time zero and is never traced.
+  void AttachSpanSink(obs::TraceSink* sink, uint64_t sample_every = 1) {
+    span_sink_ = sink;
+    span_sample_ = sample_every == 0 ? 1 : sample_every;
+  }
+
   /// World accessors (used by the examples).
   const core::SpatialServer& server() const { return *server_; }
   const roadnet::Graph* graph() const { return graph_.get(); }
@@ -208,6 +219,8 @@ class Simulator {
   std::vector<std::unique_ptr<MobileHost>> hosts_;
   std::unique_ptr<NeighborGrid> grid_;
   QueryTrace* trace_ = nullptr;
+  obs::TraceSink* span_sink_ = nullptr;
+  uint64_t span_sample_ = 1;
   // Per-query metrics of the most recent ExecuteQuery (read by Run()).
   double last_p2p_messages_ = 0.0;
   double last_p2p_bytes_ = 0.0;

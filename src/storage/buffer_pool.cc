@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/paranoid.h"
+
 namespace senn::storage {
 
 const char* ReplacementPolicyName(ReplacementPolicy policy) {
@@ -16,6 +18,10 @@ const char* ReplacementPolicyName(ReplacementPolicy policy) {
 
 BufferPool::BufferPool(BufferPoolOptions options) : options_(options) {
   if (options_.capacity_pages > 0) frames_.reserve(options_.capacity_pages);
+}
+
+BufferPool::~BufferPool() {
+  SENN_PARANOID_CHECK(pinned_pages() == 0, "pin leak at pool teardown");
 }
 
 BufferPool::FetchResult BufferPool::Fetch(PageId id) {
@@ -57,9 +63,11 @@ BufferPool::FetchResult BufferPool::Fetch(PageId id) {
 void BufferPool::Unpin(PageId id) {
   auto it = table_.find(id);
   assert(it != table_.end() && "Unpin of a non-resident page");
+  SENN_PARANOID_CHECK(it != table_.end(), "Unpin of a non-resident page");
   if (it == table_.end()) return;
   Frame& frame = *frames_[it->second];
   assert(frame.pins > 0 && "Unpin without a matching Fetch");
+  SENN_PARANOID_CHECK(frame.pins > 0, "Unpin without a matching Fetch");
   if (frame.pins > 0) frame.pins -= 1;
 }
 

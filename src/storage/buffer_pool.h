@@ -24,6 +24,9 @@ namespace senn::storage {
 class BufferPool {
  public:
   explicit BufferPool(BufferPoolOptions options);
+  /// Paranoid builds verify pin balance here: every Fetch must have been
+  /// matched by an Unpin before the pool is torn down.
+  ~BufferPool();
 
   /// Outcome of a Fetch.
   struct FetchResult {

@@ -75,6 +75,35 @@ TEST(CandidateHeapTest, DuplicateCertainIgnored) {
   EXPECT_DOUBLE_EQ(h.certain()[0].distance, 1.0);
 }
 
+TEST(CandidateHeapTest, ResightingKeepsMinimumDistance) {
+  // Regression: a re-sighting of an already-certain id with a SMALLER
+  // distance (a fresher peer cache measured the same POI) must replace the
+  // stored sighting — keeping the larger distance would inflate the lower
+  // bound shipped to the server.
+  CandidateHeap h(3);
+  h.InsertCertain(P(1, 1.5));
+  h.InsertCertain(P(2, 2.0));
+  h.InsertCertain(P(1, 1.0));  // better sighting of id 1
+  ASSERT_EQ(h.certain().size(), 2u);
+  EXPECT_EQ(h.certain()[0].id, 1);
+  EXPECT_DOUBLE_EQ(h.certain()[0].distance, 1.0);
+  EXPECT_EQ(h.certain()[1].id, 2);
+  h.AssertInvariants();
+}
+
+TEST(CandidateHeapTest, ResightingNeverGrowsTheList) {
+  CandidateHeap h(2);
+  h.InsertCertain(P(1, 3.0));
+  h.InsertCertain(P(2, 4.0));
+  ASSERT_EQ(h.state(), HeapState::kSolved);
+  h.InsertCertain(P(2, 1.0));  // re-sighting at capacity: replace in place
+  ASSERT_EQ(h.certain().size(), 2u);
+  EXPECT_EQ(h.certain()[0].id, 2);
+  EXPECT_DOUBLE_EQ(h.certain()[0].distance, 1.0);
+  EXPECT_EQ(h.certain()[1].id, 1);
+  h.AssertInvariants();
+}
+
 TEST(CandidateHeapTest, CertainSupersedesUncertainSameId) {
   CandidateHeap h(3);
   h.InsertUncertain(P(1, 1.0));
@@ -192,6 +221,65 @@ TEST(CandidateHeapTest, CloserCertainDisplacesFarthestCertainWhenAtCapacity) {
 TEST(CandidateHeapTest, CapacityClamp) {
   CandidateHeap h(0);
   EXPECT_EQ(h.capacity(), 1);
+}
+
+TEST(CandidateHeapTest, CapacityOneBoundsAcrossAllSixStates) {
+  // ComputeBounds at the capacity-1 edge, for every terminal state the heap
+  // can reach (kPartialMixed and kFullUncertainOnly need size >= 2 and are
+  // unreachable at capacity 1 — kFullMixed degenerates to kSolved and a
+  // single uncertain entry already fills the heap).
+  {
+    CandidateHeap h(1);  // state 6: empty
+    EXPECT_EQ(h.state(), HeapState::kEmpty);
+    rtree::PruneBounds b = h.ComputeBounds();
+    EXPECT_FALSE(b.lower.has_value());
+    EXPECT_FALSE(b.upper.has_value());
+  }
+  {
+    CandidateHeap h(1);  // one uncertain entry fills capacity 1: state 2
+    h.InsertUncertain(P(1, 2.0));
+    EXPECT_EQ(h.state(), HeapState::kFullUncertainOnly);
+    rtree::PruneBounds b = h.ComputeBounds();
+    EXPECT_FALSE(b.lower.has_value());
+    ASSERT_TRUE(b.upper.has_value());
+    EXPECT_DOUBLE_EQ(*b.upper, 2.0);
+    h.AssertInvariants();
+  }
+  {
+    CandidateHeap h(1);  // one certain entry: solved
+    h.InsertCertain(P(1, 1.0));
+    EXPECT_EQ(h.state(), HeapState::kSolved);
+    rtree::PruneBounds b = h.ComputeBounds();
+    EXPECT_DOUBLE_EQ(*b.lower, 1.0);
+    EXPECT_DOUBLE_EQ(*b.upper, 1.0);
+  }
+  {
+    CandidateHeap h(1);  // certain displaces the uncertain occupant
+    h.InsertUncertain(P(1, 0.5));
+    h.InsertCertain(P(2, 3.0));
+    EXPECT_EQ(h.state(), HeapState::kSolved);
+    EXPECT_TRUE(h.uncertain().empty());
+    rtree::PruneBounds b = h.ComputeBounds();
+    EXPECT_DOUBLE_EQ(*b.lower, 3.0);
+    EXPECT_DOUBLE_EQ(*b.upper, 3.0);
+    h.AssertInvariants();
+  }
+}
+
+TEST(CandidateHeapTest, EquidistantInsertionOrderInvariant) {
+  // Four co-distant POIs inserted in different orders must produce the same
+  // heap layout: ties rank by id, never by arrival.
+  const PoiId orders[4][4] = {
+      {1, 2, 3, 4}, {4, 3, 2, 1}, {3, 1, 4, 2}, {2, 4, 1, 3}};
+  for (const auto& order : orders) {
+    CandidateHeap h(3);
+    for (PoiId id : order) h.InsertCertain(P(id, 7.0));
+    ASSERT_EQ(h.certain().size(), 3u);
+    EXPECT_EQ(h.certain()[0].id, 1);
+    EXPECT_EQ(h.certain()[1].id, 2);
+    EXPECT_EQ(h.certain()[2].id, 3);  // id 4 loses every tie
+    h.AssertInvariants();
+  }
 }
 
 TEST(CandidateHeapTest, StateNamesCoverAllStates) {

@@ -71,6 +71,53 @@ World BuildWorld(int trial) {
   return w;
 }
 
+/// Lattice worlds: POIs on a regular integer grid, query snapped to a
+/// lattice point or a cell center, peer locations snapped to lattice points.
+/// Axis-aligned spacing makes whole families of POIs *exactly* co-distant
+/// from Q (4-way and 8-way ties), so any comparator that breaks ties by
+/// arrival or exploration order — instead of the (distance, id) rank — gets
+/// caught here rather than in the (measure-zero) random worlds above.
+World BuildLatticeWorld(int trial) {
+  World w;
+  Rng rng = Rng(0x1A77CEu).Stream("lattice-trial", static_cast<uint64_t>(trial));
+  const double spacing = 60.0;
+  const int cols = static_cast<int>(rng.UniformInt(3, 8));
+  const int rows = static_cast<int>(rng.UniformInt(3, 8));
+  int id = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      w.pois.push_back({id++, {c * spacing, r * spacing}});
+    }
+  }
+  w.server = std::make_unique<SpatialServer>(w.pois);
+  const int qc = static_cast<int>(rng.UniformInt(0, static_cast<uint64_t>(cols - 1)));
+  const int qr = static_cast<int>(rng.UniformInt(0, static_cast<uint64_t>(rows - 1)));
+  w.q = {qc * spacing, qr * spacing};
+  if (rng.Bernoulli(0.5)) {
+    // Cell center: the four cell corners are exactly co-distant.
+    w.q.x += spacing / 2.0;
+    w.q.y += spacing / 2.0;
+  }
+  w.k = static_cast<int>(rng.UniformInt(1, 10));
+
+  int peers = static_cast<int>(rng.UniformInt(0, 6));
+  for (int p = 0; p < peers; ++p) {
+    // Peer past-query location: a lattice point at most two cells from Q's
+    // cell, so its certain disk overlaps Q and the tied POIs.
+    int pc = qc + static_cast<int>(rng.UniformInt(0, 4)) - 2;
+    int pr = qr + static_cast<int>(rng.UniformInt(0, 4)) - 2;
+    pc = std::max(0, std::min(cols - 1, pc));
+    pr = std::max(0, std::min(rows - 1, pr));
+    geom::Vec2 loc{pc * spacing, pr * spacing};
+    int size = static_cast<int>(rng.UniformInt(1, 12));
+    CachedResult cached;
+    cached.query_location = loc;
+    cached.neighbors = w.server->QueryKnn(loc, size).neighbors;
+    if (!cached.Empty()) w.peer_caches.push_back(std::move(cached));
+  }
+  return w;
+}
+
 std::vector<RankedPoi> OracleKnn(const std::vector<Poi>& pois, geom::Vec2 q) {
   std::vector<RankedPoi> ranked;
   ranked.reserve(pois.size());
@@ -167,6 +214,60 @@ TEST(OracleDiffTest, SennPipelineMatchesBruteForce) {
   // Both resolution families must occur, or the test lost its teeth.
   EXPECT_GT(peer_answered, 10);
   EXPECT_GT(server_answered, 10);
+}
+
+TEST(OracleDiffTest, LatticeWorldServerKnnMatchesBruteForce) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildLatticeWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    ServerReply reply = w.server->QueryKnn(w.q, w.k);
+    size_t expect = std::min<size_t>(static_cast<size_t>(w.k), w.pois.size());
+    ASSERT_EQ(reply.neighbors.size(), expect) << "lattice trial " << trial;
+    ExpectRankedPrefix(reply.neighbors, oracle, "lattice server kNN", trial);
+  }
+}
+
+TEST(OracleDiffTest, LatticeWorldCertainSetsAreOraclePrefixes) {
+  int single_certified = 0, multi_certified = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildLatticeWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    for (const CachedResult& peer : w.peer_caches) {
+      CandidateHeap heap(w.k);
+      VerifySinglePeer(w.q, peer, &heap);
+      ExpectRankedPrefix(heap.certain(), oracle, "lattice kNN_single certain set", trial);
+      single_certified += heap.certain().empty() ? 0 : 1;
+    }
+    if (w.peer_caches.size() >= 2) {
+      CandidateHeap heap(w.k);
+      VerifyMultiPeer(w.q, CachePointers(w), &heap, MultiPeerOptions{});
+      ExpectRankedPrefix(heap.certain(), oracle, "lattice kNN_multiple certain set", trial);
+      multi_certified += heap.certain().empty() ? 0 : 1;
+    }
+  }
+  // The lattice generator must actually produce certifying configurations.
+  EXPECT_GT(single_certified, kTrials / 8);
+  EXPECT_GT(multi_certified, kTrials / 16);
+}
+
+TEST(OracleDiffTest, LatticeWorldSennPipelineMatchesBruteForce) {
+  int peer_answered = 0, server_answered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    World w = BuildLatticeWorld(trial);
+    std::vector<RankedPoi> oracle = OracleKnn(w.pois, w.q);
+    SennOptions options;
+    options.server_request_k = std::max(w.k, 10);
+    SennProcessor processor(w.server.get(), options);
+    SennOutcome outcome = processor.Execute(w.q, w.k, CachePointers(w));
+    ASSERT_NE(outcome.resolution, Resolution::kUncertain);
+    size_t expect = std::min<size_t>(static_cast<size_t>(w.k), w.pois.size());
+    ASSERT_EQ(outcome.neighbors.size(), expect) << "lattice trial " << trial;
+    ExpectRankedPrefix(outcome.neighbors, oracle, "lattice SENN answer", trial);
+    ExpectRankedPrefix(outcome.certain_prefix, oracle, "lattice SENN certain prefix", trial);
+    (outcome.resolution == Resolution::kServer ? server_answered : peer_answered) += 1;
+  }
+  EXPECT_GT(peer_answered, 5);
+  EXPECT_GT(server_answered, 5);
 }
 
 }  // namespace

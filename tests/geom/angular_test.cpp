@@ -32,6 +32,45 @@ TEST(AngularTest, WrappingArcSplits) {
   ASSERT_EQ(ivs.size(), 2u);
 }
 
+TEST(AngularTest, WrappedInputArcAccepted) {
+  // Callers that pre-normalize both endpoints into [0, 2pi) hand us arcs with
+  // end < begin. These straddle 0 and must not be dropped.
+  AngularIntervalSet s;
+  s.AddArc(kTwoPi - 0.3, 0.4);
+  EXPECT_NEAR(s.Measure(), 0.7, 1e-12);
+  EXPECT_EQ(s.Intervals().size(), 2u);
+}
+
+TEST(AngularTest, WrappedInputMatchesUnwrappedEquivalent) {
+  AngularIntervalSet wrapped, unwrapped;
+  wrapped.AddArc(kTwoPi - 1.0, 0.5);
+  unwrapped.AddArc(kTwoPi - 1.0, kTwoPi + 0.5);
+  EXPECT_NEAR(wrapped.Measure(), unwrapped.Measure(), 1e-12);
+  auto a = wrapped.Intervals(1e-12);
+  auto b = unwrapped.Intervals(1e-12);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].begin, b[i].begin, 1e-12);
+    EXPECT_NEAR(a[i].end, b[i].end, 1e-12);
+  }
+}
+
+TEST(AngularTest, CoverageCompletesAcrossZero) {
+  // A wrapped arc plus the complementary interior arc must close the circle.
+  AngularIntervalSet s;
+  s.AddArc(kTwoPi - 0.3, 0.4);  // wrapped input: covers [2pi-0.3, 2pi) u [0, 0.4)
+  s.AddArc(0.3, kTwoPi - 0.2);
+  EXPECT_TRUE(s.CoversFullCircle(1e-9));
+}
+
+TEST(AngularTest, WrappedInputLeavesGapDetectable) {
+  AngularIntervalSet s;
+  s.AddArc(kTwoPi - 0.3, 0.4);
+  s.AddArc(0.5, kTwoPi - 0.4);  // gaps at [0.4, 0.5) and [2pi-0.4, 2pi-0.3)
+  EXPECT_FALSE(s.CoversFullCircle(1e-6));
+  EXPECT_NEAR(s.Measure(), kTwoPi - 0.2, 1e-9);
+}
+
 TEST(AngularTest, NegativeAnglesNormalize) {
   AngularIntervalSet s;
   s.AddArc(-0.5, 0.5);

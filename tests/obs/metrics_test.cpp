@@ -1,0 +1,83 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace senn::obs {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.counter("absent"), 0u);
+  r.Inc("queries");
+  r.Inc("queries", 4);
+  EXPECT_EQ(r.counter("queries"), 5u);
+}
+
+TEST(MetricsTest, HistogramsTrackMoments) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.histogram("absent"), nullptr);
+  r.Observe("pages", 10.0);
+  r.Observe("pages", 30.0);
+  const RunningStats* h = r.histogram("pages");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h->min(), 10.0);
+  EXPECT_DOUBLE_EQ(h->max(), 30.0);
+}
+
+TEST(MetricsTest, MergeIsOrderIndependent) {
+  // Shard-merge contract: folding per-shard registries in any order yields
+  // the same registry — same bytes out of ToJson.
+  MetricsRegistry a, b, c;
+  a.Inc("q", 2);
+  a.Observe("lat", 1.0);
+  b.Inc("q", 3);
+  b.Inc("server", 1);
+  b.Observe("lat", 5.0);
+  c.Observe("lat", 3.0);
+  c.Observe("pages", 7.0);
+
+  MetricsRegistry abc;
+  abc.Merge(a);
+  abc.Merge(b);
+  abc.Merge(c);
+  MetricsRegistry cba;
+  cba.Merge(c);
+  cba.Merge(b);
+  cba.Merge(a);
+
+  EXPECT_EQ(abc.counter("q"), 5u);
+  EXPECT_EQ(abc.counter("server"), 1u);
+  EXPECT_EQ(abc.histogram("lat")->count(), 3u);
+  EXPECT_DOUBLE_EQ(abc.histogram("lat")->mean(), 3.0);
+  EXPECT_EQ(abc.ToJson(), cba.ToJson());
+}
+
+TEST(MetricsTest, ToJsonIsLexicographicAndStable) {
+  MetricsRegistry r;
+  r.Inc("zeta");
+  r.Inc("alpha", 2);
+  r.Observe("mid", 1.5);
+  std::string json = r.ToJson();
+  // std::map ordering: "alpha" renders before "zeta" regardless of insert
+  // order.
+  size_t alpha = json.find("\"alpha\"");
+  size_t zeta = json.find("\"zeta\"");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, zeta);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json, r.ToJson());
+}
+
+TEST(MetricsTest, EmptyRegistrySerializes) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.ToJson(), "{\"counters\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace senn::obs

@@ -1,0 +1,167 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+
+namespace senn::obs {
+namespace {
+
+/// Collects raw span events for inspection.
+struct RecordingSink : TraceSink {
+  std::vector<SpanEvent> events;
+  void OnSpan(const SpanEvent& span) override { events.push_back(span); }
+};
+
+TEST(TraceTest, PhaseNamesAreStableAndDistinct) {
+  const char* expected[kPhaseCount] = {"peer_harvest", "verify_single", "verify_multi",
+                                       "heap_classify", "server_einn", "net_exchange",
+                                       "buffer_fetch"};
+  for (int i = 0; i < kPhaseCount; ++i) {
+    EXPECT_STREQ(PhaseName(static_cast<Phase>(i)), expected[i]);
+  }
+}
+
+TEST(TraceTest, NullTracerSpanIsInertNoOp) {
+  ScopedSpan span(nullptr, Phase::kVerifySingle);
+  EXPECT_FALSE(span.active());
+  span.AddArg("peers", 3);  // must not crash or emit anything
+}
+
+TEST(TraceTest, ScopedSpanEmitsOnDestruction) {
+  RecordingSink sink;
+  QueryTracer tracer(&sink, /*query_id=*/7, /*sim_time_us=*/1'000'000);
+  {
+    ScopedSpan span(&tracer, Phase::kServerEinn);
+    EXPECT_TRUE(span.active());
+    span.AddArg("pages", 42);
+    EXPECT_TRUE(sink.events.empty());  // nothing until the span closes
+  }
+  ASSERT_EQ(sink.events.size(), 1u);
+  const SpanEvent& e = sink.events[0];
+  EXPECT_EQ(e.phase, Phase::kServerEinn);
+  EXPECT_EQ(e.query_id, 7u);
+  EXPECT_EQ(e.ts_us, 1'000'000u);  // first tick = sim time base
+  EXPECT_GE(e.dur_us, 1u);
+  ASSERT_EQ(e.arg_count, 1);
+  EXPECT_STREQ(e.args[0].name, "pages");
+  EXPECT_EQ(e.args[0].value, 42u);
+}
+
+TEST(TraceTest, TicksAreMonotoneAndNestedSpansOrder) {
+  RecordingSink sink;
+  QueryTracer tracer(&sink, 1, 500);
+  {
+    ScopedSpan outer(&tracer, Phase::kPeerHarvest);
+    { ScopedSpan inner(&tracer, Phase::kNetExchange); }
+    { ScopedSpan inner2(&tracer, Phase::kNetExchange); }
+  }
+  ASSERT_EQ(sink.events.size(), 3u);
+  // Inner spans close (and emit) before the outer one.
+  const SpanEvent& inner = sink.events[0];
+  const SpanEvent& inner2 = sink.events[1];
+  const SpanEvent& outer = sink.events[2];
+  EXPECT_EQ(outer.phase, Phase::kPeerHarvest);
+  EXPECT_EQ(outer.ts_us, 500u);
+  EXPECT_GT(inner.ts_us, outer.ts_us);
+  EXPECT_GT(inner2.ts_us, inner.ts_us + inner.dur_us - 1);
+  // The outer span encloses both inner spans tick-wise.
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner2.ts_us + inner2.dur_us);
+}
+
+TEST(TraceTest, ArgsPastTheCapAreDropped) {
+  RecordingSink sink;
+  QueryTracer tracer(&sink, 1, 0);
+  {
+    ScopedSpan span(&tracer, Phase::kHeapClassify);
+    for (int i = 0; i < kMaxSpanArgs + 3; ++i) span.AddArg("x", static_cast<uint64_t>(i));
+  }
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].arg_count, kMaxSpanArgs);
+  for (int i = 0; i < kMaxSpanArgs; ++i) {
+    EXPECT_EQ(sink.events[0].args[i].value, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(TraceTest, TimestampsAreIndependentOfOtherQueries) {
+  // Two tracers over the same sink: per-query tick counters never interact,
+  // so interleaving queries cannot perturb either query's timestamps.
+  RecordingSink solo_sink, mixed_sink;
+  {
+    QueryTracer solo(&solo_sink, 1, 100);
+    ScopedSpan a(&solo, Phase::kVerifySingle);
+  }
+  {
+    QueryTracer one(&mixed_sink, 1, 100);
+    QueryTracer two(&mixed_sink, 2, 100);
+    ScopedSpan other(&two, Phase::kVerifyMulti);
+    ScopedSpan a(&one, Phase::kVerifySingle);
+  }
+  ASSERT_EQ(solo_sink.events.size(), 1u);
+  const SpanEvent* mixed = nullptr;
+  for (const SpanEvent& e : mixed_sink.events) {
+    if (e.query_id == 1) mixed = &e;
+  }
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_EQ(mixed->ts_us, solo_sink.events[0].ts_us);
+  EXPECT_EQ(mixed->dur_us, solo_sink.events[0].dur_us);
+}
+
+TEST(TraceTest, TeeSinkForwardsInAttachmentOrder) {
+  RecordingSink a, b;
+  TeeSink tee;
+  tee.Add(&a);
+  tee.Add(&b);
+  QueryTracer tracer(&tee, 9, 0);
+  { ScopedSpan span(&tracer, Phase::kBufferFetch); }
+  ASSERT_EQ(a.events.size(), 1u);
+  ASSERT_EQ(b.events.size(), 1u);
+  EXPECT_EQ(a.events[0].query_id, 9u);
+  EXPECT_EQ(b.events[0].phase, Phase::kBufferFetch);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  ChromeTraceWriter writer;
+  QueryTracer tracer(&writer, 3, 2'000'000);
+  {
+    ScopedSpan span(&tracer, Phase::kVerifySingle);
+    span.AddArg("peers", 2);
+  }
+  ASSERT_EQ(writer.span_count(), 1u);
+  std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"verify_single\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"peers\":2"), std::string::npos);
+  // Determinism: rendering twice gives the same bytes.
+  EXPECT_EQ(json, writer.ToJson());
+}
+
+TEST(TraceTest, PhaseMetricsSinkAggregates) {
+  MetricsRegistry registry;
+  PhaseMetricsSink sink(&registry);
+  QueryTracer tracer(&sink, 1, 0);
+  {
+    ScopedSpan span(&tracer, Phase::kServerEinn);
+    span.AddArg("einn_pages", 12);
+  }
+  {
+    ScopedSpan span(&tracer, Phase::kServerEinn);
+    span.AddArg("einn_pages", 20);
+  }
+  EXPECT_EQ(registry.counter("span/server_einn"), 2u);
+  const RunningStats* pages = registry.histogram("server_einn/einn_pages");
+  ASSERT_NE(pages, nullptr);
+  EXPECT_EQ(pages->count(), 2u);
+  EXPECT_DOUBLE_EQ(pages->mean(), 16.0);
+  ASSERT_NE(registry.histogram("server_einn/ticks"), nullptr);
+}
+
+}  // namespace
+}  // namespace senn::obs

@@ -1,0 +1,129 @@
+// Trace-golden tests: the query-phase tracing layer must be (a) invisible —
+// attaching a span sink never changes any simulation metric — and
+// (b) byte-reproducible — a fixed seed produces the identical Chrome trace
+// document run after run, even while unrelated simulations execute
+// concurrently in the process, and sampling selects exactly every N-th
+// query.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/trace.h"
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+namespace {
+
+SimulationConfig TraceConfig(uint64_t seed = 42) {
+  SimulationConfig cfg;
+  cfg.params = Table3(Region::kLosAngeles);
+  cfg.mode = MovementMode::kFreeMovement;
+  cfg.duration_s = 120.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string RunTraced(const SimulationConfig& cfg, uint64_t sample_every,
+                      std::string* result_json = nullptr) {
+  obs::ChromeTraceWriter writer;
+  Simulator sim(cfg);
+  sim.AttachSpanSink(&writer, sample_every);
+  SimulationResult result = sim.Run();
+  if (result_json != nullptr) *result_json = SimulationResultJson(result);
+  return writer.ToJson();
+}
+
+TEST(TraceGoldenTest, AttachingASinkChangesNoMetric) {
+  SimulationConfig cfg = TraceConfig();
+  std::string plain = SimulationResultJson(Simulator(cfg).Run());
+  std::string traced_result;
+  std::string trace = RunTraced(cfg, 1, &traced_result);
+  EXPECT_EQ(plain, traced_result) << "tracing must be metrically invisible";
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceGoldenTest, FixedSeedTraceIsByteIdenticalAcrossRuns) {
+  SimulationConfig cfg = TraceConfig();
+  std::string first = RunTraced(cfg, 1);
+  std::string second = RunTraced(cfg, 1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceGoldenTest, TraceIsByteIdenticalUnderConcurrentLoad) {
+  // The traced simulation's spans must not shift while other simulations
+  // hammer the process from worker threads (the sweep-engine situation).
+  SimulationConfig cfg = TraceConfig();
+  std::string baseline = RunTraced(cfg, 1);
+
+  std::vector<std::thread> noise;
+  for (int i = 0; i < 3; ++i) {
+    noise.emplace_back([i] {
+      SimulationConfig other = TraceConfig(100 + static_cast<uint64_t>(i));
+      other.duration_s = 90.0;
+      Simulator(other).Run();
+    });
+  }
+  std::string contended = RunTraced(cfg, 1);
+  for (std::thread& t : noise) t.join();
+  EXPECT_EQ(baseline, contended);
+}
+
+TEST(TraceGoldenTest, SamplingTracesEveryNthQuery) {
+  SimulationConfig cfg = TraceConfig();
+  obs::ChromeTraceWriter all, sampled;
+  {
+    Simulator sim(cfg);
+    sim.AttachSpanSink(&all, 1);
+    sim.Run();
+  }
+  {
+    Simulator sim(cfg);
+    sim.AttachSpanSink(&sampled, 4);
+    sim.Run();
+  }
+  ASSERT_GT(all.span_count(), 0u);
+  ASSERT_GT(sampled.span_count(), 0u);
+  EXPECT_LT(sampled.span_count(), all.span_count());
+  std::set<uint64_t> sampled_qids;
+  for (const obs::SpanEvent& e : sampled.spans()) {
+    EXPECT_EQ(e.query_id % 4, 0u) << "sampled span from an off-stride query";
+    sampled_qids.insert(e.query_id);
+  }
+  // Sampled queries carry exactly the spans the full trace recorded for them.
+  size_t expected = 0;
+  for (const obs::SpanEvent& e : all.spans()) {
+    if (sampled_qids.count(e.query_id) > 0) ++expected;
+  }
+  EXPECT_EQ(sampled.span_count(), expected);
+}
+
+TEST(TraceGoldenTest, SpanStreamCoversThePeerAndServerPhases) {
+  SimulationConfig cfg = TraceConfig();
+  obs::ChromeTraceWriter writer;
+  Simulator sim(cfg);
+  sim.AttachSpanSink(&writer, 1);
+  SimulationResult result = sim.Run();
+  std::set<obs::Phase> seen;
+  uint64_t harvest_spans = 0;
+  for (const obs::SpanEvent& e : writer.spans()) {
+    seen.insert(e.phase);
+    if (e.phase == obs::Phase::kPeerHarvest) ++harvest_spans;
+  }
+  EXPECT_TRUE(seen.count(obs::Phase::kPeerHarvest));
+  EXPECT_TRUE(seen.count(obs::Phase::kVerifySingle));
+  EXPECT_TRUE(seen.count(obs::Phase::kHeapClassify));
+  EXPECT_TRUE(seen.count(obs::Phase::kServerEinn));
+  EXPECT_TRUE(seen.count(obs::Phase::kNetExchange));
+  // One harvest span per measured query with peers in range; at minimum the
+  // server-answered ones all ran the full pipeline.
+  EXPECT_GE(harvest_spans, result.by_server);
+}
+
+}  // namespace
+}  // namespace senn::sim

@@ -177,6 +177,13 @@ void RunRandomTrace(ReplacementPolicy policy, size_t capacity, uint64_t seed) {
       ASSERT_EQ(ref.PinCount(id), pool.PinCount(id)) << "step " << step << " page " << id;
     }
   }
+
+  // Balance every pin: the paranoid teardown check treats leaked pins as a
+  // bug (a leaked pin in production permanently shrinks the pool).
+  for (PageId id : pinned) {
+    ref.Unpin(id);
+    pool.Unpin(id);
+  }
 }
 
 TEST(BufferPoolPropertyTest, RandomTracesMatchReferenceModel) {
@@ -211,6 +218,10 @@ TEST(BufferPoolPropertyTest, FetchFailsOnlyWhenEveryFrameIsPinned) {
   EXPECT_TRUE(r.miss);
   EXPECT_FALSE(pool.Resident(0));
   EXPECT_TRUE(pool.Resident(1));
+  // Balance every pin: the paranoid teardown check treats leaked pins as a
+  // bug (a leaked pin in production permanently shrinks the pool).
+  pool.Unpin(1);
+  pool.Unpin(2);
 }
 
 TEST(BufferPoolPropertyTest, UnboundedPoolNeverEvicts) {
@@ -248,6 +259,7 @@ TEST(BufferPoolPropertyTest, EvictedFrameIsZeroFilledOnReuse) {
   ASSERT_NE(c.page, nullptr);
   ASSERT_TRUE(c.miss);
   EXPECT_EQ(c.page->data[100], std::byte{0});
+  pool.Unpin(2);
 }
 
 // LRU is a stack algorithm: for one fixed reference string, the resident set

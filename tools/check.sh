@@ -3,7 +3,13 @@
 #   1. regular Release build + the full ctest suite;
 #   2. ThreadSanitizer build of the library + the net/sim/core test binaries
 #      (sweep-engine races, determinism under real concurrency);
-#   3. AddressSanitizer pass over the same binaries.
+#   3. AddressSanitizer pass over the same binaries;
+#   4. UndefinedBehaviorSanitizer pass (distance arithmetic, comparator and
+#      angular-interval edge cases) over the same binaries + geom + obs;
+#   5. SENN_PARANOID build (algorithmic invariant checks compiled in:
+#      heap rank order, bounds sanity, buffer-pool pin balance) running the
+#      tier1 label — any tripped invariant aborts the test binary and fails
+#      the gate.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -12,7 +18,7 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/3] Release build + full test suite ==="
+echo "=== [1/5] Release build + full test suite ==="
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 # Quick gate first: the fast tier-1 suites fail in seconds when something is
@@ -20,7 +26,7 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "=== [2/3] ThreadSanitizer: net + sim + core + storage test binaries ==="
+echo "=== [2/5] ThreadSanitizer: net + sim + core + storage test binaries ==="
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test
 "${PREFIX}-tsan/tests/net_test"
@@ -29,12 +35,27 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test
 "${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
 "${PREFIX}-tsan/tests/storage_test"
 
-echo "=== [3/3] AddressSanitizer: net + sim + core + storage test binaries ==="
+echo "=== [3/5] AddressSanitizer: net + sim + core + storage test binaries ==="
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test
 "${PREFIX}-asan/tests/net_test"
 "${PREFIX}-asan/tests/sim_test"
 "${PREFIX}-asan/tests/core_test"
 "${PREFIX}-asan/tests/storage_test"
+
+echo "=== [4/5] UBSan: net + sim + core + storage + geom + obs test binaries ==="
+cmake -B "${PREFIX}-ubsan" -S . -DSENN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test
+"${PREFIX}-ubsan/tests/net_test"
+"${PREFIX}-ubsan/tests/sim_test"
+"${PREFIX}-ubsan/tests/core_test"
+"${PREFIX}-ubsan/tests/storage_test"
+"${PREFIX}-ubsan/tests/geom_test"
+"${PREFIX}-ubsan/tests/obs_test"
+
+echo "=== [5/5] SENN_PARANOID: invariant-checked tier1 suite ==="
+cmake -B "${PREFIX}-paranoid" -S . -DSENN_PARANOID=ON >/dev/null
+cmake --build "${PREFIX}-paranoid" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-paranoid" --output-on-failure -j "${JOBS}" -L tier1
 
 echo "check.sh: all green"

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/obs/chrome_trace.h"
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sweep.h"
@@ -48,7 +49,10 @@ using namespace senn;
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
       "  --json                           also print the metrics as one JSON line\n"
-      "  --trace FILE                     write a per-query CSV trace (shard 0 only)\n",
+      "  --trace FILE                     write a per-query CSV trace (shard 0 only)\n"
+      "  --trace-out FILE                 write a Chrome trace_event JSON of per-query\n"
+      "                                   phase spans (shard 0 only; open in Perfetto)\n"
+      "  --trace-sample N                 trace every N-th query only (default 1)\n",
       argv0);
   std::exit(2);
 }
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
   sim::SimulationConfig cfg;
   double scale = 1.0;
   std::string trace_path;
+  std::string trace_out_path;
+  uint64_t trace_sample = 1;
   double tx = -1, cache = -1, speed = -1, k = -1;
   int shards = 1, threads = 1;
   bool print_json = false;
@@ -155,6 +161,11 @@ int main(int argc, char** argv) {
       print_json = true;
     } else if (arg == "--trace") {
       trace_path = need(i++);
+    } else if (arg == "--trace-out") {
+      trace_out_path = need(i++);
+    } else if (arg == "--trace-sample") {
+      trace_sample = std::strtoull(need(i++), nullptr, 10);
+      if (trace_sample < 1) Usage(argv[0]);
     } else {
       Usage(argv[0]);
     }
@@ -206,12 +217,21 @@ int main(int argc, char** argv) {
   for (int s = 0; s < shards; ++s) shard_cfgs.push_back(sim::ShardConfig(cfg, s));
 
   sim::QueryTrace trace;
+  obs::ChromeTraceWriter chrome_trace;
+  obs::MetricsRegistry phase_metrics;
+  obs::PhaseMetricsSink metrics_sink(&phase_metrics);
+  obs::TeeSink span_tee;
+  span_tee.Add(&chrome_trace);
+  span_tee.Add(&metrics_sink);
   std::vector<sim::SimulationResult> parts;
-  if (!trace_path.empty()) {
-    // The trace sink is single-threaded; run the traced shard on its own
-    // simulator and the rest on the pool.
+  if (!trace_path.empty() || !trace_out_path.empty()) {
+    // The trace sinks are single-threaded; run the traced shard on its own
+    // simulator and the rest on the pool. Shard 0 alone is deterministic
+    // regardless of how the remaining shards are scheduled, so the trace
+    // files are byte-identical at any --threads.
     sim::Simulator traced(shard_cfgs[0]);
-    traced.AttachTrace(&trace);
+    if (!trace_path.empty()) traced.AttachTrace(&trace);
+    if (!trace_out_path.empty()) traced.AttachSpanSink(&span_tee, trace_sample);
     parts.push_back(traced.Run());
     std::vector<sim::SimulationConfig> rest(shard_cfgs.begin() + 1, shard_cfgs.end());
     std::vector<sim::SimulationResult> rest_results =
@@ -267,6 +287,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace: %zu events -> %s\n", trace.size(), trace_path.c_str());
+  }
+  if (!trace_out_path.empty()) {
+    // Per-phase cost table (shard 0): the phase decomposition behind the
+    // paper's Figs. 10-13 aggregates. Ticks are logical span ticks, not
+    // wall time; the arg histograms carry the physical quantities.
+    std::printf("\nper-phase costs (traced shard, %llu spans):\n",
+                static_cast<unsigned long long>(chrome_trace.span_count()));
+    std::printf("  %-14s %10s %12s\n", "phase", "spans", "mean args");
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      const char* name = obs::PhaseName(static_cast<obs::Phase>(p));
+      uint64_t count = phase_metrics.counter(std::string("span/") + name);
+      if (count == 0) continue;
+      std::printf("  %-14s %10llu", name, static_cast<unsigned long long>(count));
+      for (const auto& [hname, stats] : phase_metrics.histograms()) {
+        const std::string prefix = std::string(name) + "/";
+        if (hname.rfind(prefix, 0) != 0 || hname == prefix + "ticks") continue;
+        std::printf("  %s=%.2f", hname.c_str() + prefix.size(), stats.mean());
+      }
+      std::printf("\n");
+    }
+    Status s = chrome_trace.WriteToFile(trace_out_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace-out write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace-out: %zu spans -> %s (open in https://ui.perfetto.dev)\n",
+                chrome_trace.span_count(), trace_out_path.c_str());
   }
   return 0;
 }
