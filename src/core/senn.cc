@@ -34,9 +34,18 @@ std::vector<const CachedResult*> SennProcessor::UsablePeers(
     if (p != nullptr && !p->Empty()) peers.push_back(p);
   }
   if (options_.sort_peers) {
-    std::sort(peers.begin(), peers.end(), [&](const CachedResult* a, const CachedResult* b) {
-      return geom::Dist2(q, a->query_location) < geom::Dist2(q, b->query_location);
-    });
+    // Consult-order heuristic, not a result order: peers carry no POI id to
+    // tie-break on, so a stable sort pins co-distant peers to their
+    // deterministic harvest order. The answer itself stays peer-permutation
+    // invariant through the RanksBefore heap (tie_break_test).
+    // senn-lint: allow(L1-raw-order): consult-order heuristic over peers
+    // (no ids exist); stable_sort keeps equal-distance peers in harvest
+    // order and results are permutation-invariant regardless.
+    std::stable_sort(peers.begin(), peers.end(),
+                     [&](const CachedResult* a, const CachedResult* b) {
+                       return geom::Dist2(q, a->query_location) <
+                              geom::Dist2(q, b->query_location);
+                     });
   }
   return peers;
 }

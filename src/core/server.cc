@@ -83,6 +83,9 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
   // objects (a node with MINDIST == d may hide a co-distant smaller-id
   // object), and co-distant objects pop in ascending id.
   auto greater = [](const Item& a, const Item& b) {
+    // senn-lint: allow(L5-float-eq): strict-weak-order tie detection. Both
+    // keys come from the same MinDist/Dist code path, so "equal" means
+    // bit-identical, and exact ties must fall through to the id rules.
     if (a.key != b.key) return a.key > b.key;
     const bool a_object = a.node == nullptr;
     const bool b_object = b.node == nullptr;
@@ -91,6 +94,9 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
     return false;
   };
   std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
+  // senn-lint: allow(L1-raw-order): value-only bag of doubles feeding the
+  // dynamic k-th-distance bound; equal keys are indistinguishable and no
+  // identity ever leaves this heap.
   std::priority_queue<double> best;  // max-heap of the k best seen distances
   auto effective_bound = [&]() {
     double bound = horizon;

@@ -28,6 +28,10 @@ VerifyStats VerifySinglePeer(geom::Vec2 q, const CachedResult& peer, CandidateHe
     RankedPoi candidate{n.id, n.position, d};
     ++stats.candidates;
     const double reach = d + delta;
+    // senn-lint: allow(L5-float-eq): the boundary-tie guard above is only
+    // sound at EXACT equality — `reach` and `radius` both derive from
+    // geom::Dist over the same coordinates, so a true tie is bit-identical
+    // and an epsilon would certify unsound candidates.
     if (reach < radius || (reach == radius && n.id <= last_id + 1)) {
       heap->InsertCertain(candidate);
       ++stats.certified;

@@ -38,8 +38,11 @@ std::vector<NetworkRankedPoi> SnnnProcessor::Execute(geom::Vec2 q, int k,
   auto network_distance = [&](geom::Vec2 p) {
     return oracle.DistanceTo(locator_->Nearest(p));
   };
+  // Network distances rank through the same (distance, id) order as the
+  // Euclidean paths: two POIs on the same shortest-path ring would otherwise
+  // rank by the seed source's emission order.
   auto by_network = [](const NetworkRankedPoi& a, const NetworkRankedPoi& b) {
-    return a.network < b.network;
+    return RanksBefore(a.network, a.id, b.network, b.id);
   };
 
   // Seed: k certain Euclidean NNs (Algorithm 2, lines 2-7).

@@ -33,6 +33,10 @@ struct RankedPoi {
 /// order (a function of harvest timing) leaks into results. Every distance
 /// sort and every heap comparator must go through this.
 inline bool RanksBefore(double distance_a, PoiId id_a, double distance_b, PoiId id_b) {
+  // senn-lint: allow(L5-float-eq): this IS the canonical order — exact
+  // inequality decides when the id tie-break applies. Distances tie only
+  // when bit-identical (same Dist computation), which is the contract every
+  // caller relies on.
   if (distance_a != distance_b) return distance_a < distance_b;
   return id_a < id_b;
 }

@@ -42,7 +42,10 @@ std::vector<std::unique_ptr<Node>> PackLevel(std::vector<Slot> slots, int child_
       std::ceil(std::sqrt(static_cast<double>(node_count))));
   const size_t slice_size = (n + slices - 1) / slices;
 
-  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+  // Stable: co-located slots keep their input order (object id order at the
+  // leaf level, child preorder above), so the packing is a pure function of
+  // the input sequence even for duplicate coordinates (lattice worlds).
+  std::stable_sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
     return a.mbr.Center().x < b.mbr.Center().x;
   });
 
@@ -52,11 +55,11 @@ std::vector<std::unique_ptr<Node>> PackLevel(std::vector<Slot> slots, int child_
     size_t end = std::min(begin + slice_size, n);
     // Absorb a tail slice too small to form a legal node.
     if (n - end > 0 && n - end < min_size) end = n;
-    std::sort(slots.begin() + static_cast<long>(begin),
-              slots.begin() + static_cast<long>(end),
-              [](const Slot& a, const Slot& b) {
-                return a.mbr.Center().y < b.mbr.Center().y;
-              });
+    std::stable_sort(slots.begin() + static_cast<long>(begin),
+                     slots.begin() + static_cast<long>(end),
+                     [](const Slot& a, const Slot& b) {
+                       return a.mbr.Center().y < b.mbr.Center().y;
+                     });
     size_t cursor = begin;
     for (size_t take : GroupSizes(end - begin, cap, min_size)) {
       auto node = std::make_unique<Node>();

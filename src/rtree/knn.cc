@@ -127,6 +127,9 @@ void BestFirstNnIterator::ExpandNode(const RStarTree::Node* node) {
       // prefix and must be reported like any other candidate.
       if (bounds_.lower.has_value() &&
           (d < *bounds_.lower ||
+           // senn-lint: allow(L5-float-eq): bit-exact boundary tie — the
+           // client's lower bound is the cached radius from the same Dist()
+           // chain, and the id cut keeps co-distant tie-losers reportable.
            (d == *bounds_.lower && s.object.id <= bounds_.lower_id_cut))) {
         FeedDynamicBound(d);
         continue;

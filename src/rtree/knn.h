@@ -125,6 +125,9 @@ class BestFirstNnIterator {
   };
   struct Greater {
     bool operator()(const QueueItem& a, const QueueItem& b) const {
+      // senn-lint: allow(L5-float-eq): strict-weak-order tie detection —
+      // keys from the same MinDist/Dist path tie only when bit-identical,
+      // and exact ties must reach the node/object and id rules below.
       if (a.key != b.key) return a.key > b.key;
       // At equal key a node must pop before an object: its MINDIST equals
       // the object's distance, so it may still contain a co-distant object
@@ -152,6 +155,8 @@ class BestFirstNnIterator {
   std::optional<int> prune_to_k_;
   NodePageHook* hook_ = nullptr;
   // Max-heap of the best prune_to_k_ object distances discovered so far.
+  // senn-lint: allow(L1-raw-order): value-only bag of doubles — only top()
+  // is read as a pruning bound, so equal-key pop order is unobservable.
   std::priority_queue<double> best_distances_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> queue_;
   AccessCounter accesses_;

@@ -113,7 +113,11 @@ void RStarTree::ForcedReinsert(Node* node, std::vector<bool>* reinserted_by_leve
   // Sort by distance of the slot MBR center to the node center, descending.
   std::vector<size_t> order(node->slots.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  // senn-lint: allow(L1-raw-order): tree-construction heuristic, not a
+  // result order — slots have no POI id at index levels; the stable sort
+  // pins equal-distance slots to their in-node order, a pure function of
+  // the insertion sequence.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return geom::Dist2(node->slots[a].mbr.Center(), center) >
            geom::Dist2(node->slots[b].mbr.Center(), center);
   });
@@ -166,7 +170,9 @@ void RStarTree::SplitNode(Node* node, std::vector<bool>* reinserted_by_level) {
   auto sorted_order = [&](int axis, bool by_upper) {
     std::vector<size_t> order(node->slots.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    // Stable: slots tying on the split key keep their in-node order, so the
+    // chosen split is a pure function of the insertion sequence.
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       const Mbr& ma = node->slots[a].mbr;
       const Mbr& mb = node->slots[b].mbr;
       double ka = axis == 0 ? (by_upper ? ma.hi.x : ma.lo.x) : (by_upper ? ma.hi.y : ma.lo.y);

@@ -1,0 +1,26 @@
+// Lint fixture: L1-raw-order must fire on every marked line.
+// Not compiled into any target — senn_lint fodder only.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+struct RankedPoi {
+  long id;
+  double distance;
+};
+
+void SortByDistanceOnly(std::vector<RankedPoi>* pois) {
+  std::sort(pois->begin(), pois->end(),  // LINT-BAD
+            [](const RankedPoi& a, const RankedPoi& b) { return a.distance < b.distance; });
+}
+
+void HeapByDistanceOnly(std::vector<RankedPoi>* pois) {
+  auto by_distance = [](const RankedPoi& a, const RankedPoi& b) {
+    return a.distance < b.distance;
+  };
+  std::make_heap(pois->begin(), pois->end(), by_distance);  // LINT-BAD
+}
+
+struct DistanceQueue {
+  std::priority_queue<double> best_distances;  // LINT-BAD
+};

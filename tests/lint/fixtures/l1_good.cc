@@ -1,0 +1,32 @@
+// Lint fixture: the compliant twin of l1_bad.cc — silence expected.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+struct RankedPoi {
+  long id;
+  double distance;
+};
+
+bool RanksBefore(const RankedPoi& a, const RankedPoi& b);
+
+void SortByRank(std::vector<RankedPoi>* pois) {
+  std::sort(pois->begin(), pois->end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
+}
+
+void HeapByRank(std::vector<RankedPoi>* pois) {
+  auto by_rank = [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); };
+  std::make_heap(pois->begin(), pois->end(), by_rank);
+}
+
+struct ByRank {
+  bool operator()(const RankedPoi& a, const RankedPoi& b) const { return RanksBefore(b, a); }
+};
+
+struct RankQueue {
+  std::priority_queue<RankedPoi, std::vector<RankedPoi>, ByRank> queue;
+};
+
+// Sorting non-distance data with a raw comparator is fine.
+void SortIds(std::vector<long>* ids) { std::sort(ids->begin(), ids->end()); }

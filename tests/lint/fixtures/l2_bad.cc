@@ -1,0 +1,20 @@
+// Lint fixture: L2-unordered-iter must fire on every marked line.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<long> DumpIds(const std::unordered_set<long>& seen) {
+  std::vector<long> out;
+  for (long id : seen) {  // LINT-BAD
+    out.push_back(id);
+  }
+  return out;
+}
+
+long SumViaIterators(const std::unordered_map<long, long>& counts) {
+  long total = 0;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // LINT-BAD
+    total += it->second;
+  }
+  return total;
+}

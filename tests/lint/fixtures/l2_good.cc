@@ -1,0 +1,23 @@
+// Lint fixture: the compliant twin of l2_bad.cc — silence expected.
+// Membership tests against unordered containers are the allowed idiom;
+// anything whose order reaches output walks a sorted structure instead.
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+std::vector<long> Dedup(const std::vector<long>& ids) {
+  std::unordered_set<long> seen;
+  std::vector<long> out;
+  for (long id : ids) {  // iterates the input vector, not the set
+    if (seen.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+bool Contains(const std::unordered_set<long>& seen, long id) {
+  return seen.find(id) != seen.end();
+}
+
+std::vector<long> SortedIds(const std::set<long>& ordered) {
+  return std::vector<long>(ordered.begin(), ordered.end());
+}

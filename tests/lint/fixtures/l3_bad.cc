@@ -1,0 +1,23 @@
+// Lint fixture: L3-wallclock must fire on every marked line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned EntropySeed() {
+  std::random_device device;  // LINT-BAD
+  return device();
+}
+
+long WallClockSeed() {
+  return time(nullptr);  // LINT-BAD
+}
+
+int LibcDraw() {
+  return rand();  // LINT-BAD
+}
+
+double NowSeconds() {
+  auto now = std::chrono::steady_clock::now();  // LINT-BAD
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

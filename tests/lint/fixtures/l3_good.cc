@@ -1,0 +1,14 @@
+// Lint fixture: the compliant twin of l3_bad.cc — silence expected.
+// Determinism-safe code draws from named Rng streams and reads sim time.
+struct Rng {
+  double Uniform();
+};
+
+struct Clock {
+  double sim_time;  // member named `time` via accessor is fine too
+  double time() const { return sim_time; }
+};
+
+double Draw(Rng* rng) { return rng->Uniform(); }
+
+double Timestamp(const Clock& clock) { return clock.time(); }

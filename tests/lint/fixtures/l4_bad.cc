@@ -1,0 +1,21 @@
+// Lint fixture: L4-pointer-order must fire on every marked line.
+#include <functional>
+#include <set>
+#include <vector>
+
+struct Poi {
+  long id;
+};
+
+using PoiSet = std::set<const Poi*, std::less<const Poi*>>;  // LINT-BAD
+
+struct ByAddress {
+  bool operator()(const Poi* a, const Poi* b) const {
+    return a < b;  // LINT-BAD
+  }
+};
+
+void SortByAddress(std::vector<Poi*>* pois) {
+  std::sort(pois->begin(), pois->end(),
+            [](const Poi* a, const Poi* b) { return a < b; });  // LINT-BAD
+}

@@ -1,0 +1,23 @@
+// Lint fixture: the compliant twin of l4_bad.cc — silence expected.
+// Comparators dereference and compare stable ids, never addresses.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+struct Poi {
+  long id;
+};
+
+struct ById {
+  bool operator()(const Poi* a, const Poi* b) const { return a->id < b->id; }
+};
+
+using PoiSet = std::set<const Poi*, ById>;
+
+void SortById(std::vector<Poi*>* pois) {
+  std::sort(pois->begin(), pois->end(),
+            [](const Poi* a, const Poi* b) { return a->id < b->id; });
+}
+
+// Pointer equality (identity) is fine; only ordering is banned.
+bool SameObject(const Poi* a, const Poi* b) { return a == b; }

@@ -1,0 +1,17 @@
+// Lint fixture: L5-float-eq must fire on every marked line.
+struct Candidate {
+  long id;
+  double distance;
+};
+
+bool SameDistance(const Candidate& a, const Candidate& b) {
+  return a.distance == b.distance;  // LINT-BAD
+}
+
+bool DistanceChanged(double old_dist, double new_dist) {
+  return old_dist != new_dist;  // LINT-BAD
+}
+
+bool AtRadius(double reach, double radius) {
+  return reach == radius;  // LINT-BAD
+}

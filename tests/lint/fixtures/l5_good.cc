@@ -1,0 +1,24 @@
+// Lint fixture: the compliant twin of l5_bad.cc — silence expected.
+#include <cmath>
+
+struct Candidate {
+  long id;
+  double distance;
+};
+
+bool NearlyEqual(double a, double b, double eps) { return std::fabs(a - b) <= eps; }
+
+bool SameDistance(const Candidate& a, const Candidate& b) {
+  return NearlyEqual(a.distance, b.distance, 1e-9);
+}
+
+// Ordering comparisons on distances are fine — only ==/!= is suspect.
+bool Closer(double reach, double radius) { return reach < radius; }
+
+// Integer id equality is fine.
+bool SameId(const Candidate& a, const Candidate& b) { return a.id == b.id; }
+
+// Null checks on pointer-to-double outputs are fine.
+void MaybeStore(double value, double* out_distance) {
+  if (out_distance != nullptr) *out_distance = value;
+}

@@ -1,0 +1,14 @@
+// Lint fixture: L6-pin-balance must fire on every marked line.
+struct Page {
+  long id;
+};
+
+struct BufferPool {
+  Page* Fetch(long page_id);
+  void Unpin(long page_id);
+};
+
+long ReadAndLeak(BufferPool* pool, long page_id) {
+  Page* page = pool->Fetch(page_id);  // LINT-BAD
+  return page->id;
+}

@@ -1,0 +1,27 @@
+// Lint fixture: the compliant twin of l6_bad.cc — silence expected.
+struct Page {
+  long id;
+};
+
+struct BufferPool {
+  Page* Fetch(long page_id);
+  void Unpin(long page_id);
+};
+
+struct PageGuard {
+  PageGuard(BufferPool* pool, long page_id);
+  ~PageGuard();
+  Page* get() const;
+};
+
+long ReadWithUnpin(BufferPool* pool, long page_id) {
+  Page* page = pool->Fetch(page_id);
+  long id = page->id;
+  pool->Unpin(page_id);
+  return id;
+}
+
+long ReadWithGuard(BufferPool* pool, long page_id) {
+  PageGuard guard(pool, page_id);
+  return guard.get()->id;
+}

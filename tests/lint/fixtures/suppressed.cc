@@ -1,0 +1,20 @@
+// Lint fixture: real violations carrying allow() suppressions — the run
+// must report zero diagnostics, zero unused suppressions, and count the
+// suppressions as used.
+#include <algorithm>
+#include <vector>
+
+struct Candidate {
+  long id;
+  double distance;
+};
+
+void SortSameLine(std::vector<Candidate>* xs) {
+  // senn-lint: allow(L1-raw-order): fixture — exercising own-line suppression.
+  std::sort(xs->begin(), xs->end(),
+            [](const Candidate& a, const Candidate& b) { return a.distance < b.distance; });
+}
+
+bool ExactTie(const Candidate& a, const Candidate& b) {
+  return a.distance == b.distance;  // senn-lint: allow(L5-float-eq): fixture — same-line suppression.
+}

@@ -1,0 +1,11 @@
+// Lint fixture: a suppression with no matching diagnostic must itself be
+// reported (one unused suppression; run is not clean).
+struct Candidate {
+  long id;
+  double distance;
+};
+
+bool ById(const Candidate& a, const Candidate& b) {
+  // senn-lint: allow(L5-float-eq): stale — nothing on the next line trips L5.  LINT-UNUSED
+  return a.id < b.id;
+}

@@ -1,0 +1,167 @@
+// Fixture-driven tests for the senn_lint rule engine (tools/lint/).
+//
+// Each rule has a bad fixture whose violating lines are tagged with a
+// `LINT-BAD` marker comment and a good twin that must stay silent. The
+// tests derive the expected line numbers from the markers, so a fixture
+// edit cannot silently drift out of sync with the assertions.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+using senn_lint::FileReport;
+using senn_lint::LintPaths;
+using senn_lint::LintSource;
+using senn_lint::RunResult;
+
+std::string FixturePath(const std::string& name) {
+  return std::string(SENN_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// 1-based line numbers of every line containing `marker`.
+std::set<int> MarkedLines(const std::string& source, const std::string& marker) {
+  std::set<int> lines;
+  std::istringstream in(source);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.find(marker) != std::string::npos) lines.insert(number);
+  }
+  return lines;
+}
+
+struct RuleFixture {
+  std::string rule;
+  std::string bad;
+  std::string good;
+};
+
+const std::vector<RuleFixture>& Fixtures() {
+  static const std::vector<RuleFixture> kFixtures = {
+      {"L1-raw-order", "l1_bad.cc", "l1_good.cc"},
+      {"L2-unordered-iter", "l2_bad.cc", "l2_good.cc"},
+      {"L3-wallclock", "l3_bad.cc", "l3_good.cc"},
+      {"L4-pointer-order", "l4_bad.cc", "l4_good.cc"},
+      {"L5-float-eq", "l5_bad.cc", "l5_good.cc"},
+      {"L6-pin-balance", "l6_bad.cc", "l6_good.cc"},
+  };
+  return kFixtures;
+}
+
+TEST(LintRules, BadFixturesFireOnExactlyTheMarkedLines) {
+  for (const RuleFixture& fixture : Fixtures()) {
+    SCOPED_TRACE(fixture.bad);
+    const std::string source = ReadFixture(fixture.bad);
+    const std::set<int> expected = MarkedLines(source, "LINT-BAD");
+    ASSERT_FALSE(expected.empty()) << "fixture has no LINT-BAD markers";
+
+    const FileReport report = LintSource(fixture.bad, source);
+    std::set<int> actual;
+    for (const auto& diag : report.diagnostics) {
+      EXPECT_EQ(diag.rule, fixture.rule) << "unexpected rule at line " << diag.line;
+      EXPECT_FALSE(diag.message.empty());
+      actual.insert(diag.line);
+    }
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(LintRules, GoodTwinsStaySilent) {
+  for (const RuleFixture& fixture : Fixtures()) {
+    SCOPED_TRACE(fixture.good);
+    const FileReport report = LintSource(fixture.good, ReadFixture(fixture.good));
+    for (const auto& diag : report.diagnostics) {
+      ADD_FAILURE() << fixture.good << ":" << diag.line << " [" << diag.rule << "] "
+                    << diag.message;
+    }
+  }
+}
+
+TEST(LintSuppressions, AllowAnnotationsSilenceAndAreMarkedUsed) {
+  const FileReport report = LintSource("suppressed.cc", ReadFixture("suppressed.cc"));
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_EQ(report.suppressions.size(), 2u);
+  for (const auto& s : report.suppressions) {
+    EXPECT_TRUE(s.used) << "allow(" << s.rule << ") at line " << s.line;
+    EXPECT_FALSE(s.justification.empty());
+  }
+}
+
+TEST(LintSuppressions, StaleAllowIsReportedAtItsOwnLine) {
+  const std::string source = ReadFixture("unused_suppression.cc");
+  const std::set<int> expected = MarkedLines(source, "LINT-UNUSED");
+  ASSERT_EQ(expected.size(), 1u);
+
+  const FileReport report = LintSource("unused_suppression.cc", source);
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_FALSE(report.suppressions[0].used);
+  EXPECT_EQ(report.suppressions[0].line, *expected.begin());
+
+  RunResult run = LintPaths({FixturePath("unused_suppression.cc")});
+  EXPECT_EQ(run.UnusedSuppressions().size(), 1u);
+  EXPECT_FALSE(run.Clean());
+}
+
+TEST(LintRun, FixtureDirectoryIsNotCleanButGoodSubsetIs) {
+  const RunResult dirty = LintPaths({std::string(SENN_LINT_FIXTURE_DIR)});
+  EXPECT_FALSE(dirty.Clean());
+  EXPECT_GE(dirty.files_scanned, 14);
+
+  std::vector<std::string> good_paths;
+  for (const RuleFixture& fixture : Fixtures()) good_paths.push_back(FixturePath(fixture.good));
+  const RunResult clean = LintPaths(good_paths);
+  EXPECT_TRUE(clean.Clean()) << senn_lint::ToHuman(clean);
+  EXPECT_EQ(clean.files_scanned, 6);
+}
+
+TEST(LintRun, MissingInputsAreReportedAndBreakCleanliness) {
+  const RunResult run = LintPaths({FixturePath("does_not_exist.cc")});
+  ASSERT_EQ(run.missing_files.size(), 1u);
+  EXPECT_FALSE(run.Clean());
+}
+
+TEST(LintJson, SchemaCarriesEveryAdvertisedKey) {
+  const RunResult run = LintPaths({std::string(SENN_LINT_FIXTURE_DIR)});
+  const std::string json = senn_lint::ToJson(run);
+  for (const char* key :
+       {"\"version\":1", "\"files_scanned\"", "\"diagnostics\"", "\"rule\"", "\"file\"",
+        "\"line\"", "\"message\"", "\"unused_suppressions\"", "\"suppressions_used\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in:\n" << json;
+  }
+  // Diagnostics are emitted in sorted file order — the report itself obeys L2.
+  const size_t l1 = json.find("l1_bad.cc");
+  const size_t l6 = json.find("l6_bad.cc");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l6, std::string::npos);
+  EXPECT_LT(l1, l6);
+}
+
+TEST(LintRegistry, SixRulesInOrder) {
+  const auto table = senn_lint::RuleTable();
+  ASSERT_EQ(table.size(), 6u);
+  const char* expected[] = {"L1-raw-order",     "L2-unordered-iter", "L3-wallclock",
+                            "L4-pointer-order", "L5-float-eq",       "L6-pin-balance"};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(table[i].first, expected[i]);
+    EXPECT_FALSE(table[i].second.empty());
+  }
+}
+
+}  // namespace

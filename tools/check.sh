@@ -9,7 +9,14 @@
 #   5. SENN_PARANOID build (algorithmic invariant checks compiled in:
 #      heap rank order, bounds sanity, buffer-pool pin balance) running the
 #      tier1 label — any tripped invariant aborts the test binary and fails
-#      the gate.
+#      the gate;
+#   6. static analysis: senn_lint (the determinism/soundness rules of
+#      DESIGN.md's "Determinism contract") over src/ and tools/lint/, the
+#      suppression list diffed against tools/lint_baseline.txt (regenerate
+#      with tools/regen_lint_baseline.sh after review), and — when
+#      clang-tidy is installed — the curated .clang-tidy checks over the
+#      stage-1 compile_commands.json. A missing clang-tidy binary skips
+#      that half with a notice; senn_lint always gates.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -18,7 +25,17 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/5] Release build + full test suite ==="
+# Stage banners: `stage "title"` prints "=== [k/N] title ===" with k
+# auto-incremented, so adding a stage means writing its body plus bumping
+# STAGES — not renumbering every banner.
+STAGES=6
+STAGE_NO=0
+stage() {
+  STAGE_NO=$((STAGE_NO + 1))
+  echo "=== [${STAGE_NO}/${STAGES}] $1 ==="
+}
+
+stage "Release build + full test suite"
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 # Quick gate first: the fast tier-1 suites fail in seconds when something is
@@ -26,7 +43,7 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "=== [2/5] ThreadSanitizer: net + sim + core + storage test binaries ==="
+stage "ThreadSanitizer: net + sim + core + storage test binaries"
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test
 "${PREFIX}-tsan/tests/net_test"
@@ -35,7 +52,7 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test
 "${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
 "${PREFIX}-tsan/tests/storage_test"
 
-echo "=== [3/5] AddressSanitizer: net + sim + core + storage test binaries ==="
+stage "AddressSanitizer: net + sim + core + storage test binaries"
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test
 "${PREFIX}-asan/tests/net_test"
@@ -43,7 +60,7 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test
 "${PREFIX}-asan/tests/core_test"
 "${PREFIX}-asan/tests/storage_test"
 
-echo "=== [4/5] UBSan: net + sim + core + storage + geom + obs test binaries ==="
+stage "UBSan: net + sim + core + storage + geom + obs test binaries"
 cmake -B "${PREFIX}-ubsan" -S . -DSENN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test
 "${PREFIX}-ubsan/tests/net_test"
@@ -53,9 +70,31 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_tes
 "${PREFIX}-ubsan/tests/geom_test"
 "${PREFIX}-ubsan/tests/obs_test"
 
-echo "=== [5/5] SENN_PARANOID: invariant-checked tier1 suite ==="
+stage "SENN_PARANOID: invariant-checked tier1 suite"
 cmake -B "${PREFIX}-paranoid" -S . -DSENN_PARANOID=ON >/dev/null
 cmake --build "${PREFIX}-paranoid" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-paranoid" --output-on-failure -j "${JOBS}" -L tier1
+
+stage "Static analysis: senn_lint + suppression baseline + clang-tidy"
+LINT="${PREFIX}/tools/senn_lint"
+# Human report gates (exit 1 on any finding or unused suppression); the JSON
+# run proves the machine-readable path stays parseable for CI consumers.
+"${LINT}" src tools/lint
+"${LINT}" --json src tools/lint >/dev/null
+# Every allow() must be accounted for in the reviewed baseline: a new
+# suppression lands by running tools/regen_lint_baseline.sh and committing
+# the diff, never silently.
+"${LINT}" --list-suppressions src tools/lint | diff -u tools/lint_baseline.txt - || {
+  echo "check.sh: suppression list drifted from tools/lint_baseline.txt"
+  echo "          review the diff above, then run tools/regen_lint_baseline.sh"
+  exit 1
+}
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Library sources only — test fixtures under tests/lint/ are deliberately
+  # broken and gtest macros trip bugprone checks.
+  git ls-files 'src/*.cc' | xargs -P "${JOBS}" -n 8 clang-tidy -p "${PREFIX}" --quiet
+else
+  echo "clang-tidy not installed — skipping the optional tidy half of stage ${STAGE_NO}"
+fi
 
 echo "check.sh: all green"

@@ -1,0 +1,172 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace senn_lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Two-character punctuators worth keeping whole. `<<`/`>>` are intentionally
+// absent (see lexer.h).
+bool IsMergedPair(char a, char b) {
+  switch (a) {
+    case ':':
+      return b == ':';
+    case '-':
+      return b == '>' || b == '-' || b == '=';
+    case '=':
+      return b == '=';
+    case '!':
+      return b == '=';
+    case '<':
+      return b == '=';
+    case '>':
+      return b == '=';
+    case '&':
+      return b == '&' || b == '=';
+    case '|':
+      return b == '|' || b == '=';
+    case '+':
+      return b == '+' || b == '=';
+    case '*':
+      return b == '=';
+    case '/':
+      return b == '=';
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  // Index into out.tokens of the first token on the current line, or -1 if
+  // no token has been seen on this line yet (drives Comment::own_line).
+  bool code_on_line = false;
+
+  auto advance_line = [&]() {
+    ++line;
+    code_on_line = false;
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t start = i + 2;
+      size_t end = start;
+      while (end < n && source[end] != '\n') ++end;
+      out.comments.push_back({line, source.substr(start, end - start), !code_on_line});
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      int start_line = line;
+      bool own = !code_on_line;
+      size_t start = i + 2;
+      size_t end = start;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        if (source[end] == '\n') advance_line();
+        ++end;
+      }
+      out.comments.push_back({start_line, source.substr(start, end - start), own});
+      i = (end + 1 < n) ? end + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t delim_start = i + 2;
+      size_t paren = source.find('(', delim_start);
+      if (paren != std::string::npos && paren - delim_start <= 16) {
+        std::string closer;
+        closer.reserve(paren - delim_start + 2);
+        closer.push_back(')');
+        closer.append(source, delim_start, paren - delim_start);
+        closer.push_back('"');
+        size_t end = source.find(closer, paren + 1);
+        int start_line = line;
+        size_t stop = (end == std::string::npos) ? n : end + closer.size();
+        for (size_t j = i; j < stop; ++j) {
+          if (source[j] == '\n') advance_line();
+        }
+        out.tokens.push_back({TokKind::kString, "\"\"", start_line});
+        code_on_line = true;
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') advance_line();
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kString, std::string(1, quote) + std::string(1, quote), line});
+      code_on_line = true;
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, source.substr(i, j - i), line});
+      code_on_line = true;
+      i = j;
+      continue;
+    }
+    // Number (loose: digits, dots, exponent signs, digit separators, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n) {
+        char d = source[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                                              source[j - 1] == 'p' || source[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      code_on_line = true;
+      i = j;
+      continue;
+    }
+    // Punctuation, merging the pairs the rules care about.
+    if (i + 1 < n && IsMergedPair(c, source[i + 1])) {
+      out.tokens.push_back({TokKind::kPunct, source.substr(i, 2), line});
+      code_on_line = true;
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    code_on_line = true;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace senn_lint

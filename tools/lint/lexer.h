@@ -1,0 +1,46 @@
+// Minimal C++ tokenizer for senn_lint.
+//
+// This is not a compiler front end: it splits a translation unit into
+// identifier / number / string / punctuation tokens with line numbers,
+// strips comments into a side list (so suppression annotations stay
+// addressable), and merges just enough multi-character punctuation
+// (`::`, `->`, `==`, `!=`, `<=`, `>=`, ...) for the rules to tell a
+// range-for colon from a scope operator and an equality test from an
+// assignment. `<<` and `>>` are deliberately left as two tokens so that
+// template-angle matching works on nested template argument lists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace senn_lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,  // string or character literal (contents dropped)
+  kPunct,
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;        // line the comment starts on
+  std::string text;    // comment body without the // or /* */ markers
+  bool own_line = false;  // no code token precedes it on its line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuation tokens, unterminated literals run to end of file.
+LexedFile Lex(const std::string& source);
+
+}  // namespace senn_lint

@@ -1,0 +1,102 @@
+// senn_lint — the repo's determinism & soundness static-analysis pass.
+//
+// Six token-level rules enforce the contract that PR 4's tie-break
+// postmortems made explicit (see DESIGN.md, "Determinism contract"):
+//
+//   L1-raw-order       distance-carrying sorts/heaps must rank through
+//                      core::RanksBefore, never a raw `<` on distance alone.
+//   L2-unordered-iter  no iteration over unordered_map/unordered_set
+//                      (membership tests are fine; iteration order is a
+//                      function of the hash seed and allocation history).
+//   L3-wallclock       no rand()/std::random_device/time()/std::chrono
+//                      clocks outside common/rng.* and the CLI entry point.
+//   L4-pointer-order   no ordering comparisons on pointer values (heap
+//                      addresses vary run to run).
+//   L5-float-eq        no ==/!= on double distances outside geom/ epsilon
+//                      helpers (exact ties are only sound when both sides
+//                      come from the identical computation — say why).
+//   L6-pin-balance     every pinning Fetch()/ChargeNodeAccess() in a scope
+//                      needs a matching Unpin()/PageGuard in that scope.
+//
+// A finding is silenced with a justification comment on the same line or
+// the comment block directly above it:
+//
+//   // senn-lint: allow(L5-float-eq): cached radius comes from the same
+//   // Dist() computation, so the tie is bit-exact by construction.
+//
+// Unused allow() annotations are themselves findings: a suppression that
+// no longer suppresses anything must be deleted, which keeps the baseline
+// (tools/lint_baseline.txt) honest.
+//
+// The rules are heuristic by design (a tokenizer, not a compiler): they
+// trade completeness for zero build-time dependencies and for diagnostics
+// precise enough to gate check.sh stage 6. False positives are expected
+// occasionally and are what allow() is for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace senn_lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string justification;
+  bool used = false;
+};
+
+/// Per-file lint outcome: diagnostics that survived suppression plus every
+/// suppression annotation found (with usage marked).
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<Suppression> suppressions;
+};
+
+/// All registered rules as (name, summary) pairs, in L1..L6 order.
+std::vector<std::pair<std::string, std::string>> RuleTable();
+
+/// Lints one translation unit. `file` is the label used in diagnostics and
+/// in path-based rule exemptions, so pass repo-relative paths.
+FileReport LintSource(const std::string& file, const std::string& source);
+
+/// Aggregated run over many files.
+struct RunResult {
+  std::vector<Diagnostic> diagnostics;       // unsuppressed findings
+  std::vector<Suppression> suppressions;     // every allow() annotation seen
+  std::vector<std::string> missing_files;    // paths that could not be read
+  int files_scanned = 0;
+
+  std::vector<Suppression> UnusedSuppressions() const;
+  /// True when the run should exit 0: no findings, no unused suppressions,
+  /// no unreadable inputs.
+  bool Clean() const;
+};
+
+/// Lints every *.h / *.cc / *.cpp under `paths` (files or directories,
+/// directories walked recursively in sorted order — the tool's own output
+/// must be deterministic).
+RunResult LintPaths(const std::vector<std::string>& paths);
+
+/// Machine-readable report (schema: {"version", "files_scanned",
+/// "diagnostics": [{"rule","file","line","message"}], "unused_suppressions":
+/// [{"rule","file","line"}], "suppressions_used"}).
+std::string ToJson(const RunResult& result);
+
+/// Human-readable report: one "file:line: [rule] message" per finding.
+std::string ToHuman(const RunResult& result);
+
+/// Baseline format for tools/regen_lint_baseline.sh: one sorted
+/// "file:line: allow(rule): justification" per annotation, so intentional
+/// suppressions show up in code review diffs.
+std::string ToSuppressionList(const RunResult& result);
+
+}  // namespace senn_lint

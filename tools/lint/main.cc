@@ -1,0 +1,76 @@
+// senn_lint CLI — see tools/lint/lint.h for the rule catalogue.
+//
+// Usage:
+//   senn_lint [--json] [--list-suppressions] [--rules] PATH...
+//
+// Exit codes: 0 clean, 1 findings (or unused suppressions / unreadable
+// inputs), 2 usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: senn_lint [--json] [--list-suppressions] [--rules] PATH...\n"
+               "  PATH                 file or directory (directories walk *.h/*.cc/*.cpp)\n"
+               "  --json               machine-readable report on stdout\n"
+               "  --list-suppressions  print every 'senn-lint: allow(...)' annotation\n"
+               "                       (the tools/lint_baseline.txt format) and exit 0\n"
+               "  --rules              print the rule catalogue and exit 0\n"
+               "suppress a finding with a justification comment on or above its line:\n"
+               "  // senn-lint: allow(L5-float-eq): <why this exact comparison is sound>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_suppressions = false;
+  bool show_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--rules") {
+      show_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "senn_lint: unknown option '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (show_rules) {
+    for (const auto& [name, summary] : senn_lint::RuleTable()) {
+      std::printf("%-18s %s\n", name.c_str(), summary.c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  senn_lint::RunResult result = senn_lint::LintPaths(paths);
+  if (list_suppressions) {
+    std::fputs(senn_lint::ToSuppressionList(result).c_str(), stdout);
+    return result.missing_files.empty() ? 0 : 1;
+  }
+  if (json) {
+    std::printf("%s\n", senn_lint::ToJson(result).c_str());
+  } else {
+    std::fputs(senn_lint::ToHuman(result).c_str(), stdout);
+  }
+  return result.Clean() ? 0 : 1;
+}

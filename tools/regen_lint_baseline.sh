@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates tools/lint_baseline.txt — the reviewed list of senn_lint
+# allow() suppressions that check.sh stage 6 diffs against.
+#
+# Run this after adding or removing a `// senn-lint: allow(<rule>): why`
+# annotation, and commit the resulting diff: the baseline exists so every
+# new suppression shows up in code review as a one-line change with its
+# justification, instead of vanishing into a lint that "still passes".
+#
+# Usage: tools/regen_lint_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+LINT="${BUILD}/tools/senn_lint"
+if [[ ! -x "${LINT}" ]]; then
+  echo "regen_lint_baseline.sh: ${LINT} not built — run: cmake --build ${BUILD} --target senn_lint" >&2
+  exit 1
+fi
+
+"${LINT}" --list-suppressions src tools/lint > tools/lint_baseline.txt
+echo "wrote tools/lint_baseline.txt ($(wc -l < tools/lint_baseline.txt) suppression(s))"
