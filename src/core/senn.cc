@@ -70,7 +70,24 @@ bool SennProcessor::ResolvesLocally(
 SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
                                    const std::vector<const CachedResult*>& peer_caches,
                                    obs::QueryTracer* tracer) const {
-  SennOutcome outcome;
+  PendingSenn pending = Prepare(q, k, peer_caches, tracer);
+  if (!pending.needs_server) return std::move(pending.outcome);
+  // The span brackets the server contact and outlives the merge, exactly as
+  // the monolithic Execute did (the merge emits no ticks, so span lifetime
+  // beyond the reply is tick-invisible).
+  obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
+  const ServerReply reply =
+      server_->QueryKnn(pending.q, pending.heap_capacity, pending.outcome.bounds,
+                        static_cast<int>(pending.certain.size()), tracer);
+  Finish(&pending, reply, &server_span);
+  return std::move(pending.outcome);
+}
+
+PendingSenn SennProcessor::Prepare(geom::Vec2 q, int k,
+                                   const std::vector<const CachedResult*>& peer_caches,
+                                   obs::QueryTracer* tracer) const {
+  PendingSenn pending;
+  SennOutcome& outcome = pending.outcome;
   const int heap_capacity = std::max(k, options_.server_request_k);
   CandidateHeap heap(heap_capacity);
 
@@ -97,7 +114,7 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     outcome.heap_state = heap.state();
     outcome.certain_prefix = heap.certain();
     outcome.neighbors.assign(heap.certain().begin(), heap.certain().begin() + k);
-    return outcome;
+    return pending;
   }
 
   // Stage 2: kNN_multiple over the merged certain region.
@@ -113,7 +130,7 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
       outcome.heap_state = heap.state();
       outcome.certain_prefix = heap.certain();
       outcome.neighbors.assign(heap.certain().begin(), heap.certain().begin() + k);
-      return outcome;
+      return pending;
     }
   }
 
@@ -137,29 +154,33 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
               [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
     if (static_cast<int>(merged.size()) > k) merged.resize(static_cast<size_t>(k));
     outcome.neighbors = std::move(merged);
-    return outcome;
+    return pending;
   }
 
   // Stage 4: forward to the server with the heap's pruning bounds and merge
   // its reply with the locally certified rank prefix.
   outcome.resolution = Resolution::kServer;
   outcome.bounds = heap.ComputeBounds();
-  const std::vector<RankedPoi>& certain = heap.certain();
+  pending.q = q;
+  pending.k = k;
+  pending.heap_capacity = heap_capacity;
+  pending.certain = heap.certain();
 
-  std::vector<RankedPoi> merged;
-  ServerReply reply;
-  obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
   if (options_.ship_region && outcome.bounds.upper.has_value()) {
     // Region protocol (extension): the server returns every POI within the
     // upper-bound horizon that lies outside R_c; the client merges with ALL
     // the POIs it knows (everything inside R_c is cached at some peer).
+    // There is no batched region path, so the contact happens here and the
+    // query comes back complete.
+    obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
     std::vector<geom::Circle> region;
     region.reserve(peers.size());
     for (const CachedResult* peer : peers) {
       region.emplace_back(peer->query_location, peer->Radius());
     }
-    reply = server_->QueryKnnWithRegion(q, heap_capacity, *outcome.bounds.upper, region,
-                                        tracer);
+    const ServerReply reply = server_->QueryKnnWithRegion(
+        q, heap_capacity, *outcome.bounds.upper, region, tracer);
+    std::vector<RankedPoi> merged;
     std::unordered_set<PoiId> seen;
     for (const CachedResult* peer : peers) {
       for (const RankedPoi& n : peer->neighbors) {
@@ -170,32 +191,47 @@ SennOutcome SennProcessor::Execute(geom::Vec2 q, int k,
     for (const RankedPoi& n : reply.neighbors) {
       if (seen.insert(n.id).second) merged.push_back(n);
     }
-  } else {
-    reply = server_->QueryKnn(q, heap_capacity, outcome.bounds,
-                              static_cast<int>(certain.size()), tracer);
-    merged = certain;
+    pending.certain = std::move(merged);  // Finish sorts/truncates/publishes
+    Finish(&pending, reply, &server_span);
+    return pending;
+  }
+
+  pending.needs_server = true;
+  return pending;
+}
+
+void SennProcessor::Finish(PendingSenn* pending, const ServerReply& reply,
+                           obs::ScopedSpan* span) const {
+  SennOutcome& outcome = pending->outcome;
+  std::vector<RankedPoi> merged = std::move(pending->certain);
+  if (pending->needs_server) {
+    // Scalar protocol: the reply holds only neighbors outside the certified
+    // prefix, but replayed replies (a batched drain) may overlap — dedup by
+    // id like the sequential merge always has.
     for (const RankedPoi& n : reply.neighbors) {
       bool duplicate = std::any_of(merged.begin(), merged.end(),
                                    [&](const RankedPoi& m) { return m.id == n.id; });
       if (!duplicate) merged.push_back(n);
     }
+    pending->needs_server = false;
   }
   outcome.einn_accesses = reply.einn_accesses;
   outcome.inn_accesses = reply.inn_accesses;
-  server_span.AddArg("einn_pages", reply.einn_accesses.total());
-  server_span.AddArg("inn_pages", reply.inn_accesses.total());
-  server_span.AddArg("returned", static_cast<uint64_t>(reply.neighbors.size()));
+  if (span != nullptr) {
+    span->AddArg("einn_pages", reply.einn_accesses.total());
+    span->AddArg("inn_pages", reply.inn_accesses.total());
+    span->AddArg("returned", static_cast<uint64_t>(reply.neighbors.size()));
+  }
   std::sort(merged.begin(), merged.end(),
             [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
-  if (static_cast<int>(merged.size()) > heap_capacity) {
-    merged.resize(static_cast<size_t>(heap_capacity));
+  if (static_cast<int>(merged.size()) > pending->heap_capacity) {
+    merged.resize(static_cast<size_t>(pending->heap_capacity));
   }
   outcome.certain_prefix = merged;  // server-backed: the whole set is exact
   outcome.neighbors = merged;
-  if (static_cast<int>(outcome.neighbors.size()) > k) {
-    outcome.neighbors.resize(static_cast<size_t>(k));
+  if (static_cast<int>(outcome.neighbors.size()) > pending->k) {
+    outcome.neighbors.resize(static_cast<size_t>(pending->k));
   }
-  return outcome;
 }
 
 }  // namespace senn::core

@@ -23,6 +23,7 @@
 
 namespace senn::obs {
 class QueryTracer;
+class ScopedSpan;
 }
 
 namespace senn::core {
@@ -91,6 +92,25 @@ struct SennOutcome {
   int peers_consulted = 0;
 };
 
+/// A SENN execution paused at the server boundary (the batched-answering
+/// seam). `Prepare` runs every client-side stage; when the query needs the
+/// scalar-protocol server contact it stops there with `needs_server` set and
+/// the exact QueryKnn arguments captured, so a driver can group many pending
+/// queries into one core::BatchServer call and hand each reply to `Finish`.
+/// Queries resolved locally (and region-protocol contacts, which have no
+/// batched path) come back complete with `needs_server` false.
+struct PendingSenn {
+  bool needs_server = false;
+  SennOutcome outcome;
+  /// The QueryKnn arguments (valid when needs_server): query point, the
+  /// user's k, the heap capacity actually requested from the server, and the
+  /// certified rank prefix backing outcome.bounds.
+  geom::Vec2 q;
+  int k = 0;
+  int heap_capacity = 0;
+  std::vector<RankedPoi> certain;
+};
+
 /// Executes SENN queries against a fixed server. The server must outlive the
 /// processor. Thread-compatible (no shared mutable state besides the server).
 class SennProcessor {
@@ -101,10 +121,28 @@ class SennProcessor {
   /// peer caches (nullptr / empty entries are ignored). `tracer`, when
   /// given, receives one span per executed stage (verify_single,
   /// verify_multi, heap_classify, server_einn); null is the zero-cost
-  /// default.
+  /// default. Exactly Prepare + QueryKnn + Finish: the split path with an
+  /// immediate server call produces byte-identical outcomes and traces.
   SennOutcome Execute(geom::Vec2 q, int k,
                       const std::vector<const CachedResult*>& peer_caches,
                       obs::QueryTracer* tracer = nullptr) const;
+
+  /// First half of Execute: all peer stages, heap classification, bounds
+  /// computation, and any region-protocol contact. When the result has
+  /// `needs_server` set, the caller owes a
+  /// `server->QueryKnn(p.q, p.heap_capacity, p.outcome.bounds,
+  /// p.certain.size())` reply (or a batched equivalent) passed to Finish.
+  PendingSenn Prepare(geom::Vec2 q, int k,
+                      const std::vector<const CachedResult*>& peer_caches,
+                      obs::QueryTracer* tracer = nullptr) const;
+
+  /// Second half of Execute: merges the server reply into the pending
+  /// outcome (result sort, certified prefix, access counters). `span`, when
+  /// given, receives the server_einn args the sequential path records — pass
+  /// the ScopedSpan bracketing the server contact, or null under a batched
+  /// drain (the batch path emits server_batch_einn spans instead).
+  void Finish(PendingSenn* pending, const ServerReply& reply,
+              obs::ScopedSpan* span) const;
 
   /// Runs only the peer stages of Algorithm 1 (kNN_single, kNN_multiple —
   /// never the server) and reports whether the given peer set alone

@@ -111,10 +111,24 @@ class SpatialServer {
   const std::vector<Poi>& pois() const { return pois_; }
   const rtree::RStarTree& tree() const { return tree_; }
   const ServerStats& stats() const { return stats_; }
+  rtree::AccessCountMode count_mode() const { return count_mode_; }
   /// The paged storage engine, or null when the server runs in-memory.
   /// Note ResetStats() clears the query counters but not the pool's
   /// residency: a warmed pool is the steady state being measured.
   const storage::NodePager* pager() const { return pager_.get(); }
+  /// Mutable storage engine for traversals run OUTSIDE this class (the
+  /// batched answering path in core/batch_server, which drives the tree and
+  /// the pool directly). Same object as pager(); null when in-memory.
+  storage::NodePager* mutable_pager() { return pager_.get(); }
+  /// Folds one externally-answered query into the cumulative ServerStats —
+  /// the batched path answers through its own traversal but must show up in
+  /// the same PAR bookkeeping as QueryKnn-answered queries.
+  void RecordAnsweredQuery(const rtree::AccessCounter& einn,
+                           const rtree::AccessCounter& inn) {
+    ++stats_.queries;
+    stats_.einn += einn;
+    stats_.inn += inn;
+  }
   void ResetStats() { stats_ = ServerStats{}; }
 
  private:

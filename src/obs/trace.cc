@@ -18,6 +18,8 @@ const char* PhaseName(Phase phase) {
       return "net_exchange";
     case Phase::kBufferFetch:
       return "buffer_fetch";
+    case Phase::kServerBatchEinn:
+      return "server_batch_einn";
   }
   return "unknown";
 }

@@ -38,8 +38,9 @@ enum class Phase {
   kServerEinn = 4,    // server fallback: EINN with shipped bounds
   kNetExchange = 5,   // wireless broadcast/collect/retry exchange
   kBufferFetch = 6,   // storage-engine page fetches under the EINN run
+  kServerBatchEinn = 7,  // shared EINN traversal answering a query cluster
 };
-inline constexpr int kPhaseCount = 7;
+inline constexpr int kPhaseCount = 8;
 
 /// Stable span name ("peer_harvest", "verify_single", ...).
 const char* PhaseName(Phase phase);

@@ -95,7 +95,10 @@ BestFirstNnIterator::BestFirstNnIterator(const RStarTree& tree, Vec2 query,
 }
 
 void BestFirstNnIterator::FeedDynamicBound(double distance) {
-  if (!prune_to_k_.has_value()) return;
+  // prune_to_k <= 0 declares no interest in any object; the degenerate bag
+  // stays empty (top() on it would be UB) and the static bounds do all
+  // pruning.
+  if (!prune_to_k_.has_value() || *prune_to_k_ <= 0) return;
   if (static_cast<int>(best_distances_.size()) < *prune_to_k_) {
     best_distances_.push(distance);
   } else if (distance < best_distances_.top()) {
@@ -106,7 +109,7 @@ void BestFirstNnIterator::FeedDynamicBound(double distance) {
 
 double BestFirstNnIterator::EffectiveUpper() const {
   double upper = bounds_.upper.value_or(std::numeric_limits<double>::infinity());
-  if (prune_to_k_.has_value() &&
+  if (prune_to_k_.has_value() && *prune_to_k_ > 0 &&
       static_cast<int>(best_distances_.size()) >= *prune_to_k_) {
     upper = std::min(upper, best_distances_.top());
   }

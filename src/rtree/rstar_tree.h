@@ -41,16 +41,26 @@ struct AccessCounter {
   uint64_t leaf_nodes = 0;
   uint64_t index_misses = 0;
   uint64_t leaf_misses = 0;
+  /// Batched-traversal attribution split (core/batch_server): of the
+  /// physical misses, how many pages were wanted by two or more queries of
+  /// the answering cluster (`shared_misses`) versus exactly one
+  /// (`private_misses`). Charged only through ChargeBatchNodeAccess, so
+  /// both stay zero on every single-query traversal and
+  /// shared_misses + private_misses == misses() on a cluster counter.
+  uint64_t shared_misses = 0;
+  uint64_t private_misses = 0;
 
   uint64_t total() const { return index_nodes + leaf_nodes; }
   uint64_t misses() const { return index_misses + leaf_misses; }
   uint64_t hits() const { return total() - misses(); }
-  void Reset() { index_nodes = leaf_nodes = index_misses = leaf_misses = 0; }
+  void Reset() { *this = AccessCounter{}; }
   AccessCounter& operator+=(const AccessCounter& o) {
     index_nodes += o.index_nodes;
     leaf_nodes += o.leaf_nodes;
     index_misses += o.index_misses;
     leaf_misses += o.leaf_misses;
+    shared_misses += o.shared_misses;
+    private_misses += o.private_misses;
     return *this;
   }
 };
@@ -185,6 +195,42 @@ inline bool ChargeNodeAccess(const RStarTree::Node* node, AccessCounter* counter
     } else {
       counter->index_nodes += 1;
       if (miss) counter->index_misses += 1;
+    }
+  }
+  return hook != nullptr;
+}
+
+/// Multi-query companion of ChargeNodeAccess for batched traversals
+/// (core/batch_server): the node is fetched ONCE for the whole cluster — one
+/// logical access, at most one physical miss — no matter how many queries
+/// read its slots, which is what closes the double-charge hazard of running
+/// N per-query traversals over the same pages. The access is attributed to
+/// `owner` (the per-query counter it is billed to) and mirrored into
+/// `cluster` (the shared-traversal total), where a miss is additionally
+/// classified shared (`shared` true: two or more queries wanted the node)
+/// or private. Returns true when the hook pinned a page — the caller owes
+/// one hook->Unpin(node) after reading the slots. Any pointer may be null.
+inline bool ChargeBatchNodeAccess(const RStarTree::Node* node, AccessCounter* owner,
+                                  AccessCounter* cluster, bool shared, NodePageHook* hook) {
+  // senn-lint: allow(L6-pin-balance): like ChargeNodeAccess above, this
+  // helper IS the pinning entry point — its contract holds every caller to
+  // one hook->Unpin(node) per true return, in the caller's scope.
+  const bool miss = hook != nullptr && hook->Fetch(node);
+  for (AccessCounter* counter : {owner, cluster}) {
+    if (counter == nullptr) continue;
+    if (node->IsLeaf()) {
+      counter->leaf_nodes += 1;
+      if (miss) counter->leaf_misses += 1;
+    } else {
+      counter->index_nodes += 1;
+      if (miss) counter->index_misses += 1;
+    }
+    if (miss) {
+      if (shared) {
+        counter->shared_misses += 1;
+      } else {
+        counter->private_misses += 1;
+      }
     }
   }
   return hook != nullptr;

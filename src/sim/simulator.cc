@@ -33,6 +33,15 @@ void Simulator::BuildWorld() {
       config_.paged_storage ? std::optional<storage::BufferPoolOptions>(config_.buffer)
                             : std::nullopt);
   senn_ = std::make_unique<core::SennProcessor>(server_.get(), config_.senn);
+  if (config_.server_batch > 1) {
+    // Co-location tiles of Tx_Range: hosts that can hear each other land in
+    // the same tile, which is exactly the population whose search regions
+    // overlap the same R*-tree pages.
+    core::BatchOptions batch;
+    batch.cluster_cell_m = std::max(p.tx_range_m, 50.0);
+    batch.max_group = config_.server_batch;
+    batch_server_ = std::make_unique<core::BatchServer>(server_.get(), batch);
+  }
 
   // Road network (road mode only).
   if (config_.mode == MovementMode::kRoadNetwork) {
@@ -188,19 +197,37 @@ void Simulator::WarmStartCaches() {
 }
 
 core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
+  PendingQuery pq;
+  PrepareQuery(host, now, k, &pq);
+  if (pq.pending.needs_server) {
+    obs::QueryTracer* tracer = pq.tracer.has_value() ? &*pq.tracer : nullptr;
+    obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
+    const core::ServerReply reply =
+        server_->QueryKnn(pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
+                          static_cast<int>(pq.pending.certain.size()), tracer);
+    senn_->Finish(&pq.pending, reply, &server_span);
+  }
+  FinalizeQuery(&pq);
+  return std::move(pq.pending.outcome);
+}
+
+void Simulator::PrepareQuery(MobileHost* host, double now, int k, PendingQuery* out) {
   const uint64_t qid = query_seq_++;
+  out->host = host;
+  out->qid = qid;
+  out->now = now;
+  out->k = k;
   // Structured tracing: the tracer exists only for sampled queries; a null
   // pointer keeps every span site a single pointer compare. Timestamps are
   // sim time in microseconds — never wall clock — so traces are
   // byte-reproducible regardless of thread count (see src/obs/trace.h).
-  std::optional<obs::QueryTracer> tracer_storage;
   if (span_sink_ != nullptr && qid % span_sample_ == 0) {
-    tracer_storage.emplace(span_sink_, qid,
-                           static_cast<uint64_t>(std::llround(now * 1e6)));
+    out->tracer.emplace(span_sink_, qid, static_cast<uint64_t>(std::llround(now * 1e6)));
   }
-  obs::QueryTracer* tracer = tracer_storage.has_value() ? &*tracer_storage : nullptr;
+  obs::QueryTracer* tracer = out->tracer.has_value() ? &*out->tracer : nullptr;
 
   geom::Vec2 q = host->position();
+  out->q = q;
   Rng net_rng = rng_.Stream("net", qid);
   net::ExchangeResult ex;
   {
@@ -258,31 +285,148 @@ core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
     harvest.AddArg("harvested", static_cast<uint64_t>(peer_caches_.size()));
   }
 
-  last_p2p_messages_ = ex.messages_sent;
-  last_p2p_bytes_ = ex.bytes_sent;
-  last_retries_ = ex.retries;
-  last_transmissions_lost_ = ex.transmissions_lost;
-  last_replies_missed_ = candidates_.size() - ex.arrived.size();
+  out->p2p_messages = ex.messages_sent;
+  out->p2p_bytes = ex.bytes_sent;
+  out->retries = ex.retries;
+  out->transmissions_lost = ex.transmissions_lost;
+  out->replies_missed = candidates_.size() - ex.arrived.size();
 
-  core::SennOutcome outcome = senn_->Execute(q, k, peer_caches_, tracer);
-  last_latency_s_ = ex.elapsed_s;
+  out->pending = senn_->Prepare(q, k, peer_caches_, tracer);
+  const core::SennOutcome& outcome = out->pending.outcome;
+  out->latency_s = ex.elapsed_s;
+  // The RTT is drawn here even when the reply is deferred: the "net" stream
+  // must consume the same draws in the same order whether the contact runs
+  // now (sequential) or at the step's batched drain.
   if (outcome.resolution == core::Resolution::kServer) {
-    last_latency_s_ += net::DrawServerRtt(config_.channel, &net_rng);
+    out->latency_s += net::DrawServerRtt(config_.channel, &net_rng);
   }
   // A server contact is loss-induced when the complete peer set (the ideal
-  // channel's harvest) would have certified the answer locally.
-  last_loss_induced_fallback_ =
-      outcome.resolution == core::Resolution::kServer && last_replies_missed_ > 0 &&
-      senn_->ResolvesLocally(q, k, full_caches_);
+  // channel's harvest) would have certified the answer locally. Evaluated
+  // while the full_caches_ scratch is still this query's.
+  out->loss_induced = outcome.resolution == core::Resolution::kServer &&
+                      out->replies_missed > 0 && senn_->ResolvesLocally(q, k, full_caches_);
+}
+
+void Simulator::FinalizeQuery(PendingQuery* pq) {
+  last_p2p_messages_ = pq->p2p_messages;
+  last_p2p_bytes_ = pq->p2p_bytes;
+  last_latency_s_ = pq->latency_s;
+  last_retries_ = pq->retries;
+  last_transmissions_lost_ = pq->transmissions_lost;
+  last_replies_missed_ = pq->replies_missed;
+  last_loss_induced_fallback_ = pq->loss_induced;
   // Cache policy 1: keep the certain neighbors of the most recent query.
+  const core::SennOutcome& outcome = pq->pending.outcome;
   if (!outcome.certain_prefix.empty()) {
     core::CachedResult result;
-    result.query_location = q;
+    result.query_location = pq->q;
     result.neighbors = outcome.certain_prefix;
-    result.timestamp = now;
-    host->cache().Store(std::move(result));
+    result.timestamp = pq->now;
+    pq->host->cache().Store(std::move(result));
   }
-  return outcome;
+}
+
+void Simulator::DrainBatch(SimulationResult* result) {
+  if (deferred_.empty()) return;
+  std::vector<core::BatchQuery> queries;
+  queries.reserve(deferred_.size());
+  for (const PendingQuery& pq : deferred_) {
+    queries.push_back({pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
+                       static_cast<int>(pq.pending.certain.size())});
+  }
+  // One drain-scoped tracer (named by the first deferred query) carries the
+  // per-cluster server_batch_einn spans; per-query tracers already closed
+  // their client-side spans in PrepareQuery.
+  std::optional<obs::QueryTracer> drain_tracer;
+  if (span_sink_ != nullptr) {
+    drain_tracer.emplace(span_sink_, deferred_.front().qid,
+                         static_cast<uint64_t>(std::llround(deferred_.front().now * 1e6)));
+  }
+  const core::BatchStats before = batch_server_->stats();
+  std::vector<size_t> cluster_sizes;
+  std::vector<core::ServerReply> replies = batch_server_->AnswerBatch(
+      queries, drain_tracer.has_value() ? &*drain_tracer : nullptr, nullptr,
+      &cluster_sizes);
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    PendingQuery& pq = deferred_[i];
+    senn_->Finish(&pq.pending, replies[i], nullptr);
+    FinalizeQuery(&pq);
+    AccountQuery(pq.pending.outcome, pq.host, pq.now, pq.k, pq.measuring, result);
+  }
+  // All of a drain's queries launched in the same step, so one flag covers
+  // the batch-path counters too.
+  if (deferred_.front().measuring) {
+    const core::BatchStats& after = batch_server_->stats();
+    result->batch_clusters += after.clusters - before.clusters;
+    result->batch_batched_queries += after.batched_queries - before.batched_queries;
+    for (size_t size : cluster_sizes) {
+      result->batch_cluster_size.Add(static_cast<double>(size));
+    }
+    result->batch_shared_miss_pages +=
+        after.shared_traversal.shared_misses - before.shared_traversal.shared_misses;
+    result->batch_private_miss_pages +=
+        after.shared_traversal.private_misses - before.shared_traversal.private_misses;
+  }
+  deferred_.clear();
+}
+
+void Simulator::AccountQuery(const core::SennOutcome& outcome, MobileHost* host,
+                             double now, int k, bool measuring,
+                             SimulationResult* result) {
+  if (trace_ != nullptr) {
+    QueryEvent event;
+    event.time_s = now;
+    event.host_id = host->id();
+    event.k = k;
+    event.resolution = outcome.resolution;
+    event.peers_in_range = outcome.peers_consulted;
+    event.certain_count = static_cast<int>(outcome.certain_prefix.size());
+    event.einn_pages = outcome.einn_accesses.total();
+    event.inn_pages = outcome.inn_accesses.total();
+    event.measured = measuring;
+    trace_->Record(event);
+  }
+  if (!measuring) return;
+  ++result->measured_queries;
+  result->peers_in_range.Add(static_cast<double>(outcome.peers_consulted));
+  result->p2p_messages_per_query.Add(last_p2p_messages_);
+  result->p2p_bytes_per_query.Add(last_p2p_bytes_);
+  result->query_latency_s.Add(last_latency_s_);
+  result->latency_p50.Add(last_latency_s_);
+  result->latency_p95.Add(last_latency_s_);
+  result->latency_p99.Add(last_latency_s_);
+  result->retries_per_query.Add(static_cast<double>(last_retries_));
+  result->transmissions_lost += last_transmissions_lost_;
+  result->replies_missed += last_replies_missed_;
+  if (last_loss_induced_fallback_) ++result->loss_induced_server_fallbacks;
+  switch (outcome.resolution) {
+    case core::Resolution::kSinglePeer:
+      ++result->by_single_peer;
+      break;
+    case core::Resolution::kMultiPeer:
+      ++result->by_multi_peer;
+      break;
+    case core::Resolution::kUncertain:
+      // Counted with the peer-answered fraction (no server contact);
+      // disabled in the default configuration.
+      ++result->by_multi_peer;
+      break;
+    case core::Resolution::kServer:
+      ++result->by_server;
+      result->einn_pages.Add(static_cast<double>(outcome.einn_accesses.total()));
+      result->inn_pages.Add(static_cast<double>(outcome.inn_accesses.total()));
+      if (config_.paged_storage) {
+        // Physical (buffer-pool miss) cost of the answering run. The
+        // logical count above is pool-independent; only this differs
+        // across pool sizes and policies.
+        const uint64_t logical = outcome.einn_accesses.total();
+        const uint64_t misses = outcome.einn_accesses.misses();
+        result->einn_miss_pages.Add(static_cast<double>(misses));
+        result->buffer.AddMisses(misses);
+        result->buffer.AddHits(logical - misses);
+      }
+      break;
+  }
 }
 
 SimulationResult Simulator::Run() {
@@ -316,62 +460,24 @@ SimulationResult Simulator::Run() {
       int k = config_.randomize_k
                   ? static_cast<int>(workload_rng.UniformInt(config_.k_min, config_.k_max))
                   : p.k_nn;
+      if (batch_server_ != nullptr) {
+        // Batched mode: pause server-bound queries at the boundary and
+        // answer the whole step's crop together below.
+        PendingQuery pq;
+        PrepareQuery(host, now, k, &pq);
+        pq.measuring = measuring;
+        if (pq.pending.needs_server) {
+          deferred_.push_back(std::move(pq));
+          continue;
+        }
+        FinalizeQuery(&pq);
+        AccountQuery(pq.pending.outcome, host, now, k, measuring, &result);
+        continue;
+      }
       core::SennOutcome outcome = ExecuteQuery(host, now, k);
-      if (trace_ != nullptr) {
-        QueryEvent event;
-        event.time_s = now;
-        event.host_id = host->id();
-        event.k = k;
-        event.resolution = outcome.resolution;
-        event.peers_in_range = outcome.peers_consulted;
-        event.certain_count = static_cast<int>(outcome.certain_prefix.size());
-        event.einn_pages = outcome.einn_accesses.total();
-        event.inn_pages = outcome.inn_accesses.total();
-        event.measured = measuring;
-        trace_->Record(event);
-      }
-      if (!measuring) continue;
-      ++result.measured_queries;
-      result.peers_in_range.Add(static_cast<double>(outcome.peers_consulted));
-      result.p2p_messages_per_query.Add(last_p2p_messages_);
-      result.p2p_bytes_per_query.Add(last_p2p_bytes_);
-      result.query_latency_s.Add(last_latency_s_);
-      result.latency_p50.Add(last_latency_s_);
-      result.latency_p95.Add(last_latency_s_);
-      result.latency_p99.Add(last_latency_s_);
-      result.retries_per_query.Add(static_cast<double>(last_retries_));
-      result.transmissions_lost += last_transmissions_lost_;
-      result.replies_missed += last_replies_missed_;
-      if (last_loss_induced_fallback_) ++result.loss_induced_server_fallbacks;
-      switch (outcome.resolution) {
-        case core::Resolution::kSinglePeer:
-          ++result.by_single_peer;
-          break;
-        case core::Resolution::kMultiPeer:
-          ++result.by_multi_peer;
-          break;
-        case core::Resolution::kUncertain:
-          // Counted with the peer-answered fraction (no server contact);
-          // disabled in the default configuration.
-          ++result.by_multi_peer;
-          break;
-        case core::Resolution::kServer:
-          ++result.by_server;
-          result.einn_pages.Add(static_cast<double>(outcome.einn_accesses.total()));
-          result.inn_pages.Add(static_cast<double>(outcome.inn_accesses.total()));
-          if (config_.paged_storage) {
-            // Physical (buffer-pool miss) cost of the answering run. The
-            // logical count above is pool-independent; only this differs
-            // across pool sizes and policies.
-            const uint64_t logical = outcome.einn_accesses.total();
-            const uint64_t misses = outcome.einn_accesses.misses();
-            result.einn_miss_pages.Add(static_cast<double>(misses));
-            result.buffer.AddMisses(misses);
-            result.buffer.AddHits(logical - misses);
-          }
-          break;
-      }
+      AccountQuery(outcome, host, now, k, measuring, &result);
     }
+    if (batch_server_ != nullptr) DrainBatch(&result);
   }
 
   result.simulated_seconds = duration;

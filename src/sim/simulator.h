@@ -29,10 +29,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/core/batch_server.h"
 #include "src/core/senn.h"
 #include "src/core/server.h"
 #include "src/mobility/road_mover.h"
@@ -108,6 +110,17 @@ struct SimulationConfig {
   /// already accumulated before the measured window.
   net::ChannelConfig channel;
 
+  /// Server-side batch answering (core/batch_server): each simulation
+  /// step's scalar-protocol server contacts are deferred and answered
+  /// together, clustered by query-point proximity (tiles of Tx_Range) into
+  /// shared EINN traversals of at most `server_batch` queries. Per-query
+  /// answers are bitwise identical to the sequential path; what changes is
+  /// the server's page traffic (shared pages fetched once per cluster) and
+  /// the reply timing model (replies arrive at step end). 1 — the default —
+  /// keeps the sequential per-query path, byte-identical outputs included
+  /// (golden-JSON tested).
+  int server_batch = 1;
+
   /// When true the server answers through the paged storage engine
   /// (src/storage/): EINN traversals fetch R*-tree nodes through a buffer
   /// pool sized by `buffer`, and the result additionally reports physical
@@ -169,6 +182,17 @@ struct SimulationResult {
   /// channel, not the cache population, forced them.
   uint64_t loss_induced_server_fallbacks = 0;
 
+  /// Server-batching metrics (all zero unless `server_batch` > 1).
+  /// Shared traversals run / queries answered by one.
+  uint64_t batch_clusters = 0;
+  uint64_t batch_batched_queries = 0;
+  /// Formed cluster sizes (singletons included).
+  RunningStats batch_cluster_size;
+  /// Buffer-pool misses of the shared traversals, split by whether the page
+  /// was wanted by >= 2 queries of its cluster (zero without paged_storage).
+  uint64_t batch_shared_miss_pages = 0;
+  uint64_t batch_private_miss_pages = 0;
+
   double simulated_seconds = 0.0;
 };
 
@@ -203,17 +227,58 @@ class Simulator {
   const std::vector<core::Poi>& pois() const { return pois_; }
 
  private:
+  /// One query paused at the server boundary (config_.server_batch > 1):
+  /// the client-side stages already ran, the channel metrics are drawn, and
+  /// the batched drain owes it a server reply.
+  struct PendingQuery {
+    MobileHost* host = nullptr;
+    uint64_t qid = 0;
+    double now = 0.0;
+    int k = 0;
+    bool measuring = false;
+    geom::Vec2 q;
+    core::PendingSenn pending;
+    /// Kept alive across the defer (spans were all closed by Prepare).
+    std::optional<obs::QueryTracer> tracer;
+    // Channel metrics snapshot (the last_* values of the sequential path).
+    double p2p_messages = 0.0;
+    double p2p_bytes = 0.0;
+    double latency_s = 0.0;
+    int retries = 0;
+    uint64_t transmissions_lost = 0;
+    uint64_t replies_missed = 0;
+    bool loss_induced = false;
+  };
+
   void BuildWorld();
   void WarmStartCaches();
   /// Executes one query from `host` at simulation time `now`; returns the
-  /// outcome for metric accounting.
+  /// outcome for metric accounting. Exactly PrepareQuery + the sequential
+  /// server contact + FinalizeQuery.
   core::SennOutcome ExecuteQuery(MobileHost* host, double now, int k);
+  /// Client-side half of ExecuteQuery: harvest, wireless exchange, SENN
+  /// peer stages, channel draws (server RTT included — the "net" stream
+  /// order must not depend on when the reply materializes).
+  void PrepareQuery(MobileHost* host, double now, int k, PendingQuery* out);
+  /// Server-independent tail: publishes the channel metrics to the last_*
+  /// fields and applies cache policy 1.
+  void FinalizeQuery(PendingQuery* pq);
+  /// Metric/trace accounting of one completed query (reads the last_*
+  /// fields; extracted from Run() so the batched drain shares it).
+  void AccountQuery(const core::SennOutcome& outcome, MobileHost* host, double now,
+                    int k, bool measuring, SimulationResult* result);
+  /// Answers every deferred query through the BatchServer and completes it.
+  void DrainBatch(SimulationResult* result);
 
   SimulationConfig config_;
   Rng rng_;
   std::vector<core::Poi> pois_;
   std::unique_ptr<core::SpatialServer> server_;
   std::unique_ptr<core::SennProcessor> senn_;
+  /// Batched answering path (null unless config_.server_batch > 1).
+  std::unique_ptr<core::BatchServer> batch_server_;
+  /// Queries of the current step awaiting the batched drain.
+  std::vector<PendingQuery> deferred_;
   std::unique_ptr<roadnet::Graph> graph_;
   std::unique_ptr<roadnet::Router> router_;
   std::vector<std::unique_ptr<MobileHost>> hosts_;

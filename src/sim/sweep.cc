@@ -62,6 +62,11 @@ SimulationResult MergeResults(const std::vector<SimulationResult>& parts) {
     merged.loss_induced_server_fallbacks += part.loss_induced_server_fallbacks;
     merged.einn_miss_pages.Merge(part.einn_miss_pages);
     merged.buffer.Merge(part.buffer);
+    merged.batch_clusters += part.batch_clusters;
+    merged.batch_batched_queries += part.batch_batched_queries;
+    merged.batch_cluster_size.Merge(part.batch_cluster_size);
+    merged.batch_shared_miss_pages += part.batch_shared_miss_pages;
+    merged.batch_private_miss_pages += part.batch_private_miss_pages;
     merged.simulated_seconds += part.simulated_seconds;
   }
   if (merged.measured_queries > 0) {

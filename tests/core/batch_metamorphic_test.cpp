@@ -1,0 +1,203 @@
+// Metamorphic properties of the batched answering path.
+//
+// The differential battery (batch_diff_test) pins the batch path to the
+// sequential one; this file pins it to ITSELF under input transformations
+// whose effect on the output is known exactly:
+//   * permuting the request vector permutes the replies and nothing else;
+//   * splitting one AnswerBatch call into several (any grouping) changes no
+//     per-query reply — answers are pure functions of (query, world);
+//   * on inclusion-property worlds (tiles of content-identical queries, so
+//     a cluster's shared traversal IS one member's traversal), total logical
+//     page charges are monotone non-increasing in the batch size;
+//   * one shared traversal charges each visited node ONCE: per-query miss
+//     counts partition the cluster's unique-miss count (the double-charge
+//     regression), shared + private misses add up, and every pin is
+//     returned to the pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/core/batch_server.h"
+#include "tests/core/batch_test_util.h"
+
+namespace senn::core {
+namespace {
+
+using batch_testing::BatchWorld;
+using batch_testing::BuildBatchWorld;
+using batch_testing::ExpectSameNeighbors;
+using batch_testing::WorldOptions;
+
+constexpr int kTrials = 40;
+
+WorldOptions Variant(int trial, bool hotspot) {
+  WorldOptions options;
+  options.hotspot = hotspot;
+  options.paged = trial % 2 == 1;
+  options.count_mode =
+      trial % 4 < 2 ? rtree::AccessCountMode::kOnExpand : rtree::AccessCountMode::kOnEnqueue;
+  return options;
+}
+
+TEST(BatchMetamorphicTest, ShuffledInputPermutesRepliesOnly) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BatchWorld w = BuildBatchWorld(trial, Variant(trial, true));
+    BatchOptions options;
+    options.cluster_cell_m = 250.0;
+    options.max_group = 8;
+    BatchServer batch(w.server.get(), options);
+    std::vector<ServerReply> baseline = batch.AnswerBatch(w.queries);
+
+    Rng rng = Rng(0x5489u).Stream("perm-trial", static_cast<uint64_t>(trial));
+    for (int round = 0; round < 3; ++round) {
+      std::vector<int32_t> perm(w.queries.size());
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.Shuffle(&perm);
+      std::vector<BatchQuery> shuffled;
+      shuffled.reserve(w.queries.size());
+      for (int32_t i : perm) shuffled.push_back(w.queries[static_cast<size_t>(i)]);
+      BatchServer batch2(w.server.get(), options);
+      std::vector<ServerReply> replies = batch2.AnswerBatch(shuffled);
+      for (size_t pos = 0; pos < perm.size(); ++pos) {
+        ExpectSameNeighbors(replies[pos].neighbors,
+                            baseline[static_cast<size_t>(perm[pos])].neighbors, trial,
+                            pos, "shuffled batch");
+      }
+    }
+  }
+}
+
+TEST(BatchMetamorphicTest, SplittingABatchChangesNoReply) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BatchWorld w = BuildBatchWorld(trial, Variant(trial, true));
+    if (w.queries.size() < 2) continue;
+    BatchOptions options;
+    options.cluster_cell_m = 250.0;
+    options.max_group = 8;
+    BatchServer batch(w.server.get(), options);
+    std::vector<ServerReply> merged = batch.AnswerBatch(w.queries);
+
+    Rng rng = Rng(0x511Du).Stream("split-trial", static_cast<uint64_t>(trial));
+    const size_t cut = 1 + rng.NextIndex(w.queries.size() - 1);
+    std::vector<BatchQuery> head(w.queries.begin(),
+                                 w.queries.begin() + static_cast<ptrdiff_t>(cut));
+    std::vector<BatchQuery> tail(w.queries.begin() + static_cast<ptrdiff_t>(cut),
+                                 w.queries.end());
+    BatchServer batch2(w.server.get(), options);
+    std::vector<ServerReply> head_replies = batch2.AnswerBatch(head);
+    std::vector<ServerReply> tail_replies = batch2.AnswerBatch(tail);
+    for (size_t i = 0; i < head.size(); ++i) {
+      ExpectSameNeighbors(head_replies[i].neighbors, merged[i].neighbors, trial, i,
+                          "split batch head");
+    }
+    for (size_t i = 0; i < tail.size(); ++i) {
+      ExpectSameNeighbors(tail_replies[i].neighbors, merged[cut + i].neighbors, trial,
+                          cut + i, "split batch tail");
+    }
+  }
+}
+
+// Inclusion-property worlds: every tile holds copies of ONE request, so a
+// cluster's shared traversal visits exactly the node set of a single member
+// and total logical charges are (number of clusters) x (per-traversal
+// pages) — provably non-increasing in max_group.
+TEST(BatchMetamorphicTest, PageChargesMonotoneNonIncreasingInBatchSize) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WorldOptions wopt = Variant(trial, false);
+    BatchWorld w = BuildBatchWorld(trial, wopt);
+    Rng rng = Rng(0x30107u).Stream("mono-trial", static_cast<uint64_t>(trial));
+    std::vector<BatchQuery> queries;
+    const int groups = static_cast<int>(rng.UniformInt(1, 4));
+    for (int g = 0; g < groups; ++g) {
+      BatchQuery bq;
+      bq.q = {rng.Uniform(0, batch_testing::kSide), rng.Uniform(0, batch_testing::kSide)};
+      bq.k = static_cast<int>(rng.UniformInt(1, 10));
+      const int copies = static_cast<int>(rng.UniformInt(1, 9));
+      for (int c = 0; c < copies; ++c) queries.push_back(bq);
+    }
+
+    uint64_t previous_total = ~0ull;
+    for (int max_group : {1, 2, 4, 8, 16, 32}) {
+      BatchOptions options;
+      options.cluster_cell_m = 250.0;
+      options.max_group = max_group;
+      BatchServer batch(w.server.get(), options);
+      std::vector<ServerReply> replies = batch.AnswerBatch(queries);
+      uint64_t total = 0;
+      for (const ServerReply& r : replies) total += r.einn_accesses.total();
+      EXPECT_LE(total, previous_total)
+          << "trial " << trial << ", max_group " << max_group;
+      previous_total = total;
+    }
+  }
+}
+
+// The double-charge regression: one cluster of co-located queries over a
+// cold unbounded pool. Every page the shared traversal touches faults in
+// exactly once, so the pool's miss delta IS the unique-page count — and the
+// per-query miss counters, the cluster counter, and the shared/private
+// split must all agree with it. Afterwards the pool holds zero pins.
+TEST(BatchMetamorphicTest, SharedTraversalChargesEachUniquePageOnce) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng = Rng(0xDC4A6u).Stream("charge-trial", static_cast<uint64_t>(trial));
+    const int n = static_cast<int>(rng.UniformInt(20, 160));
+    std::vector<Poi> pois;
+    for (int i = 0; i < n; ++i) {
+      pois.push_back({i, {rng.Uniform(0, batch_testing::kSide),
+                          rng.Uniform(0, batch_testing::kSide)}});
+    }
+    const rtree::AccessCountMode mode = trial % 2 == 0
+                                            ? rtree::AccessCountMode::kOnExpand
+                                            : rtree::AccessCountMode::kOnEnqueue;
+    storage::BufferPoolOptions pool;
+    pool.capacity_pages = 0;  // unbounded: every unique page misses once
+    SpatialServer server(pois, SpatialServer::DefaultTreeOptions(), mode, pool);
+
+    geom::Vec2 center{rng.Uniform(100, batch_testing::kSide - 100),
+                      rng.Uniform(100, batch_testing::kSide - 100)};
+    std::vector<BatchQuery> queries;
+    const int m = static_cast<int>(rng.UniformInt(2, 8));
+    for (int i = 0; i < m; ++i) {
+      BatchQuery bq;
+      bq.q = {center.x + rng.Uniform(-40.0, 40.0), center.y + rng.Uniform(-40.0, 40.0)};
+      bq.k = static_cast<int>(rng.UniformInt(1, 10));
+      queries.push_back(bq);
+    }
+
+    BatchOptions options;
+    options.cluster_cell_m = 10.0 * batch_testing::kSide;  // one tile for all
+    options.max_group = m;
+    BatchServer batch(&server, options);
+    const storage::BufferPoolStats before = server.pager()->pool().stats();
+    std::vector<ServerReply> replies = batch.AnswerBatch(queries);
+    const storage::BufferPoolStats& after = server.pager()->pool().stats();
+
+    ASSERT_EQ(batch.stats().clusters, 1u) << "trial " << trial;
+    const rtree::AccessCounter& cluster = batch.stats().shared_traversal;
+    const uint64_t unique_pages_faulted = after.misses - before.misses;
+    uint64_t per_query_misses = 0;
+    uint64_t per_query_pages = 0;
+    for (const ServerReply& r : replies) {
+      per_query_misses += r.einn_accesses.misses();
+      per_query_pages += r.einn_accesses.total();
+    }
+    // Per-query attribution partitions the cluster's charges: the sums
+    // reproduce the cluster counter exactly, and the cluster's misses are
+    // the pool's faults — each visited node charged once, never per query.
+    EXPECT_EQ(per_query_misses, cluster.misses()) << "trial " << trial;
+    EXPECT_EQ(per_query_pages, cluster.total()) << "trial " << trial;
+    EXPECT_EQ(cluster.misses(), unique_pages_faulted) << "trial " << trial;
+    EXPECT_EQ(cluster.shared_misses + cluster.private_misses, cluster.misses())
+        << "trial " << trial;
+    // A cold unbounded pool faults every LOGICAL charge that is a first
+    // touch; a second charge of the same node would be a hit, so equality
+    // of total charges and unique faults means no node was charged twice.
+    EXPECT_EQ(cluster.total(), unique_pages_faulted) << "trial " << trial;
+    EXPECT_EQ(server.pager()->pool().pinned_pages(), 0u) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace senn::core

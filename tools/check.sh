@@ -45,30 +45,33 @@ ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
 stage "ThreadSanitizer: net + sim + core + storage test binaries"
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test batch_test
 "${PREFIX}-tsan/tests/net_test"
 "${PREFIX}-tsan/tests/sim_test"
 "${PREFIX}-tsan/tests/core_test" --gtest_filter='OracleDiffTest.*'
 "${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
 "${PREFIX}-tsan/tests/storage_test"
+"${PREFIX}-tsan/tests/batch_test" --gtest_filter="BatchDiffTest.*"
 
 stage "AddressSanitizer: net + sim + core + storage test binaries"
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test batch_test
 "${PREFIX}-asan/tests/net_test"
 "${PREFIX}-asan/tests/sim_test"
 "${PREFIX}-asan/tests/core_test"
 "${PREFIX}-asan/tests/storage_test"
+"${PREFIX}-asan/tests/batch_test"
 
 stage "UBSan: net + sim + core + storage + geom + obs test binaries"
 cmake -B "${PREFIX}-ubsan" -S . -DSENN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test batch_test
 "${PREFIX}-ubsan/tests/net_test"
 "${PREFIX}-ubsan/tests/sim_test"
 "${PREFIX}-ubsan/tests/core_test"
 "${PREFIX}-ubsan/tests/storage_test"
 "${PREFIX}-ubsan/tests/geom_test"
 "${PREFIX}-ubsan/tests/obs_test"
+"${PREFIX}-ubsan/tests/batch_test"
 
 stage "SENN_PARANOID: invariant-checked tier1 suite"
 cmake -B "${PREFIX}-paranoid" -S . -DSENN_PARANOID=ON >/dev/null

@@ -561,7 +561,9 @@ void RulePinBalance(Ctx* ctx) {
   }
   for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
     const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kIdent || (t.text != "Fetch" && t.text != "ChargeNodeAccess")) {
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "Fetch" && t.text != "ChargeNodeAccess" &&
+         t.text != "ChargeBatchNodeAccess")) {
       continue;
     }
     if (!ctx->IsPunct(i + 1, "(")) continue;

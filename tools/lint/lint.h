@@ -15,8 +15,9 @@
 //   L5-float-eq        no ==/!= on double distances outside geom/ epsilon
 //                      helpers (exact ties are only sound when both sides
 //                      come from the identical computation — say why).
-//   L6-pin-balance     every pinning Fetch()/ChargeNodeAccess() in a scope
-//                      needs a matching Unpin()/PageGuard in that scope.
+//   L6-pin-balance     every pinning Fetch()/ChargeNodeAccess()/
+//                      ChargeBatchNodeAccess() in a scope needs a matching
+//                      Unpin()/PageGuard in that scope.
 //
 // A finding is silenced with a justification comment on the same line or
 // the comment block directly above it:

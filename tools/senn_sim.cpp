@@ -45,6 +45,9 @@ using namespace senn;
       "  --buffer-pages N|unbounded       answer through the paged storage engine with an\n"
       "                                   N-frame buffer pool (unbounded = every page resident)\n"
       "  --replacement lru|clock          buffer-pool replacement policy (default lru)\n"
+      "  --server-batch N                 answer each step's server contacts in shared\n"
+      "                                   EINN traversals of <= N co-located queries\n"
+      "                                   (default 1 = sequential per-query path)\n"
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
@@ -143,6 +146,9 @@ int main(int argc, char** argv) {
         if (pages < 1) Usage(argv[0]);
         cfg.buffer.capacity_pages = static_cast<size_t>(pages);
       }
+    } else if (arg == "--server-batch") {
+      cfg.server_batch = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+      if (cfg.server_batch < 1) Usage(argv[0]);
     } else if (arg == "--replacement") {
       std::string v = need(i++);
       if (v == "lru") {
@@ -276,6 +282,13 @@ int main(int argc, char** argv) {
                 100.0 * r.buffer.rate(), static_cast<unsigned long long>(r.buffer.hits()),
                 static_cast<unsigned long long>(r.buffer.total()),
                 r.einn_miss_pages.mean());
+  }
+  if (cfg.server_batch > 1) {
+    std::printf("  server batching  %6.2f avg cluster size, %llu shared traversals "
+                "answered %llu queries\n",
+                r.batch_cluster_size.mean(),
+                static_cast<unsigned long long>(r.batch_clusters),
+                static_cast<unsigned long long>(r.batch_batched_queries));
   }
 
   if (print_json) std::printf("json %s\n", sim::SimulationResultJson(r).c_str());
