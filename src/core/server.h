@@ -47,6 +47,11 @@ struct ServerReply {
   rtree::AccessCounter einn_accesses;
   /// Page accesses the plain INN run needed for the same query.
   rtree::AccessCounter inn_accesses;
+
+  /// Memberwise (bitwise for distances) equality; the rpc layer's
+  /// loopback-determinism tests compare transported replies against the
+  /// direct QueryKnn result with it.
+  bool operator==(const ServerReply&) const = default;
 };
 
 /// The spatial database server.

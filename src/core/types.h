@@ -25,6 +25,11 @@ struct RankedPoi {
   PoiId id = kInvalidPoi;
   geom::Vec2 position;
   double distance = 0.0;
+
+  /// Memberwise (bitwise for the doubles) equality — the rpc wire tests
+  /// assert that a decoded reply is EXACTLY the encoded one; this is not a
+  /// ranking comparison (see RanksBefore below for that).
+  bool operator==(const RankedPoi&) const = default;
 };
 
 /// THE ranking order of the system: ascending distance, ties broken by

@@ -1,0 +1,185 @@
+// The standalone kNN query server runtime: one network thread, a worker
+// pool, pipelined framing, batched dispatch.
+//
+// The thread split follows tarantool's iproto (src/box/iproto.cc): a
+// single NETWORK thread owns every socket — it accepts connections, reads
+// bytes into each connection's FrameDecoder, and writes reply bytes back —
+// while WORKER threads own the query engine work. The two meet at a
+// dispatch queue of request GROUPS:
+//
+//   * while a connection has a group in flight, newly decoded requests
+//     accumulate on the connection (this is where pipelining pays: the
+//     backlog a busy engine creates is exactly the burst the next group
+//     batches);
+//   * when the connection is idle, its whole backlog becomes one group,
+//     handed to a worker that answers it through QueryService::AnswerGroup
+//     — one core::BatchServer call, co-located queries sharing EINN
+//     traversals;
+//   * the worker pushes the encoded reply bytes to a completion queue and
+//     wakes the network thread through a pipe; the network thread writes
+//     them and dispatches the connection's next group.
+//
+// One group in flight per connection gives per-connection FIFO replies for
+// free and keeps a slow connection from flooding the queue; admission
+// control sits at dispatch: when the server-wide in-flight request count
+// would exceed `max_inflight_requests`, the burst is load-shed with
+// kOverloaded error replies (counted as rpc/shed in the metrics registry)
+// instead of queueing without bound.
+//
+// Framing errors are fail-stop per connection: the decoded-so-far requests
+// are still answered, a kError frame describes the corruption, and the
+// connection closes once its replies are flushed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/server.h"
+#include "src/rpc/service.h"
+#include "src/rpc/wire.h"
+
+namespace senn::obs {
+class MetricsRegistry;
+}
+
+namespace senn::rpc {
+
+struct ServerOptions {
+  /// Bind address; the default serves loopback only (tests, local bench).
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via port() after Start()).
+  uint16_t port = 0;
+  int worker_threads = 2;
+  /// Dispatch/batching knobs (QueryService).
+  ServiceOptions service;
+  /// Frame size cap applied per connection.
+  size_t max_payload = kDefaultMaxPayload;
+  /// Admission control: server-wide in-flight request cap; a dispatch that
+  /// would exceed it is load-shed with kOverloaded replies. 0 disables.
+  size_t max_inflight_requests = 4096;
+  /// Listen backlog.
+  int listen_backlog = 64;
+};
+
+/// Snapshot of the server-level counters (the per-connection and engine
+/// counters live in QueryService / MetricsRegistry).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t groups_dispatched = 0;
+  uint64_t requests_shed = 0;
+  uint64_t framing_errors = 0;
+};
+
+class Server {
+ public:
+  /// `spatial` must outlive the server. `metrics`, when given, receives
+  /// rpc/ + batch/ counters; reads are only consistent while the server is
+  /// stopped (updates happen under internal locks, but a concurrent reader
+  /// would race).
+  Server(core::SpatialServer* spatial, ServerOptions options,
+         obs::MetricsRegistry* metrics = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the network + worker threads.
+  Status Start();
+  /// Stops the threads and closes every socket. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+  QueryService& service() { return service_; }
+  ServerCounters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    /// Decoded requests awaiting dispatch.
+    std::vector<Frame> backlog;
+    /// Reply bytes awaiting the socket.
+    std::vector<uint8_t> outbuf;
+    size_t out_off = 0;
+    bool group_in_flight = false;
+    /// Close once replies are flushed and nothing is in flight.
+    bool close_requested = false;
+    /// The kError frame describing a framing error has been queued.
+    bool error_sent = false;
+
+    explicit Connection(size_t max_payload) : decoder(max_payload) {}
+  };
+  struct Group {
+    uint64_t conn_id = 0;
+    std::vector<Frame> frames;
+  };
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> bytes;
+    size_t request_count = 0;
+  };
+
+  void NetworkLoop();
+  void WorkerLoop();
+  void WakeNetwork();
+  void AcceptReady();
+  /// Reads everything available; returns false when the connection died.
+  bool HandleReadable(Connection* conn);
+  void DispatchReady(Connection* conn);
+  /// Writes as much of outbuf as the socket takes; returns false when the
+  /// connection should be closed (write error, or drained after a
+  /// requested close).
+  bool FlushWrites(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void DrainCompletions();
+
+  ServerOptions options_;
+  QueryService service_;
+  obs::MetricsRegistry* metrics_;
+  /// Guards metrics_ updates made outside the service lock (shed counter).
+  std::mutex metrics_mu_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // [0] read end (network thread), [1] writers
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::thread network_thread_;
+  std::vector<std::thread> workers_;
+
+  // Dispatch queue (network thread -> workers).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Group> work_;
+  bool work_stop_ = false;
+
+  // Completion queue (workers -> network thread).
+  std::mutex done_mu_;
+  std::deque<Completion> done_;
+
+  // Network-thread-private state.
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t inflight_requests_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> groups_dispatched_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> framing_errors_{0};
+};
+
+}  // namespace senn::rpc

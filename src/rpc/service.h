@@ -1,0 +1,93 @@
+// Transport-independent dispatch engine of the kNN query server.
+//
+// A `QueryService` is the seam every transport feeds: the TCP server's
+// worker threads and the deterministic loopback transport both hand it one
+// *dispatch group* at a time — the decoded frames a connection had pipelined
+// while the engine was busy — and receive the encoded reply bytes, in
+// request order. One group is answered by ONE core::BatchServer call, so
+// co-located queries inside a pipelined burst share EINN traversals exactly
+// like the simulator's batched drain (PR 6), single-charge miss accounting
+// included.
+//
+// Protocol-boundary hardening happens here, before anything reaches the
+// engine: undecodable payloads, unsupported opcodes, and semantically
+// invalid requests (k <= 0, non-finite coordinates, inconsistent
+// PruneBounds) each produce a well-formed kError reply in the request's
+// slot — never a crash, never a silent empty result.
+//
+// Thread safety: AnswerGroup serializes on an internal mutex (the
+// SpatialServer/BatchServer engine and the buffer pool underneath are
+// single-threaded by contract), so any number of worker threads may call it
+// concurrently. Reply ENCODING for a group also runs under the lock; it is
+// microseconds against the traversal's page work, and keeping it inside
+// makes the metrics registry updates race-free too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/core/batch_server.h"
+#include "src/core/server.h"
+#include "src/rpc/wire.h"
+
+namespace senn::obs {
+class MetricsRegistry;
+class QueryTracer;
+}  // namespace senn::obs
+
+namespace senn::rpc {
+
+struct ServiceOptions {
+  /// Clustering knobs of the per-group shared traversals. `max_group = 1`
+  /// answers every request with a verbatim sequential QueryKnn call — the
+  /// byte-identical default the simulator's loopback mode relies on.
+  core::BatchOptions batch;
+};
+
+/// Cumulative dispatch counters (monotone; snapshot under the same lock as
+/// AnswerGroup, so the numbers are mutually consistent).
+struct ServiceStats {
+  uint64_t groups = 0;
+  uint64_t requests = 0;
+  uint64_t replies = 0;
+  uint64_t errors = 0;
+  uint64_t pings = 0;
+};
+
+class QueryService {
+ public:
+  /// `server` must outlive the service. `metrics`, when given, receives the
+  /// "rpc/" dispatch counters and the "batch/" engine counters; it is
+  /// updated only under the service lock, so a registry may be shared with
+  /// other single-threaded readers only after the service is idle.
+  QueryService(core::SpatialServer* server, ServiceOptions options,
+               obs::MetricsRegistry* metrics = nullptr);
+
+  /// Answers one dispatch group: `frames` in arrival order, encoded reply
+  /// frames appended to `*out` in the SAME order (per-connection FIFO is
+  /// the transport contract, and it starts here). All decodable, valid kNN
+  /// requests of the group are answered by one BatchServer::AnswerBatch
+  /// call; everything else gets its kError/kPong reply in place.
+  ///
+  /// `tracer` and `cluster_sizes` are in-process observability side-bands
+  /// (the simulator's loopback mode threads its span tracer and the batch
+  /// cluster-size histogram through them); remote transports pass null.
+  void AnswerGroup(const std::vector<Frame>& frames, std::vector<uint8_t>* out,
+                   obs::QueryTracer* tracer = nullptr,
+                   std::vector<size_t>* cluster_sizes = nullptr);
+
+  /// Engine batch counters (shared traversals, singleton delegations).
+  core::BatchStats batch_stats() const;
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  core::BatchServer batch_;
+  ServiceStats stats_;
+};
+
+}  // namespace senn::rpc

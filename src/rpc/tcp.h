@@ -1,0 +1,56 @@
+// TCP client transport: a non-blocking IPv4 socket with deadline-bounded
+// Send/Receive, connecting an rpc::Client to a senn_served process (or an
+// in-process rpc::Server).
+//
+// Timeouts here are WALL-CLOCK by necessity — a remote peer's pace is not
+// simulated time — and are the one place the rpc subsystem touches a real
+// clock. They bound total elapsed time across partial reads/writes (a peer
+// trickling one byte per poll cannot extend a call forever). Deterministic
+// runs use the loopback transport, which has no clock at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rpc/transport.h"
+
+namespace senn::rpc {
+
+struct TcpOptions {
+  /// Bound on Connect().
+  int connect_timeout_ms = 5000;
+  /// Bound on one Receive() call (total, across partial reads).
+  int receive_timeout_ms = 10000;
+  /// Bound on one Send() call (total, across partial writes).
+  int send_timeout_ms = 10000;
+};
+
+class TcpClientTransport : public Transport {
+ public:
+  /// Connects to `host:port` (numeric IPv4 address or "localhost").
+  static Result<std::unique_ptr<TcpClientTransport>> Connect(const std::string& host,
+                                                             uint16_t port,
+                                                             TcpOptions options = {});
+  ~TcpClientTransport() override;
+
+  TcpClientTransport(const TcpClientTransport&) = delete;
+  TcpClientTransport& operator=(const TcpClientTransport&) = delete;
+
+  Status Send(const uint8_t* data, size_t n) override;
+  /// Appends whatever arrived (>= 1 byte) within the receive timeout;
+  /// OutOfRange on timeout, FailedPrecondition when the peer closed.
+  Status Receive(std::vector<uint8_t>* out) override;
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit TcpClientTransport(int fd, TcpOptions options) : fd_(fd), options_(options) {}
+
+  int fd_ = -1;
+  TcpOptions options_;
+};
+
+}  // namespace senn::rpc

@@ -1,0 +1,36 @@
+// Client-side byte transport abstraction of the rpc subsystem.
+//
+// A Transport carries opaque frame bytes between an rpc::Client and a
+// server: TcpClientTransport (src/rpc/tcp.h) over a real socket, and
+// LoopbackTransport (src/rpc/loopback.h) through an in-process
+// QueryService with deterministic ordering. The client encodes and frames
+// on one side, the server decodes and dispatches on the other — both
+// transports run the exact same encode -> frame -> decode -> dispatch
+// path, which is what lets the simulator swap them without changing a
+// byte of output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace senn::rpc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `n` bytes toward the server. The bytes need not align with
+  /// frame boundaries — framing is the decoder's job on the far side.
+  virtual Status Send(const uint8_t* data, size_t n) = 0;
+
+  /// Produces server-to-client bytes: appends at least one byte to `*out`
+  /// on success. A TCP transport blocks (bounded by its receive timeout);
+  /// the loopback transport synchronously dispatches what was sent and
+  /// fails fast when nothing is in flight.
+  virtual Status Receive(std::vector<uint8_t>* out) = 0;
+};
+
+}  // namespace senn::rpc

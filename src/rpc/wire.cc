@@ -1,0 +1,336 @@
+#include "src/rpc/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace senn::rpc {
+namespace {
+
+// Little-endian primitive writers. Appending through shifts (not memcpy of
+// host memory) keeps the wire format byte-stable on any host endianness.
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutI32(int32_t v, std::vector<uint8_t>* out) { PutU32(static_cast<uint32_t>(v), out); }
+void PutI64(int64_t v, std::vector<uint8_t>* out) { PutU64(static_cast<uint64_t>(v), out); }
+// IEEE-754 bit pattern: decoding reproduces the exact double, which is what
+// makes wire-transported replies bitwise-identical to in-process ones.
+void PutF64(double v, std::vector<uint8_t>* out) { PutU64(std::bit_cast<uint64_t>(v), out); }
+
+// Bounds-checked little-endian reader over one payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& payload) : data_(payload) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string* out) {
+    if (pos_ + n > data_.size()) return false;
+    out->assign(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+void PutCounter(const rtree::AccessCounter& c, std::vector<uint8_t>* out) {
+  PutU64(c.index_nodes, out);
+  PutU64(c.leaf_nodes, out);
+  PutU64(c.index_misses, out);
+  PutU64(c.leaf_misses, out);
+  PutU64(c.shared_misses, out);
+  PutU64(c.private_misses, out);
+}
+
+bool ReadCounter(PayloadReader* r, rtree::AccessCounter* c) {
+  return r->ReadU64(&c->index_nodes) && r->ReadU64(&c->leaf_nodes) &&
+         r->ReadU64(&c->index_misses) && r->ReadU64(&c->leaf_misses) &&
+         r->ReadU64(&c->shared_misses) && r->ReadU64(&c->private_misses);
+}
+
+// PruneBounds presence flags.
+constexpr uint8_t kHasLower = 0x1;
+constexpr uint8_t kHasUpper = 0x2;
+constexpr uint8_t kKnownBoundsFlags = kHasLower | kHasUpper;
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what + " payload");
+}
+Status Trailing(const char* what) {
+  return Status::InvalidArgument(std::string("trailing bytes after ") + what + " payload");
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kMalformedFrame:
+      return "malformed-frame";
+    case ErrorCode::kUnsupportedOpcode:
+      return "unsupported-opcode";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(Opcode opcode, uint64_t request_id, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kHeaderSize + payload.size());
+  PutU32(kMagic, out);
+  PutU8(kProtocolVersion, out);
+  PutU8(static_cast<uint8_t>(opcode), out);
+  PutU16(0, out);  // reserved flags
+  PutU64(request_id, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void EncodeKnnRequest(uint64_t request_id, const KnnRequest& request,
+                      std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutF64(request.q.x, &payload);
+  PutF64(request.q.y, &payload);
+  PutI32(request.k, &payload);
+  PutI32(request.already_certified, &payload);
+  uint8_t flags = 0;
+  if (request.bounds.lower.has_value()) flags |= kHasLower;
+  if (request.bounds.upper.has_value()) flags |= kHasUpper;
+  PutU8(flags, &payload);
+  if (request.bounds.lower.has_value()) PutF64(*request.bounds.lower, &payload);
+  if (request.bounds.upper.has_value()) PutF64(*request.bounds.upper, &payload);
+  PutI64(request.bounds.lower_id_cut, &payload);
+  EncodeFrame(Opcode::kKnnRequest, request_id, payload, out);
+}
+
+void EncodeKnnReply(uint64_t request_id, const core::ServerReply& reply,
+                    std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutCounter(reply.einn_accesses, &payload);
+  PutCounter(reply.inn_accesses, &payload);
+  PutU32(static_cast<uint32_t>(reply.neighbors.size()), &payload);
+  for (const core::RankedPoi& n : reply.neighbors) {
+    PutI64(n.id, &payload);
+    PutF64(n.position.x, &payload);
+    PutF64(n.position.y, &payload);
+    PutF64(n.distance, &payload);
+  }
+  EncodeFrame(Opcode::kKnnReply, request_id, payload, out);
+}
+
+void EncodeError(uint64_t request_id, const ErrorReply& error, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutU32(static_cast<uint32_t>(error.code), &payload);
+  PutU32(static_cast<uint32_t>(error.message.size()), &payload);
+  payload.insert(payload.end(), error.message.begin(), error.message.end());
+  EncodeFrame(Opcode::kError, request_id, payload, out);
+}
+
+void EncodePing(uint64_t request_id, std::vector<uint8_t>* out) {
+  EncodeFrame(Opcode::kPing, request_id, {}, out);
+}
+
+void EncodePong(uint64_t request_id, std::vector<uint8_t>* out) {
+  EncodeFrame(Opcode::kPong, request_id, {}, out);
+}
+
+Result<KnnRequest> DecodeKnnRequest(const std::vector<uint8_t>& payload) {
+  PayloadReader r(payload);
+  KnnRequest req;
+  uint8_t flags = 0;
+  if (!r.ReadF64(&req.q.x) || !r.ReadF64(&req.q.y) || !r.ReadI32(&req.k) ||
+      !r.ReadI32(&req.already_certified) || !r.ReadU8(&flags)) {
+    return Truncated("kKnnRequest");
+  }
+  if ((flags & ~kKnownBoundsFlags) != 0) {
+    return Status::InvalidArgument("unknown PruneBounds presence flags");
+  }
+  if ((flags & kHasLower) != 0) {
+    double lower = 0.0;
+    if (!r.ReadF64(&lower)) return Truncated("kKnnRequest");
+    req.bounds.lower = lower;
+  }
+  if ((flags & kHasUpper) != 0) {
+    double upper = 0.0;
+    if (!r.ReadF64(&upper)) return Truncated("kKnnRequest");
+    req.bounds.upper = upper;
+  }
+  if (!r.ReadI64(&req.bounds.lower_id_cut)) return Truncated("kKnnRequest");
+  if (r.remaining() != 0) return Trailing("kKnnRequest");
+  return req;
+}
+
+Result<core::ServerReply> DecodeKnnReply(const std::vector<uint8_t>& payload) {
+  PayloadReader r(payload);
+  core::ServerReply reply;
+  if (!ReadCounter(&r, &reply.einn_accesses) || !ReadCounter(&r, &reply.inn_accesses)) {
+    return Truncated("kKnnReply");
+  }
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return Truncated("kKnnReply");
+  // 32 bytes per neighbor: a count larger than the remaining payload is a
+  // corrupt length, not a reason to allocate count entries up front.
+  if (static_cast<uint64_t>(count) * 32 != r.remaining()) {
+    return Status::InvalidArgument("kKnnReply neighbor count disagrees with payload size");
+  }
+  reply.neighbors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    core::RankedPoi poi;
+    if (!r.ReadI64(&poi.id) || !r.ReadF64(&poi.position.x) || !r.ReadF64(&poi.position.y) ||
+        !r.ReadF64(&poi.distance)) {
+      return Truncated("kKnnReply");
+    }
+    reply.neighbors.push_back(poi);
+  }
+  if (r.remaining() != 0) return Trailing("kKnnReply");
+  return reply;
+}
+
+Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload) {
+  PayloadReader r(payload);
+  uint32_t code = 0;
+  uint32_t len = 0;
+  if (!r.ReadU32(&code) || !r.ReadU32(&len)) return Truncated("kError");
+  ErrorReply err;
+  err.code = static_cast<ErrorCode>(code);
+  if (!r.ReadBytes(len, &err.message)) return Truncated("kError");
+  if (r.remaining() != 0) return Trailing("kError");
+  return err;
+}
+
+Status ValidateKnnRequest(const KnnRequest& request) {
+  if (!std::isfinite(request.q.x) || !std::isfinite(request.q.y)) {
+    return Status::InvalidArgument("query coordinates must be finite");
+  }
+  if (request.k <= 0) return Status::InvalidArgument("k must be positive");
+  if (request.already_certified < 0 || request.already_certified > request.k) {
+    return Status::InvalidArgument("already_certified must lie in [0, k]");
+  }
+  const rtree::PruneBounds& b = request.bounds;
+  if (b.lower.has_value() && (!std::isfinite(*b.lower) || *b.lower < 0.0)) {
+    return Status::InvalidArgument("bounds.lower must be finite and non-negative");
+  }
+  if (b.upper.has_value() && (!std::isfinite(*b.upper) || *b.upper < 0.0)) {
+    return Status::InvalidArgument("bounds.upper must be finite and non-negative");
+  }
+  if (b.lower.has_value() && b.upper.has_value() && *b.lower > *b.upper) {
+    return Status::InvalidArgument("inconsistent PruneBounds: lower exceeds upper");
+  }
+  return Status::OK();
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data, data + n);
+  for (;;) {
+    const size_t avail = buffer_.size() - consumed_;
+    if (avail < kHeaderSize) break;
+    const uint8_t* p = buffer_.data() + consumed_;
+    FrameHeader h;
+    h.magic = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+              static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+    h.version = p[4];
+    h.opcode = p[5];
+    h.flags = static_cast<uint16_t>(static_cast<uint16_t>(p[6]) |
+                                    static_cast<uint16_t>(p[7]) << 8);
+    h.request_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      h.request_id |= static_cast<uint64_t>(p[8 + i]) << (8 * i);
+    }
+    h.payload_len = static_cast<uint32_t>(p[16]) | static_cast<uint32_t>(p[17]) << 8 |
+                    static_cast<uint32_t>(p[18]) << 16 | static_cast<uint32_t>(p[19]) << 24;
+    if (h.magic != kMagic) {
+      error_ = Status::InvalidArgument("bad frame magic");
+      return error_;
+    }
+    if (h.version != kProtocolVersion) {
+      error_ = Status::InvalidArgument("unsupported protocol version");
+      return error_;
+    }
+    if (h.flags != 0) {
+      error_ = Status::InvalidArgument("nonzero reserved frame flags");
+      return error_;
+    }
+    if (h.payload_len > max_payload_) {
+      error_ = Status::OutOfRange("frame payload exceeds the size limit");
+      return error_;
+    }
+    if (avail < kHeaderSize + h.payload_len) break;  // wait for the rest
+    Frame frame;
+    frame.header = h;
+    frame.payload.assign(p + kHeaderSize, p + kHeaderSize + h.payload_len);
+    frames_.push_back(std::move(frame));
+    consumed_ += kHeaderSize + h.payload_len;
+  }
+  // Compact: drop fully-consumed prefix so long-lived connections do not
+  // grow the buffer without bound.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+}  // namespace senn::rpc

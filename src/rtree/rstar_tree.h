@@ -50,6 +50,8 @@ struct AccessCounter {
   uint64_t shared_misses = 0;
   uint64_t private_misses = 0;
 
+  bool operator==(const AccessCounter&) const = default;
+
   uint64_t total() const { return index_nodes + leaf_nodes; }
   uint64_t misses() const { return index_misses + leaf_misses; }
   uint64_t hits() const { return total() - misses(); }

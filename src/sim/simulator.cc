@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <optional>
 
@@ -33,13 +34,23 @@ void Simulator::BuildWorld() {
       config_.paged_storage ? std::optional<storage::BufferPoolOptions>(config_.buffer)
                             : std::nullopt);
   senn_ = std::make_unique<core::SennProcessor>(server_.get(), config_.senn);
-  if (config_.server_batch > 1) {
-    // Co-location tiles of Tx_Range: hosts that can hear each other land in
-    // the same tile, which is exactly the population whose search regions
-    // overlap the same R*-tree pages.
-    core::BatchOptions batch;
-    batch.cluster_cell_m = std::max(p.tx_range_m, 50.0);
-    batch.max_group = config_.server_batch;
+  // Co-location tiles of Tx_Range: hosts that can hear each other land in
+  // the same tile, which is exactly the population whose search regions
+  // overlap the same R*-tree pages.
+  core::BatchOptions batch;
+  batch.cluster_cell_m = std::max(p.tx_range_m, 50.0);
+  batch.max_group = config_.server_batch;
+  if (config_.server_transport == ServerTransport::kLoopback) {
+    // Every server contact crosses the full rpc wire path. The QueryService
+    // carries the same batch options the in-process BatchServer would get
+    // (max_group = 1 when batching is off, which disables sharing and makes
+    // each request a verbatim QueryKnn).
+    rpc::ServiceOptions service;
+    service.batch = batch;
+    rpc_service_ = std::make_unique<rpc::QueryService>(server_.get(), service);
+    rpc_transport_ = std::make_unique<rpc::LoopbackTransport>(rpc_service_.get());
+    rpc_client_ = std::make_unique<rpc::Client>(rpc_transport_.get());
+  } else if (config_.server_batch > 1) {
     batch_server_ = std::make_unique<core::BatchServer>(server_.get(), batch);
   }
 
@@ -202,13 +213,36 @@ core::SennOutcome Simulator::ExecuteQuery(MobileHost* host, double now, int k) {
   if (pq.pending.needs_server) {
     obs::QueryTracer* tracer = pq.tracer.has_value() ? &*pq.tracer : nullptr;
     obs::ScopedSpan server_span(tracer, obs::Phase::kServerEinn);
-    const core::ServerReply reply =
-        server_->QueryKnn(pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
-                          static_cast<int>(pq.pending.certain.size()), tracer);
-    senn_->Finish(&pq.pending, reply, &server_span);
+    if (rpc_client_ != nullptr) {
+      // Loopback rpc: a blocking call is a dispatch group of one — a
+      // verbatim QueryKnn on the far side, bitwise reply included.
+      rpc_transport_->SetDispatchObservers(tracer, nullptr);
+      const core::ServerReply reply = KnnOverRpc(pq.pending);
+      rpc_transport_->SetDispatchObservers(nullptr, nullptr);
+      senn_->Finish(&pq.pending, reply, &server_span);
+    } else {
+      const core::ServerReply reply =
+          server_->QueryKnn(pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
+                            static_cast<int>(pq.pending.certain.size()), tracer);
+      senn_->Finish(&pq.pending, reply, &server_span);
+    }
   }
   FinalizeQuery(&pq);
   return std::move(pq.pending.outcome);
+}
+
+core::ServerReply Simulator::KnnOverRpc(const core::PendingSenn& pending) {
+  rpc::KnnRequest request;
+  request.q = pending.q;
+  request.k = pending.heap_capacity;
+  request.already_certified = static_cast<int32_t>(pending.certain.size());
+  request.bounds = pending.outcome.bounds;
+  Result<core::ServerReply> reply = rpc_client_->Knn(request);
+  // The engine only emits valid requests over a transport that cannot drop
+  // bytes, so a failure here is a wiring bug, not an input problem.
+  assert(reply.ok() && "loopback rpc rejected an engine-generated request");
+  if (!reply.ok()) return core::ServerReply{};
+  return std::move(*reply);
 }
 
 void Simulator::PrepareQuery(MobileHost* host, double now, int k, PendingQuery* out) {
@@ -328,12 +362,6 @@ void Simulator::FinalizeQuery(PendingQuery* pq) {
 
 void Simulator::DrainBatch(SimulationResult* result) {
   if (deferred_.empty()) return;
-  std::vector<core::BatchQuery> queries;
-  queries.reserve(deferred_.size());
-  for (const PendingQuery& pq : deferred_) {
-    queries.push_back({pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
-                       static_cast<int>(pq.pending.certain.size())});
-  }
   // One drain-scoped tracer (named by the first deferred query) carries the
   // per-cluster server_batch_einn spans; per-query tracers already closed
   // their client-side spans in PrepareQuery.
@@ -342,11 +370,42 @@ void Simulator::DrainBatch(SimulationResult* result) {
     drain_tracer.emplace(span_sink_, deferred_.front().qid,
                          static_cast<uint64_t>(std::llround(deferred_.front().now * 1e6)));
   }
-  const core::BatchStats before = batch_server_->stats();
+  obs::QueryTracer* tracer = drain_tracer.has_value() ? &*drain_tracer : nullptr;
+  const core::BatchStats before =
+      rpc_service_ != nullptr ? rpc_service_->batch_stats() : batch_server_->stats();
   std::vector<size_t> cluster_sizes;
-  std::vector<core::ServerReply> replies = batch_server_->AnswerBatch(
-      queries, drain_tracer.has_value() ? &*drain_tracer : nullptr, nullptr,
-      &cluster_sizes);
+  std::vector<core::ServerReply> replies;
+  replies.reserve(deferred_.size());
+  if (rpc_client_ != nullptr) {
+    // Loopback rpc: pipeline the whole crop, then wait in send order. The
+    // burst reaches the QueryService as ONE dispatch group, answered by the
+    // same single AnswerBatch call the in-process path makes.
+    rpc_transport_->SetDispatchObservers(tracer, &cluster_sizes);
+    std::vector<uint64_t> ids;
+    ids.reserve(deferred_.size());
+    for (const PendingQuery& pq : deferred_) {
+      rpc::KnnRequest request;
+      request.q = pq.pending.q;
+      request.k = pq.pending.heap_capacity;
+      request.already_certified = static_cast<int32_t>(pq.pending.certain.size());
+      request.bounds = pq.pending.outcome.bounds;
+      ids.push_back(rpc_client_->SendKnn(request));
+    }
+    for (uint64_t id : ids) {
+      Result<core::ServerReply> reply = rpc_client_->Wait(id);
+      assert(reply.ok() && "loopback rpc rejected an engine-generated request");
+      replies.push_back(reply.ok() ? std::move(*reply) : core::ServerReply{});
+    }
+    rpc_transport_->SetDispatchObservers(nullptr, nullptr);
+  } else {
+    std::vector<core::BatchQuery> queries;
+    queries.reserve(deferred_.size());
+    for (const PendingQuery& pq : deferred_) {
+      queries.push_back({pq.pending.q, pq.pending.heap_capacity, pq.pending.outcome.bounds,
+                         static_cast<int>(pq.pending.certain.size())});
+    }
+    replies = batch_server_->AnswerBatch(queries, tracer, nullptr, &cluster_sizes);
+  }
   for (size_t i = 0; i < deferred_.size(); ++i) {
     PendingQuery& pq = deferred_[i];
     senn_->Finish(&pq.pending, replies[i], nullptr);
@@ -356,7 +415,8 @@ void Simulator::DrainBatch(SimulationResult* result) {
   // All of a drain's queries launched in the same step, so one flag covers
   // the batch-path counters too.
   if (deferred_.front().measuring) {
-    const core::BatchStats& after = batch_server_->stats();
+    const core::BatchStats after =
+        rpc_service_ != nullptr ? rpc_service_->batch_stats() : batch_server_->stats();
     result->batch_clusters += after.clusters - before.clusters;
     result->batch_batched_queries += after.batched_queries - before.batched_queries;
     for (size_t size : cluster_sizes) {
@@ -460,9 +520,9 @@ SimulationResult Simulator::Run() {
       int k = config_.randomize_k
                   ? static_cast<int>(workload_rng.UniformInt(config_.k_min, config_.k_max))
                   : p.k_nn;
-      if (batch_server_ != nullptr) {
-        // Batched mode: pause server-bound queries at the boundary and
-        // answer the whole step's crop together below.
+      if (config_.server_batch > 1) {
+        // Batched mode (either transport): pause server-bound queries at
+        // the boundary and answer the whole step's crop together below.
         PendingQuery pq;
         PrepareQuery(host, now, k, &pq);
         pq.measuring = measuring;
@@ -477,7 +537,7 @@ SimulationResult Simulator::Run() {
       core::SennOutcome outcome = ExecuteQuery(host, now, k);
       AccountQuery(outcome, host, now, k, measuring, &result);
     }
-    if (batch_server_ != nullptr) DrainBatch(&result);
+    if (config_.server_batch > 1) DrainBatch(&result);
   }
 
   result.simulated_seconds = duration;

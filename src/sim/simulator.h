@@ -44,6 +44,9 @@
 #include "src/mobility/waypoint.h"
 #include "src/roadnet/generator.h"
 #include "src/roadnet/locate.h"
+#include "src/rpc/client.h"
+#include "src/rpc/loopback.h"
+#include "src/rpc/service.h"
 #include "src/sim/mobile_host.h"
 #include "src/sim/neighbor_grid.h"
 #include "src/sim/params.h"
@@ -61,6 +64,22 @@ namespace senn::sim {
 enum class MPercentageMode {
   kDutyCycle = 0,
   kStationaryFraction = 1,
+};
+
+/// How the simulator's server contacts reach the spatial server.
+enum class ServerTransport {
+  /// Direct in-process calls (SpatialServer::QueryKnn / BatchServer) — the
+  /// historical path.
+  kInProcess = 0,
+  /// Every server contact travels the full rpc wire path in process:
+  /// encode -> frame -> decode -> validate -> dispatch through
+  /// rpc::LoopbackTransport and rpc::QueryService (src/rpc/). Deterministic
+  /// and BYTE-IDENTICAL to kInProcess — report JSONs match bit for bit
+  /// (golden-tested) — because the wire ships doubles as IEEE-754 bit
+  /// patterns, a blocking contact is a dispatch group of one (a verbatim
+  /// QueryKnn), and a batched drain is one pipelined group answered by the
+  /// same BatchServer::AnswerBatch call the in-process path makes.
+  kLoopback = 1,
 };
 
 /// Full configuration of one simulation run.
@@ -129,6 +148,11 @@ struct SimulationConfig {
   /// metrics bit-for-bit (golden-JSON tested).
   bool paged_storage = false;
   storage::BufferPoolOptions buffer;
+
+  /// Transport of the server contacts (see ServerTransport). Warm-start
+  /// priming always runs in process: it models state accumulated before the
+  /// measured window, and its page traffic is reset away regardless.
+  ServerTransport server_transport = ServerTransport::kInProcess;
 };
 
 /// Aggregated outcome of a run (the quantities Figures 9-17 plot).
@@ -256,6 +280,9 @@ class Simulator {
   /// outcome for metric accounting. Exactly PrepareQuery + the sequential
   /// server contact + FinalizeQuery.
   core::SennOutcome ExecuteQuery(MobileHost* host, double now, int k);
+  /// One blocking server contact over the loopback rpc client (the
+  /// kLoopback replacement for the direct QueryKnn call).
+  core::ServerReply KnnOverRpc(const core::PendingSenn& pending);
   /// Client-side half of ExecuteQuery: harvest, wireless exchange, SENN
   /// peer stages, channel draws (server RTT included — the "net" stream
   /// order must not depend on when the reply materializes).
@@ -275,8 +302,14 @@ class Simulator {
   std::vector<core::Poi> pois_;
   std::unique_ptr<core::SpatialServer> server_;
   std::unique_ptr<core::SennProcessor> senn_;
-  /// Batched answering path (null unless config_.server_batch > 1).
+  /// Batched answering path (null unless config_.server_batch > 1 on the
+  /// in-process transport; the loopback transport batches inside its
+  /// QueryService instead).
   std::unique_ptr<core::BatchServer> batch_server_;
+  /// Loopback rpc path (all null unless server_transport is kLoopback).
+  std::unique_ptr<rpc::QueryService> rpc_service_;
+  std::unique_ptr<rpc::LoopbackTransport> rpc_transport_;
+  std::unique_ptr<rpc::Client> rpc_client_;
   /// Queries of the current step awaiting the batched drain.
   std::vector<PendingQuery> deferred_;
   std::unique_ptr<roadnet::Graph> graph_;

@@ -1,0 +1,204 @@
+// Protocol-boundary hardening regression tests (satellite: input
+// validation). Hand-crafted malformed and semantically invalid frames go
+// through the full loopback dispatch path; every one must come back as a
+// well-formed kError reply with the right code — never a crash, never a
+// silent empty kKnnReply.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/core/server.h"
+#include "src/rpc/client.h"
+#include "src/rpc/loopback.h"
+#include "src/rpc/service.h"
+#include "src/rpc/wire.h"
+
+namespace senn::rpc {
+namespace {
+
+using geom::Vec2;
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  ValidationTest() {
+    Rng rng = Rng(20060403).Stream("validation/world");
+    std::vector<core::Poi> pois;
+    for (int i = 0; i < 300; ++i) {
+      pois.push_back({i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}});
+    }
+    server_ = std::make_unique<core::SpatialServer>(std::move(pois));
+    service_ = std::make_unique<QueryService>(server_.get(), ServiceOptions{});
+    transport_ = std::make_unique<LoopbackTransport>(service_.get());
+  }
+
+  // Sends raw bytes, then decodes every reply frame the dispatch produced.
+  std::vector<Frame> Exchange(const std::vector<uint8_t>& bytes) {
+    EXPECT_TRUE(transport_->Send(bytes.data(), bytes.size()).ok());
+    std::vector<uint8_t> reply_bytes;
+    EXPECT_TRUE(transport_->Receive(&reply_bytes).ok());
+    FrameDecoder decoder;
+    EXPECT_TRUE(decoder.Feed(reply_bytes.data(), reply_bytes.size()).ok());
+    std::vector<Frame> frames;
+    Frame frame;
+    while (decoder.Next(&frame)) frames.push_back(std::move(frame));
+    return frames;
+  }
+
+  // Asserts the frame is a decodable kError with the given code.
+  void ExpectError(const Frame& frame, ErrorCode code, uint64_t request_id) {
+    EXPECT_EQ(frame.opcode(), Opcode::kError);
+    EXPECT_EQ(frame.header.request_id, request_id);
+    Result<ErrorReply> error = DecodeError(frame.payload);
+    ASSERT_TRUE(error.ok()) << "kError reply itself must be well-formed";
+    EXPECT_EQ(error->code, code);
+    EXPECT_FALSE(error->message.empty());
+  }
+
+  std::unique_ptr<core::SpatialServer> server_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<LoopbackTransport> transport_;
+};
+
+KnnRequest BadRequest(double x, double y, int32_t k, int32_t certified = 0) {
+  KnnRequest request;
+  request.q = {x, y};
+  request.k = k;
+  request.already_certified = certified;
+  return request;
+}
+
+TEST_F(ValidationTest, NonPositiveKGetsInvalidArgument) {
+  std::vector<uint8_t> bytes;
+  EncodeKnnRequest(1, BadRequest(10, 10, 0), &bytes);
+  EncodeKnnRequest(2, BadRequest(10, 10, -5), &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 2u);
+  ExpectError(replies[0], ErrorCode::kInvalidArgument, 1);
+  ExpectError(replies[1], ErrorCode::kInvalidArgument, 2);
+}
+
+TEST_F(ValidationTest, NonFiniteCoordinatesGetInvalidArgument) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> bytes;
+  EncodeKnnRequest(1, BadRequest(nan, 10, 3), &bytes);
+  EncodeKnnRequest(2, BadRequest(10, inf, 3), &bytes);
+  EncodeKnnRequest(3, BadRequest(-inf, nan, 3), &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 3u);
+  for (size_t i = 0; i < replies.size(); ++i) {
+    ExpectError(replies[i], ErrorCode::kInvalidArgument, i + 1);
+  }
+}
+
+TEST_F(ValidationTest, InconsistentPruneBoundsGetInvalidArgument) {
+  KnnRequest crossed = BadRequest(10, 10, 3);
+  crossed.bounds = {100.0, 5.0, INT64_MAX};  // lower > upper
+  KnnRequest nan_bound = BadRequest(10, 10, 3);
+  nan_bound.bounds = {std::numeric_limits<double>::quiet_NaN(), std::nullopt, INT64_MAX};
+  KnnRequest negative = BadRequest(10, 10, 3);
+  negative.bounds = {std::nullopt, -2.0, INT64_MAX};
+  KnnRequest over_certified = BadRequest(10, 10, 3, 4);  // certified > k
+
+  std::vector<uint8_t> bytes;
+  EncodeKnnRequest(1, crossed, &bytes);
+  EncodeKnnRequest(2, nan_bound, &bytes);
+  EncodeKnnRequest(3, negative, &bytes);
+  EncodeKnnRequest(4, over_certified, &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 4u);
+  for (size_t i = 0; i < replies.size(); ++i) {
+    ExpectError(replies[i], ErrorCode::kInvalidArgument, i + 1);
+  }
+}
+
+TEST_F(ValidationTest, UndecodablePayloadGetsMalformedFrame) {
+  // A kKnnRequest frame whose payload is three garbage bytes: the header is
+  // fine (it frames correctly), the payload decoder must reject it.
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Opcode::kKnnRequest, 7, {0xDE, 0xAD, 0xBF}, &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  ExpectError(replies[0], ErrorCode::kMalformedFrame, 7);
+}
+
+TEST_F(ValidationTest, TrailingGarbageInPayloadGetsMalformedFrame) {
+  KnnRequest request = BadRequest(10, 10, 3);
+  std::vector<uint8_t> one;
+  EncodeKnnRequest(9, request, &one);
+  // Graft 4 extra bytes into the payload and fix up the length field.
+  std::vector<uint8_t> payload(one.begin() + static_cast<long>(kHeaderSize), one.end());
+  payload.insert(payload.end(), {1, 2, 3, 4});
+  std::vector<uint8_t> bytes;
+  EncodeFrame(Opcode::kKnnRequest, 9, payload, &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  ExpectError(replies[0], ErrorCode::kMalformedFrame, 9);
+}
+
+TEST_F(ValidationTest, UnknownOpcodeGetsUnsupportedOpcode) {
+  std::vector<uint8_t> bytes;
+  EncodeFrame(static_cast<Opcode>(200), 11, {}, &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  ExpectError(replies[0], ErrorCode::kUnsupportedOpcode, 11);
+}
+
+TEST_F(ValidationTest, ValidRequestsAroundInvalidOnesStillGetAnswered) {
+  // The invalid request must not poison its neighbors in the same group.
+  KnnRequest good;
+  good.q = {500, 500};
+  good.k = 5;
+  std::vector<uint8_t> bytes;
+  EncodeKnnRequest(1, good, &bytes);
+  EncodeKnnRequest(2, BadRequest(10, 10, -1), &bytes);
+  EncodeKnnRequest(3, good, &bytes);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 3u);
+
+  const core::ServerReply want = server_->QueryKnn(good.q, good.k);
+  EXPECT_EQ(replies[0].opcode(), Opcode::kKnnReply);
+  Result<core::ServerReply> first = DecodeKnnReply(replies[0].payload);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->neighbors, want.neighbors);
+  ExpectError(replies[1], ErrorCode::kInvalidArgument, 2);
+  EXPECT_EQ(replies[2].opcode(), Opcode::kKnnReply);
+  EXPECT_EQ(replies[2].header.request_id, 3u);
+}
+
+TEST_F(ValidationTest, GarbageByteStreamGetsOneFramingErrorThenPoison) {
+  // A valid request followed by header garbage: the valid one is answered,
+  // the corruption gets a kError with request id 0, and the transport
+  // refuses further sends (the TCP server closes the connection here).
+  KnnRequest good;
+  good.q = {500, 500};
+  good.k = 2;
+  std::vector<uint8_t> bytes;
+  EncodeKnnRequest(21, good, &bytes);
+  for (size_t i = 0; i < kHeaderSize; ++i) bytes.push_back(0xFF);
+  std::vector<Frame> replies = Exchange(bytes);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].opcode(), Opcode::kKnnReply);
+  EXPECT_EQ(replies[0].header.request_id, 21u);
+  ExpectError(replies[1], ErrorCode::kMalformedFrame, 0);
+
+  uint8_t byte = 0;
+  EXPECT_EQ(transport_->Send(&byte, 1).code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(ValidationTest, ClientSurfacesServerErrorsAsStatuses) {
+  Client client(transport_.get());
+  Result<core::ServerReply> result = client.Knn(BadRequest(10, 10, -7));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+  // The engine was never touched and the connection still works.
+  KnnRequest good;
+  good.q = {1, 1};
+  good.k = 1;
+  EXPECT_TRUE(client.Knn(good).ok());
+}
+
+}  // namespace
+}  // namespace senn::rpc

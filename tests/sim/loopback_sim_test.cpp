@@ -1,0 +1,85 @@
+// The simulator-level loopback-determinism contract (the tentpole
+// acceptance test): --server-transport loopback routes EVERY server contact
+// through the full rpc wire path — encode, frame, decode, validate,
+// dispatch — and still produces BYTE-IDENTICAL report JSON to the
+// in-process transport, across sequential, batched, and paged
+// configurations. The golden prefixes of golden_json_test.cpp therefore
+// hold over loopback too.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+namespace senn::sim {
+namespace {
+
+SimulationConfig BaseConfig(Region region, double duration_s, uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.params = Table3(region);
+  cfg.mode = MovementMode::kFreeMovement;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string RunJson(SimulationConfig cfg, ServerTransport transport) {
+  cfg.server_transport = transport;
+  return SimulationResultJson(Simulator(cfg).Run());
+}
+
+TEST(LoopbackSimTest, SequentialRunIsByteIdenticalAcrossTransports) {
+  SimulationConfig cfg = BaseConfig(Region::kLosAngeles, 300.0, 42);
+  EXPECT_EQ(RunJson(cfg, ServerTransport::kInProcess),
+            RunJson(cfg, ServerTransport::kLoopback));
+}
+
+TEST(LoopbackSimTest, SecondRegionAndSeedAgreeToo) {
+  SimulationConfig cfg = BaseConfig(Region::kRiverside, 240.0, 7);
+  EXPECT_EQ(RunJson(cfg, ServerTransport::kInProcess),
+            RunJson(cfg, ServerTransport::kLoopback));
+}
+
+TEST(LoopbackSimTest, BatchedDrainIsByteIdenticalAcrossTransports) {
+  // server_batch > 1: the loopback path pipelines each step's crop as one
+  // group; the QueryService's AnswerBatch call must land exactly where the
+  // in-process BatchServer's does — batch_* metrics included.
+  SimulationConfig cfg = BaseConfig(Region::kLosAngeles, 300.0, 42);
+  cfg.server_batch = 4;
+  EXPECT_EQ(RunJson(cfg, ServerTransport::kInProcess),
+            RunJson(cfg, ServerTransport::kLoopback));
+}
+
+TEST(LoopbackSimTest, PagedBatchedRunIsByteIdenticalAcrossTransports) {
+  // The hardest configuration: bounded buffer pool + shared traversals.
+  // Physical miss accounting (shared/private splits) must survive the wire.
+  SimulationConfig cfg = BaseConfig(Region::kLosAngeles, 300.0, 42);
+  cfg.server_batch = 4;
+  cfg.paged_storage = true;
+  cfg.buffer.capacity_pages = 4;
+  EXPECT_EQ(RunJson(cfg, ServerTransport::kInProcess),
+            RunJson(cfg, ServerTransport::kLoopback));
+}
+
+TEST(LoopbackSimTest, LossyChannelRunAgreesToo) {
+  // Channel randomness ("net" streams) is client-side and must be unmoved
+  // by the transport swap.
+  SimulationConfig cfg = BaseConfig(Region::kLosAngeles, 300.0, 42);
+  cfg.channel.loss = 0.2;
+  cfg.channel.latency_mean_s = 0.05;
+  EXPECT_EQ(RunJson(cfg, ServerTransport::kInProcess),
+            RunJson(cfg, ServerTransport::kLoopback));
+}
+
+TEST(LoopbackSimTest, LoopbackAddsNoReportFields) {
+  // The transport must be invisible in the report schema: same keys, same
+  // order, no rpc-specific additions.
+  SimulationConfig cfg = BaseConfig(Region::kRiverside, 240.0, 7);
+  const std::string json = RunJson(cfg, ServerTransport::kLoopback);
+  EXPECT_EQ(json.find("rpc"), std::string::npos);
+  EXPECT_NE(json.find("\"simulated_seconds\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace senn::sim

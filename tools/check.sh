@@ -43,20 +43,22 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-stage "ThreadSanitizer: net + sim + core + storage test binaries"
+stage "ThreadSanitizer: net + rpc + sim + core + storage test binaries"
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test sim_test core_test common_test storage_test batch_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test core_test common_test storage_test batch_test
 "${PREFIX}-tsan/tests/net_test"
+"${PREFIX}-tsan/tests/rpc_test"
 "${PREFIX}-tsan/tests/sim_test"
 "${PREFIX}-tsan/tests/core_test" --gtest_filter='OracleDiffTest.*'
 "${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
 "${PREFIX}-tsan/tests/storage_test"
 "${PREFIX}-tsan/tests/batch_test" --gtest_filter="BatchDiffTest.*"
 
-stage "AddressSanitizer: net + sim + core + storage test binaries"
+stage "AddressSanitizer: net + rpc + sim + core + storage test binaries"
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test sim_test core_test storage_test batch_test
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test core_test storage_test batch_test
 "${PREFIX}-asan/tests/net_test"
+"${PREFIX}-asan/tests/rpc_test"
 "${PREFIX}-asan/tests/sim_test"
 "${PREFIX}-asan/tests/core_test"
 "${PREFIX}-asan/tests/storage_test"

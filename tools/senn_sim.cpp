@@ -48,6 +48,11 @@ using namespace senn;
       "  --server-batch N                 answer each step's server contacts in shared\n"
       "                                   EINN traversals of <= N co-located queries\n"
       "                                   (default 1 = sequential per-query path)\n"
+      "  --server-transport inproc|loopback\n"
+      "                                   how server contacts reach the spatial server:\n"
+      "                                   direct calls (default) or the full rpc wire\n"
+      "                                   path through src/rpc/ in process (byte-identical\n"
+      "                                   outputs; golden-tested)\n"
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
@@ -149,6 +154,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--server-batch") {
       cfg.server_batch = static_cast<int>(std::strtol(need(i++), nullptr, 10));
       if (cfg.server_batch < 1) Usage(argv[0]);
+    } else if (arg == "--server-transport") {
+      std::string v = need(i++);
+      if (v == "inproc") {
+        cfg.server_transport = sim::ServerTransport::kInProcess;
+      } else if (v == "loopback") {
+        cfg.server_transport = sim::ServerTransport::kLoopback;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--replacement") {
       std::string v = need(i++);
       if (v == "lru") {
