@@ -1,92 +1,235 @@
-// Extension bench: SNNN (Algorithm 2), which the paper proposes but does
-// not evaluate. Measures (a) how many extra Euclidean NNs the IER loop pulls
-// before the Euclidean-lower-bound cutoff fires, and (b) how peer sharing
-// changes the share of those pulls that reach the server, as a function of
-// k, on a synthetic street network with on-network POIs.
+// Extension bench: SNNN (Algorithm 2) distance-oracle backends. The paper
+// proposes network-NN queries but does not evaluate them; this bench sweeps
+// graph size x oracle and answers two questions:
+//   (a) end-to-end SNNN cost per query under the three backends — fresh
+//       Dijkstra per query (the byte-exact default), the CH point oracle
+//       (one bidirectional upward search per candidate) and the CH bucket
+//       oracle (one cached upward sweep per query, tiny target sweeps);
+//   (b) the per-candidate picture the IER loop actually pays for: a fresh
+//       full Dijkstra per (source, target) pair versus one CH query.
+// Every backend answers the identical query list and the bench hard-fails
+// on any result divergence (ids or network distances), so the speedups it
+// reports are speedups of *the same answers*. Exits nonzero if CH loses to
+// per-candidate Dijkstra at the largest network. Emits BENCH_snnn.json.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/snnn.h"
+#include "src/roadnet/ch.h"
 #include "src/roadnet/generator.h"
+#include "src/roadnet/shortest_path.h"
 
 namespace {
 
 using namespace senn;
 
-// Counts SENN resolutions across the IER loop of one SNNN query.
-class CountingSource final : public core::EuclideanNnSource {
- public:
-  CountingSource(const core::SennProcessor* senn, geom::Vec2 q,
-                 std::vector<const core::CachedResult*> peers)
-      : inner_(senn, q, std::move(peers)) {}
-  std::vector<core::RankedPoi> TopK(int m) override {
-    std::vector<core::RankedPoi> result = inner_.TopK(m);
-    ++pulls_;
-    server_pulls_ += inner_.last_resolution() == core::Resolution::kServer;
-    return result;
-  }
-  int pulls() const { return pulls_; }
-  int server_pulls() const { return server_pulls_; }
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
 
- private:
-  core::SennNnSource inner_;
-  int pulls_ = 0;
-  int server_pulls_ = 0;
+struct OracleRun {
+  const char* label = "";
+  double total_ms = 0.0;
+  uint64_t settled = 0;
+  std::vector<std::vector<core::NetworkRankedPoi>> results;
+};
+
+struct SizePoint {
+  double side_m = 0.0;
+  size_t nodes = 0;
+  size_t edges = 0;
+  double ch_build_ms = 0.0;
+  uint64_t shortcuts = 0;
+  OracleRun runs[3];
+  double cand_dijkstra_ms = 0.0;  // per-candidate microbench totals
+  double cand_ch_ms = 0.0;
+  double cand_speedup = 0.0;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
-  bench::PrintRunBanner("Extension: SNNN / IER behaviour", args);
-  const int trials = args.full ? 600 : 150;
+  bench::PrintRunBanner("Extension: SNNN distance oracles (dijkstra vs ch)", args);
 
-  Rng rng(args.seed);
-  roadnet::RoadNetworkConfig road;
-  road.area_side_m = 4000;
-  road.block_spacing_m = 250;
-  roadnet::Graph graph = roadnet::GenerateRoadNetwork(road, &rng);
-  roadnet::EdgeLocator locator(&graph, 250.0);
-  std::vector<core::Poi> pois;
-  for (int i = 0; i < 80; ++i) {
-    geom::Vec2 raw{rng.Uniform(0, 4000), rng.Uniform(0, 4000)};
-    pois.push_back({i, graph.PositionOf(locator.Nearest(raw))});
+  std::vector<double> sides = {2000, 4000, 8000};
+  if (args.full) {
+    sides.push_back(16000);
+    sides.push_back(24000);  // ~26k nodes: where CH clears 10x per-candidate
   }
-  core::SpatialServer server(pois);
-  core::SennOptions options;
-  options.server_request_k = 20;
-  core::SennProcessor senn(&server, options);
-  core::SnnnProcessor snnn(&graph, &locator);
+  const int queries = args.full ? 48 : 24;
+  const int cand_pairs = args.full ? 400 : 200;
+  const int poi_count = 40;  // sparse: IER pulls reach far on big networks
+  const int k = 4;
 
-  std::printf("%6s %16s %18s %20s\n", "k", "IER pulls/query", "ED!=ND rank-1 %",
-              "server pulls (warm peer)");
-  std::printf("csv,k,ier_pulls,rank1_differs_pct,server_pulls_warm\n");
-  for (int k : {1, 2, 4, 8}) {
-    double pulls = 0, server_pulls_warm = 0;
-    int rank1_differs = 0;
-    Rng trial_rng(args.seed + static_cast<uint64_t>(k));
-    for (int t = 0; t < trials; ++t) {
-      geom::Vec2 q{trial_rng.Uniform(400, 3600), trial_rng.Uniform(400, 3600)};
-      // A warm colocated peer (e.g., the host's own recent cache).
-      core::CachedResult peer;
-      peer.query_location = {q.x + trial_rng.Uniform(-60, 60),
-                             q.y + trial_rng.Uniform(-60, 60)};
-      peer.neighbors = server.QueryKnn(peer.query_location, 20).neighbors;
-      CountingSource source(&senn, q, {&peer});
-      std::vector<core::NetworkRankedPoi> by_road = snnn.Execute(q, k, &source);
-      pulls += source.pulls();
-      server_pulls_warm += source.server_pulls();
-      core::ServerReply by_air = server.QueryKnn(q, 1);
-      if (!by_road.empty() && !by_air.neighbors.empty() &&
-          by_road[0].id != by_air.neighbors[0].id) {
-        ++rank1_differs;
+  std::vector<SizePoint> points;
+  bool identical = true;
+
+  std::printf("%8s %7s %7s %10s %10s %12s %12s %12s %14s\n", "side_m", "nodes",
+              "edges", "shortcuts", "build_ms", "dij_ms/q", "ch_ms/q",
+              "bucket_ms/q", "cand_speedup");
+  std::printf(
+      "csv,side_m,nodes,edges,shortcuts,build_ms,dij_ms_per_q,ch_ms_per_q,"
+      "bucket_ms_per_q,dij_settled,ch_settled,bucket_settled,cand_speedup\n");
+
+  for (double side : sides) {
+    SizePoint pt;
+    pt.side_m = side;
+    Rng rng(args.seed);
+    roadnet::RoadNetworkConfig road;
+    road.area_side_m = side;
+    road.block_spacing_m = 150;
+    roadnet::Graph graph = roadnet::GenerateRoadNetwork(road, &rng);
+    pt.nodes = graph.node_count();
+    pt.edges = graph.edge_count();
+    roadnet::EdgeLocator locator(&graph, 150.0);
+
+    std::vector<core::Poi> pois;
+    Rng poi_rng(args.seed + 1);
+    for (int i = 0; i < poi_count; ++i) {
+      geom::Vec2 raw{poi_rng.Uniform(0, side), poi_rng.Uniform(0, side)};
+      pois.push_back({i, graph.PositionOf(locator.Nearest(raw))});
+    }
+    core::SpatialServer server(pois);
+
+    auto t0 = std::chrono::steady_clock::now();
+    roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(graph);
+    pt.ch_build_ms = MsSince(t0);
+    pt.shortcuts = hier.stats().shortcuts;
+
+    std::vector<geom::Vec2> query_points;
+    Rng q_rng(args.seed + 2);
+    for (int i = 0; i < queries; ++i) {
+      query_points.push_back({q_rng.Uniform(0, side), q_rng.Uniform(0, side)});
+    }
+
+    // End-to-end SNNN under each backend, identical query list.
+    roadnet::ch::Query ch_point(&hier);
+    roadnet::ch::BucketOracle ch_bucket(&hier);
+    roadnet::DistanceOracle* oracles[3] = {nullptr, &ch_point, &ch_bucket};
+    const char* labels[3] = {"dijkstra", "ch", "ch_bucket"};
+    for (int o = 0; o < 3; ++o) {
+      pt.runs[o].label = labels[o];
+      core::SnnnProcessor snnn(&graph, &locator, {}, oracles[o]);
+      uint64_t settled_before =
+          oracles[o] != nullptr ? oracles[o]->settled_nodes() : 0;
+      t0 = std::chrono::steady_clock::now();
+      for (geom::Vec2 q : query_points) {
+        core::ServerNnSource source(&server, q);
+        pt.runs[o].results.push_back(snnn.Execute(q, k, &source));
+      }
+      pt.runs[o].total_ms = MsSince(t0);
+      pt.runs[o].settled =
+          oracles[o] != nullptr ? oracles[o]->settled_nodes() - settled_before : 0;
+    }
+    for (int o = 1; o < 3; ++o) {
+      for (int qi = 0; qi < queries; ++qi) {
+        const auto& base = pt.runs[0].results[static_cast<size_t>(qi)];
+        const auto& got = pt.runs[o].results[static_cast<size_t>(qi)];
+        if (base.size() != got.size()) identical = false;
+        for (size_t r = 0; identical && r < base.size(); ++r) {
+          if (base[r].id != got[r].id || base[r].network != got[r].network) {
+            identical = false;
+          }
+        }
+        if (!identical) {
+          std::fprintf(stderr, "DIVERGENCE: side=%.0f oracle=%s query=%d\n", side,
+                       labels[o], qi);
+          return 1;
+        }
       }
     }
-    std::printf("%6d %16.2f %18.1f %20.2f\n", k, pulls / trials,
-                100.0 * rank1_differs / trials, server_pulls_warm / trials);
-    std::printf("csv,%d,%.3f,%.2f,%.3f\n", k, pulls / trials,
-                100.0 * rank1_differs / trials, server_pulls_warm / trials);
+
+    // Per-candidate microbench: what one IER candidate costs under a fresh
+    // full Dijkstra versus one CH bidirectional search.
+    std::vector<roadnet::EdgePoint> srcs, dsts;
+    Rng pair_rng(args.seed + 3);
+    for (int i = 0; i < cand_pairs; ++i) {
+      srcs.push_back(locator.Nearest(
+          {pair_rng.Uniform(0, side), pair_rng.Uniform(0, side)}));
+      dsts.push_back(locator.Nearest(
+          {pair_rng.Uniform(0, side), pair_rng.Uniform(0, side)}));
+    }
+    double dij_sum = 0.0, ch_sum = 0.0;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < cand_pairs; ++i) {
+      roadnet::NetworkDistanceOracle oracle(&graph, srcs[static_cast<size_t>(i)]);
+      dij_sum += oracle.DistanceTo(dsts[static_cast<size_t>(i)]);
+    }
+    pt.cand_dijkstra_ms = MsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < cand_pairs; ++i) {
+      ch_point.SetSource(srcs[static_cast<size_t>(i)]);
+      ch_sum += ch_point.DistanceTo(dsts[static_cast<size_t>(i)]);
+    }
+    pt.cand_ch_ms = MsSince(t0);
+    if (dij_sum != ch_sum) {  // bitwise-equal sums: same answers, guaranteed
+      std::fprintf(stderr, "DIVERGENCE: per-candidate sums differ at side=%.0f\n",
+                   side);
+      return 1;
+    }
+    pt.cand_speedup =
+        pt.cand_ch_ms > 0.0 ? pt.cand_dijkstra_ms / pt.cand_ch_ms : 0.0;
+
+    std::printf("%8.0f %7zu %7zu %10llu %10.1f %12.3f %12.3f %12.3f %13.1fx\n",
+                side, pt.nodes, pt.edges,
+                static_cast<unsigned long long>(pt.shortcuts), pt.ch_build_ms,
+                pt.runs[0].total_ms / queries, pt.runs[1].total_ms / queries,
+                pt.runs[2].total_ms / queries, pt.cand_speedup);
+    std::printf("csv,%.0f,%zu,%zu,%llu,%.2f,%.4f,%.4f,%.4f,%llu,%llu,%llu,%.2f\n",
+                side, pt.nodes, pt.edges,
+                static_cast<unsigned long long>(pt.shortcuts), pt.ch_build_ms,
+                pt.runs[0].total_ms / queries, pt.runs[1].total_ms / queries,
+                pt.runs[2].total_ms / queries,
+                static_cast<unsigned long long>(pt.runs[0].settled),
+                static_cast<unsigned long long>(pt.runs[1].settled),
+                static_cast<unsigned long long>(pt.runs[2].settled),
+                pt.cand_speedup);
+    points.push_back(std::move(pt));
   }
-  return 0;
+
+  const SizePoint& largest = points.back();
+  bool ch_wins = largest.cand_ch_ms < largest.cand_dijkstra_ms;
+  std::printf("\nper-candidate CH speedup at the largest network (%.0f m, %zu "
+              "nodes): %.1fx — %s\n",
+              largest.side_m, largest.nodes, largest.cand_speedup,
+              ch_wins ? "CH wins" : "CH LOSES");
+
+  const char* json_path = "BENCH_snnn.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"seed\":%llu,\"mode\":\"%s\",\"pois\":%d,\"queries\":%d,\"k\":%d,"
+               "\"identical_results\":%s,\"ch_wins_at_largest\":%s,\"sweep\":[",
+               static_cast<unsigned long long>(args.seed),
+               args.full ? "full" : "quick", poi_count, queries, k,
+               identical ? "true" : "false", ch_wins ? "true" : "false");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& p = points[i];
+    std::fprintf(
+        f,
+        "%s{\"side_m\":%.0f,\"nodes\":%zu,\"edges\":%zu,\"shortcuts\":%llu,"
+        "\"ch_build_ms\":%.3f,\"snnn_ms_per_query\":{\"dijkstra\":%.4f,"
+        "\"ch\":%.4f,\"ch_bucket\":%.4f},\"settled\":{\"ch\":%llu,"
+        "\"ch_bucket\":%llu},\"per_candidate\":{\"dijkstra_ms\":%.3f,"
+        "\"ch_ms\":%.3f,\"speedup\":%.2f}}",
+        i > 0 ? "," : "", p.side_m, p.nodes, p.edges,
+        static_cast<unsigned long long>(p.shortcuts), p.ch_build_ms,
+        p.runs[0].total_ms / queries, p.runs[1].total_ms / queries,
+        p.runs[2].total_ms / queries,
+        static_cast<unsigned long long>(p.runs[1].settled),
+        static_cast<unsigned long long>(p.runs[2].settled), p.cand_dijkstra_ms,
+        p.cand_ch_ms, p.cand_speedup);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("json: %s\n", json_path);
+  return ch_wins ? 0 : 1;
 }

@@ -23,8 +23,9 @@ std::vector<RankedPoi> ServerNnSource::TopK(int m) {
 }
 
 SnnnProcessor::SnnnProcessor(const roadnet::Graph* graph,
-                             const roadnet::EdgeLocator* locator, SnnnOptions options)
-    : graph_(graph), locator_(locator), options_(options) {}
+                             const roadnet::EdgeLocator* locator, SnnnOptions options,
+                             roadnet::DistanceOracle* oracle)
+    : graph_(graph), locator_(locator), options_(options), oracle_(oracle) {}
 
 std::vector<NetworkRankedPoi> SnnnProcessor::Execute(geom::Vec2 q, int k,
                                                      EuclideanNnSource* source) const {
@@ -33,10 +34,14 @@ std::vector<NetworkRankedPoi> SnnnProcessor::Execute(geom::Vec2 q, int k,
 
   roadnet::EdgePoint q_on_net = locator_->Nearest(q);
   if (!q_on_net.IsValid()) return result;  // no road network: no answer
-  roadnet::NetworkDistanceOracle oracle(graph_, q_on_net);
+  // Default backend: a fresh incremental Dijkstra per query, exactly the
+  // historical inline NetworkDistanceOracle (byte-identical goldens).
+  roadnet::DijkstraOracle fallback(graph_);
+  roadnet::DistanceOracle* oracle = oracle_ != nullptr ? oracle_ : &fallback;
+  oracle->SetSource(q_on_net);
 
   auto network_distance = [&](geom::Vec2 p) {
-    return oracle.DistanceTo(locator_->Nearest(p));
+    return oracle->DistanceTo(locator_->Nearest(p));
   };
   // Network distances rank through the same (distance, id) order as the
   // Euclidean paths: two POIs on the same shortest-path ring would otherwise

@@ -14,6 +14,7 @@
 
 #include "src/core/senn.h"
 #include "src/core/types.h"
+#include "src/roadnet/distance_oracle.h"
 #include "src/roadnet/graph.h"
 #include "src/roadnet/locate.h"
 #include "src/roadnet/shortest_path.h"
@@ -76,10 +77,19 @@ struct SnnnOptions {
 /// Executes network-distance kNN queries over a road modeling graph. Each
 /// mobile host retains the graph locally (Section 3.4), so the processor
 /// borrows the graph and a prebuilt edge locator.
+///
+/// The network-distance backend is pluggable: pass a `roadnet::DistanceOracle`
+/// (e.g. ch::BucketOracle over a prebuilt hierarchy) to replace the default
+/// per-query Dijkstra. A null oracle means a fresh DijkstraOracle per
+/// Execute — byte-identical to the historical behavior, so golden outputs
+/// are unchanged. A non-null oracle is borrowed (not owned) and retargeted
+/// via SetSource on every Execute; tests/core/snnn_oracle_test.cpp proves
+/// the dijkstra and ch backends return identical result sets.
 class SnnnProcessor {
  public:
   SnnnProcessor(const roadnet::Graph* graph, const roadnet::EdgeLocator* locator,
-                SnnnOptions options = {});
+                SnnnOptions options = {},
+                roadnet::DistanceOracle* oracle = nullptr);
 
   /// Runs Algorithm 2 for query point q: the k POIs nearest to q by network
   /// distance, ascending. POIs unreachable on the network sort last (their
@@ -91,6 +101,7 @@ class SnnnProcessor {
   const roadnet::Graph* graph_;
   const roadnet::EdgeLocator* locator_;
   SnnnOptions options_;
+  roadnet::DistanceOracle* oracle_;
 };
 
 }  // namespace senn::core

@@ -20,6 +20,10 @@ const char* PhaseName(Phase phase) {
       return "buffer_fetch";
     case Phase::kServerBatchEinn:
       return "server_batch_einn";
+    case Phase::kChBuild:
+      return "ch_build";
+    case Phase::kChQuery:
+      return "ch_query";
   }
   return "unknown";
 }

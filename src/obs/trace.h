@@ -39,8 +39,10 @@ enum class Phase {
   kNetExchange = 5,   // wireless broadcast/collect/retry exchange
   kBufferFetch = 6,   // storage-engine page fetches under the EINN run
   kServerBatchEinn = 7,  // shared EINN traversal answering a query cluster
+  kChBuild = 8,          // contraction-hierarchy preprocessing
+  kChQuery = 9,          // one CH upward-search distance query
 };
-inline constexpr int kPhaseCount = 8;
+inline constexpr int kPhaseCount = 10;
 
 /// Stable span name ("peer_harvest", "verify_single", ...).
 const char* PhaseName(Phase phase);

@@ -1,0 +1,591 @@
+#include "src/roadnet/ch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace senn::roadnet::ch {
+
+namespace {
+
+using HeapItem = std::pair<double, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>;
+
+// Min-heap over a caller-owned vector, so queries reuse capacity across
+// calls instead of re-allocating two priority_queues per Run.
+struct ScratchHeap {
+  explicit ScratchHeap(std::vector<HeapItem>* v) : v_(v) { v_->clear(); }
+  bool empty() const { return v_->empty(); }
+  const HeapItem& top() const { return v_->front(); }
+  void push(HeapItem x) {
+    v_->push_back(x);
+    std::push_heap(v_->begin(), v_->end(), std::greater<HeapItem>());
+  }
+  void pop() {
+    std::pop_heap(v_->begin(), v_->end(), std::greater<HeapItem>());
+    v_->pop_back();
+  }
+  std::vector<HeapItem>* v_;
+};
+
+// Search keys fold shortcut weights in the pairwise order the shortcuts
+// were built, while the Dijkstra baseline folds original edges strictly
+// left-to-right — on the same path the two can differ by accumulated
+// rounding (a few ulps per edge). When two distinct paths tie in real
+// arithmetic (the even-ring antipode is the canonical case) the internal
+// argmin may therefore pick the path whose left-to-right fold is one ulp
+// above the one Dijkstra kept. The cure: treat internal sums as
+// approximate. Every meeting within this relative slack of the best sum is
+// folded, and the minimum *fold* is the answer. Extra candidates are
+// harmless — each fold is a real path's fold, so none can undercut the
+// Dijkstra minimum — and the slack comfortably dominates the worst-case
+// rounding gap (~path_length * 2^-52) for any graph this engine serves.
+constexpr double kNearTieSlack = 1e-11;
+
+double AdmitBound(double best_sum) { return best_sum + best_sum * kNearTieSlack; }
+
+// Stall-on-demand, slack-guarded: a settled node whose key a higher-ranked
+// neighbor beats by MORE than the near-tie slack lies on no shortest — or
+// near-tied — upward path, so expanding it cannot contribute a fold
+// candidate. The slack guard keeps the exactness argument intact: every
+// path pruned here is worse by more than the worst-case rounding gap. On
+// hierarchy-poor graphs (uniform grids) this prunes most of the cone.
+bool Stalled(const Hierarchy& h, const detail::SearchSide& side, NodeId v,
+             double key) {
+  const double stall_bound = key - key * kNearTieSlack;
+  const int32_t end = h.up_head()[static_cast<size_t>(v) + 1];
+  for (int32_t i = h.up_head()[static_cast<size_t>(v)]; i < end; ++i) {
+    NodeId to = h.up_to()[static_cast<size_t>(i)];
+    if (side.Reached(to) &&
+        side.KeyOf(to) + h.up_weight()[static_cast<size_t>(i)] < stall_bound) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// One relaxation pass over v's upward CSR row.
+void RelaxUpward(const Hierarchy& h, detail::SearchSide& side, ScratchHeap& q,
+                 NodeId v, double key) {
+  const int32_t end = h.up_head()[static_cast<size_t>(v) + 1];
+  for (int32_t i = h.up_head()[static_cast<size_t>(v)]; i < end; ++i) {
+    NodeId to = h.up_to()[static_cast<size_t>(i)];
+    double nk = key + h.up_weight()[static_cast<size_t>(i)];
+    if (!side.Reached(to) || nk < side.KeyOf(to)) {
+      side.Label(to, nk, h.up_edge()[static_cast<size_t>(i)]);
+      q.push({nk, to});
+    }
+  }
+}
+
+// Reconstructs the winning source→meeting→target path, unpacks every
+// shortcut to original edges, and re-folds left-to-right starting from the
+// source-side seed offset and ending with the target-side seed offset —
+// the exact accumulation order NetworkDistanceOracle's relaxations use, so
+// the result is bitwise-comparable to the Dijkstra baseline.
+double FoldMeeting(const Hierarchy& h, const detail::SearchSide& fwd,
+                   const detail::SearchSide& bwd, NodeId m,
+                   std::vector<int32_t>* chain, std::vector<double>* weights,
+                   std::vector<std::pair<int32_t, NodeId>>* work) {
+  chain->clear();
+  NodeId v = m;
+  while (fwd.ParentOf(v) != -1) {
+    int32_t ei = fwd.ParentOf(v);
+    chain->push_back(ei);
+    const OverlayEdge& oe = h.edges()[static_cast<size_t>(ei)];
+    v = (oe.a == v) ? oe.b : oe.a;
+  }
+  const NodeId fwd_root = v;
+  weights->clear();
+  NodeId cur = fwd_root;
+  for (size_t i = chain->size(); i-- > 0;) {
+    int32_t ei = (*chain)[i];
+    h.AppendUnpackedWeights(ei, cur, weights, work);
+    const OverlayEdge& oe = h.edges()[static_cast<size_t>(ei)];
+    cur = (oe.a == cur) ? oe.b : oe.a;
+  }
+  v = m;
+  while (bwd.ParentOf(v) != -1) {
+    int32_t ei = bwd.ParentOf(v);
+    h.AppendUnpackedWeights(ei, v, weights, work);
+    const OverlayEdge& oe = h.edges()[static_cast<size_t>(ei)];
+    v = (oe.a == v) ? oe.b : oe.a;
+  }
+  double acc = fwd.KeyOf(fwd_root);
+  for (double w : *weights) acc += w;
+  return acc + bwd.KeyOf(v);
+}
+
+}  // namespace
+
+namespace detail {
+
+void SearchSide::Init(size_t n) {
+  if (key.size() < n) {
+    key.resize(n);
+    parent.resize(n);
+    stamp.resize(n, 0);
+  }
+}
+
+void SearchSide::Begin() {
+  ++epoch;
+  if (epoch == 0) {  // wrapped: reset stamps
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    epoch = 1;
+  }
+}
+
+}  // namespace detail
+
+Hierarchy Hierarchy::Build(const Graph& graph, const BuildOptions& options,
+                           obs::MetricsRegistry* metrics, obs::QueryTracer* tracer) {
+  obs::ScopedSpan span(tracer, obs::Phase::kChBuild);
+  Hierarchy h;
+  h.graph_ = &graph;
+  const size_t n = graph.node_count();
+  h.rank_.assign(n, -1);
+  h.up_adj_.assign(n, {});
+
+  // Overlay seed: one edge per node pair, parallels collapsed to the
+  // minimum length (ties keep the lowest edge id; Dijkstra never relaxes a
+  // longer parallel edge, so distances are unaffected).
+  struct SeedEdge {
+    NodeId a;
+    NodeId b;
+    double length;
+    EdgeId id;
+  };
+  std::vector<SeedEdge> seeds;
+  seeds.reserve(graph.edge_count());
+  for (size_t i = 0; i < graph.edge_count(); ++i) {
+    const Edge& e = graph.edge(static_cast<EdgeId>(i));
+    seeds.push_back({std::min(e.a, e.b), std::max(e.a, e.b), e.length,
+                     static_cast<EdgeId>(i)});
+  }
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const SeedEdge& x, const SeedEdge& y) {
+                     if (x.a != y.a) return x.a < y.a;
+                     if (x.b != y.b) return x.b < y.b;
+                     if (x.length < y.length) return true;
+                     if (y.length < x.length) return false;
+                     return x.id < y.id;
+                   });
+  std::vector<std::vector<int32_t>> adj(n);
+  for (const SeedEdge& s : seeds) {
+    if (!h.edges_.empty()) {
+      const OverlayEdge& last = h.edges_.back();
+      if (last.a == s.a && last.b == s.b) continue;  // parallel duplicate
+    }
+    int32_t idx = static_cast<int32_t>(h.edges_.size());
+    h.edges_.push_back({s.a, s.b, s.length, kInvalidNode, -1, -1});
+    adj[static_cast<size_t>(s.a)].push_back(idx);
+    adj[static_cast<size_t>(s.b)].push_back(idx);
+  }
+  h.stats_.input_edges = h.edges_.size();
+
+  std::vector<bool> contracted(n, false);
+  std::vector<int32_t> deleted_neighbors(n, 0);
+  std::vector<int32_t> depth(n, 0);
+  std::vector<double> wkey(n, 0.0);
+  std::vector<uint32_t> wstamp(n, 0);
+  uint32_t wepoch = 0;
+  const int settle_limit = std::max(1, options.witness_settle_limit);
+
+  // Bounded Dijkstra from u over live nodes, avoiding `excluded`. Returns
+  // the best-known weight of a u..w path. When the budget runs out this is
+  // only an upper bound — still a safe witness, because it is the weight of
+  // a real path; and when no path is known it returns kUnreachable, which
+  // merely adds a redundant shortcut. Exactness never depends on the budget.
+  auto witness = [&](NodeId u, NodeId w, NodeId excluded, double bound) -> double {
+    ++wepoch;
+    if (wepoch == 0) {
+      std::fill(wstamp.begin(), wstamp.end(), 0u);
+      wepoch = 1;
+    }
+    MinHeap q;
+    wstamp[static_cast<size_t>(u)] = wepoch;
+    wkey[static_cast<size_t>(u)] = 0.0;
+    q.push({0.0, u});
+    int budget = settle_limit;
+    while (!q.empty()) {
+      HeapItem top = q.top();
+      q.pop();
+      NodeId v = top.second;
+      if (top.first > wkey[static_cast<size_t>(v)]) continue;  // stale entry
+      if (top.first > bound) break;  // cannot beat the shortcut any more
+      ++h.stats_.witness_settled;
+      if (v == w) break;  // settled the far end: wkey[w] is final
+      if (--budget < 0) break;
+      for (int32_t ei : adj[static_cast<size_t>(v)]) {
+        const OverlayEdge& oe = h.edges_[static_cast<size_t>(ei)];
+        NodeId to = (oe.a == v) ? oe.b : oe.a;
+        if (to == excluded || contracted[static_cast<size_t>(to)]) continue;
+        double nk = top.first + oe.weight;
+        if (wstamp[static_cast<size_t>(to)] != wepoch ||
+            nk < wkey[static_cast<size_t>(to)]) {
+          wstamp[static_cast<size_t>(to)] = wepoch;
+          wkey[static_cast<size_t>(to)] = nk;
+          q.push({nk, to});
+        }
+      }
+    }
+    return (wstamp[static_cast<size_t>(w)] == wepoch)
+               ? wkey[static_cast<size_t>(w)]
+               : kUnreachable;
+  };
+
+  // Adds (or improves) the live edge u—w, u < w. Ties keep the incumbent:
+  // deterministic, and the weight is identical anyway.
+  auto add_shortcut = [&](NodeId u, NodeId w, double weight, NodeId via,
+                          int32_t child_uv, int32_t child_vw) {
+    for (int32_t ei : adj[static_cast<size_t>(u)]) {
+      OverlayEdge& oe = h.edges_[static_cast<size_t>(ei)];
+      NodeId to = (oe.a == u) ? oe.b : oe.a;
+      if (to != w) continue;
+      if (weight < oe.weight) {
+        oe = {u, w, weight, via, child_uv, child_vw};
+      }
+      return;
+    }
+    int32_t idx = static_cast<int32_t>(h.edges_.size());
+    h.edges_.push_back({u, w, weight, via, child_uv, child_vw});
+    adj[static_cast<size_t>(u)].push_back(idx);
+    adj[static_cast<size_t>(w)].push_back(idx);
+  };
+
+  // Simulates (apply=false) or performs (apply=true) the contraction of v,
+  // returning the edge-difference priority: shortcuts needed minus live
+  // degree, plus the contracted-neighbors term that spreads contraction
+  // evenly across the graph.
+  std::vector<std::pair<NodeId, int32_t>> nb;
+  auto contraction = [&](NodeId v, bool apply) -> int64_t {
+    nb.clear();
+    for (int32_t ei : adj[static_cast<size_t>(v)]) {
+      const OverlayEdge& oe = h.edges_[static_cast<size_t>(ei)];
+      NodeId to = (oe.a == v) ? oe.b : oe.a;
+      if (contracted[static_cast<size_t>(to)]) continue;
+      nb.push_back({to, ei});
+    }
+    std::sort(nb.begin(), nb.end());
+    int64_t added = 0;
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        double via_weight = h.edges_[static_cast<size_t>(nb[i].second)].weight +
+                            h.edges_[static_cast<size_t>(nb[j].second)].weight;
+        double alt = witness(nb[i].first, nb[j].first, v, via_weight);
+        if (alt <= via_weight) continue;  // a no-worse path survives v
+        ++added;
+        if (apply) {
+          add_shortcut(nb[i].first, nb[j].first, via_weight, v, nb[i].second,
+                       nb[j].second);
+        }
+      }
+    }
+    if (apply) {
+      contracted[static_cast<size_t>(v)] = true;
+      for (const auto& [to, ei] : nb) {
+        (void)ei;
+        ++deleted_neighbors[static_cast<size_t>(to)];
+        depth[static_cast<size_t>(to)] =
+            std::max(depth[static_cast<size_t>(to)],
+                     depth[static_cast<size_t>(v)] + 1);
+      }
+    }
+    // Edge difference dominates; the deleted-neighbors and depth terms
+    // spread contraction evenly and cap nesting (hierarchy-poor grids are
+    // where the depth term pays: it keeps upward cones shallow).
+    return 4 * (added - static_cast<int64_t>(nb.size())) +
+           deleted_neighbors[static_cast<size_t>(v)] +
+           depth[static_cast<size_t>(v)];
+  };
+
+  // Deterministic ordering: a min-heap of (priority, node_id) with lazy
+  // re-evaluation. A popped node whose recomputed priority no longer wins
+  // is pushed back; a node popped at its true priority is necessarily the
+  // minimum (it was the heap top), so every such pop contracts and the
+  // loop terminates.
+  using OrderItem = std::pair<int64_t, NodeId>;
+  std::priority_queue<OrderItem, std::vector<OrderItem>, std::greater<OrderItem>>
+      order;
+  for (size_t v = 0; v < n; ++v) {
+    NodeId node = static_cast<NodeId>(v);
+    order.push({contraction(node, false), node});
+  }
+  int32_t next_rank = 0;
+  while (!order.empty()) {
+    OrderItem top = order.top();
+    order.pop();
+    NodeId v = top.second;
+    if (contracted[static_cast<size_t>(v)]) continue;
+    int64_t current = contraction(v, false);
+    if (!order.empty() && OrderItem{current, v} > order.top()) {
+      order.push({current, v});
+      continue;
+    }
+    contraction(v, true);
+    h.rank_[static_cast<size_t>(v)] = next_rank++;
+  }
+
+  for (size_t ei = 0; ei < h.edges_.size(); ++ei) {
+    const OverlayEdge& oe = h.edges_[ei];
+    NodeId lo = (h.rank_[static_cast<size_t>(oe.a)] < h.rank_[static_cast<size_t>(oe.b)])
+                    ? oe.a
+                    : oe.b;
+    h.up_adj_[static_cast<size_t>(lo)].push_back(static_cast<int32_t>(ei));
+    if (oe.middle != kInvalidNode) ++h.stats_.shortcuts;
+  }
+  // Flatten into the CSR mirror the query hot loops scan.
+  h.up_head_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    h.up_head_[v + 1] = h.up_head_[v] + static_cast<int32_t>(h.up_adj_[v].size());
+  }
+  h.up_to_.reserve(h.edges_.size());
+  h.up_weight_.reserve(h.edges_.size());
+  h.up_edge_.reserve(h.edges_.size());
+  for (size_t v = 0; v < n; ++v) {
+    for (int32_t ei : h.up_adj_[v]) {
+      const OverlayEdge& oe = h.edges_[static_cast<size_t>(ei)];
+      h.up_to_.push_back(oe.a == static_cast<NodeId>(v) ? oe.b : oe.a);
+      h.up_weight_.push_back(oe.weight);
+      h.up_edge_.push_back(ei);
+    }
+  }
+
+  if (metrics) {
+    metrics->Inc("ch/builds");
+    metrics->Inc("ch/build_input_edges", h.stats_.input_edges);
+    metrics->Inc("ch/build_shortcuts", h.stats_.shortcuts);
+    metrics->Inc("ch/build_witness_settled", h.stats_.witness_settled);
+  }
+  span.AddArg("input_edges", h.stats_.input_edges);
+  span.AddArg("shortcuts", h.stats_.shortcuts);
+  span.AddArg("witness_settled", h.stats_.witness_settled);
+  return h;
+}
+
+void Hierarchy::AppendUnpackedWeights(int32_t e, NodeId from,
+                                      std::vector<double>* out) const {
+  std::vector<std::pair<int32_t, NodeId>> work;
+  AppendUnpackedWeights(e, from, out, &work);
+}
+
+void Hierarchy::AppendUnpackedWeights(
+    int32_t e, NodeId from, std::vector<double>* out,
+    std::vector<std::pair<int32_t, NodeId>>* work) const {
+  work->clear();
+  work->push_back({e, from});
+  while (!work->empty()) {
+    auto [edge, via] = work->back();
+    work->pop_back();
+    const OverlayEdge& oe = edges_[static_cast<size_t>(edge)];
+    if (oe.middle == kInvalidNode) {
+      out->push_back(oe.weight);
+      continue;
+    }
+    if (via == oe.a) {
+      work->push_back({oe.child_b, oe.middle});  // traversed second
+      work->push_back({oe.child_a, oe.a});       // traversed first
+    } else {
+      work->push_back({oe.child_a, oe.middle});
+      work->push_back({oe.child_b, oe.b});
+    }
+  }
+}
+
+Query::Query(const Hierarchy* hierarchy, obs::MetricsRegistry* metrics)
+    : hier_(hierarchy), metrics_(metrics) {}
+
+double Query::Run(NodeId sa, double ka, NodeId sb, double kb, NodeId ta,
+                  double kta, NodeId tb, double ktb, double direct) {
+  const size_t n = hier_->node_count();
+  fwd_.Init(n);
+  bwd_.Init(n);
+  fwd_.Begin();
+  bwd_.Begin();
+  ScratchHeap fq(&fheap_);
+  ScratchHeap bq(&bheap_);
+  auto seed = [](detail::SearchSide& side, ScratchHeap& q, NodeId v, double k) {
+    if (v == kInvalidNode) return;
+    if (!side.Reached(v) || k < side.KeyOf(v)) {
+      side.Label(v, k, -1);
+      q.push({k, v});
+    }
+  };
+  seed(fwd_, fq, sa, ka);
+  seed(fwd_, fq, sb, kb);
+  seed(bwd_, bq, ta, kta);
+  seed(bwd_, bq, tb, ktb);
+
+  double best_sum = kUnreachable;
+  meets_.clear();
+  auto expand = [&](detail::SearchSide& side, ScratchHeap& q,
+                    const detail::SearchSide& other) {
+    HeapItem top = q.top();
+    q.pop();
+    NodeId v = top.second;
+    if (top.first > side.KeyOf(v)) return;  // stale entry
+    ++settled_;
+    // A node stalled by more than the slack lies on no near-tie-optimal
+    // path, so it cannot be the winning meeting either.
+    if (Stalled(*hier_, side, v, top.first)) return;
+    if (other.Reached(v)) {
+      double sum = top.first + other.KeyOf(v);
+      if (sum < best_sum) best_sum = sum;
+      // best_sum only decreases, so a candidate already outside the admit
+      // window can never re-enter it — skip recording it.
+      if (sum <= AdmitBound(best_sum)) meets_.push_back({sum, v});
+    }
+    RelaxUpward(*hier_, side, q, v, top.first);
+  };
+  while (true) {
+    // A direction is exhausted when its minimum key can no longer beat (or
+    // near-tie) the best meeting; upward keys only grow along relaxations.
+    // The slack keeps every near-tied meeting settled on both sides, so
+    // its final sum is recorded before the loop stops.
+    bool fa = !fq.empty() && fq.top().first < AdmitBound(best_sum);
+    bool ba = !bq.empty() && bq.top().first < AdmitBound(best_sum);
+    if (!fa && !ba) break;
+    if (fa && (!ba || !(bq.top() < fq.top()))) {
+      expand(fwd_, fq, bwd_);
+    } else {
+      expand(bwd_, bq, fwd_);
+    }
+  }
+  double result = direct;
+  const double admit = AdmitBound(best_sum);
+  for (const auto& [sum, m] : meets_) {
+    if (sum > admit) continue;
+    double folded = FoldMeeting(*hier_, fwd_, bwd_, m, &chain_scratch_,
+                                &weights_scratch_, &unpack_scratch_);
+    if (folded < result) result = folded;
+  }
+  return result;
+}
+
+double Query::NodeToNode(NodeId s, NodeId t) {
+  const size_t n = hier_->node_count();
+  if (s < 0 || t < 0 || static_cast<size_t>(s) >= n || static_cast<size_t>(t) >= n) {
+    return kUnreachable;
+  }
+  return Run(s, 0.0, kInvalidNode, 0.0, t, 0.0, kInvalidNode, 0.0, kUnreachable);
+}
+
+double Query::DistanceTo(EdgePoint target) {
+  if (!source_.IsValid() || !target.IsValid()) return kUnreachable;
+  obs::ScopedSpan span(tracer_, obs::Phase::kChQuery);
+  uint64_t before = settled_;
+  const Graph& g = *hier_->graph();
+  const Edge& se = g.edge(source_.edge);
+  const Edge& te = g.edge(target.edge);
+  double direct = kUnreachable;
+  if (target.edge == source_.edge) {
+    direct = std::abs(target.offset - source_.offset);
+  }
+  double result = Run(se.a, source_.offset, se.b, se.length - source_.offset,
+                      te.a, target.offset, te.b, te.length - target.offset, direct);
+  if (metrics_) {
+    metrics_->Inc("ch/point_queries");
+    metrics_->Inc("ch/query_settled", settled_ - before);
+  }
+  span.AddArg("settled", settled_ - before);
+  return result;
+}
+
+BucketOracle::BucketOracle(const Hierarchy* hierarchy, obs::MetricsRegistry* metrics)
+    : hier_(hierarchy), metrics_(metrics) {}
+
+void BucketOracle::SetSource(EdgePoint source) {
+  source_ = source;
+  has_source_ = source.IsValid();
+  if (!has_source_) return;
+  const size_t n = hier_->node_count();
+  fwd_.Init(n);
+  fwd_.Begin();
+  uint64_t before = settled_;
+  const Edge& se = hier_->graph()->edge(source.edge);
+  ScratchHeap q(&heap_);
+  fwd_.Label(se.a, source.offset, -1);
+  q.push({source.offset, se.a});
+  double to_b = se.length - source.offset;
+  if (!fwd_.Reached(se.b) || to_b < fwd_.KeyOf(se.b)) {
+    fwd_.Label(se.b, to_b, -1);
+    q.push({to_b, se.b});
+  }
+  // Exhaustive upward sweep: the cached cone answers every later target.
+  while (!q.empty()) {
+    HeapItem top = q.top();
+    q.pop();
+    NodeId v = top.second;
+    if (top.first > fwd_.KeyOf(v)) continue;  // stale entry
+    ++settled_;
+    if (Stalled(*hier_, fwd_, v, top.first)) continue;
+    RelaxUpward(*hier_, fwd_, q, v, top.first);
+  }
+  if (metrics_) {
+    metrics_->Inc("ch/source_sweeps");
+    metrics_->Inc("ch/source_sweep_settled", settled_ - before);
+  }
+}
+
+double BucketOracle::DistanceTo(EdgePoint target) {
+  if (!has_source_ || !target.IsValid()) return kUnreachable;
+  obs::ScopedSpan span(tracer_, obs::Phase::kChQuery);
+  uint64_t before = settled_;
+  const Graph& g = *hier_->graph();
+  const Edge& te = g.edge(target.edge);
+  double direct = kUnreachable;
+  if (target.edge == source_.edge) {
+    direct = std::abs(target.offset - source_.offset);
+  }
+  const size_t n = hier_->node_count();
+  bwd_.Init(n);
+  bwd_.Begin();
+  ScratchHeap q(&heap_);
+  bwd_.Label(te.a, target.offset, -1);
+  q.push({target.offset, te.a});
+  double to_b = te.length - target.offset;
+  if (!bwd_.Reached(te.b) || to_b < bwd_.KeyOf(te.b)) {
+    bwd_.Label(te.b, to_b, -1);
+    q.push({to_b, te.b});
+  }
+  double best_sum = kUnreachable;
+  meets_.clear();
+  // The forward cone is complete, so settle-time checks against its final
+  // keys cannot miss a meeting below the (slack-widened) stop bound.
+  while (!q.empty() && q.top().first < AdmitBound(best_sum)) {
+    HeapItem top = q.top();
+    q.pop();
+    NodeId v = top.second;
+    if (top.first > bwd_.KeyOf(v)) continue;  // stale entry
+    ++settled_;
+    if (Stalled(*hier_, bwd_, v, top.first)) continue;
+    if (fwd_.Reached(v)) {
+      double sum = top.first + fwd_.KeyOf(v);
+      if (sum < best_sum) best_sum = sum;
+      if (sum <= AdmitBound(best_sum)) meets_.push_back({sum, v});
+    }
+    RelaxUpward(*hier_, bwd_, q, v, top.first);
+  }
+  double result = direct;
+  const double admit = AdmitBound(best_sum);
+  for (const auto& [sum, m] : meets_) {
+    if (sum > admit) continue;
+    double folded = FoldMeeting(*hier_, fwd_, bwd_, m, &chain_scratch_,
+                                &weights_scratch_, &unpack_scratch_);
+    if (folded < result) result = folded;
+  }
+  if (metrics_) {
+    metrics_->Inc("ch/bucket_queries");
+    metrics_->Inc("ch/query_settled", settled_ - before);
+  }
+  span.AddArg("settled", settled_ - before);
+  return result;
+}
+
+}  // namespace senn::roadnet::ch

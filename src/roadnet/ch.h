@@ -1,0 +1,215 @@
+// Contraction hierarchies over the road modeling graph.
+//
+// Preprocessing contracts nodes one by one in a deterministic order (lazy
+// edge-difference heuristic, ties broken by node id per the senn_lint
+// determinism contract). Contracting v inserts a shortcut u—w for each pair
+// of live neighbors whose shortest u..w connection needs v: a bounded
+// *witness search* looks for an alternative path of weight <= w(u,v)+w(v,w)
+// avoiding v, and only when none is found is the shortcut added. Skipping a
+// shortcut therefore never loses a distance (a no-worse path stays in the
+// overlay), and adding one never creates a distance (its weight is a real
+// path's weight) — so bidirectional *upward* Dijkstra over the overlay
+// settles exactly the Dijkstra distances. Queries report distances by
+// unpacking every near-optimal meeting path back to original edges,
+// re-folding each left-to-right from the source offset (the exact
+// accumulation order NetworkDistanceOracle's relaxations use), and taking
+// the minimum fold — which reproduces Dijkstra's min-over-paths-of-folds
+// bit for bit even when two distinct paths tie in real arithmetic
+// (tests/roadnet/ch_diff_test.cpp holds the proof: bitwise equality over
+// grids, rings, degenerate graphs and generated road networks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/roadnet/distance_oracle.h"
+#include "src/roadnet/graph.h"
+
+namespace senn::obs {
+class MetricsRegistry;
+class QueryTracer;
+}  // namespace senn::obs
+
+namespace senn::roadnet::ch {
+
+/// Preprocessing knobs.
+struct BuildOptions {
+  /// Settled-node budget per witness search. Exactness does not depend on
+  /// it (an exhausted search just adds a redundant shortcut); it only trades
+  /// preprocessing time against overlay size.
+  int witness_settle_limit = 64;
+};
+
+/// Preprocessing outcome counters (also exported through obs metrics).
+struct BuildStats {
+  uint64_t input_edges = 0;      ///< overlay seed edges (parallels collapsed)
+  uint64_t shortcuts = 0;        ///< shortcut edges in the final overlay
+  uint64_t witness_settled = 0;  ///< nodes settled across all witness searches
+
+  friend bool operator==(const BuildStats&, const BuildStats&) = default;
+};
+
+/// One overlay edge: an original graph edge (middle == kInvalidNode) or a
+/// shortcut standing for child_a (a—middle) followed by child_b (middle—b).
+/// Invariant: a < b, and both children are frozen (their rows never change
+/// after `middle` was contracted), so unpacking is well-defined.
+struct OverlayEdge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double weight = 0.0;
+  NodeId middle = kInvalidNode;
+  int32_t child_a = -1;
+  int32_t child_b = -1;
+
+  friend bool operator==(const OverlayEdge&, const OverlayEdge&) = default;
+};
+
+/// The preprocessed hierarchy: contraction ranks plus the overlay graph in
+/// upward-adjacency form. Immutable after Build; shared by any number of
+/// Query / BucketOracle instances (const access only).
+class Hierarchy {
+ public:
+  /// Preprocesses `graph` (which must outlive the hierarchy). Deterministic:
+  /// two builds over the same graph produce identical ranks, edges and
+  /// stats. Emits a ch_build span via `tracer` and ch/* counters via
+  /// `metrics` when given (both may be null).
+  static Hierarchy Build(const Graph& graph, const BuildOptions& options = {},
+                         obs::MetricsRegistry* metrics = nullptr,
+                         obs::QueryTracer* tracer = nullptr);
+
+  const Graph* graph() const { return graph_; }
+  const BuildStats& stats() const { return stats_; }
+  /// rank()[v] is v's contraction position (0 = contracted first).
+  const std::vector<int32_t>& rank() const { return rank_; }
+  const std::vector<OverlayEdge>& edges() const { return edges_; }
+  /// Overlay edge indices incident to n whose other endpoint ranks higher.
+  const std::vector<int32_t>& upward(NodeId n) const {
+    return up_adj_[static_cast<size_t>(n)];
+  }
+  size_t node_count() const { return rank_.size(); }
+
+  /// Flat CSR mirror of upward(): the query hot loops scan these contiguous
+  /// arrays instead of chasing overlay-edge rows through an index.
+  /// up_head()[v]..up_head()[v+1] index up_to()/up_weight()/up_edge().
+  const std::vector<int32_t>& up_head() const { return up_head_; }
+  const std::vector<NodeId>& up_to() const { return up_to_; }
+  const std::vector<double>& up_weight() const { return up_weight_; }
+  const std::vector<int32_t>& up_edge() const { return up_edge_; }
+
+  /// Appends the original-edge weights of overlay edge `e`, traversed from
+  /// endpoint `from`, in walk order (iterative: safe for deeply nested
+  /// shortcut chains from path-like graphs). The overload with `work`
+  /// reuses the caller's stack across calls (the query fold path).
+  void AppendUnpackedWeights(int32_t e, NodeId from, std::vector<double>* out) const;
+  void AppendUnpackedWeights(int32_t e, NodeId from, std::vector<double>* out,
+                             std::vector<std::pair<int32_t, NodeId>>* work) const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  BuildStats stats_;
+  std::vector<int32_t> rank_;
+  std::vector<OverlayEdge> edges_;
+  std::vector<std::vector<int32_t>> up_adj_;
+  std::vector<int32_t> up_head_;
+  std::vector<NodeId> up_to_;
+  std::vector<double> up_weight_;
+  std::vector<int32_t> up_edge_;
+};
+
+namespace detail {
+
+/// Scratch state for one direction of an upward search: epoch-stamped
+/// tentative keys and parent overlay edges, reusable across queries without
+/// reallocation (the Router idiom).
+struct SearchSide {
+  std::vector<double> key;
+  std::vector<int32_t> parent;
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+
+  void Init(size_t n);
+  void Begin();
+  bool Reached(NodeId v) const {
+    return stamp[static_cast<size_t>(v)] == epoch;
+  }
+  double KeyOf(NodeId v) const { return key[static_cast<size_t>(v)]; }
+  int32_t ParentOf(NodeId v) const { return parent[static_cast<size_t>(v)]; }
+  void Label(NodeId v, double k, int32_t p) {
+    size_t i = static_cast<size_t>(v);
+    stamp[i] = epoch;
+    key[i] = k;
+    parent[i] = p;
+  }
+};
+
+}  // namespace detail
+
+/// Point-to-point oracle: one bidirectional upward search per DistanceTo.
+/// Exact (not approximate); see the header comment for why.
+class Query final : public DistanceOracle {
+ public:
+  explicit Query(const Hierarchy* hierarchy, obs::MetricsRegistry* metrics = nullptr);
+
+  void SetSource(EdgePoint source) override { source_ = source; }
+  double DistanceTo(EdgePoint target) override;
+  const char* name() const override { return "ch"; }
+  uint64_t settled_nodes() const override { return settled_; }
+
+  /// Node-to-node distance (test hook: bitwise-equal to DijkstraFrom).
+  double NodeToNode(NodeId s, NodeId t);
+
+  /// Attaches a tracer for ch_query spans (null detaches).
+  void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  double Run(NodeId sa, double ka, NodeId sb, double kb, NodeId ta, double kta,
+             NodeId tb, double ktb, double direct);
+
+  const Hierarchy* hier_;
+  obs::MetricsRegistry* metrics_;
+  obs::QueryTracer* tracer_ = nullptr;
+  EdgePoint source_;
+  detail::SearchSide fwd_;
+  detail::SearchSide bwd_;
+  std::vector<std::pair<double, NodeId>> meets_;
+  std::vector<int32_t> chain_scratch_;
+  std::vector<double> weights_scratch_;
+  std::vector<std::pair<int32_t, NodeId>> unpack_scratch_;
+  std::vector<std::pair<double, NodeId>> fheap_;
+  std::vector<std::pair<double, NodeId>> bheap_;
+  uint64_t settled_ = 0;
+};
+
+/// Many-to-one oracle for IER's access pattern: SetSource runs ONE
+/// exhaustive upward sweep and caches it; each DistanceTo then runs only the
+/// (small) target-side sweep against the cached distances — the CH analogue
+/// of RPHAST / bucket queries. Same bitwise-exactness contract as Query.
+class BucketOracle final : public DistanceOracle {
+ public:
+  explicit BucketOracle(const Hierarchy* hierarchy,
+                        obs::MetricsRegistry* metrics = nullptr);
+
+  void SetSource(EdgePoint source) override;
+  double DistanceTo(EdgePoint target) override;
+  const char* name() const override { return "ch"; }
+  uint64_t settled_nodes() const override { return settled_; }
+
+  void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  const Hierarchy* hier_;
+  obs::MetricsRegistry* metrics_;
+  obs::QueryTracer* tracer_ = nullptr;
+  EdgePoint source_;
+  bool has_source_ = false;
+  detail::SearchSide fwd_;
+  detail::SearchSide bwd_;
+  std::vector<std::pair<double, NodeId>> meets_;
+  std::vector<int32_t> chain_scratch_;
+  std::vector<double> weights_scratch_;
+  std::vector<std::pair<int32_t, NodeId>> unpack_scratch_;
+  std::vector<std::pair<double, NodeId>> heap_;
+  uint64_t settled_ = 0;
+};
+
+}  // namespace senn::roadnet::ch

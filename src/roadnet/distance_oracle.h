@@ -1,0 +1,70 @@
+// Pluggable network-distance oracles for the SNNN / IER pattern.
+//
+// Algorithm 2 fixes a query point and then asks for network distances to a
+// stream of candidate POIs, so the natural interface is SetSource once /
+// DistanceTo many. `DijkstraOracle` wraps the incremental bound-limited
+// NetworkDistanceOracle (the paper's stated basis) and is the default;
+// ch::Query and ch::BucketOracle (ch.h) implement the same interface on a
+// contraction hierarchy, proven bitwise-equal by tests/roadnet/ch_diff_test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/roadnet/graph.h"
+#include "src/roadnet/shortest_path.h"
+
+namespace senn::roadnet {
+
+/// A network-distance oracle with IER's access pattern: fix the source
+/// point, then answer distances to arbitrary targets. Implementations must
+/// be deterministic — the same (graph, source, target) always yields the
+/// same double, independent of call order or history.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Fixes the source point. Must be called before DistanceTo; calling it
+  /// again retargets the oracle (any per-source state is rebuilt).
+  virtual void SetSource(EdgePoint source) = 0;
+
+  /// Network distance (meters) from the current source to `target`;
+  /// kUnreachable when no path exists.
+  virtual double DistanceTo(EdgePoint target) = 0;
+
+  /// Stable oracle name for CLI flags / bench CSV columns.
+  virtual const char* name() const = 0;
+
+  /// Cumulative settled-node count across all queries since construction
+  /// (the cost driver both Dijkstra and CH searches share).
+  virtual uint64_t settled_nodes() const = 0;
+};
+
+/// The baseline: one incremental multi-source Dijkstra per source, expanded
+/// lazily as IER asks for farther candidates. Byte-identical to constructing
+/// a NetworkDistanceOracle inline (it IS one), so SnnnProcessor's default
+/// path keeps its golden outputs.
+class DijkstraOracle final : public DistanceOracle {
+ public:
+  explicit DijkstraOracle(const Graph* graph) : graph_(graph) {}
+
+  void SetSource(EdgePoint source) override {
+    if (inner_.has_value()) settled_before_ += inner_->settled_count();
+    inner_.emplace(graph_, source);
+  }
+
+  double DistanceTo(EdgePoint target) override { return inner_->DistanceTo(target); }
+
+  const char* name() const override { return "dijkstra"; }
+
+  uint64_t settled_nodes() const override {
+    return settled_before_ + (inner_.has_value() ? inner_->settled_count() : 0);
+  }
+
+ private:
+  const Graph* graph_;
+  std::optional<NetworkDistanceOracle> inner_;
+  uint64_t settled_before_ = 0;
+};
+
+}  // namespace senn::roadnet

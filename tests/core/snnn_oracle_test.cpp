@@ -1,0 +1,278 @@
+// SNNN must return byte-identical result sets (ids, ranks under
+// core::RanksBefore, and bitwise distances) whether its network-distance
+// backend is the default per-query Dijkstra or a contraction hierarchy —
+// over 100+ generated worlds, the PR-5 postmortem's network-distance-tie
+// lattices, peer-permutation invariance, and metamorphic transforms
+// (power-of-two scaling, far-POI insertion).
+#include "src/core/snnn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/roadnet/ch.h"
+#include "src/roadnet/distance_oracle.h"
+#include "src/roadnet/generator.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+struct NetworkWorld {
+  roadnet::Graph graph;
+  std::unique_ptr<roadnet::EdgeLocator> locator;
+  std::vector<Poi> pois;
+  std::unique_ptr<SpatialServer> server;
+};
+
+NetworkWorld MakeWorld(uint64_t seed, int poi_count, double side,
+                       double block_spacing) {
+  NetworkWorld w;
+  Rng rng(seed);
+  roadnet::RoadNetworkConfig cfg;
+  cfg.area_side_m = side;
+  cfg.block_spacing_m = block_spacing;
+  w.graph = roadnet::GenerateRoadNetwork(cfg, &rng);
+  w.locator = std::make_unique<roadnet::EdgeLocator>(&w.graph, block_spacing);
+  for (int i = 0; i < poi_count; ++i) {
+    Vec2 raw{rng.Uniform(0, side), rng.Uniform(0, side)};
+    roadnet::EdgePoint ep = w.locator->Nearest(raw);
+    w.pois.push_back({i, w.graph.PositionOf(ep)});
+  }
+  w.server = std::make_unique<SpatialServer>(w.pois);
+  return w;
+}
+
+// An exact-coordinate lattice (the PR-5 postmortem family): unit blocks of
+// 100 m, POIs at node positions symmetric around the center, so several
+// POIs share the SAME network distance bitwise and only the (distance, id)
+// order decides ranks.
+NetworkWorld MakeTieLattice(int side_blocks, double spacing) {
+  NetworkWorld w;
+  for (int y = 0; y <= side_blocks; ++y) {
+    for (int x = 0; x <= side_blocks; ++x) {
+      w.graph.AddNode({x * spacing, y * spacing});
+    }
+  }
+  auto id = [side_blocks](int x, int y) {
+    return static_cast<roadnet::NodeId>(y * (side_blocks + 1) + x);
+  };
+  for (int y = 0; y <= side_blocks; ++y) {
+    for (int x = 0; x <= side_blocks; ++x) {
+      if (x < side_blocks) {
+        EXPECT_TRUE(
+            w.graph.AddEdge(id(x, y), id(x + 1, y), roadnet::RoadClass::kResidential).ok());
+      }
+      if (y < side_blocks) {
+        EXPECT_TRUE(
+            w.graph.AddEdge(id(x, y), id(x, y + 1), roadnet::RoadClass::kResidential).ok());
+      }
+    }
+  }
+  w.locator = std::make_unique<roadnet::EdgeLocator>(&w.graph, spacing);
+  // POIs on the 4-fold symmetric orbit of the center: equidistant rings.
+  int c = side_blocks / 2;
+  int poi_id = 0;
+  for (int r = 1; r <= c; ++r) {
+    for (auto [dx, dy] : {std::pair{r, 0}, {-r, 0}, {0, r}, {0, -r}}) {
+      Vec2 p = w.graph.node_position(id(c + dx, c + dy));
+      w.pois.push_back({poi_id++, p});
+    }
+  }
+  w.server = std::make_unique<SpatialServer>(w.pois);
+  return w;
+}
+
+void ExpectIdenticalResults(const std::vector<NetworkRankedPoi>& a,
+                            const std::vector<NetworkRankedPoi>& b,
+                            const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << label << " rank " << i;
+    EXPECT_EQ(a[i].position, b[i].position) << label << " rank " << i;
+    EXPECT_EQ(a[i].euclidean, b[i].euclidean) << label << " rank " << i;
+    EXPECT_EQ(a[i].network, b[i].network) << label << " rank " << i;
+  }
+}
+
+TEST(SnnnOracleTest, DijkstraAndChIdenticalOverManyWorlds) {
+  // The headline differential: 108 worlds x 2 queries, bucket-CH backend
+  // vs. the default Dijkstra, byte-identical results (EXPECT_EQ doubles).
+  int worlds = 0;
+  for (uint64_t seed = 1; seed <= 36; ++seed) {
+    for (int variant = 0; variant < 3; ++variant) {
+      double side = 1400.0 + 300.0 * variant;
+      int poi_count = 12 + 10 * variant;
+      NetworkWorld w = MakeWorld(seed * 101 + static_cast<uint64_t>(variant),
+                                 poi_count, side, 220.0);
+      roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(w.graph);
+      roadnet::ch::BucketOracle ch_oracle(&hier);
+      SnnnProcessor dijkstra_snnn(&w.graph, w.locator.get());
+      SnnnProcessor ch_snnn(&w.graph, w.locator.get(), {}, &ch_oracle);
+      Rng q_rng = Rng(seed).Stream("snnn-oracle/query", static_cast<uint64_t>(variant));
+      for (int trial = 0; trial < 2; ++trial) {
+        Vec2 q{q_rng.Uniform(0.1 * side, 0.9 * side),
+               q_rng.Uniform(0.1 * side, 0.9 * side)};
+        int k = 1 + static_cast<int>(q_rng.NextIndex(5));
+        ServerNnSource source_a(w.server.get(), q);
+        ServerNnSource source_b(w.server.get(), q);
+        ExpectIdenticalResults(dijkstra_snnn.Execute(q, k, &source_a),
+                               ch_snnn.Execute(q, k, &source_b), "world");
+      }
+      ++worlds;
+    }
+  }
+  EXPECT_GE(worlds, 100);
+}
+
+TEST(SnnnOracleTest, PointOracleAgreesToo) {
+  // ch::Query (bidirectional per target) must match as well — the two CH
+  // variants and Dijkstra form a three-way agreement on a world subset.
+  for (uint64_t seed : {3u, 7u, 11u, 19u, 23u}) {
+    NetworkWorld w = MakeWorld(seed, 24, 1800.0, 220.0);
+    roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(w.graph);
+    roadnet::ch::Query point_oracle(&hier);
+    roadnet::ch::BucketOracle bucket_oracle(&hier);
+    SnnnProcessor dijkstra_snnn(&w.graph, w.locator.get());
+    SnnnProcessor point_snnn(&w.graph, w.locator.get(), {}, &point_oracle);
+    SnnnProcessor bucket_snnn(&w.graph, w.locator.get(), {}, &bucket_oracle);
+    Rng q_rng = Rng(seed).Stream("snnn-oracle/point");
+    Vec2 q{q_rng.Uniform(200, 1600), q_rng.Uniform(200, 1600)};
+    ServerNnSource sa(w.server.get(), q);
+    ServerNnSource sb(w.server.get(), q);
+    ServerNnSource sc(w.server.get(), q);
+    std::vector<NetworkRankedPoi> base = dijkstra_snnn.Execute(q, 4, &sa);
+    ExpectIdenticalResults(base, point_snnn.Execute(q, 4, &sb), "point");
+    ExpectIdenticalResults(base, bucket_snnn.Execute(q, 4, &sc), "bucket");
+  }
+}
+
+TEST(SnnnOracleTest, NetworkDistanceTieLattices) {
+  // Exact-tie worlds: whole POI rings share one bitwise network distance;
+  // the (distance, id) order must decide ranks identically under both
+  // backends, and the tied distances must be bitwise equal.
+  for (int side_blocks : {6, 8, 10}) {
+    NetworkWorld w = MakeTieLattice(side_blocks, 100.0);
+    roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(w.graph);
+    roadnet::ch::BucketOracle ch_oracle(&hier);
+    SnnnProcessor dijkstra_snnn(&w.graph, w.locator.get());
+    SnnnProcessor ch_snnn(&w.graph, w.locator.get(), {}, &ch_oracle);
+    // Query exactly at the center node: every ring is an exact tie.
+    double center = (side_blocks / 2) * 100.0;
+    Vec2 q{center, center};
+    for (int k : {1, 3, 4, 7}) {
+      ServerNnSource sa(w.server.get(), q);
+      ServerNnSource sb(w.server.get(), q);
+      std::vector<NetworkRankedPoi> a = dijkstra_snnn.Execute(q, k, &sa);
+      std::vector<NetworkRankedPoi> b = ch_snnn.Execute(q, k, &sb);
+      ExpectIdenticalResults(a, b, "lattice");
+      // Sanity: the family really produces ties (k=4 is one full ring).
+      if (k == 4) {
+        EXPECT_EQ(a.front().network, a.back().network);
+      }
+    }
+  }
+}
+
+TEST(SnnnOracleTest, PeerPermutationInvariantUnderBothOracles) {
+  // Shuffling the harvested-peer order must not change SNNN output, with
+  // either backend — and the two backends must agree on every permutation.
+  NetworkWorld w = MakeWorld(77, 30, 2000.0, 220.0);
+  roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(w.graph);
+  roadnet::ch::BucketOracle ch_oracle(&hier);
+  SnnnProcessor dijkstra_snnn(&w.graph, w.locator.get());
+  SnnnProcessor ch_snnn(&w.graph, w.locator.get(), {}, &ch_oracle);
+  SennOptions options;
+  options.server_request_k = 14;
+  SennProcessor senn(w.server.get(), options);
+  Rng rng(78);
+  Vec2 q{rng.Uniform(300, 1700), rng.Uniform(300, 1700)};
+  std::vector<CachedResult> peers(3);
+  for (auto& peer : peers) {
+    peer.query_location = {q.x + rng.Uniform(-120, 120), q.y + rng.Uniform(-120, 120)};
+    peer.neighbors = w.server->QueryKnn(peer.query_location, 14).neighbors;
+  }
+  std::vector<const CachedResult*> order{&peers[0], &peers[1], &peers[2]};
+  std::vector<NetworkRankedPoi> reference;
+  for (int perm = 0; perm < 6; ++perm) {
+    SennNnSource sa(&senn, q, order);
+    SennNnSource sb(&senn, q, order);
+    std::vector<NetworkRankedPoi> a = dijkstra_snnn.Execute(q, 3, &sa);
+    std::vector<NetworkRankedPoi> b = ch_snnn.Execute(q, 3, &sb);
+    ExpectIdenticalResults(a, b, "permutation");
+    if (perm == 0) {
+      reference = a;
+    } else {
+      ExpectIdenticalResults(reference, a, "permutation-vs-reference");
+    }
+    std::next_permutation(order.begin(), order.end());
+  }
+}
+
+TEST(SnnnOracleTest, MetamorphicPowerOfTwoScaling) {
+  // Doubling every coordinate is EXACT in binary floating point, so the
+  // scaled world must return the same ids with network distances exactly
+  // 2x — and the scaled CH backend must match the unscaled Dijkstra
+  // backend through both transforms at once.
+  NetworkWorld w = MakeWorld(91, 24, 1800.0, 220.0);
+  NetworkWorld scaled;
+  for (size_t n = 0; n < w.graph.node_count(); ++n) {
+    scaled.graph.AddNode(w.graph.node_position(static_cast<roadnet::NodeId>(n)) * 2.0);
+  }
+  for (size_t e = 0; e < w.graph.edge_count(); ++e) {
+    const roadnet::Edge& edge = w.graph.edge(static_cast<roadnet::EdgeId>(e));
+    ASSERT_TRUE(scaled.graph.AddEdge(edge.a, edge.b, edge.road_class).ok());
+  }
+  scaled.locator = std::make_unique<roadnet::EdgeLocator>(&scaled.graph, 440.0);
+  for (const Poi& p : w.pois) scaled.pois.push_back({p.id, p.position * 2.0});
+  scaled.server = std::make_unique<SpatialServer>(scaled.pois);
+
+  roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(scaled.graph);
+  roadnet::ch::BucketOracle ch_oracle(&hier);
+  SnnnProcessor base_snnn(&w.graph, w.locator.get());
+  SnnnProcessor scaled_snnn(&scaled.graph, scaled.locator.get(), {}, &ch_oracle);
+  Rng rng(92);
+  for (int trial = 0; trial < 8; ++trial) {
+    Vec2 q{rng.Uniform(200, 1600), rng.Uniform(200, 1600)};
+    ServerNnSource sa(w.server.get(), q);
+    ServerNnSource sb(scaled.server.get(), q * 2.0);
+    std::vector<NetworkRankedPoi> a = base_snnn.Execute(q, 4, &sa);
+    std::vector<NetworkRankedPoi> b = scaled_snnn.Execute(q * 2.0, 4, &sb);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "trial " << trial << " rank " << i;
+      EXPECT_EQ(a[i].euclidean * 2.0, b[i].euclidean) << "trial " << trial;
+      EXPECT_EQ(a[i].network * 2.0, b[i].network) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SnnnOracleTest, MetamorphicFarPoiInsertion) {
+  // Adding a POI far outside every candidate ring must not disturb the
+  // top-k under either backend.
+  NetworkWorld w = MakeWorld(95, 20, 1600.0, 220.0);
+  roadnet::ch::Hierarchy hier = roadnet::ch::Hierarchy::Build(w.graph);
+  roadnet::ch::BucketOracle ch_oracle(&hier);
+  SnnnProcessor dijkstra_snnn(&w.graph, w.locator.get());
+  SnnnProcessor ch_snnn(&w.graph, w.locator.get(), {}, &ch_oracle);
+  Vec2 q{800, 800};
+  ServerNnSource sa(w.server.get(), q);
+  std::vector<NetworkRankedPoi> before = dijkstra_snnn.Execute(q, 3, &sa);
+
+  std::vector<Poi> extended = w.pois;
+  Vec2 corner_raw{1590.0, 1590.0};
+  extended.push_back(
+      {static_cast<PoiId>(extended.size()), w.graph.PositionOf(w.locator->Nearest(corner_raw))});
+  SpatialServer bigger(extended);
+  ServerNnSource sb(&bigger, q);
+  ServerNnSource sc(&bigger, q);
+  ExpectIdenticalResults(before, dijkstra_snnn.Execute(q, 3, &sb), "far-poi dijkstra");
+  ExpectIdenticalResults(before, ch_snnn.Execute(q, 3, &sc), "far-poi ch");
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -19,7 +19,8 @@ struct RecordingSink : TraceSink {
 TEST(TraceTest, PhaseNamesAreStableAndDistinct) {
   const char* expected[kPhaseCount] = {"peer_harvest", "verify_single", "verify_multi",
                                        "heap_classify", "server_einn", "net_exchange",
-                                       "buffer_fetch", "server_batch_einn"};
+                                       "buffer_fetch", "server_batch_einn",
+                                       "ch_build", "ch_query"};
   for (int i = 0; i < kPhaseCount; ++i) {
     EXPECT_STREQ(PhaseName(static_cast<Phase>(i)), expected[i]);
   }

@@ -1,0 +1,381 @@
+// Differential battery for the contraction-hierarchy oracle: CH distances
+// must be EXACTLY (bitwise, EXPECT_EQ on doubles — not EXPECT_NEAR) equal
+// to the Dijkstra baseline on every sampled pair, across grids, rings,
+// degenerate graphs (single node, disconnected components, zero-weight
+// edges, parallel edges, deep path chains) and generated road networks.
+// Point queries (ch::Query), the many-to-one bucket variant
+// (ch::BucketOracle) and EdgePoint queries (vs. NetworkDistanceOracle) are
+// all held to the same standard, and preprocessing is checked to be
+// deterministic (build twice, identical shortcut sets).
+//
+// Built twice (the batch_test idiom): the tier-1 ch_test binary defines
+// SENN_CH_TRIALS to a cut-down count; ch_full_test uses the compiled-in
+// default below for the slow randomized sweep.
+#include "src/roadnet/ch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/roadnet/generator.h"
+#include "src/roadnet/graph.h"
+#include "src/roadnet/locate.h"
+#include "src/roadnet/shortest_path.h"
+
+#ifndef SENN_CH_TRIALS
+#define SENN_CH_TRIALS 40
+#endif
+
+namespace senn::roadnet {
+namespace {
+
+constexpr int kTrials = SENN_CH_TRIALS;
+
+// W x H grid, row-major node ids, optionally jittered so edge weights are
+// "ugly" doubles with measure-zero ties.
+Graph MakeGrid(int w, int h, double spacing, double jitter, Rng* rng) {
+  Graph g;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double jx = jitter > 0 ? rng->Uniform(-jitter, jitter) : 0.0;
+      double jy = jitter > 0 ? rng->Uniform(-jitter, jitter) : 0.0;
+      g.AddNode({x * spacing + jx, y * spacing + jy});
+    }
+  }
+  auto id = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        EXPECT_TRUE(g.AddEdge(id(x, y), id(x + 1, y), RoadClass::kResidential).ok());
+      }
+      if (y + 1 < h) {
+        EXPECT_TRUE(g.AddEdge(id(x, y), id(x, y + 1), RoadClass::kResidential).ok());
+      }
+    }
+  }
+  return g;
+}
+
+Graph MakeRing(int n, double radius) {
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2.0 * M_PI * i / n;
+    g.AddNode({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                  RoadClass::kSecondary)
+            .ok());
+  }
+  return g;
+}
+
+// Every CH node-to-node distance from each source in `sources` to EVERY
+// node must equal the Dijkstra baseline bitwise.
+void ExpectNodeDistancesMatch(const Graph& g, const ch::Hierarchy& h,
+                              const std::vector<NodeId>& sources,
+                              const char* family) {
+  ch::Query query(&h);
+  for (NodeId s : sources) {
+    std::vector<double> base = DijkstraFrom(g, s);
+    for (size_t t = 0; t < g.node_count(); ++t) {
+      EXPECT_EQ(query.NodeToNode(s, static_cast<NodeId>(t)), base[t])
+          << family << ": source " << s << " target " << t;
+    }
+  }
+}
+
+// EdgePoint queries from a random source point: ch::Query and
+// ch::BucketOracle must both reproduce NetworkDistanceOracle bitwise.
+void ExpectEdgePointDistancesMatch(const Graph& g, const ch::Hierarchy& h,
+                                   Rng* rng, int source_count, int target_count,
+                                   const char* family) {
+  if (g.edge_count() == 0) return;
+  ch::Query point(&h);
+  ch::BucketOracle bucket(&h);
+  for (int s = 0; s < source_count; ++s) {
+    EdgeId se = static_cast<EdgeId>(rng->NextIndex(g.edge_count()));
+    EdgePoint src{se, rng->Uniform(0, g.edge(se).length)};
+    NetworkDistanceOracle base(&g, src);
+    point.SetSource(src);
+    bucket.SetSource(src);
+    for (int t = 0; t < target_count; ++t) {
+      EdgeId te = static_cast<EdgeId>(rng->NextIndex(g.edge_count()));
+      EdgePoint dst{te, rng->Uniform(0, g.edge(te).length)};
+      double want = base.DistanceTo(dst);
+      EXPECT_EQ(point.DistanceTo(dst), want)
+          << family << ": point query, source edge " << se << " target edge " << te;
+      EXPECT_EQ(bucket.DistanceTo(dst), want)
+          << family << ": bucket query, source edge " << se << " target edge " << te;
+    }
+  }
+}
+
+TEST(ChDiffTest, ExactGridsAllPairsBitwise) {
+  Rng rng = Rng(20060403).Stream("ch/grid-exact");
+  for (auto [w, h] : {std::pair{3, 3}, {1, 7}, {5, 4}, {8, 8}}) {
+    Graph g = MakeGrid(w, h, 100.0, 0.0, &rng);
+    ASSERT_TRUE(g.Validate().ok());
+    ch::Hierarchy hier = ch::Hierarchy::Build(g);
+    std::vector<NodeId> sources;
+    for (size_t s = 0; s < g.node_count(); ++s) sources.push_back(static_cast<NodeId>(s));
+    ExpectNodeDistancesMatch(g, hier, sources, "exact-grid");
+  }
+}
+
+TEST(ChDiffTest, JitteredGridsBitwise) {
+  Rng world = Rng(20060403).Stream("ch/grid-jitter");
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng = world.Stream("trial", static_cast<uint64_t>(trial));
+    int w = 2 + static_cast<int>(rng.NextIndex(9));
+    int h = 2 + static_cast<int>(rng.NextIndex(9));
+    Graph g = MakeGrid(w, h, 100.0, 30.0, &rng);
+    ch::Hierarchy hier = ch::Hierarchy::Build(g);
+    std::vector<NodeId> sources;
+    for (int s = 0; s < 4; ++s) {
+      sources.push_back(static_cast<NodeId>(rng.NextIndex(g.node_count())));
+    }
+    ExpectNodeDistancesMatch(g, hier, sources, "jitter-grid");
+    ExpectEdgePointDistancesMatch(g, hier, &rng, 3, 12, "jitter-grid");
+  }
+}
+
+TEST(ChDiffTest, RingsBitwise) {
+  // Rings force nested shortcuts (every contraction bridges the gap) and
+  // two competing directions around the cycle.
+  Rng rng = Rng(20060403).Stream("ch/ring");
+  for (int n : {3, 4, 10, 57, 128}) {
+    Graph g = MakeRing(n, 500.0);
+    ASSERT_TRUE(g.Validate().ok());
+    ch::Hierarchy hier = ch::Hierarchy::Build(g);
+    std::vector<NodeId> sources{0, static_cast<NodeId>(n / 2),
+                                static_cast<NodeId>(rng.NextIndex(static_cast<uint64_t>(n)))};
+    ExpectNodeDistancesMatch(g, hier, sources, "ring");
+    ExpectEdgePointDistancesMatch(g, hier, &rng, 2, 10, "ring");
+  }
+}
+
+TEST(ChDiffTest, DeepPathChainsBitwise) {
+  // A long path contracted in id order nests shortcuts O(n) deep: exercises
+  // the iterative unpacker far beyond any balanced hierarchy.
+  Graph g;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) g.AddNode({i * 10.0, std::sin(i * 0.7) * 3.0});
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, i + 1, RoadClass::kRural).ok());
+  }
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  ExpectNodeDistancesMatch(g, hier, {0, n / 3, n - 1}, "path");
+  Rng rng = Rng(20060403).Stream("ch/path");
+  ExpectEdgePointDistancesMatch(g, hier, &rng, 3, 10, "path");
+}
+
+TEST(ChDiffTest, SingleNodeAndEmptyGraphs) {
+  Graph empty;
+  ch::Hierarchy he = ch::Hierarchy::Build(empty);
+  EXPECT_EQ(he.edges().size(), 0u);
+  ch::Query qe(&he);
+  EXPECT_EQ(qe.NodeToNode(0, 0), kUnreachable);  // out of range: no nodes
+
+  Graph single;
+  single.AddNode({5, 5});
+  ch::Hierarchy hs = ch::Hierarchy::Build(single);
+  ch::Query qs(&hs);
+  EXPECT_EQ(qs.NodeToNode(0, 0), 0.0);
+  EXPECT_EQ(qs.NodeToNode(0, 1), kUnreachable);
+  EXPECT_EQ(qs.NodeToNode(-1, 0), kUnreachable);
+}
+
+TEST(ChDiffTest, DisconnectedComponentsBitwise) {
+  // Two grids with no connection: intra-component distances exact,
+  // cross-component unreachable on both sides of the differential.
+  Rng rng = Rng(20060403).Stream("ch/disconnected");
+  Graph g = MakeGrid(4, 3, 100.0, 10.0, &rng);
+  size_t first = g.node_count();
+  std::vector<NodeId> island;
+  for (int i = 0; i < 6; ++i) {
+    island.push_back(g.AddNode({5000.0 + i * 50.0, 5000.0}));
+  }
+  for (int i = 0; i + 1 < 6; ++i) {
+    ASSERT_TRUE(g.AddEdge(island[static_cast<size_t>(i)],
+                          island[static_cast<size_t>(i) + 1], RoadClass::kRural)
+                    .ok());
+  }
+  EXPECT_FALSE(g.IsConnected());
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  ExpectNodeDistancesMatch(g, hier, {0, static_cast<NodeId>(first), island[3]},
+                           "disconnected");
+  ch::Query q(&hier);
+  EXPECT_EQ(q.NodeToNode(0, island[0]), kUnreachable);
+}
+
+TEST(ChDiffTest, ZeroWeightEdgesBitwise) {
+  // Coincident nodes make zero-length edges (Graph::Validate rejects them,
+  // Dijkstra does not — the oracle must agree anyway).
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({0, 0});     // coincident: zero-weight edge a-b
+  NodeId c = g.AddNode({100, 0});
+  NodeId d = g.AddNode({100, 0});   // coincident with c
+  NodeId e = g.AddNode({200, 50});
+  ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(d, e, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(a, d, RoadClass::kResidential).ok());
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  ExpectNodeDistancesMatch(g, hier, {a, b, c, d, e}, "zero-weight");
+}
+
+TEST(ChDiffTest, ParallelEdgesCollapseToMinimum) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({300, 0});
+  NodeId c = g.AddNode({300, 400});
+  ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(a, b, RoadClass::kSecondary).ok());  // parallel twin
+  ASSERT_TRUE(g.AddEdge(b, c, RoadClass::kResidential).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, RoadClass::kResidential).ok());
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  // One overlay seed edge per pair, but distances unchanged.
+  EXPECT_EQ(hier.stats().input_edges, 2u);
+  ExpectNodeDistancesMatch(g, hier, {a, b, c}, "parallel");
+}
+
+TEST(ChDiffTest, SelfLoopsAreRejectedUpstream) {
+  // Graph::AddEdge refuses self-loops, so hierarchies never see them; pin
+  // that contract here since CH unpacking relies on a != b.
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  EXPECT_TRUE(g.AddEdge(a, a, RoadClass::kResidential).status().IsInvalidArgument());
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(ChDiffTest, RandomGraphsWithChordsBitwise) {
+  // Jittered grids plus random chord edges: non-planar shortcuts, parallel
+  // duplicates, heterogeneous degrees.
+  Rng world = Rng(20060403).Stream("ch/random");
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng = world.Stream("trial", static_cast<uint64_t>(trial));
+    int w = 3 + static_cast<int>(rng.NextIndex(6));
+    int h = 3 + static_cast<int>(rng.NextIndex(6));
+    Graph g = MakeGrid(w, h, 120.0, 25.0, &rng);
+    int chords = static_cast<int>(rng.NextIndex(8));
+    for (int i = 0; i < chords; ++i) {
+      NodeId u = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+      NodeId v = static_cast<NodeId>(rng.NextIndex(g.node_count()));
+      if (u != v) (void)g.AddEdge(u, v, RoadClass::kHighway);
+    }
+    ch::Hierarchy hier = ch::Hierarchy::Build(g);
+    std::vector<NodeId> sources;
+    for (int s = 0; s < 3; ++s) {
+      sources.push_back(static_cast<NodeId>(rng.NextIndex(g.node_count())));
+    }
+    ExpectNodeDistancesMatch(g, hier, sources, "random-chords");
+    ExpectEdgePointDistancesMatch(g, hier, &rng, 2, 10, "random-chords");
+  }
+}
+
+TEST(ChDiffTest, GeneratedRoadNetworksBitwise) {
+  // The production graph family: jittered multi-class street grids with
+  // diagonal highways and over-passes.
+  Rng world = Rng(20060403).Stream("ch/roadnet");
+  const int networks = kTrials / 10 + 2;
+  for (int trial = 0; trial < networks; ++trial) {
+    Rng rng = world.Stream("net", static_cast<uint64_t>(trial));
+    RoadNetworkConfig cfg;
+    cfg.area_side_m = 2000.0 + 500.0 * static_cast<double>(rng.NextIndex(4));
+    cfg.block_spacing_m = 200.0;
+    Graph g = GenerateRoadNetwork(cfg, &rng);
+    ASSERT_TRUE(g.Validate().ok());
+    ch::Hierarchy hier = ch::Hierarchy::Build(g);
+    EXPECT_GT(hier.stats().shortcuts, 0u);
+    std::vector<NodeId> sources;
+    for (int s = 0; s < 3; ++s) {
+      sources.push_back(static_cast<NodeId>(rng.NextIndex(g.node_count())));
+    }
+    ExpectNodeDistancesMatch(g, hier, sources, "roadnet");
+    ExpectEdgePointDistancesMatch(g, hier, &rng, 3, 16, "roadnet");
+  }
+}
+
+TEST(ChDiffTest, WitnessBudgetDoesNotAffectDistances) {
+  // Exactness must not depend on the witness budget: a starved budget only
+  // adds redundant shortcuts. Compare a budget-1 build against the default.
+  Rng rng = Rng(20060403).Stream("ch/budget");
+  Graph g = MakeGrid(6, 6, 100.0, 20.0, &rng);
+  ch::BuildOptions starved;
+  starved.witness_settle_limit = 1;
+  ch::Hierarchy cheap = ch::Hierarchy::Build(g, starved);
+  ch::Hierarchy normal = ch::Hierarchy::Build(g);
+  EXPECT_GE(cheap.stats().shortcuts, normal.stats().shortcuts);
+  ch::Query qa(&cheap);
+  ch::Query qb(&normal);
+  for (size_t s = 0; s < g.node_count(); ++s) {
+    std::vector<double> base = DijkstraFrom(g, static_cast<NodeId>(s));
+    for (size_t t = 0; t < g.node_count(); ++t) {
+      EXPECT_EQ(qa.NodeToNode(static_cast<NodeId>(s), static_cast<NodeId>(t)), base[t]);
+      EXPECT_EQ(qb.NodeToNode(static_cast<NodeId>(s), static_cast<NodeId>(t)), base[t]);
+    }
+  }
+}
+
+TEST(ChDiffTest, PreprocessingIsDeterministic) {
+  // Build twice over identical inputs: identical ranks, identical shortcut
+  // sets (bitwise weights included), identical stats. The build is
+  // single-threaded by design, so this plus the senn_lint contract is the
+  // whole determinism story.
+  Rng rng = Rng(20060403).Stream("ch/determinism");
+  RoadNetworkConfig cfg;
+  cfg.area_side_m = 2500.0;
+  Rng g1_rng = rng.Stream("gen");
+  Rng g2_rng = rng.Stream("gen");
+  Graph g1 = GenerateRoadNetwork(cfg, &g1_rng);
+  Graph g2 = GenerateRoadNetwork(cfg, &g2_rng);
+  ch::Hierarchy a = ch::Hierarchy::Build(g1);
+  ch::Hierarchy b = ch::Hierarchy::Build(g2);
+  EXPECT_EQ(a.rank(), b.rank());
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i], b.edges()[i]) << "overlay edge " << i;
+  }
+  EXPECT_EQ(a.stats(), b.stats());
+}
+
+TEST(ChDiffTest, BucketMatchesPointOracleOnSharedSource) {
+  // The many-to-one variant must agree with the point oracle bitwise across
+  // a long target stream from one SetSource (IER's access pattern).
+  Rng rng = Rng(20060403).Stream("ch/bucket");
+  Graph g = MakeGrid(7, 7, 150.0, 40.0, &rng);
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  ch::Query point(&hier);
+  ch::BucketOracle bucket(&hier);
+  EdgeId se = static_cast<EdgeId>(rng.NextIndex(g.edge_count()));
+  EdgePoint src{se, rng.Uniform(0, g.edge(se).length)};
+  point.SetSource(src);
+  bucket.SetSource(src);
+  for (int t = 0; t < 64; ++t) {
+    EdgeId te = static_cast<EdgeId>(rng.NextIndex(g.edge_count()));
+    EdgePoint dst{te, rng.Uniform(0, g.edge(te).length)};
+    EXPECT_EQ(bucket.DistanceTo(dst), point.DistanceTo(dst)) << "target " << t;
+  }
+  // The bucket's per-target sweep must not re-settle the whole cone the
+  // point oracle pays for every query.
+  EXPECT_LT(bucket.settled_nodes(), point.settled_nodes());
+}
+
+TEST(ChDiffTest, SettledNodeCountersAdvance) {
+  Rng rng = Rng(20060403).Stream("ch/counters");
+  Graph g = MakeGrid(5, 5, 100.0, 0.0, &rng);
+  ch::Hierarchy hier = ch::Hierarchy::Build(g);
+  ch::Query q(&hier);
+  EXPECT_EQ(q.settled_nodes(), 0u);
+  q.NodeToNode(0, static_cast<NodeId>(g.node_count() - 1));
+  EXPECT_GT(q.settled_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace senn::roadnet

@@ -43,9 +43,9 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-stage "ThreadSanitizer: net + rpc + sim + core + storage test binaries"
+stage "ThreadSanitizer: net + rpc + sim + core + storage + ch test binaries"
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test core_test common_test storage_test batch_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test core_test common_test storage_test batch_test ch_test snnn_oracle_test
 "${PREFIX}-tsan/tests/net_test"
 "${PREFIX}-tsan/tests/rpc_test"
 "${PREFIX}-tsan/tests/sim_test"
@@ -53,20 +53,24 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test 
 "${PREFIX}-tsan/tests/common_test" --gtest_filter='Rng*:RunningStats*:P2Quantile*:HitRate*'
 "${PREFIX}-tsan/tests/storage_test"
 "${PREFIX}-tsan/tests/batch_test" --gtest_filter="BatchDiffTest.*"
+"${PREFIX}-tsan/tests/ch_test" --gtest_filter='ChDiffTest.GeneratedRoadNetworksBitwise'
+"${PREFIX}-tsan/tests/snnn_oracle_test" --gtest_filter='SnnnOracleTest.PointOracleAgreesToo'
 
-stage "AddressSanitizer: net + rpc + sim + core + storage test binaries"
+stage "AddressSanitizer: net + rpc + sim + core + storage + ch test binaries"
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test core_test storage_test batch_test
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test core_test storage_test batch_test ch_test snnn_oracle_test
 "${PREFIX}-asan/tests/net_test"
 "${PREFIX}-asan/tests/rpc_test"
 "${PREFIX}-asan/tests/sim_test"
 "${PREFIX}-asan/tests/core_test"
 "${PREFIX}-asan/tests/storage_test"
 "${PREFIX}-asan/tests/batch_test"
+"${PREFIX}-asan/tests/ch_test"
+"${PREFIX}-asan/tests/snnn_oracle_test"
 
-stage "UBSan: net + sim + core + storage + geom + obs test binaries"
+stage "UBSan: net + sim + core + storage + geom + obs + ch test binaries"
 cmake -B "${PREFIX}-ubsan" -S . -DSENN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test batch_test
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test batch_test ch_test snnn_oracle_test
 "${PREFIX}-ubsan/tests/net_test"
 "${PREFIX}-ubsan/tests/sim_test"
 "${PREFIX}-ubsan/tests/core_test"
@@ -74,6 +78,8 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_tes
 "${PREFIX}-ubsan/tests/geom_test"
 "${PREFIX}-ubsan/tests/obs_test"
 "${PREFIX}-ubsan/tests/batch_test"
+"${PREFIX}-ubsan/tests/ch_test"
+"${PREFIX}-ubsan/tests/snnn_oracle_test"
 
 stage "SENN_PARANOID: invariant-checked tier1 suite"
 cmake -B "${PREFIX}-paranoid" -S . -DSENN_PARANOID=ON >/dev/null

@@ -6,12 +6,17 @@
 //
 //   senn_sim --region la --area 2x2 --mode road --tx 150 --duration 1800
 //   senn_sim --region riverside --area 30x30 --scale 5 --k 7 --trace /tmp/q.csv
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "src/core/snnn.h"
 #include "src/obs/chrome_trace.h"
+#include "src/roadnet/ch.h"
+#include "src/roadnet/locate.h"
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sweep.h"
@@ -56,6 +61,13 @@ using namespace senn;
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
+      "  --snnn N                         after the run, answer N network-NN (SNNN)\n"
+      "                                   queries over shard 0's world and report the\n"
+      "                                   oracle cost (road mode only)\n"
+      "  --distance-oracle dijkstra|ch    SNNN network-distance backend: fresh Dijkstra\n"
+      "                                   per candidate (default) or the contraction-\n"
+      "                                   hierarchy bucket oracle — identical answers,\n"
+      "                                   different cost\n"
       "  --json                           also print the metrics as one JSON line\n"
       "  --trace FILE                     write a per-query CSV trace (shard 0 only)\n"
       "  --trace-out FILE                 write a Chrome trace_event JSON of per-query\n"
@@ -80,6 +92,8 @@ int main(int argc, char** argv) {
   double tx = -1, cache = -1, speed = -1, k = -1;
   int shards = 1, threads = 1;
   bool print_json = false;
+  int snnn_queries = 0;
+  bool snnn_use_ch = false;
 
   auto need = [&](int i) {
     if (i + 1 >= argc) Usage(argv[0]);
@@ -177,6 +191,18 @@ int main(int argc, char** argv) {
       if (shards < 1) Usage(argv[0]);
     } else if (arg == "--threads") {
       threads = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+    } else if (arg == "--snnn") {
+      snnn_queries = static_cast<int>(std::strtol(need(i++), nullptr, 10));
+      if (snnn_queries < 1) Usage(argv[0]);
+    } else if (arg == "--distance-oracle") {
+      std::string v = need(i++);
+      if (v == "dijkstra") {
+        snnn_use_ch = false;
+      } else if (v == "ch") {
+        snnn_use_ch = true;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--json") {
       print_json = true;
     } else if (arg == "--trace") {
@@ -341,6 +367,68 @@ int main(int argc, char** argv) {
     }
     std::printf("trace-out: %zu spans -> %s (open in https://ui.perfetto.dev)\n",
                 chrome_trace.span_count(), trace_out_path.c_str());
+  }
+
+  if (snnn_queries > 0) {
+    // Post-run SNNN evaluation (Algorithm 2): rebuild shard 0's world —
+    // deterministic, so this is exactly the road network and POI set the
+    // simulation used — and answer N network-NN queries through the chosen
+    // distance oracle. Both backends return identical result sets
+    // (tests/core/snnn_oracle_test.cpp); the point of the flag is the cost
+    // comparison, reported below as settled nodes and wall time.
+    sim::Simulator world(shard_cfgs[0]);
+    const roadnet::Graph* graph = world.graph();
+    if (graph == nullptr) {
+      std::fprintf(stderr, "--snnn requires --mode road (free movement has no road graph)\n");
+      return 1;
+    }
+    roadnet::EdgeLocator locator(graph, 150.0);
+    core::SpatialServer server(world.pois());
+
+    obs::MetricsRegistry snnn_metrics;
+    roadnet::DijkstraOracle dijkstra(graph);
+    std::unique_ptr<roadnet::ch::Hierarchy> hier;
+    std::unique_ptr<roadnet::ch::BucketOracle> bucket;
+    roadnet::DistanceOracle* oracle = &dijkstra;
+    std::printf("\nSNNN over shard 0's world (%zu nodes, %zu edges, %zu POIs):\n",
+                graph->node_count(), graph->edge_count(), world.pois().size());
+    if (snnn_use_ch) {
+      auto t0 = std::chrono::steady_clock::now();
+      hier = std::make_unique<roadnet::ch::Hierarchy>(
+          roadnet::ch::Hierarchy::Build(*graph, {}, &snnn_metrics));
+      double build_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      bucket = std::make_unique<roadnet::ch::BucketOracle>(hier.get(), &snnn_metrics);
+      oracle = bucket.get();
+      std::printf("  ch build         %6.1f ms   (%llu overlay edges + %llu shortcuts)\n",
+                  build_ms,
+                  static_cast<unsigned long long>(hier->stats().input_edges),
+                  static_cast<unsigned long long>(hier->stats().shortcuts));
+    }
+
+    core::SnnnProcessor snnn(graph, &locator, {}, oracle);
+    double side = cfg.params.AreaSideMeters();
+    Rng snnn_rng = Rng(cfg.seed).Stream("snnn_cli");
+    int snnn_k = cfg.params.k_nn;
+    size_t results_returned = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int q = 0; q < snnn_queries; ++q) {
+      geom::Vec2 point{snnn_rng.Uniform(0, side), snnn_rng.Uniform(0, side)};
+      core::ServerNnSource source(&server, point);
+      results_returned += snnn.Execute(point, snnn_k, &source).size();
+    }
+    double total_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("  oracle           %10s\n", oracle->name());
+    std::printf("  queries          %10d   (k=%d, %zu results)\n", snnn_queries, snnn_k,
+                results_returned);
+    std::printf("  settled nodes    %10llu   (%.0f per query)\n",
+                static_cast<unsigned long long>(oracle->settled_nodes()),
+                static_cast<double>(oracle->settled_nodes()) / snnn_queries);
+    std::printf("  query time       %10.2f ms total, %.3f ms per query\n", total_ms,
+                total_ms / snnn_queries);
   }
   return 0;
 }
