@@ -1,24 +1,62 @@
-// Extension bench (beyond the paper): continuous kNN for a moving query
-// point. Compares three strategies along identical drives:
-//   naive multi-step  — a server kNN query at every sampled position;
-//   own-cache reuse   — the ContinuousKnn fast path (Lemma 3.2 against the
-//                       host's own previous result), server on miss;
-//   + peer sharing    — ContinuousKnn with warm peers in radio range.
-// Reports server queries per kilometer driven.
+// Extension bench (beyond the paper): safe-region continuous kNN. A moving
+// query point drives identical routes under three validity strategies:
+//   off   — the own-cache baseline: the ContinuousKnn fast path is the
+//           Lemma 3.2 recheck of the host's own previous result alone;
+//   disk  — + the client-only (d_{k+1}-d_k)/2 safe-region disk. Same cached
+//           information as the recheck, so its server contacts can tie but
+//           never beat the baseline (DESIGN.md "Safe-region soundness") —
+//           the win is the O(1) membership test;
+//   insq  — + the server-assisted influential-neighbor region: server
+//           answers ship the rival set from the full POI table, the region
+//           reaches ~d_m instead of (d_m-d_k)/2, and server contacts drop.
+// Sweeps speed x k x mode over precomputed drives (every mode replays the
+// SAME positions), reports server queries per kilometer driven, and emits
+// BENCH_continuous.json. Hard gate: at every (speed, k) the insq region must
+// STRICTLY reduce server queries/km versus the own-cache baseline, and disk
+// must never exceed it; the binary exits nonzero otherwise. Exactness of all
+// three strategies is proven elsewhere (tests/core/continuous_diff_test.cpp)
+// — only the accounting moves here.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/continuous.h"
 #include "src/mobility/waypoint.h"
 
+namespace {
+
+struct Cell {
+  senn::core::SafeRegionMode mode;
+  double speed_mph = 0;
+  int k = 0;
+  uint64_t server = 0;       // resolving steps that reached the server
+  uint64_t safe_hits = 0;    // own safe-region fast-path steps
+  uint64_t cache_hits = 0;   // Lemma 3.2 own-cache fast-path steps
+  uint64_t region_pages = 0; // logical R*-tree accesses of rival fetches
+  double area_sum = 0;       // sum of installed region areas (m^2)
+  uint64_t area_n = 0;
+  double per_km = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace senn;
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
-  bench::PrintRunBanner("Extension: continuous kNN strategies", args);
-  const int drives = args.full ? 40 : 10;
+  bench::PrintRunBanner("Extension: safe-region continuous kNN", args);
+  const int drives = args.full ? 24 : 8;
   const double drive_seconds = args.full ? 1800 : 900;
   const double sample_period_s = 5.0;
+  std::vector<double> speeds_mph = {15, 30, 60};
+  if (args.full) {
+    speeds_mph.push_back(90);
+    speeds_mph.push_back(120);
+  }
+  const std::vector<int> ks = {3, 6};
+  const core::SafeRegionMode modes[] = {core::SafeRegionMode::kOff,
+                                        core::SafeRegionMode::kDisk,
+                                        core::SafeRegionMode::kInsq};
 
   Rng rng(args.seed);
   const double side = 4000.0;
@@ -31,60 +69,119 @@ int main(int argc, char** argv) {
   options.server_request_k = 12;
   core::SennProcessor senn(&server, options);
 
-  // Warm peers scattered across the area (their caches never move — think
-  // parked cars).
-  std::vector<core::CachedResult> parked;
-  for (int p = 0; p < 25; ++p) {
-    core::CachedResult c;
-    c.query_location = {rng.Uniform(0, side), rng.Uniform(0, side)};
-    c.neighbors = server.QueryKnn(c.query_location, 12).neighbors;
-    parked.push_back(std::move(c));
-  }
-  server.ResetStats();
-
-  double naive_queries = 0, cache_queries = 0, shared_queries = 0, km = 0;
-  for (int d = 0; d < drives; ++d) {
-    mobility::WaypointConfig wcfg;
-    wcfg.area_side_m = side;
-    wcfg.speed_mps = MphToMps(30.0);
-    wcfg.mean_pause_s = 10.0;
-    Rng drive_rng(args.seed + static_cast<uint64_t>(d) * 131);
-    mobility::WaypointMover car(wcfg, {rng.Uniform(0, side), rng.Uniform(0, side)},
-                                &drive_rng);
-    core::ContinuousKnn own_only(&senn, 3);
-    core::ContinuousKnn with_peers(&senn, 3);
-    geom::Vec2 prev = car.position();
-    for (double t = 0; t < drive_seconds; t += sample_period_s) {
-      car.Advance(sample_period_s, &drive_rng);
-      geom::Vec2 pos = car.position();
-      km += geom::Dist(prev, pos) / 1000.0;
-      prev = pos;
-      ++naive_queries;  // the naive strategy queries the server every sample
-      own_only.Step(pos);
-      // Peers within 400 m radio range of the current position.
-      std::vector<const core::CachedResult*> peers;
-      for (const core::CachedResult& c : parked) {
-        if (geom::Dist(c.query_location, pos) <= 400.0) peers.push_back(&c);
+  std::vector<Cell> cells;
+  bool insq_strict = true;  // insq < off at every (speed, k)
+  bool disk_sound = true;   // disk <= off at every (speed, k)
+  std::printf("%10s %4s %6s %14s %12s %12s %12s %14s\n", "speed mph", "k", "mode",
+              "server q/km", "safe-region", "own-cache", "rival pages", "region km^2");
+  std::printf("csv,speed_mph,k,mode,server_queries_per_km,safe_region_steps,"
+              "own_cache_steps,region_pages,mean_region_area_km2\n");
+  for (double mph : speeds_mph) {
+    // Precompute the drives once per speed: every mode and k replays the
+    // exact same positions, so the columns differ only by strategy.
+    std::vector<std::vector<geom::Vec2>> paths;
+    double km = 0;
+    for (int d = 0; d < drives; ++d) {
+      mobility::WaypointConfig wcfg;
+      wcfg.area_side_m = side;
+      wcfg.speed_mps = MphToMps(mph);
+      wcfg.mean_pause_s = 10.0;
+      Rng drive_rng(args.seed + static_cast<uint64_t>(mph) * 7919 +
+                    static_cast<uint64_t>(d) * 131);
+      mobility::WaypointMover car(
+          wcfg, {drive_rng.Uniform(0, side), drive_rng.Uniform(0, side)}, &drive_rng);
+      std::vector<geom::Vec2> path = {car.position()};
+      for (double t = 0; t < drive_seconds; t += sample_period_s) {
+        car.Advance(sample_period_s, &drive_rng);
+        km += geom::Dist(path.back(), car.position()) / 1000.0;
+        path.push_back(car.position());
       }
-      with_peers.Step(pos, peers);
+      paths.push_back(std::move(path));
     }
-    cache_queries += static_cast<double>(own_only.stats().server_answers);
-    shared_queries += static_cast<double>(with_peers.stats().server_answers);
-  }
-  km /= 2.0;  // both continuous strategies drove the same route; count once
 
-  std::printf("%-22s %20s %16s\n", "strategy", "server queries/km", "vs naive");
-  std::printf("csv,strategy,server_queries_per_km\n");
-  struct Row {
-    const char* name;
-    double queries;
-  } rows[] = {{"naive multi-step", naive_queries},
-              {"own-cache reuse", cache_queries},
-              {"own-cache + peers", shared_queries}};
-  for (const Row& row : rows) {
-    std::printf("%-22s %20.2f %15.1fx\n", row.name, row.queries / km,
-                naive_queries / std::max(row.queries, 1.0));
-    std::printf("csv,%s,%.3f\n", row.name, row.queries / km);
+    for (int k : ks) {
+      Cell row[3];
+      for (int m = 0; m < 3; ++m) {
+        Cell& cell = row[m];
+        cell.mode = modes[m];
+        cell.speed_mph = mph;
+        cell.k = k;
+        core::ContinuousOptions copts;
+        copts.safe_region = modes[m];
+        for (const std::vector<geom::Vec2>& path : paths) {
+          core::ContinuousKnn cknn(&senn, k, copts);
+          for (const geom::Vec2& pos : path) {
+            uint64_t built_before = cknn.stats().regions_built;
+            core::StepResult step = cknn.Step(pos);
+            cell.region_pages += step.region_pages;
+            if (cknn.stats().regions_built > built_before &&
+                cknn.safe_region().Valid()) {
+              cell.area_sum += cknn.safe_region().Area();
+              ++cell.area_n;
+            }
+          }
+          cell.server += cknn.stats().server_answers;
+          cell.safe_hits += cknn.stats().safe_region_hits;
+          cell.cache_hits += cknn.stats().own_cache_hits;
+        }
+        cell.per_km = static_cast<double>(cell.server) / km;
+        double mean_area_km2 =
+            cell.area_n > 0 ? cell.area_sum / static_cast<double>(cell.area_n) / 1e6 : 0;
+        std::printf("%10.0f %4d %6s %14.2f %12llu %12llu %12llu %14.4f\n", mph, k,
+                    core::SafeRegionModeName(modes[m]), cell.per_km,
+                    static_cast<unsigned long long>(cell.safe_hits),
+                    static_cast<unsigned long long>(cell.cache_hits),
+                    static_cast<unsigned long long>(cell.region_pages), mean_area_km2);
+        std::printf("csv,%.0f,%d,%s,%.4f,%llu,%llu,%llu,%.6f\n", mph, k,
+                    core::SafeRegionModeName(modes[m]), cell.per_km,
+                    static_cast<unsigned long long>(cell.safe_hits),
+                    static_cast<unsigned long long>(cell.cache_hits),
+                    static_cast<unsigned long long>(cell.region_pages), mean_area_km2);
+        cells.push_back(cell);
+      }
+      if (!(row[2].server < row[0].server)) insq_strict = false;
+      if (row[1].server > row[0].server) disk_sound = false;
+    }
   }
+
+  std::printf("\ninsq strictly below the own-cache baseline at every (speed, k): %s\n",
+              insq_strict ? "yes" : "NO — the server-assisted region regressed");
+  std::printf("disk never above the own-cache baseline: %s\n",
+              disk_sound ? "yes" : "NO — the client-only disk is UNSOUND (it must "
+                                   "be information-bounded by the recheck)");
+
+  const char* json_path = "BENCH_continuous.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"seed\":%llu,\"mode\":\"%s\",\"pois\":%d,\"drives_per_speed\":%d,"
+               "\"drive_seconds\":%.0f,\"sample_period_s\":%.0f,"
+               "\"insq_strictly_reduces_server\":%s,\"disk_at_most_baseline\":%s,"
+               "\"sweep\":[",
+               static_cast<unsigned long long>(args.seed), args.full ? "full" : "quick",
+               static_cast<int>(pois.size()), drives, drive_seconds, sample_period_s,
+               insq_strict ? "true" : "false", disk_sound ? "true" : "false");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "%s{\"speed_mph\":%.0f,\"k\":%d,\"region\":\"%s\","
+                 "\"server_queries\":%llu,\"server_queries_per_km\":%.6f,"
+                 "\"safe_region_steps\":%llu,\"own_cache_steps\":%llu,"
+                 "\"region_pages\":%llu,\"mean_region_area_m2\":%.3f}",
+                 i == 0 ? "" : ",", c.speed_mph, c.k, core::SafeRegionModeName(c.mode),
+                 static_cast<unsigned long long>(c.server), c.per_km,
+                 static_cast<unsigned long long>(c.safe_hits),
+                 static_cast<unsigned long long>(c.cache_hits),
+                 static_cast<unsigned long long>(c.region_pages),
+                 c.area_n > 0 ? c.area_sum / static_cast<double>(c.area_n) : 0.0);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+
+  if (!insq_strict || !disk_sound) return 1;
   return 0;
 }

@@ -1,0 +1,161 @@
+#include "src/core/safe_region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geom/circle.h"
+#include "src/geom/polygon.h"
+
+namespace senn::core {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Shrinks a raw radius by the FP margin scaled to the largest distance the
+/// soundness argument touches. Non-positive results mean "no usable region".
+double GuardRadius(double raw, double scale) {
+  return raw - kSafeRegionFpMargin * (scale + 1.0);
+}
+
+}  // namespace
+
+const char* SafeRegionModeName(SafeRegionMode m) {
+  switch (m) {
+    case SafeRegionMode::kOff:
+      return "off";
+    case SafeRegionMode::kDisk:
+      return "disk";
+    case SafeRegionMode::kInsq:
+      return "insq";
+  }
+  return "unknown";
+}
+
+SafeRegion SafeRegion::BuildDisk(geom::Vec2 center, const std::vector<RankedPoi>& prefix,
+                                 int k) {
+  SafeRegion r;
+  if (k < 1 || prefix.size() < static_cast<size_t>(k) + 1) return r;
+  const double d_k = prefix[static_cast<size_t>(k) - 1].distance;
+  const double d_k1 = prefix[static_cast<size_t>(k)].distance;
+  // Inside radius (d_{k+1} - d_k)/2 every member is within d_k + delta and
+  // every non-member at least d_{k+1} - delta away, so members stay strictly
+  // ahead; the margin absorbs distance ulps and forbids computed ties (which
+  // would fall to an id tie-break the region cannot evaluate for POIs beyond
+  // the prefix). A co-distant pair d_k == d_{k+1} yields guard <= 0: invalid.
+  const double guard = GuardRadius(0.5 * (d_k1 - d_k), d_k1);
+  if (guard <= 0.0) return r;
+  r.mode_ = SafeRegionMode::kDisk;
+  r.center_ = center;
+  r.k_ = k;
+  r.guard_radius_ = guard;
+  r.area_ = kPi * guard * guard;
+  r.members_.assign(prefix.begin(), prefix.begin() + k);
+  return r;
+}
+
+SafeRegion SafeRegion::BuildInsq(geom::Vec2 center, const std::vector<RankedPoi>& prefix,
+                                 int k, double horizon, std::vector<RankedPoi> rivals) {
+  SafeRegion r;
+  if (k < 1 || prefix.size() < static_cast<size_t>(k)) return r;
+  const double d_k = prefix[static_cast<size_t>(k) - 1].distance;
+  // Soundness of the horizon: any POI the fetch did NOT return lies beyond
+  // d_k + 2*horizon of the center, so at any p within delta < horizon of the
+  // center it is still beyond d_k + 2*horizon - delta > d_k + horizon, while
+  // every member is within d_k + delta < d_k + horizon — unseen POIs can
+  // never enter the top k inside the guarded horizon. Members versus rivals
+  // need no margin at all: Contains() compares distances recomputed at p
+  // through RanksBefore, the exact comparisons a snapshot query makes.
+  const double guard = GuardRadius(horizon, d_k + 2.0 * horizon);
+  if (guard <= 0.0) return r;
+  r.mode_ = SafeRegionMode::kInsq;
+  r.center_ = center;
+  r.k_ = k;
+  r.guard_radius_ = guard;
+  r.members_.assign(prefix.begin(), prefix.begin() + k);
+  // The circle fetch returns the members themselves too; drop them.
+  std::erase_if(rivals, [&r](const RankedPoi& cand) {
+    for (const RankedPoi& m : r.members_) {
+      if (m.id == cand.id) return true;
+    }
+    return false;
+  });
+  r.rivals_ = std::move(rivals);
+  // Area metric: the horizon disk (inscribed 64-gon, slightly conservative)
+  // clipped by each member/rival bisector that can reach it. The bisector of
+  // (m, v) passes no closer to the center than (d_v - d_m)/2, so farther
+  // pairs cannot cut the disk and are skipped.
+  geom::ConvexPolygon poly =
+      geom::ConvexPolygon::InscribedInCircle({center, guard}, 64);
+  for (const RankedPoi& m : r.members_) {
+    for (const RankedPoi& v : r.rivals_) {
+      if (0.5 * (v.distance - m.distance) >= guard) continue;
+      const geom::Vec2 mid = (m.position + v.position) * 0.5;
+      const geom::Vec2 dir = (v.position - m.position).Perp();
+      if (!(dir.Norm2() > 0.0)) continue;  // co-located pair: no bisector
+      poly = poly.ClipToHalfPlane({mid, mid + dir});
+      if (poly.IsEmpty()) break;
+    }
+    if (poly.IsEmpty()) break;
+  }
+  r.area_ = poly.Area();
+  return r;
+}
+
+bool SafeRegion::CoversExact(geom::Vec2 p) const {
+  if (!Valid()) return false;
+  // Inside the guarded radius no POI outside the known member+rival set can
+  // reach the top k (BuildDisk/BuildInsq headers give the two arguments), so
+  // ranking the known set at p IS the snapshot answer.
+  return geom::Dist(center_, p) < guard_radius_;
+}
+
+bool SafeRegion::Contains(geom::Vec2 p) const {
+  if (!CoversExact(p)) return false;
+  if (mode_ != SafeRegionMode::kInsq || rivals_.empty()) return true;
+  // Every member must rank before every rival at p; under the total order
+  // that reduces to worst-member vs best-rival, one RanksBefore call on
+  // distances recomputed at p (the very values a snapshot query compares).
+  double worst_d = 0.0;
+  PoiId worst_id = kInvalidPoi;
+  bool have_member = false;
+  for (const RankedPoi& m : members_) {
+    const double d = geom::Dist(p, m.position);
+    if (!have_member || RanksBefore(worst_d, worst_id, d, m.id)) {
+      worst_d = d;
+      worst_id = m.id;
+      have_member = true;
+    }
+  }
+  double best_d = 0.0;
+  PoiId best_id = kInvalidPoi;
+  bool have_rival = false;
+  for (const RankedPoi& v : rivals_) {
+    const double d = geom::Dist(p, v.position);
+    if (!have_rival || RanksBefore(d, v.id, best_d, best_id)) {
+      best_d = d;
+      best_id = v.id;
+      have_rival = true;
+    }
+  }
+  return RanksBefore(worst_d, worst_id, best_d, best_id);
+}
+
+std::vector<RankedPoi> SafeRegion::TopKAt(geom::Vec2 p, int k) const {
+  // Rank the whole known set (members + rivals) at p. Under Contains the
+  // prefix is the members anyway; under CoversExact a rival may have
+  // overtaken a member and the merged ranking is what the snapshot answers.
+  std::vector<RankedPoi> out = members_;
+  out.insert(out.end(), rivals_.begin(), rivals_.end());
+  for (RankedPoi& m : out) m.distance = geom::Dist(p, m.position);
+  std::sort(out.begin(), out.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
+  // The guard argument only covers the region's own prefix length: ranks
+  // beyond k() may be missing unseen POIs even inside the covered disk.
+  size_t cap = static_cast<size_t>(k_);
+  if (k >= 0 && static_cast<size_t>(k) < cap) cap = static_cast<size_t>(k);
+  if (out.size() > cap) out.resize(cap);
+  return out;
+}
+
+}  // namespace senn::core

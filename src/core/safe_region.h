@@ -1,0 +1,137 @@
+// Safe regions for continuous (moving) kNN queries.
+//
+// A SafeRegion is built at the moment a query is answered with a certified
+// rank prefix; any later position strictly inside the region is guaranteed
+// to have EXACTLY the same top-k set, so a moving host can answer locally
+// with a pure-arithmetic membership test — no peer harvest, no heap
+// verification, no server contact. Two constructions:
+//
+//   * Disk (client-only): the classical order-k bisector seed — a disk of
+//     radius (d_{k+1} - d_k) / 2 around the answer position. Inside it every
+//     member beats every non-member by the triangle inequality, using only
+//     the certified prefix the client already holds. Provably this can never
+//     outreach the Lemma 3.2 own-cache recheck (both are limited by the same
+//     cached information; DESIGN.md "Safe-region soundness" works out the
+//     bound), so its value is the O(1) test, not fewer server contacts.
+//
+//   * INSQ (server-assisted): the influential-neighbor construction of
+//     PAPERS.md's INSQ system ("An Influential Neighbor Set Based Moving kNN
+//     Query Processing System"). The server, which sees the FULL POI table,
+//     ships every rival POI within d_k + 2*horizon of the answer position.
+//     Inside the guarded horizon disk no unseen POI can enter the top k, so
+//     the member+rival set answers EVERY position there by local ranking
+//     (CoversExact/TopKAt) — the answer may change as bisectors are crossed,
+//     but it never needs the server. Because the rival set breaks the
+//     client-information bound, this coverage reaches ~d_m instead of
+//     (d_m - d_k)/2 and genuinely reduces server contacts
+//     (bench_ext_continuous gates on it). Contains(p) is the tighter
+//     unchanged-answer cell (horizon disk ∩ "every member still ranks before
+//     every rival").
+//
+// Exactness contract: CoversExact(p) implies TopKAt(p, k) is BITWISE
+// identical (ids, positions, distances) to a fresh snapshot SENN/server
+// query at p; Contains(p) additionally implies that top-k SET equals the
+// members. Member/rival comparisons go through core::RanksBefore on
+// geom::Dist values recomputed at p — the very comparisons a snapshot query
+// makes — so they carry no floating-point slack at all. Only the
+// disk/horizon radii guard against POIs the region has never seen; those are
+// shrunk by a conservative margin (kSafeRegionFpMargin) that dominates the
+// few-ulp error of Dist.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/geom/vec2.h"
+
+namespace senn::core {
+
+/// Which safe-region construction a continuous query maintains.
+enum class SafeRegionMode {
+  kOff = 0,   // no region; fast path is the Lemma 3.2 recheck only
+  kDisk = 1,  // client-only (d_{k+1} - d_k)/2 disk
+  kInsq = 2,  // server-assisted influential-neighbor cell
+};
+
+const char* SafeRegionModeName(SafeRegionMode m);
+
+/// Relative margin subtracted from the disk/horizon radii: absorbs the
+/// few-ulp error of computed distances AND rules out computed ties against
+/// unseen POIs (a tie would hand the decision to the id tie-break, which a
+/// region test cannot reproduce for POIs it does not know). Distances err by
+/// a few ulps (~1e-12 relative); 1e-9 leaves three orders of magnitude of
+/// headroom while shrinking a 1 km region by a micrometer.
+inline constexpr double kSafeRegionFpMargin = 1e-9;
+
+/// A conservative validity region for one answered kNN query.
+///
+/// Default-constructed regions are invalid (Contains is always false), which
+/// doubles as the "no region available" state.
+class SafeRegion {
+ public:
+  SafeRegion() = default;
+
+  /// Client-only disk region. `prefix` must be an exact ascending rank
+  /// prefix at `center` (the CachedResult invariant) with more than `k`
+  /// entries; the guard radius is (prefix[k] - prefix[k-1]) / 2 minus the FP
+  /// margin. Returns an invalid region when the prefix is too short, k < 1,
+  /// or the guarded radius is not positive (co-distant boundary ties).
+  static SafeRegion BuildDisk(geom::Vec2 center, const std::vector<RankedPoi>& prefix,
+                              int k);
+
+  /// Server-assisted INSQ region. `prefix` as above (>= k entries);
+  /// `horizon` is the reach cap (meters): the caller must have collected in
+  /// `rivals` EVERY POI of the database within distance
+  /// prefix[k-1].distance + 2 * horizon of `center`, except the k members
+  /// (member ids found in `rivals` are dropped here). Inside the region —
+  /// distance to center below the guarded horizon AND every member ranking
+  /// before every rival at the test point — the top-k set is exactly the
+  /// members. Invalid when the prefix is short, k < 1, or the guarded
+  /// horizon is not positive.
+  static SafeRegion BuildInsq(geom::Vec2 center, const std::vector<RankedPoi>& prefix,
+                              int k, double horizon, std::vector<RankedPoi> rivals);
+
+  bool Valid() const { return k_ >= 1 && guard_radius_ > 0.0; }
+  /// True iff the top-k set at p is guaranteed unchanged (still exactly the
+  /// members). Pure arithmetic: one Dist to the center plus, for INSQ, one
+  /// Dist per member and rival. Always false for invalid regions.
+  bool Contains(geom::Vec2 p) const;
+
+  /// True iff TopKAt(p, k()) is guaranteed exact — the known member+rival
+  /// set provably contains the whole top k() at p. This is the guarded
+  /// disk/horizon test alone (one Dist), a superset of Contains: between the
+  /// two, the answer has changed but is still locally computable. Always
+  /// false for invalid regions.
+  bool CoversExact(geom::Vec2 p) const;
+
+  /// The top-min(k, k()) at p over the known member+rival set, ascending
+  /// under the system rank order with distances recomputed at p — bitwise
+  /// identical to a fresh snapshot query PROVIDED CoversExact(p). (Outside
+  /// the covered disk it merely ranks the known POIs.)
+  std::vector<RankedPoi> TopKAt(geom::Vec2 p, int k) const;
+
+  SafeRegionMode mode() const { return mode_; }
+  int k() const { return k_; }
+  geom::Vec2 center() const { return center_; }
+  /// The guarded disk/horizon radius (meters); 0 for invalid regions.
+  double guard_radius() const { return guard_radius_; }
+  /// Conservative region area (m^2): pi r^2 for the disk; for INSQ the
+  /// horizon disk clipped by every member/rival bisector that can cut it
+  /// (polygonized — a metric for reports, never used for soundness).
+  double Area() const { return area_; }
+  const std::vector<RankedPoi>& members() const { return members_; }
+  const std::vector<RankedPoi>& rivals() const { return rivals_; }
+
+ private:
+  SafeRegionMode mode_ = SafeRegionMode::kOff;
+  geom::Vec2 center_;
+  int k_ = 0;
+  double guard_radius_ = 0.0;
+  double area_ = 0.0;
+  /// The top-k at center (positions carried verbatim from the POI table).
+  std::vector<RankedPoi> members_;
+  /// INSQ rival candidates (distances as computed at center, ascending).
+  std::vector<RankedPoi> rivals_;
+};
+
+}  // namespace senn::core

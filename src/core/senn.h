@@ -154,6 +154,10 @@ class SennProcessor {
                        const std::vector<const CachedResult*>& peer_caches) const;
 
   const SennOptions& options() const { return options_; }
+  /// The server this processor queries — server-assisted extensions (the
+  /// INSQ safe-region rival fetch in continuous.cc) piggyback structures
+  /// computed from the full POI table on an answering contact.
+  SpatialServer* server() const { return server_; }
 
  private:
   /// Drops null/empty caches and applies the Heuristic 3.3 ordering.

@@ -8,6 +8,7 @@
 
 #include "src/cache/nn_cache.h"
 #include "src/common/rng.h"
+#include "src/core/continuous.h"
 #include "src/mobility/mover.h"
 
 namespace senn::sim {
@@ -31,10 +32,20 @@ class MobileHost {
   const cache::NnCache& cache() const { return cache_; }
   Rng& rng() { return rng_; }
 
+  /// Continuous-query mode (simulator.h): the host carries one ContinuousKnn
+  /// across epochs instead of issuing independent snapshot queries. Null in
+  /// snapshot mode.
+  void AttachContinuous(std::unique_ptr<core::ContinuousKnn> continuous) {
+    continuous_ = std::move(continuous);
+  }
+  core::ContinuousKnn* continuous() { return continuous_.get(); }
+  const core::ContinuousKnn* continuous() const { return continuous_.get(); }
+
  private:
   int32_t id_;
   std::unique_ptr<mobility::Mover> mover_;
   cache::NnCache cache_;
+  std::unique_ptr<core::ContinuousKnn> continuous_;
   bool moving_;
   Rng rng_;
 };

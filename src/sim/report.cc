@@ -119,6 +119,17 @@ std::string SimulationResultJson(const SimulationResult& r) {
   AppendStats(&out, "batch_cluster_size", r.batch_cluster_size);
   AppendKv(&out, "batch_shared_miss_pages", r.batch_shared_miss_pages);
   AppendKv(&out, "batch_private_miss_pages", r.batch_private_miss_pages);
+  // Continuous-query metrics (appended before the tail field, same golden
+  // prefix convention; all zero unless `continuous` is on).
+  AppendKv(&out, "continuous_steps", r.continuous_steps);
+  AppendKv(&out, "continuous_safe_region_steps", r.continuous_safe_region_steps);
+  AppendKv(&out, "continuous_peer_region_steps", r.continuous_peer_region_steps);
+  AppendKv(&out, "continuous_own_cache_steps", r.continuous_own_cache_steps);
+  AppendKv(&out, "continuous_peer_steps", r.continuous_peer_steps);
+  AppendKv(&out, "continuous_uncertain_steps", r.continuous_uncertain_steps);
+  AppendKv(&out, "continuous_server_steps", r.continuous_server_steps);
+  AppendKv(&out, "continuous_region_pages", r.continuous_region_pages);
+  AppendStats(&out, "continuous_region_area_m2", r.continuous_region_area_m2);
   AppendKv(&out, "simulated_seconds", r.simulated_seconds, false);
   out += "}";
   return out;

@@ -11,6 +11,15 @@ Simulator::Simulator(SimulationConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   // Policy 2: server queries always request cache_size POIs.
   config_.senn.server_request_k = config_.params.cache_size;
+  // Continuous mode advances one long-lived query per host on the
+  // sequential in-process path with a fixed k (simulator.h); senn_sim
+  // rejects conflicting flags before construction.
+  assert(!(config_.continuous && config_.server_batch > 1) &&
+         "continuous mode requires server_batch == 1");
+  assert(!(config_.continuous && config_.server_transport == ServerTransport::kLoopback) &&
+         "continuous mode requires the in-process transport");
+  assert(!(config_.continuous && config_.randomize_k) &&
+         "continuous queries keep k fixed for their lifetime");
   BuildWorld();
 }
 
@@ -126,6 +135,21 @@ void Simulator::BuildWorld() {
   }
 
   if (config_.warm_start) WarmStartCaches();
+
+  // Continuous mode: one long-lived query per host, seeded from whatever the
+  // warm start put in its cache (an exact server/SENN prefix, so priming —
+  // including the INSQ rival fetch — is sound). Priming page traffic models
+  // state accumulated before the measured window and is not charged.
+  if (config_.continuous) {
+    core::ContinuousOptions copts;
+    copts.safe_region = config_.safe_region;
+    for (std::unique_ptr<MobileHost>& host : hosts_) {
+      auto cont = std::make_unique<core::ContinuousKnn>(senn_.get(), p.k_nn, copts);
+      const core::CachedResult* cached = host->cache().Get();
+      if (cached != nullptr && !cached->Empty()) cont->Prime(*cached);
+      host->AttachContinuous(std::move(cont));
+    }
+  }
 }
 
 void Simulator::WarmStartCaches() {
@@ -489,6 +513,137 @@ void Simulator::AccountQuery(const core::SennOutcome& outcome, MobileHost* host,
   }
 }
 
+void Simulator::ExecuteContinuousStep(MobileHost* host, double now, bool measuring,
+                                      SimulationResult* result) {
+  (void)now;
+  core::ContinuousKnn* cont = host->continuous();
+  assert(cont != nullptr && "continuous mode attaches a ContinuousKnn per host");
+  const geom::Vec2 q = host->position();
+  const uint64_t regions_before = cont->stats().regions_built;
+
+  core::StepResult step;
+  double p2p_messages = 0.0;
+  double p2p_bytes = 0.0;
+  double latency_s = 0.0;
+  int retries = 0;
+  uint64_t transmissions_lost = 0;
+  uint64_t replies_missed = 0;
+
+  if (std::optional<core::StepResult> local = cont->TryLocal(q)) {
+    // Zero-communication step: nothing crosses the air and no channel draws
+    // happen ("net" streams name only communicating launches, so skipping
+    // the qid here keeps the run a pure function of the config).
+    step = *std::move(local);
+  } else {
+    const uint64_t qid = query_seq_++;
+    Rng net_rng = rng_.Stream("net", qid);
+    neighbor_ids_.clear();
+    grid_->QueryRadius(q, config_.params.tx_range_m, &neighbor_ids_);
+    // Radio candidates: reachable peers with a non-empty rolling cache (the
+    // continuous cache — the snapshot NnCache is stale past the warm start
+    // here). A peer's safe region rides in the same reply as its cached
+    // POIs: the region members are a prefix of them, so reply sizing is
+    // unchanged. The querying host's own state never crosses the air; the
+    // ContinuousKnn consults it internally.
+    candidates_.clear();
+    candidate_caches_.clear();
+    peer_regions_.clear();
+    for (int32_t id : neighbor_ids_) {
+      if (id == host->id()) continue;
+      const MobileHost* peer = hosts_[static_cast<size_t>(id)].get();
+      const core::ContinuousKnn* peer_cont = peer->continuous();
+      const core::CachedResult& cached = peer_cont->shared_cache();
+      if (cached.Empty()) continue;
+      candidates_.push_back({id, cached.neighbors.size()});
+      candidate_caches_.push_back(&cached);
+      peer_regions_.push_back(&peer_cont->safe_region());
+    }
+    net::ExchangeResult ex = net::RunExchange(config_.channel, candidates_, &net_rng);
+    arrived_.assign(candidates_.size(), 0);
+    for (int idx : ex.arrived) arrived_[static_cast<size_t>(idx)] = 1;
+    // Keep caches and regions of the peers whose reply made a deadline,
+    // compacting the region list in place to stay aligned with the caches.
+    peer_caches_.clear();
+    size_t kept = 0;
+    for (size_t slot = 0; slot < candidates_.size(); ++slot) {
+      if (arrived_[slot] == 0) continue;
+      peer_caches_.push_back(candidate_caches_[slot]);
+      peer_regions_[kept++] = peer_regions_[slot];
+    }
+    peer_regions_.resize(kept);
+
+    step = cont->ResolveWithPeers(q, peer_caches_, peer_regions_);
+    p2p_messages = ex.messages_sent;
+    p2p_bytes = ex.bytes_sent;
+    retries = ex.retries;
+    transmissions_lost = ex.transmissions_lost;
+    replies_missed = candidates_.size() - ex.arrived.size();
+    latency_s = ex.elapsed_s;
+    if (step.source == core::StepSource::kServer) {
+      latency_s += net::DrawServerRtt(config_.channel, &net_rng);
+    }
+  }
+
+  if (!measuring) return;
+  ++result->measured_queries;
+  ++result->continuous_steps;
+  result->peers_in_range.Add(static_cast<double>(step.peers_consulted));
+  result->p2p_messages_per_query.Add(p2p_messages);
+  result->p2p_bytes_per_query.Add(p2p_bytes);
+  result->query_latency_s.Add(latency_s);
+  result->latency_p50.Add(latency_s);
+  result->latency_p95.Add(latency_s);
+  result->latency_p99.Add(latency_s);
+  result->retries_per_query.Add(static_cast<double>(retries));
+  result->transmissions_lost += transmissions_lost;
+  result->replies_missed += replies_missed;
+  switch (step.source) {
+    case core::StepSource::kSafeRegion:
+      ++result->continuous_safe_region_steps;
+      break;
+    case core::StepSource::kPeerRegion:
+      ++result->continuous_peer_region_steps;
+      break;
+    case core::StepSource::kOwnCache:
+      ++result->continuous_own_cache_steps;
+      break;
+    case core::StepSource::kSinglePeer:
+      ++result->continuous_peer_steps;
+      ++result->by_single_peer;
+      break;
+    case core::StepSource::kMultiPeer:
+      ++result->continuous_peer_steps;
+      ++result->by_multi_peer;
+      break;
+    case core::StepSource::kUncertain:
+      // Best-effort answer (accept_uncertain runs only). Grouped with the
+      // peer-answered fraction for the by_* classification — matching the
+      // snapshot path — but visible separately in its own counter.
+      ++result->continuous_uncertain_steps;
+      ++result->by_multi_peer;
+      break;
+    case core::StepSource::kServer:
+      ++result->continuous_server_steps;
+      ++result->by_server;
+      result->einn_pages.Add(static_cast<double>(step.einn_accesses.total()));
+      result->inn_pages.Add(static_cast<double>(step.inn_accesses.total()));
+      if (config_.paged_storage) {
+        const uint64_t logical = step.einn_accesses.total();
+        const uint64_t misses = step.einn_accesses.misses();
+        result->einn_miss_pages.Add(static_cast<double>(misses));
+        result->buffer.AddMisses(misses);
+        result->buffer.AddHits(logical - misses);
+      }
+      break;
+    case core::StepSource::kStepSourceCount:
+      break;
+  }
+  result->continuous_region_pages += step.region_pages;
+  if (cont->stats().regions_built > regions_before && cont->safe_region().Valid()) {
+    result->continuous_region_area_m2.Add(cont->safe_region().Area());
+  }
+}
+
 SimulationResult Simulator::Run() {
   const ParameterSet& p = config_.params;
   SimulationResult result;
@@ -517,6 +672,12 @@ SimulationResult Simulator::Run() {
     bool measuring = now >= warmup_end;
     for (uint64_t q = 0; q < launches; ++q) {
       MobileHost* host = hosts_[workload_rng.NextIndex(hosts_.size())].get();
+      if (config_.continuous) {
+        // Continuous mode: advance the host's long-lived query instead of
+        // issuing an independent snapshot query.
+        ExecuteContinuousStep(host, now, measuring, &result);
+        continue;
+      }
       int k = config_.randomize_k
                   ? static_cast<int>(workload_rng.UniformInt(config_.k_min, config_.k_max))
                   : p.k_nn;

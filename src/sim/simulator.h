@@ -153,6 +153,18 @@ struct SimulationConfig {
   /// priming always runs in process: it models state accumulated before the
   /// measured window, and its page traffic is reset away regardless.
   ServerTransport server_transport = ServerTransport::kInProcess;
+
+  /// Continuous-query mode: every host holds one core::ContinuousKnn (k =
+  /// params.k_nn) across the whole run, and each launch advances that query
+  /// at the host's current position instead of issuing an independent
+  /// snapshot query. Steps resolve through (in order) the safe region, the
+  /// Lemma 3.2 own-cache recheck, shared peer safe regions, peer caches,
+  /// and finally the server. Requires the sequential in-process transport
+  /// (server_batch == 1, kInProcess) and a fixed k (randomize_k == false).
+  bool continuous = false;
+  /// Safe-region construction maintained by continuous queries (see
+  /// core/safe_region.h). Ignored unless `continuous` is set.
+  core::SafeRegionMode safe_region = core::SafeRegionMode::kOff;
 };
 
 /// Aggregated outcome of a run (the quantities Figures 9-17 plot).
@@ -216,6 +228,25 @@ struct SimulationResult {
   /// was wanted by >= 2 queries of its cluster (zero without paged_storage).
   uint64_t batch_shared_miss_pages = 0;
   uint64_t batch_private_miss_pages = 0;
+
+  /// Continuous-query metrics (all zero unless `continuous` is on). Steps
+  /// partition exactly by answering source:
+  /// continuous_steps == safe_region + peer_region + own_cache + peer +
+  /// uncertain + server. Every step also counts as a measured query, and
+  /// server-answered steps feed by_server / einn_pages, so pct_server stays
+  /// the SQRR metric (server contacts per issued step).
+  uint64_t continuous_steps = 0;
+  uint64_t continuous_safe_region_steps = 0;
+  uint64_t continuous_peer_region_steps = 0;
+  uint64_t continuous_own_cache_steps = 0;
+  uint64_t continuous_peer_steps = 0;
+  uint64_t continuous_uncertain_steps = 0;
+  uint64_t continuous_server_steps = 0;
+  /// Logical R*-tree accesses of the INSQ rival fetches (they ride on
+  /// answering server replies; kInsq mode only).
+  uint64_t continuous_region_pages = 0;
+  /// Area (m^2) of each safe region installed during the measured window.
+  RunningStats continuous_region_area_m2;
 
   double simulated_seconds = 0.0;
 };
@@ -296,6 +327,12 @@ class Simulator {
                     int k, bool measuring, SimulationResult* result);
   /// Answers every deferred query through the BatchServer and completes it.
   void DrainBatch(SimulationResult* result);
+  /// One launch of continuous mode: advances `host`'s ContinuousKnn at its
+  /// current position (local fast paths first; otherwise the wireless
+  /// exchange harvests peer caches AND peer safe regions) and accounts the
+  /// step. The sequential-path replacement for ExecuteQuery + AccountQuery.
+  void ExecuteContinuousStep(MobileHost* host, double now, bool measuring,
+                             SimulationResult* result);
 
   SimulationConfig config_;
   Rng rng_;
@@ -336,6 +373,9 @@ class Simulator {
   std::vector<net::PeerProfile> candidates_;
   std::vector<const core::CachedResult*> candidate_caches_;
   std::vector<char> arrived_;
+  /// Continuous mode: safe regions of the harvested peers, aligned with
+  /// peer_caches_ assembly (only regions whose reply arrived are visible).
+  std::vector<const core::SafeRegion*> peer_regions_;
 };
 
 }  // namespace senn::sim

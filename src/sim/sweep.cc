@@ -67,6 +67,15 @@ SimulationResult MergeResults(const std::vector<SimulationResult>& parts) {
     merged.batch_cluster_size.Merge(part.batch_cluster_size);
     merged.batch_shared_miss_pages += part.batch_shared_miss_pages;
     merged.batch_private_miss_pages += part.batch_private_miss_pages;
+    merged.continuous_steps += part.continuous_steps;
+    merged.continuous_safe_region_steps += part.continuous_safe_region_steps;
+    merged.continuous_peer_region_steps += part.continuous_peer_region_steps;
+    merged.continuous_own_cache_steps += part.continuous_own_cache_steps;
+    merged.continuous_peer_steps += part.continuous_peer_steps;
+    merged.continuous_uncertain_steps += part.continuous_uncertain_steps;
+    merged.continuous_server_steps += part.continuous_server_steps;
+    merged.continuous_region_pages += part.continuous_region_pages;
+    merged.continuous_region_area_m2.Merge(part.continuous_region_area_m2);
     merged.simulated_seconds += part.simulated_seconds;
   }
   if (merged.measured_queries > 0) {

@@ -1,0 +1,122 @@
+// Differential battery for safe-region continuous kNN: at EVERY sampled
+// step of a randomized drive, the ContinuousKnn answer — whichever path
+// produced it (safe region, own-cache recheck, peer region, SENN, server) —
+// must be BITWISE identical (ids, positions, distances) to a fresh snapshot
+// SENN execution at that position. Runs over generated worlds x speeds x
+// both region modes.
+//
+// Like the batch battery, this file builds twice: the tier-1 binary cuts the
+// trial count via SENN_CONT_TRIALS; the slow-label binary runs the full
+// sweep (36 worlds x 3 speeds x 2 modes >= the "100+ worlds x speeds"
+// acceptance bar).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/continuous.h"
+#include "src/mobility/waypoint.h"
+
+#ifndef SENN_CONT_TRIALS
+#define SENN_CONT_TRIALS 36
+#endif
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+TEST(ContinuousDiffTest, BitwiseEqualToSnapshotSennAtEveryStep) {
+  const double speeds_mps[] = {5.0, 15.0, 35.0};
+  const SafeRegionMode modes[] = {SafeRegionMode::kDisk, SafeRegionMode::kInsq};
+  uint64_t steps_checked = 0;
+  uint64_t region_hits = 0;
+  for (int trial = 0; trial < SENN_CONT_TRIALS; ++trial) {
+    Rng rng = Rng(20060403).Stream("cont-diff", static_cast<uint64_t>(trial));
+    const double extent = rng.Uniform(600, 6000);
+    const int n = static_cast<int>(rng.UniformInt(20, 119));
+    std::vector<Poi> pois = RandomPois(n, &rng, extent);
+    const int k = static_cast<int>(rng.UniformInt(1, 6));
+    SpatialServer server(pois);
+    SennOptions options;
+    options.server_request_k = 12;
+    SennProcessor senn(&server, options);
+    for (double speed : speeds_mps) {
+      for (SafeRegionMode mode : modes) {
+        ContinuousOptions copts;
+        copts.safe_region = mode;
+        ContinuousKnn cknn(&senn, k, copts);
+        mobility::WaypointConfig wcfg;
+        wcfg.area_side_m = extent;
+        wcfg.speed_mps = speed;
+        wcfg.mean_pause_s = 5.0;
+        Rng drive_rng = rng.Stream("drive", static_cast<uint64_t>(
+                                                speed * 1000.0 + (mode == SafeRegionMode::kInsq)));
+        mobility::WaypointMover car(
+            wcfg, {drive_rng.Uniform(0, extent), drive_rng.Uniform(0, extent)},
+            &drive_rng);
+        for (int step = 0; step < 60; ++step) {
+          car.Advance(5.0, &drive_rng);
+          const Vec2 pos = car.position();
+          StepResult r = cknn.Step(pos);
+          SennOutcome snapshot = senn.Execute(pos, k, {});
+          ASSERT_EQ(r.neighbors, snapshot.neighbors)
+              << "trial " << trial << " speed " << speed << " mode "
+              << SafeRegionModeName(mode) << " step " << step << " source "
+              << StepSourceName(r.source);
+          ++steps_checked;
+        }
+        region_hits += cknn.stats().safe_region_hits;
+        const ContinuousStats& s = cknn.stats();
+        EXPECT_EQ(s.steps, s.safe_region_hits + s.peer_region_hits + s.own_cache_hits +
+                               s.peer_answers + s.uncertain_answers + s.server_answers);
+      }
+    }
+  }
+  // The battery is vacuous if the safe-region path never fires.
+  EXPECT_GT(region_hits, steps_checked / 20);
+#if SENN_CONT_TRIALS >= 36
+  // Acceptance bar: 100+ generated world x speed combinations, both modes.
+  EXPECT_GE(SENN_CONT_TRIALS * 3, 100);
+#endif
+}
+
+TEST(ContinuousDiffTest, PeerRegionSharingStaysExact) {
+  // Host A leads, host B trails 40 m behind on the same track. B receives
+  // A's rolling cache and safe region every step; adopting them must keep
+  // B's answers bitwise exact and must actually fire the peer-region path.
+  Rng rng(99);
+  const double extent = 3000;
+  std::vector<Poi> pois = RandomPois(70, &rng, extent);
+  SpatialServer server(pois);
+  SennOptions options;
+  options.server_request_k = 12;
+  SennProcessor senn(&server, options);
+  ContinuousOptions copts;
+  copts.safe_region = SafeRegionMode::kInsq;
+  ContinuousKnn a(&senn, 3, copts);
+  ContinuousKnn b(&senn, 3, copts);
+  uint64_t b_peer_region_hits = 0;
+  for (int step = 0; step < 200; ++step) {
+    const Vec2 pos_a{200.0 + step * 12.0, 1500.0};
+    const Vec2 pos_b{pos_a.x - 40.0, 1500.0};
+    a.Step(pos_a);
+    StepResult rb = b.Step(pos_b, {&a.shared_cache()}, {&a.safe_region()});
+    SennOutcome snapshot = senn.Execute(pos_b, 3, {});
+    ASSERT_EQ(rb.neighbors, snapshot.neighbors) << "step " << step;
+    b_peer_region_hits = b.stats().peer_region_hits;
+  }
+  EXPECT_GT(b_peer_region_hits, 0u);
+}
+
+}  // namespace
+}  // namespace senn::core

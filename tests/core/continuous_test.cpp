@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/common/rng.h"
 
@@ -70,7 +71,8 @@ TEST_F(ContinuousKnnTest, OwnCacheServesDenselySampledMovement) {
   }
   const ContinuousStats& s = cknn.stats();
   EXPECT_GT(s.own_cache_hits, s.steps * 3 / 4);
-  EXPECT_EQ(s.steps, s.own_cache_hits + s.peer_answers + s.server_answers);
+  EXPECT_EQ(s.steps, s.safe_region_hits + s.peer_region_hits + s.own_cache_hits +
+                         s.peer_answers + s.uncertain_answers + s.server_answers);
 }
 
 TEST_F(ContinuousKnnTest, FirstStepGoesOut) {
@@ -139,6 +141,75 @@ TEST_F(ContinuousKnnTest, KOneWorks) {
   }
 }
 
+TEST_F(ContinuousKnnTest, UncertainAnswersAreCountedSeparately) {
+  // An accept_uncertain processor can return best-effort answers (senn.h);
+  // the continuous layer must surface them as kUncertain, never disguised
+  // as a verified peer answer.
+  SennOptions options;
+  options.server_request_k = 12;
+  options.accept_uncertain = true;
+  SennProcessor uncertain_senn(server_.get(), options);
+
+  // A peer anchored far beyond its own prefix radius: its candidates fill
+  // the heap but none can be certified at the query point.
+  CachedResult far_peer;
+  far_peer.query_location = {1800, 1800};
+  far_peer.neighbors = server_->QueryKnn(far_peer.query_location, 12).neighbors;
+
+  ContinuousKnn cknn(&uncertain_senn, 3);
+  StepResult r = cknn.Step({200, 200}, {&far_peer});
+  EXPECT_EQ(r.source, StepSource::kUncertain);
+  const ContinuousStats& s = cknn.stats();
+  EXPECT_EQ(s.uncertain_answers, 1u);
+  EXPECT_EQ(s.peer_answers, 0u);
+  EXPECT_EQ(s.server_answers, 0u);
+  EXPECT_EQ(s.steps, s.safe_region_hits + s.peer_region_hits + s.own_cache_hits +
+                         s.peer_answers + s.uncertain_answers + s.server_answers);
+}
+
+TEST_F(ContinuousKnnTest, RejectsDegenerateK) {
+  EXPECT_FALSE(ContinuousKnn::ValidateK(0).ok());
+  EXPECT_FALSE(ContinuousKnn::ValidateK(-7).ok());
+  EXPECT_EQ(ContinuousKnn::ValidateK(0).message(), "k must be positive");
+  EXPECT_TRUE(ContinuousKnn::ValidateK(1).ok());
+}
+
+TEST_F(ContinuousKnnTest, StepIsInvariantUnderPeerListPermutation) {
+  // Harvest order over the air is nondeterministic; the answer and the
+  // accounting must not depend on it.
+  std::vector<CachedResult> peers;
+  for (int p = 0; p < 4; ++p) {
+    CachedResult c;
+    c.query_location = {600.0 + p * 150.0, 1000.0 + (p % 2) * 120.0};
+    c.neighbors = server_->QueryKnn(c.query_location, 12).neighbors;
+    peers.push_back(std::move(c));
+  }
+  ContinuousOptions copts;
+  copts.safe_region = SafeRegionMode::kInsq;
+  ContinuousKnn forward(senn_.get(), 3, copts);
+  ContinuousKnn reversed(senn_.get(), 3, copts);
+  for (int step = 0; step <= 60; ++step) {
+    Vec2 pos{450.0 + step * 12.0, 1020.0};
+    std::vector<const CachedResult*> fwd;
+    for (const CachedResult& c : peers) fwd.push_back(&c);
+    std::vector<const CachedResult*> rev(fwd.rbegin(), fwd.rend());
+    // Both hosts also see each OTHER's pre-step region (snapshotted so the
+    // first Step cannot leak its refreshed region into the second).
+    SafeRegion fwd_region = forward.safe_region();
+    SafeRegion rev_region = reversed.safe_region();
+    StepResult rf = forward.Step(pos, fwd, {&rev_region});
+    StepResult rr = reversed.Step(pos, rev, {&fwd_region});
+    ASSERT_EQ(rf.neighbors, rr.neighbors) << "step " << step;
+    EXPECT_EQ(rf.source, rr.source) << "step " << step;
+  }
+  EXPECT_EQ(forward.stats().steps, reversed.stats().steps);
+  EXPECT_EQ(forward.stats().safe_region_hits, reversed.stats().safe_region_hits);
+  EXPECT_EQ(forward.stats().peer_region_hits, reversed.stats().peer_region_hits);
+  EXPECT_EQ(forward.stats().own_cache_hits, reversed.stats().own_cache_hits);
+  EXPECT_EQ(forward.stats().peer_answers, reversed.stats().peer_answers);
+  EXPECT_EQ(forward.stats().server_answers, reversed.stats().server_answers);
+}
+
 TEST(ContinuousKnnEdgeTest, EmptyDatabase) {
   SpatialServer server({});
   SennProcessor senn(&server, SennOptions{});
@@ -151,6 +222,25 @@ TEST(ContinuousKnnEdgeTest, EmptyDatabase) {
 TEST(ContinuousKnnEdgeTest, StepSourceNames) {
   EXPECT_STREQ(StepSourceName(StepSource::kOwnCache), "own-cache");
   EXPECT_STREQ(StepSourceName(StepSource::kServer), "server");
+  EXPECT_STREQ(StepSourceName(StepSource::kSafeRegion), "safe-region");
+  EXPECT_STREQ(StepSourceName(StepSource::kUncertain), "uncertain");
+}
+
+TEST(ContinuousKnnEdgeTest, EveryStepSourceHasADistinctName) {
+  // Round-trip over the whole enum: every value maps to a real, pairwise
+  // distinct label (reports key on these strings).
+  std::vector<std::string> names;
+  for (int v = 0; v < static_cast<int>(StepSource::kStepSourceCount); ++v) {
+    const char* name = StepSourceName(static_cast<StepSource>(v));
+    ASSERT_NE(name, nullptr) << "value " << v;
+    EXPECT_STRNE(name, "unknown") << "value " << v;
+    names.push_back(name);
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]) << i << " vs " << j;
+    }
+  }
 }
 
 }  // namespace

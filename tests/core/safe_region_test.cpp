@@ -1,0 +1,227 @@
+// Tests of the safe-region constructions (core/safe_region.h): the guard
+// formulas, the degenerate/invalid cases, and — the part everything else
+// leans on — soundness: inside CoversExact the locally ranked answer must be
+// bitwise identical to a brute-force snapshot, and inside Contains the top-k
+// SET must equal the members.
+#include "src/core/safe_region.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/core/types.h"
+
+namespace senn::core {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<RankedPoi> RankAll(const std::vector<Poi>& pois, Vec2 q) {
+  std::vector<RankedPoi> all;
+  for (const Poi& p : pois) all.push_back({p.id, p.position, geom::Dist(q, p.position)});
+  std::sort(all.begin(), all.end(),
+            [](const RankedPoi& a, const RankedPoi& b) { return RanksBefore(a, b); });
+  return all;
+}
+
+std::vector<RankedPoi> BruteTopK(const std::vector<Poi>& pois, Vec2 q, int k) {
+  std::vector<RankedPoi> all = RankAll(pois, q);
+  if (all.size() > static_cast<size_t>(k)) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+std::vector<Poi> RandomPois(int n, Rng* rng, double extent) {
+  std::vector<Poi> pois;
+  for (int i = 0; i < n; ++i) {
+    pois.push_back({i, {rng->Uniform(0, extent), rng->Uniform(0, extent)}});
+  }
+  return pois;
+}
+
+/// Rivals exactly as the INSQ fetch contract demands: every POI within
+/// d_k + 2*horizon of the center.
+std::vector<RankedPoi> FetchRivals(const std::vector<Poi>& pois, Vec2 center,
+                                   double radius) {
+  std::vector<RankedPoi> out;
+  for (const RankedPoi& r : RankAll(pois, center)) {
+    if (r.distance <= radius) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(SafeRegionDiskTest, GuardRadiusFormula) {
+  // Hand-placed prefix: d_1 = 100, d_2 = 300 around the origin.
+  std::vector<RankedPoi> prefix = {{0, {100, 0}, 100.0}, {1, {0, 300}, 300.0}};
+  SafeRegion r = SafeRegion::BuildDisk({0, 0}, prefix, 1);
+  ASSERT_TRUE(r.Valid());
+  EXPECT_EQ(r.mode(), SafeRegionMode::kDisk);
+  EXPECT_EQ(r.k(), 1);
+  EXPECT_DOUBLE_EQ(r.guard_radius(), 0.5 * (300.0 - 100.0) - kSafeRegionFpMargin * 301.0);
+  EXPECT_DOUBLE_EQ(r.Area(), kPi * r.guard_radius() * r.guard_radius());
+  ASSERT_EQ(r.members().size(), 1u);
+  EXPECT_EQ(r.members()[0].id, 0);
+  EXPECT_TRUE(r.rivals().empty());
+}
+
+TEST(SafeRegionDiskTest, DegeneratePrefixesAreInvalid) {
+  std::vector<RankedPoi> prefix = {{0, {100, 0}, 100.0}, {1, {0, 300}, 300.0}};
+  EXPECT_FALSE(SafeRegion::BuildDisk({0, 0}, prefix, 2).Valid());  // needs k+1
+  EXPECT_FALSE(SafeRegion::BuildDisk({0, 0}, prefix, 0).Valid());
+  EXPECT_FALSE(SafeRegion::BuildDisk({0, 0}, prefix, -3).Valid());
+  EXPECT_FALSE(SafeRegion::BuildDisk({0, 0}, {}, 1).Valid());
+  // A co-distant boundary tie leaves no room between d_k and d_{k+1}.
+  std::vector<RankedPoi> tie = {{0, {100, 0}, 100.0}, {1, {0, 100}, 100.0}};
+  EXPECT_FALSE(SafeRegion::BuildDisk({0, 0}, tie, 1).Valid());
+}
+
+TEST(SafeRegionDiskTest, ContainsIsTheStrictGuardedDisk) {
+  std::vector<RankedPoi> prefix = {{0, {100, 0}, 100.0}, {1, {0, 300}, 300.0}};
+  SafeRegion r = SafeRegion::BuildDisk({0, 0}, prefix, 1);
+  ASSERT_TRUE(r.Valid());
+  double g = r.guard_radius();
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({0.99 * g, 0}));
+  EXPECT_FALSE(r.Contains({g, 0}));  // strict: the boundary is out
+  EXPECT_FALSE(r.Contains({1.01 * g, 0}));
+  // Contains and CoversExact coincide for the client-only disk.
+  EXPECT_TRUE(r.CoversExact({0.99 * g, 0}));
+  EXPECT_FALSE(r.CoversExact({g, 0}));
+}
+
+TEST(SafeRegionTest, InvalidRegionContainsNothing) {
+  SafeRegion none;
+  EXPECT_FALSE(none.Valid());
+  EXPECT_FALSE(none.Contains({0, 0}));
+  EXPECT_FALSE(none.CoversExact({0, 0}));
+  EXPECT_DOUBLE_EQ(none.Area(), 0.0);
+}
+
+TEST(SafeRegionDiskTest, SoundOverRandomWorlds) {
+  Rng rng(20060403);
+  int contained_samples = 0;
+  for (int world = 0; world < 40; ++world) {
+    const double extent = rng.Uniform(500, 5000);
+    std::vector<Poi> pois = RandomPois(static_cast<int>(rng.UniformInt(10, 80)), &rng, extent);
+    const int k = static_cast<int>(rng.UniformInt(1, 5));
+    Vec2 center{rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    std::vector<RankedPoi> prefix = RankAll(pois, center);
+    if (prefix.size() <= static_cast<size_t>(k)) continue;
+    SafeRegion r = SafeRegion::BuildDisk(center, prefix, k);
+    if (!r.Valid()) continue;
+    for (int s = 0; s < 30; ++s) {
+      const double ang = rng.Uniform(0, 2 * kPi);
+      const double rad = rng.Uniform(0, 2.0 * r.guard_radius());
+      Vec2 p = center + Vec2{rad * std::cos(ang), rad * std::sin(ang)};
+      if (!r.Contains(p)) continue;
+      ++contained_samples;
+      // Bitwise: same ids, same table positions, same recomputed distances.
+      EXPECT_EQ(r.TopKAt(p, k), BruteTopK(pois, p, k)) << "world " << world;
+    }
+  }
+  EXPECT_GT(contained_samples, 100);
+}
+
+TEST(SafeRegionInsqTest, RivalFetchMembersAreFiltered) {
+  Rng rng(7);
+  std::vector<Poi> pois = RandomPois(40, &rng, 2000);
+  Vec2 center{1000, 1000};
+  std::vector<RankedPoi> prefix = RankAll(pois, center);
+  prefix.resize(12);
+  const int k = 3;
+  const double horizon = prefix.back().distance;
+  const double fetch = prefix[k - 1].distance + 2.0 * horizon;
+  SafeRegion r = SafeRegion::BuildInsq(center, prefix, k, horizon,
+                                       FetchRivals(pois, center, fetch));
+  ASSERT_TRUE(r.Valid());
+  EXPECT_EQ(r.mode(), SafeRegionMode::kInsq);
+  ASSERT_EQ(r.members().size(), static_cast<size_t>(k));
+  for (const RankedPoi& m : r.members()) {
+    for (const RankedPoi& v : r.rivals()) EXPECT_NE(m.id, v.id);
+  }
+  // Area: never larger than the horizon disk, and positive here (the guard
+  // disk survives at least partially).
+  EXPECT_GT(r.Area(), 0.0);
+  EXPECT_LE(r.Area(), kPi * r.guard_radius() * r.guard_radius() + 1e-6);
+}
+
+TEST(SafeRegionInsqTest, InvalidCases) {
+  std::vector<RankedPoi> prefix = {{0, {100, 0}, 100.0}, {1, {0, 300}, 300.0}};
+  EXPECT_FALSE(SafeRegion::BuildInsq({0, 0}, prefix, 0, 100.0, {}).Valid());
+  EXPECT_FALSE(SafeRegion::BuildInsq({0, 0}, prefix, 3, 100.0, {}).Valid());  // short
+  EXPECT_FALSE(SafeRegion::BuildInsq({0, 0}, prefix, 1, 0.0, {}).Valid());    // no horizon
+  EXPECT_FALSE(SafeRegion::BuildInsq({0, 0}, {}, 1, 100.0, {}).Valid());
+}
+
+TEST(SafeRegionInsqTest, CoversBeyondTheDiskAndStaysExact) {
+  // The whole point of the server-assisted region: it answers positions the
+  // client-only disk cannot reach, and stays bitwise exact there.
+  Rng rng(20060403);
+  int covered_samples = 0;
+  int beyond_disk = 0;
+  int answer_changed = 0;
+  for (int world = 0; world < 40; ++world) {
+    const double extent = rng.Uniform(800, 5000);
+    std::vector<Poi> pois = RandomPois(static_cast<int>(rng.UniformInt(15, 90)), &rng, extent);
+    const int k = static_cast<int>(rng.UniformInt(1, 5));
+    Vec2 center{rng.Uniform(0.3 * extent, 0.7 * extent),
+                rng.Uniform(0.3 * extent, 0.7 * extent)};
+    std::vector<RankedPoi> prefix = RankAll(pois, center);
+    if (prefix.size() < static_cast<size_t>(k) + 1) continue;
+    if (prefix.size() > 12u) prefix.resize(12);
+    const double horizon = prefix.back().distance;
+    const double fetch = prefix[static_cast<size_t>(k) - 1].distance + 2.0 * horizon;
+    SafeRegion insq =
+        SafeRegion::BuildInsq(center, prefix, k, horizon, FetchRivals(pois, center, fetch));
+    SafeRegion disk = SafeRegion::BuildDisk(center, prefix, k);
+    if (!insq.Valid()) continue;
+    // The horizon reaches d_m; the disk only (d_{k+1}-d_k)/2 <= d_m / 2.
+    if (disk.Valid()) {
+      EXPECT_GE(insq.guard_radius(), disk.guard_radius());
+    }
+    for (int s = 0; s < 30; ++s) {
+      const double ang = rng.Uniform(0, 2 * kPi);
+      // Sample to 90% depth: at the very rim the FP margin is the only
+      // defense, which is sound but not what this test is measuring.
+      const double rad = rng.Uniform(0, 0.9 * insq.guard_radius());
+      Vec2 p = center + Vec2{rad * std::cos(ang), rad * std::sin(ang)};
+      if (!insq.CoversExact(p)) continue;
+      ++covered_samples;
+      if (disk.Valid() && !disk.CoversExact(p)) ++beyond_disk;
+      std::vector<RankedPoi> got = insq.TopKAt(p, k);
+      EXPECT_EQ(got, BruteTopK(pois, p, k)) << "world " << world;
+      if (insq.Contains(p)) {
+        // Unchanged-answer cell: the set must still be the members.
+        std::vector<PoiId> ids;
+        for (const RankedPoi& g : got) ids.push_back(g.id);
+        std::vector<PoiId> member_ids;
+        for (const RankedPoi& m : insq.members()) member_ids.push_back(m.id);
+        std::sort(ids.begin(), ids.end());
+        std::sort(member_ids.begin(), member_ids.end());
+        EXPECT_EQ(ids, member_ids);
+      } else {
+        ++answer_changed;
+      }
+    }
+  }
+  EXPECT_GT(covered_samples, 200);
+  EXPECT_GT(beyond_disk, 50);      // the insq region genuinely reaches farther
+  EXPECT_GT(answer_changed, 20);   // ... including where the answer moved
+}
+
+TEST(SafeRegionTest, TopKAtCapsAtTheRegionPrefix) {
+  std::vector<RankedPoi> prefix = {
+      {0, {10, 0}, 10.0}, {1, {0, 40}, 40.0}, {2, {90, 0}, 90.0}};
+  SafeRegion r = SafeRegion::BuildDisk({0, 0}, prefix, 2);
+  ASSERT_TRUE(r.Valid());
+  // Asking for more than k() must not fabricate ranks the guard does not
+  // cover.
+  EXPECT_EQ(r.TopKAt({1, 1}, 5).size(), 2u);
+  EXPECT_EQ(r.TopKAt({1, 1}, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace senn::core

@@ -43,9 +43,9 @@ cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}" -L tier1 -LE slow
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-stage "ThreadSanitizer: net + rpc + sim + core + storage + ch test binaries"
+stage "ThreadSanitizer: net + rpc + sim + core + storage + ch + continuous test binaries"
 cmake -B "${PREFIX}-tsan" -S . -DSENN_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test core_test common_test storage_test batch_test ch_test snnn_oracle_test
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test core_test common_test storage_test batch_test ch_test snnn_oracle_test continuous_diff_test
 "${PREFIX}-tsan/tests/net_test"
 "${PREFIX}-tsan/tests/rpc_test"
 "${PREFIX}-tsan/tests/sim_test"
@@ -55,10 +55,11 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target net_test rpc_test sim_test 
 "${PREFIX}-tsan/tests/batch_test" --gtest_filter="BatchDiffTest.*"
 "${PREFIX}-tsan/tests/ch_test" --gtest_filter='ChDiffTest.GeneratedRoadNetworksBitwise'
 "${PREFIX}-tsan/tests/snnn_oracle_test" --gtest_filter='SnnnOracleTest.PointOracleAgreesToo'
+"${PREFIX}-tsan/tests/continuous_diff_test" --gtest_filter='ContinuousDiffTest.PeerRegionSharingStaysExact'
 
-stage "AddressSanitizer: net + rpc + sim + core + storage + ch test binaries"
+stage "AddressSanitizer: net + rpc + sim + core + storage + ch + continuous test binaries"
 cmake -B "${PREFIX}-asan" -S . -DSENN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test core_test storage_test batch_test ch_test snnn_oracle_test
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test core_test storage_test batch_test ch_test snnn_oracle_test continuous_diff_test
 "${PREFIX}-asan/tests/net_test"
 "${PREFIX}-asan/tests/rpc_test"
 "${PREFIX}-asan/tests/sim_test"
@@ -67,10 +68,11 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}" --target net_test rpc_test sim_test 
 "${PREFIX}-asan/tests/batch_test"
 "${PREFIX}-asan/tests/ch_test"
 "${PREFIX}-asan/tests/snnn_oracle_test"
+"${PREFIX}-asan/tests/continuous_diff_test"
 
-stage "UBSan: net + sim + core + storage + geom + obs + ch test binaries"
+stage "UBSan: net + sim + core + storage + geom + obs + ch + continuous test binaries"
 cmake -B "${PREFIX}-ubsan" -S . -DSENN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test batch_test ch_test snnn_oracle_test
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_test storage_test geom_test obs_test batch_test ch_test snnn_oracle_test continuous_diff_test
 "${PREFIX}-ubsan/tests/net_test"
 "${PREFIX}-ubsan/tests/sim_test"
 "${PREFIX}-ubsan/tests/core_test"
@@ -80,6 +82,7 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target net_test sim_test core_tes
 "${PREFIX}-ubsan/tests/batch_test"
 "${PREFIX}-ubsan/tests/ch_test"
 "${PREFIX}-ubsan/tests/snnn_oracle_test"
+"${PREFIX}-ubsan/tests/continuous_diff_test"
 
 stage "SENN_PARANOID: invariant-checked tier1 suite"
 cmake -B "${PREFIX}-paranoid" -S . -DSENN_PARANOID=ON >/dev/null

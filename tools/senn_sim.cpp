@@ -58,6 +58,13 @@ using namespace senn;
       "                                   direct calls (default) or the full rpc wire\n"
       "                                   path through src/rpc/ in process (byte-identical\n"
       "                                   outputs; golden-tested)\n"
+      "  --continuous                     continuous-query mode: every host advances one\n"
+      "                                   long-lived kNN query (core/continuous.h) instead\n"
+      "                                   of issuing independent snapshot queries; needs\n"
+      "                                   the sequential in-process transport and no\n"
+      "                                   --trace/--trace-out (steps are not span-traced)\n"
+      "  --safe-region off|disk|insq      validity-region construction continuous queries\n"
+      "                                   maintain (default off; see core/safe_region.h)\n"
       "  --shards N                       run N decorrelated seed shards and merge\n"
       "  --threads N                      sweep-engine workers for the shards\n"
       "                                   (default 1; 0 = all cores)\n"
@@ -186,6 +193,19 @@ int main(int argc, char** argv) {
       } else {
         Usage(argv[0]);
       }
+    } else if (arg == "--continuous") {
+      cfg.continuous = true;
+    } else if (arg == "--safe-region") {
+      std::string v = need(i++);
+      if (v == "off") {
+        cfg.safe_region = core::SafeRegionMode::kOff;
+      } else if (v == "disk") {
+        cfg.safe_region = core::SafeRegionMode::kDisk;
+      } else if (v == "insq") {
+        cfg.safe_region = core::SafeRegionMode::kInsq;
+      } else {
+        Usage(argv[0]);
+      }
     } else if (arg == "--shards") {
       shards = static_cast<int>(std::strtol(need(i++), nullptr, 10));
       if (shards < 1) Usage(argv[0]);
@@ -234,6 +254,22 @@ int main(int argc, char** argv) {
     cfg.params.k_nn = static_cast<int>(k);
     cfg.params.cache_size = std::max(cfg.params.cache_size, cfg.params.k_nn);
   }
+  if (cfg.continuous) {
+    // Continuous steps run on the sequential in-process path (simulator.h)
+    // and are not span-traced; reject conflicting flags up front.
+    if (cfg.server_batch > 1) {
+      std::fprintf(stderr, "--continuous requires --server-batch 1\n");
+      return 2;
+    }
+    if (cfg.server_transport == sim::ServerTransport::kLoopback) {
+      std::fprintf(stderr, "--continuous requires --server-transport inproc\n");
+      return 2;
+    }
+    if (!trace_path.empty() || !trace_out_path.empty()) {
+      std::fprintf(stderr, "--continuous steps are not traced; drop --trace/--trace-out\n");
+      return 2;
+    }
+  }
 
   sim::PrintParameterSet(cfg.params);
   std::printf("  %-22s %10s\n", "Movement mode", sim::MovementModeName(cfg.mode));
@@ -243,6 +279,10 @@ int main(int argc, char** argv) {
     std::printf("  %-22s loss=%.2f latency=%.0fms timeout=%.0fms retries=%d\n", "Channel",
                 cfg.channel.loss, cfg.channel.latency_mean_s * 1000.0,
                 cfg.channel.reply_timeout_s * 1000.0, cfg.channel.max_retries);
+  }
+  if (cfg.continuous) {
+    std::printf("  %-22s safe-region=%s\n", "Continuous mode",
+                core::SafeRegionModeName(cfg.safe_region));
   }
   if (shards > 1) {
     std::printf("  %-22s %10d (x%d threads)\n", "Seed shards", shards,
@@ -329,6 +369,28 @@ int main(int argc, char** argv) {
                 r.batch_cluster_size.mean(),
                 static_cast<unsigned long long>(r.batch_clusters),
                 static_cast<unsigned long long>(r.batch_batched_queries));
+  }
+  if (cfg.continuous && r.continuous_steps > 0) {
+    const double n = static_cast<double>(r.continuous_steps);
+    std::printf("  continuous steps %llu by source: safe-region %.1f %%  peer-region "
+                "%.1f %%  own-cache %.1f %%  peer %.1f %%  server %.1f %%\n",
+                static_cast<unsigned long long>(r.continuous_steps),
+                100.0 * static_cast<double>(r.continuous_safe_region_steps) / n,
+                100.0 * static_cast<double>(r.continuous_peer_region_steps) / n,
+                100.0 * static_cast<double>(r.continuous_own_cache_steps) / n,
+                100.0 * static_cast<double>(r.continuous_peer_steps) / n,
+                100.0 * static_cast<double>(r.continuous_server_steps) / n);
+    if (r.continuous_uncertain_steps > 0) {
+      std::printf("  uncertain steps  %llu (best-effort answers)\n",
+                  static_cast<unsigned long long>(r.continuous_uncertain_steps));
+    }
+    if (r.continuous_region_area_m2.count() > 0) {
+      std::printf("  safe regions     %llu built, %.4f km^2 mean area, %llu rival-fetch "
+                  "pages\n",
+                  static_cast<unsigned long long>(r.continuous_region_area_m2.count()),
+                  r.continuous_region_area_m2.mean() * 1e-6,
+                  static_cast<unsigned long long>(r.continuous_region_pages));
+    }
   }
 
   if (print_json) std::printf("json %s\n", sim::SimulationResultJson(r).c_str());
