@@ -1,0 +1,30 @@
+// THE ranking order of the system, at the bottom of the layer DAG.
+//
+// PR 4 made (distance, id) the canonical strict weak order after the
+// tie-break postmortems; PR 10's L10-layering rule surfaced that the scalar
+// form lived in src/core/types.h while src/rtree/knn.cc — two layers below
+// core — called it, an upward include edge. The scalar order has no core
+// vocabulary in its signature, so it lives here in common/ where every
+// layer may reach it. core::RanksBefore re-exports it (plus the RankedPoi
+// overload) so call sites keep their spelling.
+#pragma once
+
+#include <cstdint>
+
+namespace senn {
+
+/// Ascending distance, ties broken by ascending id. A strict weak order —
+/// unlike distance-only comparison, which makes co-distant entries rank by
+/// insertion order, so peer-iteration order (a function of harvest timing)
+/// leaks into results. Every distance sort and every heap comparator must
+/// go through this.
+inline bool RanksBefore(double distance_a, int64_t id_a, double distance_b, int64_t id_b) {
+  // senn-lint: allow(L5-float-eq): this IS the canonical order — exact
+  // inequality decides when the id tie-break applies. Distances tie only
+  // when bit-identical (same Dist computation), which is the contract every
+  // caller relies on.
+  if (distance_a != distance_b) return distance_a < distance_b;
+  return id_a < id_b;
+}
+
+}  // namespace senn

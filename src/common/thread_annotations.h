@@ -1,0 +1,37 @@
+// Portability wrappers for clang's -Wthread-safety attributes.
+//
+// The macros expand to `__attribute__((...))` under clang (where the
+// analysis runs, enabled by the root CMakeLists when the compiler is
+// clang) and to nothing elsewhere, so gcc builds see plain declarations.
+// Annotate with the ownership story, not the implementation: a field gets
+// SENN_GUARDED_BY(mu) when every access happens under `mu`, a function
+// gets SENN_REQUIRES(mu) when its CALLER must already hold `mu`, and
+// SENN_EXCLUDES(mu) when it takes `mu` itself (callers must not hold it —
+// std::mutex is non-reentrant).
+//
+// The spelling follows the LLVM doc's mutex.h example
+// (clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to keep the
+// macro namespace ours.
+#pragma once
+
+#if defined(__clang__)
+#define SENN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SENN_THREAD_ANNOTATION__(x)
+#endif
+
+/// Field is protected by the given mutex.
+#define SENN_GUARDED_BY(x) SENN_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointer field: the POINTED-TO data is protected by the given mutex
+/// (the pointer itself may be read freely).
+#define SENN_PT_GUARDED_BY(x) SENN_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Caller must hold the mutex(es) when calling.
+#define SENN_REQUIRES(...) SENN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the mutex(es); the function acquires them itself.
+#define SENN_EXCLUDES(...) SENN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Function acquires the mutex(es) and returns with them held.
+#define SENN_ACQUIRE(...) SENN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex(es) it was called with held.
+#define SENN_RELEASE(...) SENN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot follow — justify in a comment.
+#define SENN_NO_THREAD_SAFETY_ANALYSIS SENN_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -130,9 +130,6 @@ void BatchServer::AnswerCluster(const std::vector<BatchQuery>& queries,
     // Dynamic top-k bound: best k object distances fed to this query so far
     // (lower-bound-known objects included, exactly like the sequential
     // iterator).
-    // senn-lint: allow(L1-raw-order): value-only bag of doubles — only
-    // top() is read as a pruning bound, so equal-key pop order is
-    // unobservable.
     std::priority_queue<double> best;
     // Best `needed` eligible objects so far: max-heap under the system
     // (distance, id) rank, front = worst.
@@ -208,9 +205,6 @@ void BatchServer::AnswerCluster(const std::vector<BatchQuery>& queries,
   // unique-page misses.
   auto charge = [&](const rtree::RStarTree::Node* node,
                     const std::vector<uint32_t>& wanted) {
-    // senn-lint: allow(L6-pin-balance): pass-through of the pinning helper —
-    // every call site pairs a true return with its own pager->Unpin(node)
-    // before the node item leaves scope.
     return rtree::ChargeBatchNodeAccess(node, &pq[wanted.front()].out->einn_accesses,
                                         &cluster_counter, wanted.size() >= 2, pager);
   };

@@ -94,9 +94,6 @@ ServerReply SpatialServer::QueryKnnWithRegion(geom::Vec2 q, int k, double horizo
     return false;
   };
   std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
-  // senn-lint: allow(L1-raw-order): value-only bag of doubles feeding the
-  // dynamic k-th-distance bound; equal keys are indistinguishable and no
-  // identity ever leaves this heap.
   std::priority_queue<double> best;  // max-heap of the k best seen distances
   auto effective_bound = [&]() {
     double bound = horizon;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/rank.h"
 #include "src/geom/vec2.h"
 
 namespace senn::core {
@@ -33,18 +34,11 @@ struct RankedPoi {
 };
 
 /// THE ranking order of the system: ascending distance, ties broken by
-/// ascending POI id. A strict weak order — unlike distance-only comparison,
-/// which makes co-distant POIs rank by insertion order, so peer-iteration
-/// order (a function of harvest timing) leaks into results. Every distance
-/// sort and every heap comparator must go through this.
-inline bool RanksBefore(double distance_a, PoiId id_a, double distance_b, PoiId id_b) {
-  // senn-lint: allow(L5-float-eq): this IS the canonical order — exact
-  // inequality decides when the id tie-break applies. Distances tie only
-  // when bit-identical (same Dist computation), which is the contract every
-  // caller relies on.
-  if (distance_a != distance_b) return distance_a < distance_b;
-  return id_a < id_b;
-}
+/// ascending POI id. The scalar form lives in src/common/rank.h (the bottom
+/// of the layer DAG, so sub-core layers like rtree/ can rank without
+/// including core); it is re-exported here so core callers keep spelling it
+/// core::RanksBefore.
+using ::senn::RanksBefore;
 inline bool RanksBefore(const RankedPoi& a, const RankedPoi& b) {
   return RanksBefore(a.distance, a.id, b.distance, b.id);
 }

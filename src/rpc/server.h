@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/server.h"
 #include "src/rpc/service.h"
 #include "src/rpc/wire.h"
@@ -147,8 +148,10 @@ class Server {
 
   ServerOptions options_;
   QueryService service_;
-  obs::MetricsRegistry* metrics_;
-  /// Guards metrics_ updates made outside the service lock (shed counter).
+  /// Updates made outside the service lock (the shed counter) go through
+  /// metrics_mu_; everything else reaches the registry via service_, under
+  /// its lock. The pointer itself is set once in the constructor.
+  obs::MetricsRegistry* metrics_ SENN_PT_GUARDED_BY(metrics_mu_);
   std::mutex metrics_mu_;
 
   int listen_fd_ = -1;
@@ -159,15 +162,18 @@ class Server {
   std::thread network_thread_;
   std::vector<std::thread> workers_;
 
-  // Dispatch queue (network thread -> workers).
+  // Dispatch queue (network thread -> workers). Lock order (matches
+  // declaration order, enforced by senn_lint L9): a thread holding
+  // work_mu_ may take done_mu_, never the reverse — and neither is ever
+  // held across socket I/O or a page fetch.
   std::mutex work_mu_;
   std::condition_variable work_cv_;
-  std::deque<Group> work_;
-  bool work_stop_ = false;
+  std::deque<Group> work_ SENN_GUARDED_BY(work_mu_);
+  bool work_stop_ SENN_GUARDED_BY(work_mu_) = false;
 
   // Completion queue (workers -> network thread).
   std::mutex done_mu_;
-  std::deque<Completion> done_;
+  std::deque<Completion> done_ SENN_GUARDED_BY(done_mu_);
 
   // Network-thread-private state.
   std::map<uint64_t, Connection> conns_;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "src/core/types.h"
+#include "src/common/rank.h"
 
 namespace senn::rtree {
 
@@ -26,11 +26,11 @@ void DfVisit(const RStarTree::Node* node, Vec2 query, int k,
   // Max-heap under the system (distance, id) rank order: the front is the
   // worst of the best k, and co-distant objects keep the smaller ids.
   auto by_rank = [](const Neighbor& a, const Neighbor& b) {
-    return core::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
+    return senn::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
   };
   auto beats_worst = [&](double d, int64_t id) {
     return static_cast<int>(best->size()) < k ||
-           core::RanksBefore(d, id, best->front().distance, best->front().object.id);
+           senn::RanksBefore(d, id, best->front().distance, best->front().object.id);
   };
   if (node->IsLeaf()) {
     for (const RStarTree::Slot& s : node->slots) {
@@ -75,7 +75,7 @@ std::vector<Neighbor> DepthFirstKnn(const RStarTree& tree, Vec2 query, int k,
   best.reserve(static_cast<size_t>(k));
   DfVisit(tree.root(), query, k, &best, counter, hook);
   std::sort(best.begin(), best.end(), [](const Neighbor& a, const Neighbor& b) {
-    return core::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
+    return senn::RanksBefore(a.distance, a.object.id, b.distance, b.object.id);
   });
   return best;
 }

@@ -155,8 +155,6 @@ class BestFirstNnIterator {
   std::optional<int> prune_to_k_;
   NodePageHook* hook_ = nullptr;
   // Max-heap of the best prune_to_k_ object distances discovered so far.
-  // senn-lint: allow(L1-raw-order): value-only bag of doubles — only top()
-  // is read as a pruning bound, so equal-key pop order is unobservable.
   std::priority_queue<double> best_distances_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, Greater> queue_;
   AccessCounter accesses_;

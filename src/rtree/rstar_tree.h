@@ -186,9 +186,6 @@ class NodePageHook {
 /// node's slots. Either pointer may be null.
 inline bool ChargeNodeAccess(const RStarTree::Node* node, AccessCounter* counter,
                              NodePageHook* hook) {
-  // senn-lint: allow(L6-pin-balance): this helper IS the pinning entry
-  // point — the documented contract (and the lint rule itself) holds every
-  // caller to one hook->Unpin(node) per true return, in the caller's scope.
   const bool miss = hook != nullptr && hook->Fetch(node);
   if (counter != nullptr) {
     if (node->IsLeaf()) {
@@ -214,9 +211,6 @@ inline bool ChargeNodeAccess(const RStarTree::Node* node, AccessCounter* counter
 /// one hook->Unpin(node) after reading the slots. Any pointer may be null.
 inline bool ChargeBatchNodeAccess(const RStarTree::Node* node, AccessCounter* owner,
                                   AccessCounter* cluster, bool shared, NodePageHook* hook) {
-  // senn-lint: allow(L6-pin-balance): like ChargeNodeAccess above, this
-  // helper IS the pinning entry point — its contract holds every caller to
-  // one hook->Unpin(node) per true return, in the caller's scope.
   const bool miss = hook != nullptr && hook->Fetch(node);
   for (AccessCounter* counter : {owner, cluster}) {
     if (counter == nullptr) continue;

@@ -109,6 +109,12 @@ void Simulator::BuildWorld() {
             : host_rng.Bernoulli(p.move_percentage);
     std::unique_ptr<mobility::Mover> mover;
     if (!moving) {
+      // senn-lint: allow(L7-rng-stream): sound outcome-gated draw —
+      // host_rng is private to this host and both the Bernoulli above and
+      // every branch below consume the SAME per-host stream, so any replica
+      // that re-derives (seed, host id) takes the identical branch and
+      // stays in sync. The hazard the rule targets is a shared stream
+      // gated on a per-replica outcome; this stream is not shared.
       geom::Vec2 start{host_rng.Uniform(0, side), host_rng.Uniform(0, side)};
       mover = std::make_unique<mobility::StationaryMover>(start);
     } else if (config_.mode == MovementMode::kRoadNetwork) {

@@ -4,7 +4,12 @@
 // Single-threaded by design: the spatial server processes one query at a
 // time per simulation, and the sweep engine isolates whole simulations per
 // worker, so the pool needs no locking (ASan/TSan stages of tools/check.sh
-// run the storage tests to keep this honest).
+// run the storage tests to keep this honest). When a multi-threaded caller
+// sits above (the rpc server's worker pool), synchronization is EXTERNAL:
+// rpc::QueryService::mu_ is the documented serialization boundary, and its
+// GUARDED_BY annotations (src/common/thread_annotations.h) plus the
+// senn_lint L9 lock-discipline rule keep every Fetch inside that critical
+// section rather than adding a second lock layer here.
 //
 // Determinism: eviction decisions depend only on the fetch/unpin sequence —
 // frames are scanned by index, recency is a logical tick counter, and no

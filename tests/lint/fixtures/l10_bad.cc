@@ -1,0 +1,7 @@
+// L10-layering bad fixture. Linted under the label "src/rtree/l10_bad.cc"
+// (the band table keys off the path, so the fixture test supplies a
+// banded one): rtree sits in band 2 and must not include core (band 3).
+#include "src/core/types.h"  // LINT-BAD: rtree (band 2) -> core (band 3) is upward
+#include "src/geom/vec2.h"
+
+int UsesBoth() { return 0; }

@@ -1,0 +1,8 @@
+// L10-layering good twin, linted under the label "src/rtree/l10_good.cc":
+// every include points down the layer DAG (common, geom) or sideways
+// within band 2 (storage), which the band table allows.
+#include "src/common/rank.h"
+#include "src/geom/vec2.h"
+#include "src/storage/buffer_pool.h"
+
+int UsesAll() { return 0; }

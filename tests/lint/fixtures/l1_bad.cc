@@ -22,5 +22,5 @@ void HeapByDistanceOnly(std::vector<RankedPoi>* pois) {
 }
 
 struct DistanceQueue {
-  std::priority_queue<double> best_distances;  // LINT-BAD
+  std::priority_queue<RankedPoi> nearest;  // LINT-BAD
 };

@@ -30,3 +30,10 @@ struct RankQueue {
 
 // Sorting non-distance data with a raw comparator is fine.
 void SortIds(std::vector<long>* ids) { std::sort(ids->begin(), ids->end()); }
+
+// A value-only bag of scalars is fine too: only top() is ever read (as a
+// pruning bound), so equal-key pop order is unobservable — no identity
+// rides along that raw double ordering could leak.
+struct DistanceBound {
+  std::priority_queue<double> best_distances;
+};

@@ -1,0 +1,37 @@
+// L7-rng-stream bad fixture: draws from generators that are not named
+// streams, and draws gated on a prior draw's outcome (the PR-6 stream
+// desync class). Violating lines are marked.
+#include <cstdint>
+
+struct Rng {
+  Rng Stream(const char* domain, uint64_t id);
+  Rng Split();
+  uint64_t NextU64();
+  double Uniform(double lo, double hi);
+  double Exponential(double mean);
+  bool Bernoulli(double p);
+};
+
+uint64_t ChainedSplit(Rng& parent) {
+  return parent.Split().NextU64();  // LINT-BAD: Split() chain is order-dependent
+}
+
+double RawLocal(Rng& parent) {
+  Rng bare;
+  Rng forked = parent.Split();
+  double a = bare.Uniform(0.0, 1.0);      // LINT-BAD: bare is not stream-derived
+  double b = forked.Exponential(2.0);     // LINT-BAD: forked comes from Split()
+  return a + b;
+}
+
+double OutcomeGated(Rng& parent) {
+  Rng rng = parent.Stream("host", 7);
+  bool lost = rng.Bernoulli(0.5);
+  double cost = 0.0;
+  if (lost) {
+    cost = rng.Exponential(2.0);  // LINT-BAD: draw gated on a draw outcome
+  } else {
+    cost = rng.Uniform(0.0, 1.0);  // LINT-BAD: the else arm desyncs too
+  }
+  return cost;
+}

@@ -1,0 +1,36 @@
+// L7-rng-stream good twin: every draw comes from a named stream (or from a
+// parameter, whose stream contract belongs to the caller), and branches on
+// a draw outcome consume nothing — the dependent value is drawn eagerly
+// before the branch and discarded when unused.
+#include <cstdint>
+
+struct Rng {
+  Rng Stream(const char* domain, uint64_t id);
+  uint64_t NextU64();
+  double Uniform(double lo, double hi);
+  double Exponential(double mean);
+  bool Bernoulli(double p);
+};
+
+uint64_t ChainedStream(Rng& parent) {
+  return parent.Stream("net", 3).NextU64();
+}
+
+double NamedLocal(Rng& parent) {
+  Rng rng = parent.Stream("host", 7);
+  return rng.Uniform(0.0, 1.0);
+}
+
+double CallerOwnedParam(Rng& rng) {
+  return rng.Exponential(2.0);
+}
+
+double EagerThenBranch(Rng& parent) {
+  Rng rng = parent.Stream("host", 7);
+  bool lost = rng.Bernoulli(0.5);
+  double cost = rng.Exponential(2.0);  // drawn unconditionally: stream stays in sync
+  if (lost) {
+    return cost;
+  }
+  return 0.0;
+}

@@ -1,0 +1,41 @@
+// L9-lock-discipline bad fixture: socket I/O and buffer-pool page faults
+// under a mutex, a condvar wait with a second lock held, and a nested
+// acquisition against declaration order. Violating lines are marked.
+#include <condition_variable>
+#include <mutex>
+
+struct Pool {
+  bool Fetch(int page);
+  void Unpin(int page);
+};
+
+void SocketUnderLock(std::mutex& mu, int fd, char* buf) {
+  std::lock_guard<std::mutex> lock(mu);
+  ::read(fd, buf, 16);  // LINT-BAD: socket I/O can block under the lock
+}
+
+void WaitWithTwoLocks(std::mutex& a, std::mutex& b, std::condition_variable& cv) {
+  std::unique_lock<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+  cv.wait(la);  // LINT-BAD: wait releases only 'a'; 'b' stays held
+}
+
+void FaultUnderLock(std::mutex& mu, Pool& pool) {
+  std::lock_guard<std::mutex> lock(mu);
+  pool.Fetch(3);  // LINT-BAD: page eviction/IO under a server lock
+  pool.Unpin(3);
+}
+
+class Queue {
+ public:
+  void Push();
+
+ private:
+  std::mutex work_mu_;
+  std::mutex done_mu_;
+};
+
+void Queue::Push() {
+  std::lock_guard<std::mutex> first(done_mu_);
+  std::lock_guard<std::mutex> second(work_mu_);  // LINT-BAD: against declaration order
+}

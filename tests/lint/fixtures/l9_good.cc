@@ -1,0 +1,44 @@
+// L9-lock-discipline good twin: blocking work happens outside every lock
+// (or after an explicit unlock), a condvar wait holds only its own lock,
+// and nested acquisitions follow mutex declaration order.
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+struct Pool {
+  bool Fetch(int page);
+  void Unpin(int page);
+};
+
+void SocketAfterUnlock(std::mutex& mu, std::vector<int>& queue, int fd, char* buf) {
+  std::unique_lock<std::mutex> lock(mu);
+  queue.push_back(fd);
+  lock.unlock();
+  ::read(fd, buf, 16);  // the region ended at unlock()
+}
+
+void WaitWithOwnLock(std::mutex& a, std::condition_variable& cv) {
+  std::unique_lock<std::mutex> la(a);
+  cv.wait(la);
+}
+
+void FaultBeforeLock(std::mutex& mu, Pool& pool, std::vector<int>& pages) {
+  pool.Fetch(3);
+  pool.Unpin(3);
+  std::lock_guard<std::mutex> lock(mu);
+  pages.push_back(3);
+}
+
+class Queue {
+ public:
+  void Push();
+
+ private:
+  std::mutex work_mu_;
+  std::mutex done_mu_;
+};
+
+void Queue::Push() {
+  std::lock_guard<std::mutex> first(work_mu_);
+  std::lock_guard<std::mutex> second(done_mu_);  // declaration order respected
+}

@@ -1,0 +1,24 @@
+// L8-untrusted-decode bad fixture: decoded wire fields reach arithmetic,
+// indexing, and size-taking calls before any Validate*() or relational
+// bounds check. Violating lines are marked.
+#include <cstdint>
+#include <vector>
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint32_t opcode = 0;
+};
+
+constexpr uint64_t kHeaderSize = 12;
+
+void ReadFrameHeader(const uint8_t* bytes, FrameHeader* out);
+
+void HandleFrame(const std::vector<uint8_t>& buf, std::vector<uint8_t>* out) {
+  FrameHeader header;
+  ReadFrameHeader(buf.data(), &header);
+  out->reserve(header.payload_len);                     // LINT-BAD: size-taking call
+  uint64_t total = header.payload_len + kHeaderSize;    // LINT-BAD: arithmetic
+  uint8_t tag = buf[header.opcode];                     // LINT-BAD: indexing
+  (void)total;
+  (void)tag;
+}

@@ -1,0 +1,37 @@
+// L8-untrusted-decode good twin: every decoded field passes a relational
+// bounds check or a Validate*() call before arithmetic, indexing, or
+// size-taking use — the FrameDecoder contract.
+#include <cstdint>
+#include <vector>
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint32_t opcode = 0;
+};
+
+struct KnnRequest {
+  int32_t k = 0;
+  double x = 0.0;
+};
+
+constexpr uint64_t kHeaderSize = 12;
+constexpr uint32_t kMaxPayload = 4096;
+
+void ReadFrameHeader(const uint8_t* bytes, FrameHeader* out);
+bool DecodeKnnRequest(const uint8_t* bytes, KnnRequest* out);
+bool ValidateKnnRequest(const KnnRequest& req);
+
+void HandleFrame(const std::vector<uint8_t>& buf, std::vector<uint8_t>* out) {
+  FrameHeader header;
+  ReadFrameHeader(buf.data(), &header);
+  if (header.payload_len > kMaxPayload) return;  // bounds check cleanses the field
+  out->reserve(header.payload_len);
+  uint64_t total = header.payload_len + kHeaderSize;
+  (void)total;
+
+  KnnRequest req;
+  if (!DecodeKnnRequest(buf.data(), &req)) return;
+  if (!ValidateKnnRequest(req)) return;  // Validate*() cleanses every field
+  double scaled = req.x * 2.0;
+  (void)scaled;
+}

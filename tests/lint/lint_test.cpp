@@ -46,10 +46,16 @@ std::set<int> MarkedLines(const std::string& source, const std::string& marker) 
   return lines;
 }
 
+// A bad/good fixture twin. `bad_label`/`good_label`, when set, override the
+// file path the engine sees: the path-gated rules (L8 keys off "rpc/", L10
+// off the src/<layer>/ band table) need a path shaped like the real tree,
+// while the fixture itself lives flat in the fixture directory.
 struct RuleFixture {
   std::string rule;
   std::string bad;
   std::string good;
+  std::string bad_label = "";
+  std::string good_label = "";
 };
 
 const std::vector<RuleFixture>& Fixtures() {
@@ -60,6 +66,11 @@ const std::vector<RuleFixture>& Fixtures() {
       {"L4-pointer-order", "l4_bad.cc", "l4_good.cc"},
       {"L5-float-eq", "l5_bad.cc", "l5_good.cc"},
       {"L6-pin-balance", "l6_bad.cc", "l6_good.cc"},
+      {"L7-rng-stream", "l7_bad.cc", "l7_good.cc"},
+      {"L8-untrusted-decode", "rpc/l8_bad.cc", "rpc/l8_good.cc"},
+      {"L9-lock-discipline", "l9_bad.cc", "l9_good.cc"},
+      {"L10-layering", "l10_bad.cc", "l10_good.cc", "src/rtree/l10_bad.cc",
+       "src/rtree/l10_good.cc"},
   };
   return kFixtures;
 }
@@ -71,7 +82,8 @@ TEST(LintRules, BadFixturesFireOnExactlyTheMarkedLines) {
     const std::set<int> expected = MarkedLines(source, "LINT-BAD");
     ASSERT_FALSE(expected.empty()) << "fixture has no LINT-BAD markers";
 
-    const FileReport report = LintSource(fixture.bad, source);
+    const std::string label = fixture.bad_label.empty() ? fixture.bad : fixture.bad_label;
+    const FileReport report = LintSource(label, source);
     std::set<int> actual;
     for (const auto& diag : report.diagnostics) {
       EXPECT_EQ(diag.rule, fixture.rule) << "unexpected rule at line " << diag.line;
@@ -85,7 +97,9 @@ TEST(LintRules, BadFixturesFireOnExactlyTheMarkedLines) {
 TEST(LintRules, GoodTwinsStaySilent) {
   for (const RuleFixture& fixture : Fixtures()) {
     SCOPED_TRACE(fixture.good);
-    const FileReport report = LintSource(fixture.good, ReadFixture(fixture.good));
+    const std::string label =
+        fixture.good_label.empty() ? fixture.good : fixture.good_label;
+    const FileReport report = LintSource(label, ReadFixture(fixture.good));
     for (const auto& diag : report.diagnostics) {
       ADD_FAILURE() << fixture.good << ":" << diag.line << " [" << diag.rule << "] "
                     << diag.message;
@@ -122,13 +136,13 @@ TEST(LintSuppressions, StaleAllowIsReportedAtItsOwnLine) {
 TEST(LintRun, FixtureDirectoryIsNotCleanButGoodSubsetIs) {
   const RunResult dirty = LintPaths({std::string(SENN_LINT_FIXTURE_DIR)});
   EXPECT_FALSE(dirty.Clean());
-  EXPECT_GE(dirty.files_scanned, 14);
+  EXPECT_GE(dirty.files_scanned, 22);
 
   std::vector<std::string> good_paths;
   for (const RuleFixture& fixture : Fixtures()) good_paths.push_back(FixturePath(fixture.good));
   const RunResult clean = LintPaths(good_paths);
   EXPECT_TRUE(clean.Clean()) << senn_lint::ToHuman(clean);
-  EXPECT_EQ(clean.files_scanned, 6);
+  EXPECT_EQ(clean.files_scanned, 10);
 }
 
 TEST(LintRun, MissingInputsAreReportedAndBreakCleanliness) {
@@ -153,12 +167,14 @@ TEST(LintJson, SchemaCarriesEveryAdvertisedKey) {
   EXPECT_LT(l1, l6);
 }
 
-TEST(LintRegistry, SixRulesInOrder) {
+TEST(LintRegistry, TenRulesInOrder) {
   const auto table = senn_lint::RuleTable();
-  ASSERT_EQ(table.size(), 6u);
-  const char* expected[] = {"L1-raw-order",     "L2-unordered-iter", "L3-wallclock",
-                            "L4-pointer-order", "L5-float-eq",       "L6-pin-balance"};
-  for (size_t i = 0; i < 6; ++i) {
+  ASSERT_EQ(table.size(), 10u);
+  const char* expected[] = {"L1-raw-order",   "L2-unordered-iter",   "L3-wallclock",
+                            "L4-pointer-order", "L5-float-eq",       "L6-pin-balance",
+                            "L7-rng-stream",  "L8-untrusted-decode", "L9-lock-discipline",
+                            "L10-layering"};
+  for (size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(table[i].first, expected[i]);
     EXPECT_FALSE(table[i].second.empty());
   }

@@ -11,12 +11,13 @@
 #      tier1 label — any tripped invariant aborts the test binary and fails
 #      the gate;
 #   6. static analysis: senn_lint (the determinism/soundness rules of
-#      DESIGN.md's "Determinism contract") over src/ and tools/lint/, the
-#      suppression list diffed against tools/lint_baseline.txt (regenerate
-#      with tools/regen_lint_baseline.sh after review), and — when
-#      clang-tidy is installed — the curated .clang-tidy checks over the
-#      stage-1 compile_commands.json. A missing clang-tidy binary skips
-#      that half with a notice; senn_lint always gates.
+#      DESIGN.md's "Determinism contract") over src/ and tools/, with the
+#      suppression list gated against tools/lint_baseline.txt by the
+#      binary's own --baseline diff (regenerate with
+#      tools/regen_lint_baseline.sh after review), and — when clang-tidy
+#      is installed — the curated .clang-tidy checks over the stage-1
+#      compile_commands.json. A missing clang-tidy binary skips that half
+#      with a notice; senn_lint always gates.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -26,9 +27,11 @@ PREFIX="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Stage banners: `stage "title"` prints "=== [k/N] title ===" with k
-# auto-incremented, so adding a stage means writing its body plus bumping
-# STAGES — not renumbering every banner.
-STAGES=6
+# auto-incremented and N derived by counting the stage calls in this very
+# script — adding a stage means writing its body, nothing else, where the
+# hardcoded STAGES=6 this replaces silently lied the moment a stage was
+# added without the bump.
+STAGES="$(grep -cE '^stage "' "$0")"
 STAGE_NO=0
 stage() {
   STAGE_NO=$((STAGE_NO + 1))
@@ -91,18 +94,13 @@ ctest --test-dir "${PREFIX}-paranoid" --output-on-failure -j "${JOBS}" -L tier1
 
 stage "Static analysis: senn_lint + suppression baseline + clang-tidy"
 LINT="${PREFIX}/tools/senn_lint"
-# Human report gates (exit 1 on any finding or unused suppression); the JSON
-# run proves the machine-readable path stays parseable for CI consumers.
-"${LINT}" src tools/lint
-"${LINT}" --json src tools/lint >/dev/null
-# Every allow() must be accounted for in the reviewed baseline: a new
-# suppression lands by running tools/regen_lint_baseline.sh and committing
-# the diff, never silently.
-"${LINT}" --list-suppressions src tools/lint | diff -u tools/lint_baseline.txt - || {
-  echo "check.sh: suppression list drifted from tools/lint_baseline.txt"
-  echo "          review the diff above, then run tools/regen_lint_baseline.sh"
-  exit 1
-}
+# One gating run: findings, unused suppressions, AND baseline drift all fail
+# it (the binary diffs the suppression list against the baseline itself —
+# a new allow() lands by running tools/regen_lint_baseline.sh and
+# committing the diff, never silently). The JSON run proves the
+# machine-readable path stays parseable for CI consumers.
+"${LINT}" --baseline tools/lint_baseline.txt src tools
+"${LINT}" --json --baseline tools/lint_baseline.txt src tools >/dev/null
 if command -v clang-tidy >/dev/null 2>&1; then
   # Library sources only — test fixtures under tests/lint/ are deliberately
   # broken and gtest macros trip bugprone checks.

@@ -1,0 +1,672 @@
+#include "tools/lint/analysis.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace senn_lint {
+
+namespace {
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "while" || s == "for" || s == "switch" || s == "catch";
+}
+
+bool IsFuncSpecifier(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" || s == "mutable";
+}
+
+// Keywords that can never open a declaration's type or be a declared name.
+bool IsStmtKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "else",     "for",      "while",   "do",       "switch",   "case",
+      "default", "break",    "continue", "return",  "goto",     "try",      "catch",
+      "throw",   "new",      "delete",   "using",   "typedef",  "template", "typename",
+      "public",  "private",  "protected","friend",  "operator", "sizeof",   "alignof",
+      "static_assert", "namespace", "class", "struct", "union", "enum", "co_return",
+      "co_yield", "co_await", "this", "true", "false", "nullptr", "extern", "asm"};
+  return kKeywords.count(s) > 0;
+}
+
+// Declaration specifiers skipped before (and within) the type.
+bool IsDeclSpecifier(const std::string& s) {
+  return s == "const" || s == "static" || s == "constexpr" || s == "consteval" ||
+         s == "constinit" || s == "inline" || s == "mutable" || s == "volatile" ||
+         s == "thread_local" || s == "register" || s == "virtual" || s == "explicit";
+}
+
+}  // namespace
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Identifier heuristic for "this value is a distance": the conventional
+// names the codebase uses for Euclidean / network distances and radii.
+bool DistanceIsh(const std::string& ident) {
+  static const std::set<std::string> kExact = {"d", "d2", "nd", "radius", "reach", "network"};
+  return Lower(ident).find("dist") != std::string::npos || kExact.count(ident) > 0;
+}
+
+// L5 additionally treats `key` as a distance: the best-first queue items
+// carry their MINDIST/distance under that name.
+bool DistanceIshForEquality(const std::string& ident) {
+  return DistanceIsh(ident) || ident == "key";
+}
+
+size_t AngleMatch(const Ctx& ctx, size_t open) {
+  int angle = 0;
+  int paren = 0;
+  for (size_t i = open; i < ctx.Size(); ++i) {
+    const Token& t = ctx.At(i);
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") {
+      if (paren == 0) return kNpos;
+      --paren;
+    }
+    if (paren > 0) continue;
+    if (t.text == "<") ++angle;
+    if (t.text == ">") {
+      --angle;
+      if (angle == 0) return i;
+    }
+    if (t.text == ";" || t.text == "{") return kNpos;
+  }
+  return kNpos;
+}
+
+void PrecomputeBrackets(Ctx* ctx) {
+  ctx->paren_match.assign(ctx->Size(), kNpos);
+  ctx->brace_match.assign(ctx->Size(), kNpos);
+  std::vector<size_t> parens;
+  std::vector<size_t> braces;
+  for (size_t i = 0; i < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") parens.push_back(i);
+    if (t.text == ")" && !parens.empty()) {
+      ctx->paren_match[i] = parens.back();
+      ctx->paren_match[parens.back()] = i;
+      parens.pop_back();
+    }
+    if (t.text == "{") braces.push_back(i);
+    if (t.text == "}" && !braces.empty()) {
+      ctx->brace_match[i] = braces.back();
+      ctx->brace_match[braces.back()] = i;
+      braces.pop_back();
+    }
+  }
+}
+
+// Records `name = [...](...) ... { body }` lambda assignments so L1 can see
+// through a named comparator at its use site and L6 can recover the name of
+// a lambda-shaped helper.
+void CollectLambdas(Ctx* ctx) {
+  for (size_t i = 2; i < ctx->Size(); ++i) {
+    if (!ctx->IsPunct(i, "[")) continue;
+    if (!ctx->IsPunct(i - 1, "=") || ctx->At(i - 2).kind != TokKind::kIdent) continue;
+    // Find the capture list's ']' (captures contain no brackets in practice).
+    size_t rb = i + 1;
+    while (rb < ctx->Size() && !ctx->IsPunct(rb, "]")) ++rb;
+    if (rb >= ctx->Size()) continue;
+    size_t body = kNpos;
+    if (ctx->IsPunct(rb + 1, "(")) {
+      size_t close = ctx->paren_match[rb + 1];
+      if (close == kNpos) continue;
+      // Skip trailing-return / specifier tokens up to the body brace.
+      for (size_t j = close + 1; j < std::min(close + 12, ctx->Size()); ++j) {
+        if (ctx->IsPunct(j, "{")) {
+          body = j;
+          break;
+        }
+        if (ctx->IsPunct(j, ";") || ctx->IsPunct(j, ",")) break;
+      }
+    } else if (ctx->IsPunct(rb + 1, "{")) {
+      body = rb + 1;
+    }
+    if (body == kNpos || ctx->brace_match[body] == kNpos) continue;
+    ctx->lambda_body[ctx->At(i - 2).text] = {body, ctx->brace_match[body]};
+  }
+}
+
+// Classifies every '{' as function-body or not. A function body is a brace
+// whose preceding tokens lead back to a parameter-list ')' that is not a
+// control statement's condition. Constructor init lists and trailing return
+// types are walked through; `if (...) {` / `for (...) {` are excluded.
+void CollectFuncBodies(Ctx* ctx) {
+  for (size_t i = 1; i < ctx->Size(); ++i) {
+    if (!ctx->IsPunct(i, "{") || ctx->brace_match[i] == kNpos) continue;
+    size_t j = i - 1;
+    // Walk back over specifiers and a trailing return type.
+    size_t steps = 0;
+    while (j > 0 && steps < 12) {
+      const Token& t = ctx->At(j);
+      if (t.kind == TokKind::kIdent && IsFuncSpecifier(t.text)) {
+        --j;
+        ++steps;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent || t.text == "::" || t.text == "<" || t.text == ">" ||
+          t.text == "*" || t.text == "&") {
+        // Part of a trailing return type only if an `->` precedes it.
+        if (j >= 1 && (ctx->IsPunct(j - 1, "->") || ctx->At(j - 1).kind == TokKind::kIdent ||
+                       ctx->IsPunct(j - 1, "::") || ctx->IsPunct(j - 1, "<") ||
+                       ctx->IsPunct(j - 1, ">"))) {
+          --j;
+          ++steps;
+          continue;
+        }
+        if (j >= 1 && ctx->IsPunct(j - 1, ")")) {
+          // `) -> T {` without the arrow merged: treat like specifier.
+          --j;
+          ++steps;
+          continue;
+        }
+        break;
+      }
+      if (t.text == "->") {
+        --j;
+        ++steps;
+        continue;
+      }
+      break;
+    }
+    if (!ctx->IsPunct(j, ")")) continue;
+    size_t open = ctx->paren_match[j];
+    if (open == kNpos) continue;
+    // Constructor init lists: `Foo(...) : a_(1), b_(2) {` — the ')' before
+    // '{' belongs to the last initializer. Walk initializers back to the
+    // parameter list proper.
+    size_t param_close = j;
+    size_t param_open = open;
+    while (param_open > 0 &&
+           (ctx->IsPunct(param_open - 1, ",") ||
+            (ctx->At(param_open - 1).kind == TokKind::kIdent && param_open >= 2 &&
+             (ctx->IsPunct(param_open - 2, ",") || ctx->IsPunct(param_open - 2, ":"))))) {
+      // `..., name(expr)` or `: name(expr)` — step to the preceding ')'.
+      size_t k = param_open - 1;
+      while (k > 0 && !ctx->IsPunct(k, ")")) {
+        if (ctx->IsPunct(k, ";") || ctx->IsPunct(k, "{") || ctx->IsPunct(k, "}")) {
+          k = 0;
+          break;
+        }
+        --k;
+      }
+      if (k == 0 || ctx->paren_match[k] == kNpos) break;
+      param_close = k;
+      param_open = ctx->paren_match[k];
+    }
+    if (param_open > 0 && ctx->At(param_open - 1).kind == TokKind::kIdent &&
+        IsControlKeyword(ctx->At(param_open - 1).text)) {
+      continue;
+    }
+    ctx->func_bodies.push_back({i, ctx->brace_match[i], param_open, param_close});
+  }
+}
+
+const FuncBody* EnclosingFuncBody(const Ctx& ctx, size_t i) {
+  const FuncBody* best = nullptr;
+  for (const FuncBody& b : ctx.func_bodies) {
+    if (b.open < i && i < b.close && (best == nullptr || b.open > best->open)) best = &b;
+  }
+  return best;
+}
+
+namespace {
+
+// Classification of one '{' at token index `i`; assumes func_bodies and
+// lambda_body are already collected.
+ScopeNode ClassifyBrace(const Ctx& ctx, size_t i) {
+  ScopeNode node;
+  node.open = i;
+  node.close = ctx.brace_match[i];
+  for (const FuncBody& b : ctx.func_bodies) {
+    if (b.open != i) continue;
+    node.kind = ScopeNode::kFunction;
+    node.head_open = b.param_open;
+    node.head_close = b.param_close;
+    // `Type Class::Name(params)` — the identifier right before '(' is the
+    // function's name; a ']' there means lambda.
+    if (b.param_open != kNpos && b.param_open > 0) {
+      if (ctx.At(b.param_open - 1).kind == TokKind::kIdent) {
+        node.name = ctx.At(b.param_open - 1).text;
+      } else if (ctx.IsPunct(b.param_open - 1, "]")) {
+        node.kind = ScopeNode::kLambda;
+        for (const auto& [lname, range] : ctx.lambda_body) {
+          if (range.first == i) {
+            node.name = lname;
+            break;
+          }
+        }
+      }
+    }
+    return node;
+  }
+  // `] {` — a capture list directly followed by the body (no parameters).
+  if (i > 0 && ctx.IsPunct(i - 1, "]")) {
+    node.kind = ScopeNode::kLambda;
+    for (const auto& [lname, range] : ctx.lambda_body) {
+      if (range.first == i) {
+        node.name = lname;
+        break;
+      }
+    }
+    return node;
+  }
+  // `<keyword> (...) {`
+  if (i > 0 && ctx.IsPunct(i - 1, ")")) {
+    size_t open = ctx.paren_match[i - 1];
+    if (open != kNpos && open > 0 && ctx.At(open - 1).kind == TokKind::kIdent &&
+        IsControlKeyword(ctx.At(open - 1).text)) {
+      node.kind = ScopeNode::kControl;
+      node.name = ctx.At(open - 1).text;
+      node.head_open = open;
+      node.head_close = i - 1;
+      return node;
+    }
+  }
+  // `else {` / `do {` / `try {`
+  if (i > 0 && ctx.At(i - 1).kind == TokKind::kIdent) {
+    const std::string& prev = ctx.At(i - 1).text;
+    if (prev == "else" || prev == "do" || prev == "try") {
+      node.kind = ScopeNode::kControl;
+      node.name = prev;
+      return node;
+    }
+  }
+  // Walk the statement prefix back to the previous boundary looking for
+  // namespace / class / struct / union / enum.
+  size_t j = i;
+  size_t steps = 0;
+  std::string last_ident;
+  while (j > 0 && steps < 24) {
+    --j;
+    ++steps;
+    const Token& t = ctx.At(j);
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ")")) {
+      break;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "namespace") {
+      node.kind = ScopeNode::kNamespace;
+      node.name = last_ident;
+      return node;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union" || t.text == "enum") {
+      node.kind = ScopeNode::kClass;
+      // The name is the identifier right after the keyword (`class Foo :
+      // public Bar {` — base-clause identifiers come later and were seen
+      // first on this backward walk).
+      if (j + 1 < ctx.Size() && ctx.At(j + 1).kind == TokKind::kIdent) {
+        node.name = ctx.At(j + 1).text;
+      }
+      return node;
+    }
+    last_ident = t.text;
+  }
+  return node;  // kBlock (includes brace initializers — harmless)
+}
+
+}  // namespace
+
+void BuildScopes(Ctx* ctx) {
+  ctx->scopes.clear();
+  ScopeNode file_scope;
+  file_scope.kind = ScopeNode::kFile;
+  file_scope.open = kNpos;
+  file_scope.close = ctx->Size();
+  ctx->scopes.push_back(file_scope);
+  ctx->scope_at.assign(ctx->Size(), 0);
+  std::vector<int> stack = {0};
+  for (size_t i = 0; i < ctx->Size(); ++i) {
+    if (ctx->IsPunct(i, "{") && ctx->brace_match[i] != kNpos) {
+      ScopeNode node = ClassifyBrace(*ctx, i);
+      node.parent = stack.back();
+      ctx->scopes.push_back(node);
+      stack.push_back(static_cast<int>(ctx->scopes.size()) - 1);
+    }
+    ctx->scope_at[i] = stack.back();
+    if (ctx->IsPunct(i, "}") && stack.size() > 1 &&
+        ctx->scopes[stack.back()].close == i) {
+      stack.pop_back();
+    }
+  }
+}
+
+int Ctx::EnclosingScope(size_t i, ScopeNode::Kind kind) const {
+  for (int s = ScopeAt(i); s >= 0; s = scopes[s].parent) {
+    if (scopes[s].kind == kind) return s;
+  }
+  return -1;
+}
+
+std::string EnclosingFunctionName(const Ctx& ctx, size_t i) {
+  for (int s = ctx.ScopeAt(i); s >= 0; s = ctx.scopes[s].parent) {
+    if (ctx.scopes[s].kind == ScopeNode::kFunction ||
+        ctx.scopes[s].kind == ScopeNode::kLambda) {
+      return ctx.scopes[s].name;
+    }
+  }
+  return "";
+}
+
+const Symbol* Ctx::Lookup(size_t i, const std::string& name) const {
+  const Symbol* best = nullptr;
+  int at = ScopeAt(i);
+  for (const Symbol& sym : symbols) {
+    if (sym.name != name) continue;
+    if (!sym.is_param && sym.name_tok > i) continue;  // declared after use
+    // sym.scope must be `at` or an ancestor of it; prefer the deepest match.
+    for (int s = at; s >= 0; s = scopes[s].parent) {
+      if (s == sym.scope) {
+        if (best == nullptr || sym.scope > best->scope ||
+            (sym.scope == best->scope && sym.name_tok > best->name_tok)) {
+          best = &sym;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+bool TypeContains(const Symbol& sym, const char* ident) {
+  for (const std::string& t : sym.type) {
+    if (t == ident) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Attempts to parse a declaration whose type starts at token `i` inside
+// scope `scope`. On success appends the symbol(s) and returns the index one
+// past the declaration's statement; on failure returns kNpos.
+size_t ParseDeclaration(Ctx* ctx, size_t i, int scope, bool function_like) {
+  std::vector<std::string> type;
+  bool is_pointer = false;
+  bool is_ref = false;
+  size_t j = i;
+  while (j < ctx->Size() && ctx->At(j).kind == TokKind::kIdent &&
+         IsDeclSpecifier(ctx->At(j).text)) {
+    ++j;
+  }
+  if (j >= ctx->Size() || ctx->At(j).kind != TokKind::kIdent ||
+      IsStmtKeyword(ctx->At(j).text)) {
+    return kNpos;
+  }
+  // Type: ident (:: ident)* with optional template argument lists, then any
+  // number of '*' / '&' / cv tokens.
+  bool saw_type = false;
+  while (j < ctx->Size()) {
+    const Token& t = ctx->At(j);
+    if (t.kind == TokKind::kIdent && !IsStmtKeyword(t.text)) {
+      if (IsDeclSpecifier(t.text)) {
+        ++j;
+        continue;
+      }
+      // An identifier followed by a declarator-ending token is the NAME,
+      // not part of the type — stop type parsing here.
+      if (saw_type && j + 1 < ctx->Size()) {
+        const Token& n = ctx->At(j + 1);
+        if (n.kind == TokKind::kPunct &&
+            (n.text == "=" || n.text == ";" || n.text == "(" || n.text == "{" ||
+             n.text == "," || n.text == ":" || n.text == "[")) {
+          break;
+        }
+      }
+      type.push_back(t.text);
+      saw_type = true;
+      ++j;
+      if (ctx->IsPunct(j, "::")) {
+        ++j;
+        continue;
+      }
+      if (ctx->IsPunct(j, "<")) {
+        size_t close = AngleMatch(*ctx, j);
+        if (close == kNpos) return kNpos;
+        for (size_t k = j + 1; k < close; ++k) {
+          if (ctx->At(k).kind == TokKind::kIdent && !IsDeclSpecifier(ctx->At(k).text)) {
+            type.push_back(ctx->At(k).text);
+          }
+        }
+        j = close + 1;
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && (t.text == "*" || t.text == "&")) {
+      if (!saw_type) return kNpos;
+      if (t.text == "*") is_pointer = true;
+      if (t.text == "&") is_ref = true;
+      ++j;
+      continue;
+    }
+    break;
+  }
+  if (!saw_type || j >= ctx->Size() || ctx->At(j).kind != TokKind::kIdent ||
+      IsStmtKeyword(ctx->At(j).text)) {
+    return kNpos;
+  }
+  size_t name_tok = j;
+  const std::string& name = ctx->At(j).text;
+  size_t after = j + 1;
+  if (after >= ctx->Size() || ctx->At(after).kind != TokKind::kPunct) return kNpos;
+  const std::string& punct = ctx->At(after).text;
+
+  Symbol sym;
+  sym.name = name;
+  sym.type = type;
+  sym.is_pointer = is_pointer;
+  sym.is_ref = is_ref;
+  sym.scope = scope;
+  sym.name_tok = name_tok;
+
+  auto stmt_end = [&](size_t from) {
+    int paren = 0;
+    int brace = 0;
+    for (size_t k = from; k < ctx->Size(); ++k) {
+      const Token& t = ctx->At(k);
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(") ++paren;
+      if (t.text == ")") --paren;
+      if (t.text == "{") ++brace;
+      if (t.text == "}") {
+        if (brace == 0) return k;
+        --brace;
+      }
+      if (t.text == ";" && paren == 0 && brace == 0) return k;
+    }
+    return ctx->Size();
+  };
+
+  if (punct == "=") {
+    size_t end = stmt_end(after + 1);
+    sym.init_begin = after + 1;
+    sym.init_end = end;
+    ctx->symbols.push_back(sym);
+    return end + 1;
+  }
+  if (punct == ";") {
+    ctx->symbols.push_back(sym);
+    return after + 1;
+  }
+  if (punct == "(") {
+    // `Type name(args);` is a constructor call in function-like scopes and a
+    // function declaration at class / namespace / file scope.
+    if (!function_like) return kNpos;
+    size_t close = ctx->paren_match[after];
+    if (close == kNpos) return kNpos;
+    sym.init_begin = after + 1;
+    sym.init_end = close;
+    ctx->symbols.push_back(sym);
+    return close + 1;
+  }
+  if (punct == "{") {
+    size_t close = ctx->brace_match[after];
+    if (close == kNpos || !ctx->IsPunct(close + 1, ";")) return kNpos;
+    sym.init_begin = after + 1;
+    sym.init_end = close;
+    ctx->symbols.push_back(sym);
+    return close + 2;
+  }
+  if (punct == ",") {
+    // Multi-declarator `int a, b = 0;` — register each name with the same
+    // type; initializer tracking per declarator.
+    ctx->symbols.push_back(sym);
+    size_t k = after;
+    while (k < ctx->Size() && ctx->IsPunct(k, ",") && k + 1 < ctx->Size() &&
+           ctx->At(k + 1).kind == TokKind::kIdent) {
+      Symbol extra = sym;
+      extra.name = ctx->At(k + 1).text;
+      extra.name_tok = k + 1;
+      extra.init_begin = kNpos;
+      extra.init_end = kNpos;
+      ctx->symbols.push_back(extra);
+      k += 2;
+      if (ctx->IsPunct(k, "=")) {
+        size_t end = stmt_end(k + 1);
+        ctx->symbols.back().init_begin = k + 1;
+        ctx->symbols.back().init_end = end;
+        return end + 1;
+      }
+    }
+    return stmt_end(k) + 1;
+  }
+  return kNpos;
+}
+
+// Registers parameters of a function/lambda scope from its head range.
+void CollectParams(Ctx* ctx, int scope_idx) {
+  const ScopeNode& scope = ctx->scopes[scope_idx];
+  if (scope.head_open == kNpos || scope.head_open + 1 >= scope.head_close) return;
+  size_t seg_start = scope.head_open + 1;
+  int angle = 0;
+  int paren = 0;
+  for (size_t j = scope.head_open + 1; j <= scope.head_close; ++j) {
+    if (ctx->IsPunct(j, "<")) ++angle;
+    if (ctx->IsPunct(j, ">")) --angle;
+    if (ctx->IsPunct(j, "(")) ++paren;
+    if (ctx->IsPunct(j, ")") && j != scope.head_close) --paren;
+    bool at_comma = ctx->IsPunct(j, ",") && angle == 0 && paren == 0;
+    if (j != scope.head_close && !at_comma) continue;
+    // Segment [seg_start, j): last identifier before any '=' is the name.
+    std::vector<std::string> idents;
+    bool has_star = false;
+    bool has_amp = false;
+    size_t limit = j;
+    for (size_t k = seg_start; k < j; ++k) {
+      if (ctx->IsPunct(k, "=")) {
+        limit = k;
+        break;
+      }
+    }
+    for (size_t k = seg_start; k < limit; ++k) {
+      const Token& t = ctx->At(k);
+      if (t.kind == TokKind::kIdent && !IsDeclSpecifier(t.text) &&
+          !IsStmtKeyword(t.text)) {
+        idents.push_back(t.text);
+      }
+      if (ctx->IsPunct(k, "*")) has_star = true;
+      if (ctx->IsPunct(k, "&")) has_amp = true;
+    }
+    if (idents.size() >= 2) {
+      Symbol sym;
+      sym.name = idents.back();
+      sym.type.assign(idents.begin(), idents.end() - 1);
+      sym.is_pointer = has_star;
+      sym.is_ref = has_amp;
+      sym.is_param = true;
+      sym.scope = scope_idx;
+      sym.name_tok = scope.head_open;
+      ctx->symbols.push_back(sym);
+    }
+    seg_start = j + 1;
+  }
+}
+
+}  // namespace
+
+void CollectSymbols(Ctx* ctx) {
+  ctx->symbols.clear();
+  for (size_t s = 0; s < ctx->scopes.size(); ++s) {
+    const ScopeNode& scope = ctx->scopes[s];
+    if (scope.kind == ScopeNode::kFunction || scope.kind == ScopeNode::kLambda) {
+      CollectParams(ctx, static_cast<int>(s));
+    }
+    // Range-for declarations live in the control head: `for (Type name : r)`.
+    if (scope.kind == ScopeNode::kControl && scope.name == "for" &&
+        scope.head_open != kNpos) {
+      int paren = 0;
+      for (size_t j = scope.head_open + 1; j < scope.head_close; ++j) {
+        if (ctx->IsPunct(j, "(")) ++paren;
+        if (ctx->IsPunct(j, ")")) --paren;
+        if (paren == 0 && ctx->IsPunct(j, ":")) {
+          if (j > scope.head_open + 1 && ctx->At(j - 1).kind == TokKind::kIdent &&
+              !IsStmtKeyword(ctx->At(j - 1).text)) {
+            Symbol sym;
+            sym.name = ctx->At(j - 1).text;
+            for (size_t k = scope.head_open + 1; k + 1 < j; ++k) {
+              if (ctx->At(k).kind == TokKind::kIdent && !IsDeclSpecifier(ctx->At(k).text)) {
+                sym.type.push_back(ctx->At(k).text);
+              }
+            }
+            sym.scope = static_cast<int>(s);
+            sym.name_tok = j - 1;
+            sym.init_begin = j + 1;
+            sym.init_end = scope.head_close;
+            ctx->symbols.push_back(sym);
+          }
+          break;
+        }
+      }
+    }
+  }
+  // Statement-start declarations: tokens following ';', '{', '}' (and the
+  // class-scope access-specifier colon) begin a potential declaration.
+  for (size_t i = 0; i < ctx->Size(); ++i) {
+    bool stmt_start = (i == 0);
+    if (i > 0 && ctx->At(i - 1).kind == TokKind::kPunct) {
+      const std::string& p = ctx->At(i - 1).text;
+      stmt_start = (p == ";" || p == "{" || p == "}");
+      if (p == ":" && i >= 2 && ctx->At(i - 2).kind == TokKind::kIdent) {
+        const std::string& kw = ctx->At(i - 2).text;
+        stmt_start = (kw == "public" || kw == "private" || kw == "protected");
+      }
+    }
+    if (!stmt_start) continue;
+    int scope = ctx->ScopeAt(i);
+    ScopeNode::Kind kind = ctx->scopes[scope].kind;
+    bool function_like = false;
+    for (int s = scope; s >= 0; s = ctx->scopes[s].parent) {
+      if (ctx->scopes[s].kind == ScopeNode::kFunction ||
+          ctx->scopes[s].kind == ScopeNode::kLambda) {
+        function_like = true;
+        break;
+      }
+      if (ctx->scopes[s].kind == ScopeNode::kClass ||
+          ctx->scopes[s].kind == ScopeNode::kNamespace) {
+        break;
+      }
+    }
+    if (kind == ScopeNode::kControl && !function_like) continue;
+    ParseDeclaration(ctx, i, scope, function_like);
+  }
+  // Mutex member declarations feed the run-level acquisition-order rule.
+  if (ctx->facts != nullptr) {
+    for (const Symbol& sym : ctx->symbols) {
+      if (!sym.is_param && TypeContains(sym, "mutex") &&
+          ctx->scopes[sym.scope].kind == ScopeNode::kClass) {
+        ctx->facts->mutex_decls.push_back({sym.name, ctx->At(sym.name_tok).line});
+      }
+    }
+  }
+}
+
+}  // namespace senn_lint

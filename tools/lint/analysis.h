@@ -1,0 +1,162 @@
+// Shared analysis context for senn_lint rules.
+//
+// PR 5's rules worked straight off the token stream. The v2 engine adds
+// three precomputed structures that the scoped rules (L7-L10) need and the
+// token rules (L1-L6) use to cut false positives:
+//
+//   * bracket matching ('()'/'{}' partner indices),
+//   * a scope tree: every '{...}' block classified as namespace / class /
+//     function / lambda / control / plain block, with the innermost scope
+//     computable per token,
+//   * a per-scope symbol table: declarations recovered heuristically from
+//     statement starts and parameter lists, carrying the declared type's
+//     identifier chain, pointer/reference-ness, and the initializer's token
+//     range (so a rule can ask "was this Rng derived via .Stream(...)?").
+//
+// All of it stays a heuristic over tokens — no preprocessor, no name lookup
+// across headers beyond the run-level facts below. Rules must degrade to
+// silence when the heuristics cannot resolve something.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/lint.h"
+
+namespace senn_lint {
+
+inline constexpr size_t kNpos = static_cast<size_t>(-1);
+
+struct FuncBody {
+  size_t open = 0;        // index of '{'
+  size_t close = 0;       // index of matching '}'
+  size_t param_open = 0;  // index of the preceding '(' (kNpos when absent)
+  size_t param_close = 0;
+};
+
+struct ScopeNode {
+  enum Kind { kFile, kNamespace, kClass, kFunction, kLambda, kControl, kBlock };
+  Kind kind = kBlock;
+  size_t open = kNpos;   // '{' token index (kNpos for the file scope)
+  size_t close = 0;      // matching '}' index (token count for the file scope)
+  int parent = -1;
+  std::string name;        // function / class / namespace name when recoverable
+  size_t head_open = kNpos;   // '(' of the parameter list or control condition
+  size_t head_close = kNpos;  // its matching ')'
+};
+
+struct Symbol {
+  std::string name;
+  std::vector<std::string> type;  // identifier tokens of the declared type,
+                                  // template arguments included
+  bool is_pointer = false;
+  bool is_ref = false;
+  bool is_param = false;
+  int scope = 0;          // index into Ctx::scopes
+  size_t name_tok = 0;    // token index of the declared name
+  size_t init_begin = kNpos;  // [init_begin, init_end) initializer tokens
+  size_t init_end = kNpos;
+};
+
+// Per-file side data consumed by the run-level rules (lock acquisition
+// order across headers, include cycles).
+struct MutexDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct NestedLock {
+  int line = 0;  // line the inner lock is taken on
+  std::string outer;
+  std::string inner;
+};
+
+struct IncludeEdge {
+  int line = 0;
+  std::string target;  // repo-relative quoted include path
+};
+
+struct FileFacts {
+  std::vector<IncludeEdge> includes;
+  std::vector<MutexDecl> mutex_decls;
+  std::vector<NestedLock> nested_locks;
+};
+
+struct Ctx {
+  std::string file;
+  std::vector<Token> tokens;
+  std::vector<size_t> paren_match;  // '('/')' partner index or kNpos
+  std::vector<size_t> brace_match;  // '{'/'}' partner index or kNpos
+  std::unordered_map<std::string, std::pair<size_t, size_t>> lambda_body;
+  std::vector<FuncBody> func_bodies;
+  std::vector<ScopeNode> scopes;  // [0] is the file scope
+  std::vector<int> scope_at;      // innermost scope index per token
+  std::vector<Symbol> symbols;
+  std::vector<Diagnostic>* sink = nullptr;
+  FileFacts* facts = nullptr;
+
+  const Token& At(size_t i) const { return tokens[i]; }
+  size_t Size() const { return tokens.size(); }
+  bool IsIdent(size_t i, const char* text) const {
+    return i < tokens.size() && tokens[i].kind == TokKind::kIdent && tokens[i].text == text;
+  }
+  bool IsPunct(size_t i, const char* text) const {
+    return i < tokens.size() && tokens[i].kind == TokKind::kPunct && tokens[i].text == text;
+  }
+  void Report(const std::string& rule, int line, std::string message) {
+    // One diagnostic per (rule, line): two `==` on one line are one finding.
+    for (const Diagnostic& d : *sink) {
+      if (d.rule == rule && d.line == line) return;
+    }
+    sink->push_back({rule, file, line, std::move(message), false});
+  }
+
+  /// Innermost scope containing token `i`.
+  int ScopeAt(size_t i) const { return i < scope_at.size() ? scope_at[i] : 0; }
+  /// Nearest enclosing scope of `kind` starting from token `i` (-1 if none).
+  int EnclosingScope(size_t i, ScopeNode::Kind kind) const;
+  /// Innermost visible symbol named `name` at token `i`, declared before `i`.
+  const Symbol* Lookup(size_t i, const std::string& name) const;
+};
+
+/// True when the symbol's declared-type identifier chain contains `ident`.
+bool TypeContains(const Symbol& sym, const char* ident);
+
+bool PathContains(const std::string& path, const char* needle);
+std::string Lower(const std::string& s);
+bool DistanceIsh(const std::string& ident);
+bool DistanceIshForEquality(const std::string& ident);
+
+/// Matches '<'..'>' starting at `open` (index of '<'). kNpos when the '<'
+/// reads as a comparison rather than a template argument list.
+size_t AngleMatch(const Ctx& ctx, size_t open);
+
+void PrecomputeBrackets(Ctx* ctx);
+void CollectLambdas(Ctx* ctx);
+void CollectFuncBodies(Ctx* ctx);
+void BuildScopes(Ctx* ctx);
+void CollectSymbols(Ctx* ctx);
+
+/// Smallest function body whose braces enclose token index `i`.
+const FuncBody* EnclosingFuncBody(const Ctx& ctx, size_t i);
+
+/// Name of the innermost enclosing function or lambda at token `i`
+/// ("" when unknown — e.g. an unnamed lambda or file scope).
+std::string EnclosingFunctionName(const Ctx& ctx, size_t i);
+
+// Rule entry points (each file defines a family; the registry in lint.cc
+// wires them up in L1..L10 order).
+void RuleRawOrder(Ctx* ctx);         // L1
+void RuleUnorderedIter(Ctx* ctx);    // L2
+void RuleWallclock(Ctx* ctx);        // L3
+void RulePointerOrder(Ctx* ctx);     // L4
+void RuleFloatEq(Ctx* ctx);          // L5
+void RulePinBalance(Ctx* ctx);       // L6
+void RuleRngStream(Ctx* ctx);        // L7
+void RuleUntrustedDecode(Ctx* ctx);  // L8
+void RuleLockDiscipline(Ctx* ctx);   // L9
+
+}  // namespace senn_lint

@@ -1,0 +1,209 @@
+#include "tools/lint/include_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace senn_lint {
+
+namespace {
+
+// The architecture DAG, as bands. Same-band edges are allowed (they are the
+// deliberate sideways dependencies: storage consults rtree node layouts,
+// core and roadnet share the query/result vocabulary).
+const std::map<std::string, int>& BandTable() {
+  static const std::map<std::string, int> kBands = {
+      {"common", 0}, {"geom", 1},    {"obs", 1},   {"rtree", 2},
+      {"storage", 2}, {"net", 2},    {"core", 3},  {"roadnet", 3},
+      {"cache", 4},  {"mobility", 4}, {"rpc", 5},  {"sim", 5},
+  };
+  return kBands;
+}
+
+// Extracts the layer directory from a path: the component following "src/"
+// (e.g. "src/geom/vec2.h" -> "geom"), or "tools" for anything under tools/.
+std::string LayerComponent(const std::string& path) {
+  size_t pos;
+  if (path.rfind("src/", 0) == 0) {
+    pos = 4;
+  } else if ((pos = path.find("/src/")) != std::string::npos) {
+    pos += 5;
+  } else if (path.rfind("tools/", 0) == 0 || path.find("/tools/") != std::string::npos) {
+    return "tools";
+  } else {
+    return "";
+  }
+  size_t slash = path.find('/', pos);
+  if (slash == std::string::npos) return "";
+  return path.substr(pos, slash - pos);
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> CollectIncludes(const std::string& source) {
+  std::vector<IncludeEdge> out;
+  std::istringstream in(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    };
+    skip_ws();
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    skip_ws();
+    if (line.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    skip_ws();
+    if (i >= line.size() || line[i] != '"') continue;
+    size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) continue;
+    out.push_back({lineno, line.substr(i + 1, close - i - 1)});
+  }
+  return out;
+}
+
+int LayerBand(const std::string& path) {
+  std::string layer = LayerComponent(path);
+  if (layer == "tools") return 6;
+  auto it = BandTable().find(layer);
+  return it == BandTable().end() ? -1 : it->second;
+}
+
+std::string LayerName(const std::string& path) { return LayerComponent(path); }
+
+void CheckLayering(const std::string& file, const std::vector<IncludeEdge>& includes,
+                   std::vector<Diagnostic>* sink) {
+  int from_band = LayerBand(file);
+  if (from_band < 0) return;
+  for (const IncludeEdge& e : includes) {
+    int to_band = LayerBand(e.target);
+    if (to_band < 0 || to_band <= from_band) continue;
+    sink->push_back(
+        {"L10-layering", file, e.line,
+         "include of \"" + e.target + "\" jumps up the layer DAG: " + LayerName(file) +
+             " (band " + std::to_string(from_band) + ") must not depend on " +
+             LayerName(e.target) + " (band " + std::to_string(to_band) +
+             "); allowed order is common -> geom/obs -> rtree/storage/net -> "
+             "core/roadnet -> cache/mobility -> rpc/sim -> tools",
+         false});
+  }
+}
+
+namespace {
+
+// Iterative Tarjan SCC over the file graph. Node ids are indices into a
+// sorted file list so the output is deterministic regardless of map order.
+struct Tarjan {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index, lowlink, on_stack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int counter = 0;
+
+  explicit Tarjan(const std::vector<std::vector<int>>& a)
+      : adj(a), index(a.size(), -1), lowlink(a.size(), 0), on_stack(a.size(), 0) {}
+
+  void Run(int root) {
+    // Explicit stack of (node, next-edge-index) frames.
+    std::vector<std::pair<int, size_t>> frames = {{root, 0}};
+    while (!frames.empty()) {
+      auto& [v, ei] = frames.back();
+      if (ei == 0) {
+        index[v] = lowlink[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (ei < adj[v].size()) {
+        int w = adj[v][ei++];
+        if (index[w] == -1) {
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        std::vector<int> scc;
+        while (true) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+      int finished = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> CheckIncludeCycles(
+    const std::map<std::string, std::vector<IncludeEdge>>& graph) {
+  std::vector<std::string> files;
+  files.reserve(graph.size());
+  for (const auto& [file, edges] : graph) files.push_back(file);
+  std::sort(files.begin(), files.end());
+  std::map<std::string, int> id;
+  for (size_t i = 0; i < files.size(); ++i) id[files[i]] = static_cast<int>(i);
+
+  std::vector<std::vector<int>> adj(files.size());
+  std::vector<bool> self_loop(files.size(), false);
+  for (const auto& [file, edges] : graph) {
+    int from = id[file];
+    for (const IncludeEdge& e : edges) {
+      auto it = id.find(e.target);
+      if (it == id.end()) continue;  // outside the scan set
+      if (it->second == from) self_loop[from] = true;
+      adj[from].push_back(it->second);
+    }
+  }
+
+  Tarjan tarjan(adj);
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (tarjan.index[i] == -1) tarjan.Run(static_cast<int>(i));
+  }
+
+  std::vector<Diagnostic> out;
+  for (std::vector<int>& scc : tarjan.sccs) {
+    if (scc.size() < 2 && !(scc.size() == 1 && self_loop[scc[0]])) continue;
+    std::sort(scc.begin(), scc.end());
+    std::string cycle;
+    for (int v : scc) {
+      if (!cycle.empty()) cycle += " -> ";
+      cycle += files[v];
+    }
+    cycle += " -> " + files[scc[0]];
+    // Anchor the diagnostic on each member's first in-cycle include line so
+    // every participating file fails loudly.
+    std::set<int> members(scc.begin(), scc.end());
+    for (int v : scc) {
+      int line = 1;
+      for (const IncludeEdge& e : graph.at(files[v])) {
+        auto it = id.find(e.target);
+        if (it != id.end() && members.count(it->second) > 0) {
+          line = e.line;
+          break;
+        }
+      }
+      out.push_back({"L10-layering", files[v], line,
+                     "include cycle (hard error, not suppressible): " + cycle, true});
+    }
+  }
+  return out;
+}
+
+}  // namespace senn_lint

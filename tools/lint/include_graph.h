@@ -1,0 +1,56 @@
+// Cross-file include graph for L10-layering.
+//
+// The repo's include convention — every include is written repo-relative
+// (`#include "src/geom/vec2.h"`) — makes the graph recoverable with a plain
+// line scan, no preprocessor needed. (The lexer drops string-literal
+// contents, so this works off the raw source, not the token stream.)
+//
+// Layer bands encode the architecture DAG from DESIGN.md:
+//
+//   band 0  common
+//   band 1  geom, obs
+//   band 2  rtree, storage, net
+//   band 3  core, roadnet
+//   band 4  cache, mobility
+//   band 5  rpc, sim
+//   band 6  tools
+//
+// An include may point sideways (same band: storage -> rtree, core <->
+// roadnet) or down, never up: an upward edge is an L10 finding at the
+// `#include` line. A file-level include *cycle* is a hard error — it is
+// reported unconditionally and cannot be suppressed, because a cycle makes
+// the layering claim meaningless for every file involved.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/analysis.h"
+#include "tools/lint/lint.h"
+
+namespace senn_lint {
+
+/// Extracts `#include "..."` targets with their line numbers from raw
+/// source. Angle-bracket (system) includes are ignored.
+std::vector<IncludeEdge> CollectIncludes(const std::string& source);
+
+/// Layer band of a path per the table above; -1 when the path is outside
+/// the banded tree (tests, fixtures, external).
+int LayerBand(const std::string& path);
+
+/// Layer directory name of a path ("" when outside the banded tree).
+std::string LayerName(const std::string& path);
+
+/// Per-file band check: reports one L10 finding per upward include edge.
+void CheckLayering(const std::string& file, const std::vector<IncludeEdge>& includes,
+                   std::vector<Diagnostic>* sink);
+
+/// Run-level cycle check over the scanned files' edges (edges to files
+/// outside the scan set are ignored — a cycle needs every participant in
+/// view). Returned diagnostics are hard errors (Diagnostic::hard set);
+/// the driver exempts them from allow() suppression.
+std::vector<Diagnostic> CheckIncludeCycles(
+    const std::map<std::string, std::vector<IncludeEdge>>& graph);
+
+}  // namespace senn_lint

@@ -1,593 +1,24 @@
+// Driver for senn_lint: per-file analysis pipeline, run-level (cross-file)
+// rules, suppression application, and the report/baseline formats. The rule
+// bodies live in rules_core.cc (L1-L6), rules_scoped.cc (L7-L9), and
+// include_graph.cc (L10).
 #include "tools/lint/lint.h"
 
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "tools/lint/analysis.h"
+#include "tools/lint/include_graph.h"
 #include "tools/lint/lexer.h"
 
 namespace senn_lint {
 
 namespace {
-
-constexpr size_t kNpos = static_cast<size_t>(-1);
-
-// ---------------------------------------------------------------------------
-// Analysis context shared by the rules: tokens plus precomputed structure
-// (bracket matching, lambda bodies, function-body blocks).
-// ---------------------------------------------------------------------------
-
-struct FuncBody {
-  size_t open = 0;        // index of '{'
-  size_t close = 0;       // index of matching '}'
-  size_t param_open = 0;  // index of the preceding '(' (kNpos when absent)
-  size_t param_close = 0;
-};
-
-struct Ctx {
-  std::string file;
-  std::vector<Token> tokens;
-  std::vector<size_t> paren_match;  // '('/')' partner index or kNpos
-  std::vector<size_t> brace_match;  // '{'/'}' partner index or kNpos
-  std::unordered_map<std::string, std::pair<size_t, size_t>> lambda_body;
-  std::vector<FuncBody> func_bodies;
-  std::vector<Diagnostic>* sink = nullptr;
-
-  const Token& At(size_t i) const { return tokens[i]; }
-  size_t Size() const { return tokens.size(); }
-  bool IsIdent(size_t i, const char* text) const {
-    return i < tokens.size() && tokens[i].kind == TokKind::kIdent && tokens[i].text == text;
-  }
-  bool IsPunct(size_t i, const char* text) const {
-    return i < tokens.size() && tokens[i].kind == TokKind::kPunct && tokens[i].text == text;
-  }
-  void Report(const std::string& rule, int line, std::string message) {
-    // One diagnostic per (rule, line): two `==` on one line are one finding.
-    for (const Diagnostic& d : *sink) {
-      if (d.rule == rule && d.line == line) return;
-    }
-    sink->push_back({rule, file, line, std::move(message)});
-  }
-};
-
-bool PathContains(const std::string& path, const char* needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-std::string Lower(const std::string& s) {
-  std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return out;
-}
-
-// Identifier heuristic for "this value is a distance": the conventional
-// names the codebase uses for Euclidean / network distances and radii.
-bool DistanceIsh(const std::string& ident) {
-  static const std::set<std::string> kExact = {"d", "d2", "nd", "radius", "reach", "network"};
-  return Lower(ident).find("dist") != std::string::npos || kExact.count(ident) > 0;
-}
-
-// L5 additionally treats `key` as a distance: the best-first queue items
-// carry their MINDIST/distance under that name.
-bool DistanceIshForEquality(const std::string& ident) {
-  return DistanceIsh(ident) || ident == "key";
-}
-
-// Matches '<'..'>' starting at `open` (index of '<'). Tracks nested angles
-// and parens; gives up (kNpos) on ';' or '{', which means the '<' was a
-// comparison, not a template argument list.
-size_t AngleMatch(const Ctx& ctx, size_t open) {
-  int angle = 0;
-  int paren = 0;
-  for (size_t i = open; i < ctx.Size(); ++i) {
-    const Token& t = ctx.At(i);
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "(") ++paren;
-    if (t.text == ")") {
-      if (paren == 0) return kNpos;
-      --paren;
-    }
-    if (paren > 0) continue;
-    if (t.text == "<") ++angle;
-    if (t.text == ">") {
-      --angle;
-      if (angle == 0) return i;
-    }
-    if (t.text == ";" || t.text == "{") return kNpos;
-  }
-  return kNpos;
-}
-
-void PrecomputeBrackets(Ctx* ctx) {
-  ctx->paren_match.assign(ctx->Size(), kNpos);
-  ctx->brace_match.assign(ctx->Size(), kNpos);
-  std::vector<size_t> parens;
-  std::vector<size_t> braces;
-  for (size_t i = 0; i < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "(") parens.push_back(i);
-    if (t.text == ")" && !parens.empty()) {
-      ctx->paren_match[i] = parens.back();
-      ctx->paren_match[parens.back()] = i;
-      parens.pop_back();
-    }
-    if (t.text == "{") braces.push_back(i);
-    if (t.text == "}" && !braces.empty()) {
-      ctx->brace_match[i] = braces.back();
-      ctx->brace_match[braces.back()] = i;
-      braces.pop_back();
-    }
-  }
-}
-
-// Records `name = [...](...) ... { body }` lambda assignments so L1 can see
-// through a named comparator at its use site.
-void CollectLambdas(Ctx* ctx) {
-  for (size_t i = 2; i < ctx->Size(); ++i) {
-    if (!ctx->IsPunct(i, "[")) continue;
-    if (!ctx->IsPunct(i - 1, "=") || ctx->At(i - 2).kind != TokKind::kIdent) continue;
-    // Find the capture list's ']' (captures contain no brackets in practice).
-    size_t rb = i + 1;
-    while (rb < ctx->Size() && !ctx->IsPunct(rb, "]")) ++rb;
-    if (rb >= ctx->Size()) continue;
-    size_t body = kNpos;
-    if (ctx->IsPunct(rb + 1, "(")) {
-      size_t close = ctx->paren_match[rb + 1];
-      if (close == kNpos) continue;
-      // Skip trailing-return / specifier tokens up to the body brace.
-      for (size_t j = close + 1; j < std::min(close + 12, ctx->Size()); ++j) {
-        if (ctx->IsPunct(j, "{")) {
-          body = j;
-          break;
-        }
-        if (ctx->IsPunct(j, ";") || ctx->IsPunct(j, ",")) break;
-      }
-    } else if (ctx->IsPunct(rb + 1, "{")) {
-      body = rb + 1;
-    }
-    if (body == kNpos || ctx->brace_match[body] == kNpos) continue;
-    ctx->lambda_body[ctx->At(i - 2).text] = {body, ctx->brace_match[body]};
-  }
-}
-
-bool IsControlKeyword(const std::string& s) {
-  return s == "if" || s == "while" || s == "for" || s == "switch" || s == "catch";
-}
-
-bool IsFuncSpecifier(const std::string& s) {
-  return s == "const" || s == "noexcept" || s == "override" || s == "final" || s == "mutable";
-}
-
-// Classifies every '{' as function-body or not. A function body is a brace
-// whose preceding tokens lead back to a parameter-list ')' that is not a
-// control statement's condition. Constructor init lists and trailing return
-// types are walked through; `if (...) {` / `for (...) {` are excluded.
-void CollectFuncBodies(Ctx* ctx) {
-  for (size_t i = 1; i < ctx->Size(); ++i) {
-    if (!ctx->IsPunct(i, "{") || ctx->brace_match[i] == kNpos) continue;
-    size_t j = i - 1;
-    // Walk back over specifiers and a trailing return type.
-    size_t steps = 0;
-    while (j > 0 && steps < 12) {
-      const Token& t = ctx->At(j);
-      if (t.kind == TokKind::kIdent && IsFuncSpecifier(t.text)) {
-        --j;
-        ++steps;
-        continue;
-      }
-      if (t.kind == TokKind::kIdent || t.text == "::" || t.text == "<" || t.text == ">" ||
-          t.text == "*" || t.text == "&") {
-        // Part of a trailing return type only if an `->` precedes it.
-        if (j >= 1 && (ctx->IsPunct(j - 1, "->") || ctx->At(j - 1).kind == TokKind::kIdent ||
-                       ctx->IsPunct(j - 1, "::") || ctx->IsPunct(j - 1, "<") ||
-                       ctx->IsPunct(j - 1, ">"))) {
-          --j;
-          ++steps;
-          continue;
-        }
-        if (j >= 1 && ctx->IsPunct(j - 1, ")")) {
-          // `) -> T {` without the arrow merged: treat like specifier.
-          --j;
-          ++steps;
-          continue;
-        }
-        break;
-      }
-      if (t.text == "->") {
-        --j;
-        ++steps;
-        continue;
-      }
-      break;
-    }
-    if (!ctx->IsPunct(j, ")")) continue;
-    size_t open = ctx->paren_match[j];
-    if (open == kNpos) continue;
-    // Constructor init lists: `Foo(...) : a_(1), b_(2) {` — the ')' before
-    // '{' belongs to the last initializer. Walk initializers back to the
-    // parameter list proper.
-    size_t param_close = j;
-    size_t param_open = open;
-    while (param_open > 0 &&
-           (ctx->IsPunct(param_open - 1, ",") ||
-            (ctx->At(param_open - 1).kind == TokKind::kIdent && param_open >= 2 &&
-             (ctx->IsPunct(param_open - 2, ",") || ctx->IsPunct(param_open - 2, ":"))))) {
-      // `..., name(expr)` or `: name(expr)` — step to the preceding ')'.
-      size_t k = param_open - 1;
-      while (k > 0 && !ctx->IsPunct(k, ")")) {
-        if (ctx->IsPunct(k, ";") || ctx->IsPunct(k, "{") || ctx->IsPunct(k, "}")) {
-          k = 0;
-          break;
-        }
-        --k;
-      }
-      if (k == 0 || ctx->paren_match[k] == kNpos) break;
-      param_close = k;
-      param_open = ctx->paren_match[k];
-    }
-    if (param_open > 0 && ctx->At(param_open - 1).kind == TokKind::kIdent &&
-        IsControlKeyword(ctx->At(param_open - 1).text)) {
-      continue;
-    }
-    ctx->func_bodies.push_back({i, ctx->brace_match[i], param_open, param_close});
-  }
-}
-
-// Smallest function body whose braces enclose token index `i` (kNpos-open
-// sentinel when none).
-const FuncBody* EnclosingFuncBody(const Ctx& ctx, size_t i) {
-  const FuncBody* best = nullptr;
-  for (const FuncBody& b : ctx.func_bodies) {
-    if (b.open < i && i < b.close && (best == nullptr || b.open > best->open)) best = &b;
-  }
-  return best;
-}
-
-// ---------------------------------------------------------------------------
-// L1-raw-order
-// ---------------------------------------------------------------------------
-
-const std::set<std::string>& SortLikeNames() {
-  static const std::set<std::string> kNames = {
-      "sort",      "stable_sort", "partial_sort", "nth_element",
-      "make_heap", "push_heap",   "pop_heap",     "sort_heap"};
-  return kNames;
-}
-
-void RuleRawOrder(Ctx* ctx) {
-  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kIdent) continue;
-    if (SortLikeNames().count(t.text) > 0 && ctx->IsPunct(i + 1, "(")) {
-      size_t close = ctx->paren_match[i + 1];
-      if (close == kNpos) continue;
-      bool has_ranks = false;
-      bool has_dist = false;
-      std::string witness;
-      auto scan = [&](size_t lo, size_t hi, bool resolve) {
-        for (size_t j = lo; j < hi; ++j) {
-          const Token& u = ctx->At(j);
-          if (u.kind != TokKind::kIdent) continue;
-          if (u.text == "RanksBefore") has_ranks = true;
-          if (DistanceIsh(u.text) && !has_dist) {
-            has_dist = true;
-            witness = u.text;
-          }
-          if (resolve) {
-            auto it = ctx->lambda_body.find(u.text);
-            if (it != ctx->lambda_body.end()) {
-              for (size_t k = it->second.first; k < it->second.second; ++k) {
-                const Token& v = ctx->At(k);
-                if (v.kind != TokKind::kIdent) continue;
-                if (v.text == "RanksBefore") has_ranks = true;
-                if (DistanceIsh(v.text) && !has_dist) {
-                  has_dist = true;
-                  witness = v.text;
-                }
-              }
-            }
-          }
-        }
-      };
-      scan(i + 2, close, /*resolve=*/true);
-      if (has_dist && !has_ranks) {
-        ctx->Report("L1-raw-order", t.line,
-                    "std::" + t.text + " over distance-carrying data ('" + witness +
-                        "') without core::RanksBefore — a distance-only comparator ranks "
-                        "co-distant entries by insertion order");
-      }
-    }
-    if (t.text == "priority_queue" && ctx->IsPunct(i + 1, "<")) {
-      size_t close = AngleMatch(*ctx, i + 1);
-      if (close == kNpos) continue;
-      int commas = 0;
-      int angle = 0;
-      int paren = 0;
-      for (size_t j = i + 1; j < close; ++j) {
-        const Token& u = ctx->At(j);
-        if (u.kind != TokKind::kPunct) continue;
-        if (u.text == "<") ++angle;
-        if (u.text == ">") --angle;
-        if (u.text == "(") ++paren;
-        if (u.text == ")") --paren;
-        if (u.text == "," && angle == 1 && paren == 0) ++commas;
-      }
-      if (commas == 0) {
-        ctx->Report("L1-raw-order", t.line,
-                    "std::priority_queue with the default '<' comparator — equal-key "
-                    "entries pop in heap-internal order; supply a (distance, id) rank "
-                    "comparator");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// L2-unordered-iter
-// ---------------------------------------------------------------------------
-
-void RuleUnorderedIter(Ctx* ctx) {
-  // Pass 1: names declared with an unordered container type.
-  std::set<std::string> tracked;
-  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kIdent ||
-        (t.text != "unordered_map" && t.text != "unordered_set" &&
-         t.text != "unordered_multimap" && t.text != "unordered_multiset")) {
-      continue;
-    }
-    if (!ctx->IsPunct(i + 1, "<")) continue;
-    size_t close = AngleMatch(*ctx, i + 1);
-    if (close == kNpos) continue;
-    size_t j = close + 1;
-    while (j < ctx->Size() &&
-           (ctx->IsPunct(j, "&") || ctx->IsPunct(j, "*") || ctx->IsIdent(j, "const"))) {
-      ++j;
-    }
-    if (j < ctx->Size() && ctx->At(j).kind == TokKind::kIdent) tracked.insert(ctx->At(j).text);
-  }
-  if (tracked.empty()) return;
-
-  // Pass 2: iteration over a tracked name.
-  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
-    if (ctx->IsIdent(i, "for") && ctx->IsPunct(i + 1, "(")) {
-      size_t close = ctx->paren_match[i + 1];
-      if (close == kNpos) continue;
-      size_t colon = kNpos;
-      int paren = 0;
-      for (size_t j = i + 2; j < close; ++j) {
-        if (ctx->IsPunct(j, "(")) ++paren;
-        if (ctx->IsPunct(j, ")")) --paren;
-        if (paren == 0 && ctx->IsPunct(j, ":")) {
-          colon = j;
-          break;
-        }
-      }
-      if (colon == kNpos) continue;
-      for (size_t j = colon + 1; j < close; ++j) {
-        const Token& u = ctx->At(j);
-        if (u.kind == TokKind::kIdent && tracked.count(u.text) > 0) {
-          ctx->Report("L2-unordered-iter", ctx->At(i).line,
-                      "range-for over unordered container '" + u.text +
-                          "' — iteration order is hash-layout dependent and must not "
-                          "feed results, JSON, traces, or RNG draws");
-          break;
-        }
-      }
-    }
-    const Token& t = ctx->At(i);
-    if (t.kind == TokKind::kIdent && tracked.count(t.text) > 0 &&
-        (ctx->IsPunct(i + 1, ".") || ctx->IsPunct(i + 1, "->")) && i + 2 < ctx->Size()) {
-      // `m.find(k) != m.end()` is the membership idiom, not iteration: skip
-      // begin/end mentions that are one side of an equality comparison.
-      // Walk back over `obj->member.` qualifier chains so `it !=
-      // ctx->lambda_body.end()` reads the same as `it != m.end()`.
-      size_t q = i;
-      while (q >= 2 && (ctx->IsPunct(q - 1, ".") || ctx->IsPunct(q - 1, "->")) &&
-             ctx->At(q - 2).kind == TokKind::kIdent) {
-        q -= 2;
-      }
-      if (q > 0 && (ctx->IsPunct(q - 1, "==") || ctx->IsPunct(q - 1, "!="))) continue;
-      size_t call_end = (i + 3 < ctx->Size() && ctx->IsPunct(i + 3, "("))
-                            ? ctx->paren_match[i + 3]
-                            : kNpos;
-      if (call_end != kNpos && call_end + 1 < ctx->Size() &&
-          (ctx->IsPunct(call_end + 1, "==") || ctx->IsPunct(call_end + 1, "!="))) {
-        continue;
-      }
-      const std::string& m = ctx->At(i + 2).text;
-      if (m == "begin" || m == "end" || m == "cbegin" || m == "cend" || m == "rbegin" ||
-          m == "rend") {
-        ctx->Report("L2-unordered-iter", t.line,
-                    "iterator walk over unordered container '" + t.text +
-                        "' — iteration order is hash-layout dependent");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// L3-wallclock
-// ---------------------------------------------------------------------------
-
-void RuleWallclock(Ctx* ctx) {
-  if (PathContains(ctx->file, "common/rng.") || PathContains(ctx->file, "senn_sim.cpp")) {
-    return;
-  }
-  static const std::set<std::string> kCallOnly = {"rand",  "srand",       "drand48",
-                                                  "time",  "clock",       "gettimeofday",
-                                                  "random"};
-  static const std::set<std::string> kBareType = {"random_device", "steady_clock",
-                                                  "system_clock", "high_resolution_clock"};
-  for (size_t i = 0; i < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kIdent) continue;
-    // Member accesses (`foo.time`, `x->clock`) are not the libc functions.
-    if (i > 0 && (ctx->IsPunct(i - 1, ".") || ctx->IsPunct(i - 1, "->"))) continue;
-    if (kCallOnly.count(t.text) > 0 && ctx->IsPunct(i + 1, "(")) {
-      // `double time() const` declares a member named `time`: a preceding
-      // identifier is a type name, so this is a declaration, not a call.
-      // Statement keywords (`return time(...)`) still read as calls.
-      static const std::set<std::string> kStmtKeyword = {
-          "return", "co_return", "co_yield", "co_await", "throw", "case", "else", "do"};
-      if (i > 0 && ctx->At(i - 1).kind == TokKind::kIdent &&
-          kStmtKeyword.count(ctx->At(i - 1).text) == 0) {
-        continue;
-      }
-      ctx->Report("L3-wallclock", t.line,
-                  "'" + t.text + "()' is a nondeterministic source — draw from a named "
-                  "common/rng.h stream instead");
-    } else if (kBareType.count(t.text) > 0) {
-      ctx->Report("L3-wallclock", t.line,
-                  "'std::" + t.text + "' leaks wall-clock/hardware entropy into the run — "
-                  "deterministic replays require common/rng.h streams and sim time");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// L4-pointer-order
-// ---------------------------------------------------------------------------
-
-void RulePointerOrder(Ctx* ctx) {
-  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind == TokKind::kIdent && (t.text == "less" || t.text == "greater") &&
-        ctx->IsPunct(i + 1, "<")) {
-      size_t close = AngleMatch(*ctx, i + 1);
-      if (close == kNpos) continue;
-      for (size_t j = i + 2; j < close; ++j) {
-        if (ctx->IsPunct(j, "*")) {
-          ctx->Report("L4-pointer-order", t.line,
-                      "std::" + t.text + " over a pointer type orders by address — heap "
-                      "addresses vary per run; compare stable ids instead");
-          break;
-        }
-      }
-    }
-  }
-  // Comparator bodies whose pointer-typed parameters are compared directly.
-  for (const FuncBody& b : ctx->func_bodies) {
-    if (b.param_open == kNpos || b.param_open + 1 >= b.param_close) continue;
-    std::set<std::string> pointer_params;
-    size_t seg_start = b.param_open + 1;
-    for (size_t j = b.param_open + 1; j <= b.param_close; ++j) {
-      if (j == b.param_close || (ctx->IsPunct(j, ",") && ctx->paren_match[j] == kNpos)) {
-        bool has_star = false;
-        std::string last_ident;
-        for (size_t k = seg_start; k < j; ++k) {
-          if (ctx->IsPunct(k, "*")) has_star = true;
-          if (ctx->At(k).kind == TokKind::kIdent) last_ident = ctx->At(k).text;
-        }
-        if (has_star && !last_ident.empty()) pointer_params.insert(last_ident);
-        seg_start = j + 1;
-      }
-    }
-    if (pointer_params.empty()) continue;
-    for (size_t j = b.open + 1; j + 2 < b.close; ++j) {
-      const Token& a = ctx->At(j);
-      const Token& op = ctx->At(j + 1);
-      const Token& c = ctx->At(j + 2);
-      if (a.kind == TokKind::kIdent && c.kind == TokKind::kIdent &&
-          pointer_params.count(a.text) > 0 && pointer_params.count(c.text) > 0 &&
-          op.kind == TokKind::kPunct &&
-          (op.text == "<" || op.text == ">" || op.text == "<=" || op.text == ">=")) {
-        ctx->Report("L4-pointer-order", a.line,
-                    "ordering comparison '" + a.text + " " + op.text + " " + c.text +
-                        "' on pointer parameters — addresses vary per run; compare "
-                        "stable ids");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// L5-float-eq
-// ---------------------------------------------------------------------------
-
-void RuleFloatEq(Ctx* ctx) {
-  if (PathContains(ctx->file, "geom/")) return;  // the epsilon-helper home
-  for (size_t i = 1; i + 1 < ctx->Size(); ++i) {
-    const Token& op = ctx->At(i);
-    if (op.kind != TokKind::kPunct || (op.text != "==" && op.text != "!=")) continue;
-    // Null checks on pointer out-params (`out_distance != nullptr`) are not
-    // value comparisons.
-    if (ctx->IsIdent(i + 1, "nullptr") || ctx->IsIdent(i - 1, "nullptr")) continue;
-    // Comparisons against char/string literals (`d == '.'`) are character
-    // processing, never distance arithmetic.
-    if (ctx->At(i - 1).kind == TokKind::kString || ctx->At(i + 1).kind == TokKind::kString) {
-      continue;
-    }
-    std::string witness;
-    const Token& prev = ctx->At(i - 1);
-    if (prev.kind == TokKind::kIdent && DistanceIshForEquality(prev.text)) witness = prev.text;
-    if (witness.empty()) {
-      size_t j = i + 1;
-      while (j < ctx->Size() && (ctx->IsPunct(j, "*") || ctx->IsPunct(j, "("))) ++j;
-      // Resolve member chains: in `s.line == d.line` the compared value is
-      // the final member (`line`), not the object (`d`).
-      while (j + 2 < ctx->Size() && ctx->At(j).kind == TokKind::kIdent &&
-             (ctx->IsPunct(j + 1, ".") || ctx->IsPunct(j + 1, "->")) &&
-             ctx->At(j + 2).kind == TokKind::kIdent) {
-        j += 2;
-      }
-      if (j < ctx->Size() && ctx->At(j).kind == TokKind::kIdent &&
-          DistanceIshForEquality(ctx->At(j).text)) {
-        witness = ctx->At(j).text;
-      }
-    }
-    if (witness.empty()) continue;
-    ctx->Report("L5-float-eq", op.line,
-                "'" + op.text + "' on double distance '" + witness +
-                    "' — exact float equality is only sound when both sides come from "
-                    "the identical computation; use geom/ epsilon helpers or justify");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// L6-pin-balance
-// ---------------------------------------------------------------------------
-
-void RulePinBalance(Ctx* ctx) {
-  if (PathContains(ctx->file, "storage/buffer_pool") ||
-      PathContains(ctx->file, "storage/node_pager")) {
-    return;  // the pin layer itself; its balance is enforced by tests + paranoid mode
-  }
-  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
-    const Token& t = ctx->At(i);
-    if (t.kind != TokKind::kIdent ||
-        (t.text != "Fetch" && t.text != "ChargeNodeAccess" &&
-         t.text != "ChargeBatchNodeAccess")) {
-      continue;
-    }
-    if (!ctx->IsPunct(i + 1, "(")) continue;
-    const FuncBody* body = EnclosingFuncBody(*ctx, i);
-    if (body == nullptr) continue;  // declaration, not a call in a definition
-    bool balanced = false;
-    for (size_t j = body->open + 1; j < body->close; ++j) {
-      const Token& u = ctx->At(j);
-      if (u.kind == TokKind::kIdent && (u.text == "Unpin" || u.text == "PageGuard")) {
-        balanced = true;
-        break;
-      }
-    }
-    if (!balanced) {
-      ctx->Report("L6-pin-balance", t.line,
-                  "'" + t.text + "' pins a page but the enclosing scope has no "
-                  "Unpin()/PageGuard — leaked pins starve the buffer pool");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Registry, suppressions, driver
-// ---------------------------------------------------------------------------
 
 struct Rule {
   const char* name;
@@ -604,6 +35,13 @@ const std::vector<Rule>& Registry() {
       {"L4-pointer-order", "no ordering comparisons on pointer values", RulePointerOrder},
       {"L5-float-eq", "no ==/!= on double distances outside geom/", RuleFloatEq},
       {"L6-pin-balance", "every pin needs an Unpin/PageGuard in scope", RulePinBalance},
+      {"L7-rng-stream", "every Rng draw comes from a named stream; no outcome-gated draws",
+       RuleRngStream},
+      {"L8-untrusted-decode", "rpc/ decoded fields need Validate*/bounds checks before use",
+       RuleUntrustedDecode},
+      {"L9-lock-discipline", "no I/O, condvar waits, or page faults under server mutexes",
+       RuleLockDiscipline},
+      {"L10-layering", "includes follow the layer DAG; cycles are hard errors", nullptr},
   };
   return kRules;
 }
@@ -640,6 +78,113 @@ std::vector<Suppression> ParseSuppressions(const std::string& file,
     out.push_back({rule, file, c.line, justification, false});
   }
   return out;
+}
+
+// One file's full analysis state, kept until the run-level rules have had
+// their say — only then are suppressions applied.
+struct FileAnalysis {
+  std::string file;
+  std::vector<Diagnostic> raw;  // pre-suppression findings
+  std::vector<Suppression> suppressions;
+  std::set<int> code_lines;
+  FileFacts facts;
+};
+
+FileAnalysis Analyze(const std::string& file, const std::string& source) {
+  FileAnalysis fa;
+  fa.file = file;
+  LexedFile lexed = Lex(source);
+  Ctx ctx;
+  ctx.file = file;
+  ctx.tokens = std::move(lexed.tokens);
+  ctx.sink = &fa.raw;
+  ctx.facts = &fa.facts;
+  PrecomputeBrackets(&ctx);
+  CollectLambdas(&ctx);
+  CollectFuncBodies(&ctx);
+  BuildScopes(&ctx);
+  CollectSymbols(&ctx);
+  for (const Rule& r : Registry()) {
+    if (r.fn != nullptr) r.fn(&ctx);
+  }
+  // L10 per-file half: include extraction (off the raw source — the lexer
+  // drops string contents) and the upward-edge band check.
+  fa.facts.includes = CollectIncludes(source);
+  CheckLayering(file, fa.facts.includes, &fa.raw);
+
+  fa.suppressions = ParseSuppressions(file, lexed.comments);
+  // Lines that carry code tokens: a suppression comment "directly above" a
+  // finding may be separated from it only by comment/blank lines.
+  for (const Token& t : ctx.tokens) fa.code_lines.insert(t.line);
+  return fa;
+}
+
+// Run-level rule: nested lock acquisitions must follow the mutexes'
+// declaration order within their declaring file (the class definition).
+void CheckLockOrder(std::vector<FileAnalysis>* files) {
+  // name -> (declaring file, line); first declaration wins per name, and
+  // order is only enforced between mutexes declared in the same file.
+  std::map<std::string, std::pair<std::string, int>> decls;
+  for (const FileAnalysis& fa : *files) {
+    for (const MutexDecl& d : fa.facts.mutex_decls) {
+      decls.emplace(d.name, std::make_pair(fa.file, d.line));
+    }
+  }
+  for (FileAnalysis& fa : *files) {
+    for (const NestedLock& nl : fa.facts.nested_locks) {
+      auto outer = decls.find(nl.outer);
+      auto inner = decls.find(nl.inner);
+      if (outer == decls.end() || inner == decls.end()) continue;
+      if (outer->second.first != inner->second.first) continue;
+      if (inner->second.second >= outer->second.second) continue;
+      fa.raw.push_back(
+          {"L9-lock-discipline", fa.file, nl.line,
+           "acquired '" + nl.inner + "' while holding '" + nl.outer + "', but '" +
+               nl.inner + "' is declared first (" + inner->second.first + ":" +
+               std::to_string(inner->second.second) +
+               ") — nested acquisitions must follow declaration order to rule out "
+               "lock-order inversions",
+           false});
+    }
+  }
+}
+
+// Applies suppressions and sorts: the finish step for one analyzed file.
+FileReport Finalize(FileAnalysis* fa) {
+  std::sort(fa->raw.begin(), fa->raw.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  FileReport report;
+  report.suppressions = fa->suppressions;
+  auto suppressed = [&](const Diagnostic& d) {
+    if (d.hard) return false;  // include cycles gate unconditionally
+    for (Suppression& s : report.suppressions) {
+      if (s.rule != d.rule) continue;
+      if (s.line == d.line) {
+        s.used = true;
+        return true;
+      }
+      if (s.line < d.line) {
+        bool contiguous = true;
+        for (int l = s.line; l < d.line; ++l) {
+          if (fa->code_lines.count(l) > 0) {
+            contiguous = false;
+            break;
+          }
+        }
+        if (contiguous) {
+          s.used = true;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (const Diagnostic& d : fa->raw) {
+    if (!suppressed(d)) report.diagnostics.push_back(d);
+  }
+  return report;
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -681,60 +226,15 @@ std::vector<std::pair<std::string, std::string>> RuleTable() {
 }
 
 FileReport LintSource(const std::string& file, const std::string& source) {
-  LexedFile lexed = Lex(source);
-  Ctx ctx;
-  ctx.file = file;
-  ctx.tokens = std::move(lexed.tokens);
-  std::vector<Diagnostic> raw;
-  ctx.sink = &raw;
-  PrecomputeBrackets(&ctx);
-  CollectLambdas(&ctx);
-  CollectFuncBodies(&ctx);
-  for (const Rule& r : Registry()) r.fn(&ctx);
-  std::sort(raw.begin(), raw.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-
-  FileReport report;
-  report.suppressions = ParseSuppressions(file, lexed.comments);
-
-  // Lines that carry code tokens: a suppression comment "directly above" a
-  // finding may be separated from it only by comment/blank lines.
-  std::set<int> code_lines;
-  for (const Token& t : ctx.tokens) code_lines.insert(t.line);
-  std::set<int> own_line_comments;
-  for (const Comment& c : lexed.comments) {
-    if (c.own_line) own_line_comments.insert(c.line);
-  }
-
-  auto suppressed = [&](const Diagnostic& d) {
-    for (Suppression& s : report.suppressions) {
-      if (s.rule != d.rule) continue;
-      if (s.line == d.line) {
-        s.used = true;
-        return true;
-      }
-      if (s.line < d.line) {
-        bool contiguous = true;
-        for (int l = s.line; l < d.line; ++l) {
-          if (code_lines.count(l) > 0) {
-            contiguous = false;
-            break;
-          }
-        }
-        if (contiguous) {
-          s.used = true;
-          return true;
-        }
-      }
-    }
-    return false;
-  };
-  for (const Diagnostic& d : raw) {
-    if (!suppressed(d)) report.diagnostics.push_back(d);
-  }
-  return report;
+  std::vector<FileAnalysis> files;
+  files.push_back(Analyze(file, source));
+  // Run-level rules still run — over the one-file "set" (same-file lock
+  // order and self-include cycles remain detectable).
+  CheckLockOrder(&files);
+  std::map<std::string, std::vector<IncludeEdge>> graph;
+  graph[file] = files[0].facts.includes;
+  for (Diagnostic& d : CheckIncludeCycles(graph)) files[0].raw.push_back(std::move(d));
+  return Finalize(&files[0]);
 }
 
 std::vector<Suppression> RunResult::UnusedSuppressions() const {
@@ -747,6 +247,31 @@ std::vector<Suppression> RunResult::UnusedSuppressions() const {
 
 bool RunResult::Clean() const {
   return diagnostics.empty() && UnusedSuppressions().empty() && missing_files.empty();
+}
+
+RunResult LintFiles(const std::vector<SourceFile>& files) {
+  RunResult result;
+  std::vector<FileAnalysis> analyses;
+  analyses.reserve(files.size());
+  std::map<std::string, std::vector<IncludeEdge>> graph;
+  for (const SourceFile& f : files) {
+    analyses.push_back(Analyze(f.path, f.source));
+    graph[f.path] = analyses.back().facts.includes;
+    ++result.files_scanned;
+  }
+  CheckLockOrder(&analyses);
+  std::vector<Diagnostic> cycles = CheckIncludeCycles(graph);
+  for (FileAnalysis& fa : analyses) {
+    for (const Diagnostic& d : cycles) {
+      if (d.file == fa.file) fa.raw.push_back(d);
+    }
+    FileReport report = Finalize(&fa);
+    result.diagnostics.insert(result.diagnostics.end(), report.diagnostics.begin(),
+                              report.diagnostics.end());
+    result.suppressions.insert(result.suppressions.end(), report.suppressions.begin(),
+                               report.suppressions.end());
+  }
+  return result;
 }
 
 RunResult LintPaths(const std::vector<std::string>& paths) {
@@ -777,6 +302,7 @@ RunResult LintPaths(const std::vector<std::string>& paths) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  std::vector<SourceFile> sources;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -785,14 +311,11 @@ RunResult LintPaths(const std::vector<std::string>& paths) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    FileReport report = LintSource(file, buf.str());
-    ++result.files_scanned;
-    result.diagnostics.insert(result.diagnostics.end(), report.diagnostics.begin(),
-                              report.diagnostics.end());
-    result.suppressions.insert(result.suppressions.end(), report.suppressions.begin(),
-                               report.suppressions.end());
+    sources.push_back({file, buf.str()});
   }
-  return result;
+  RunResult run = LintFiles(sources);
+  run.missing_files = result.missing_files;
+  return run;
 }
 
 std::string ToJson(const RunResult& result) {
@@ -845,6 +368,28 @@ std::string ToSuppressionList(const RunResult& result) {
   std::ostringstream out;
   for (const std::string& l : lines) out << l << "\n";
   return out.str();
+}
+
+BaselineDiff DiffBaseline(const RunResult& result, const std::string& baseline_text) {
+  auto split = [](const std::string& text) {
+    std::set<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.insert(line);
+    }
+    return lines;
+  };
+  std::set<std::string> current = split(ToSuppressionList(result));
+  std::set<std::string> baseline = split(baseline_text);
+  BaselineDiff diff;
+  for (const std::string& l : current) {
+    if (baseline.count(l) == 0) diff.added.push_back(l);
+  }
+  for (const std::string& l : baseline) {
+    if (current.count(l) == 0) diff.removed.push_back(l);
+  }
+  return diff;
 }
 
 }  // namespace senn_lint

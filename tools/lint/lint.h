@@ -1,23 +1,40 @@
 // senn_lint — the repo's determinism & soundness static-analysis pass.
 //
-// Six token-level rules enforce the contract that PR 4's tie-break
-// postmortems made explicit (see DESIGN.md, "Determinism contract"):
+// v2: a lightweight semantic engine (brace/paren-matched scope tree,
+// per-scope symbol table with declared-type chains, cross-file include
+// graph) hosting ten rule families. L1-L6 encode the PR-4 tie-break
+// postmortems; L7-L10 encode the PR-6/PR-7 stream- and wire-safety
+// contracts (see DESIGN.md, "Determinism contract"):
 //
-//   L1-raw-order       distance-carrying sorts/heaps must rank through
-//                      core::RanksBefore, never a raw `<` on distance alone.
-//   L2-unordered-iter  no iteration over unordered_map/unordered_set
-//                      (membership tests are fine; iteration order is a
-//                      function of the hash seed and allocation history).
-//   L3-wallclock       no rand()/std::random_device/time()/std::chrono
-//                      clocks outside common/rng.* and the CLI entry point.
-//   L4-pointer-order   no ordering comparisons on pointer values (heap
-//                      addresses vary run to run).
-//   L5-float-eq        no ==/!= on double distances outside geom/ epsilon
-//                      helpers (exact ties are only sound when both sides
-//                      come from the identical computation — say why).
-//   L6-pin-balance     every pinning Fetch()/ChargeNodeAccess()/
-//                      ChargeBatchNodeAccess() in a scope needs a matching
-//                      Unpin()/PageGuard in that scope.
+//   L1-raw-order        distance-carrying sorts/heaps must rank through
+//                       core::RanksBefore, never a raw `<` on distance alone.
+//   L2-unordered-iter   no iteration over unordered_map/unordered_set
+//                       (membership tests are fine; iteration order is a
+//                       function of the hash seed and allocation history).
+//   L3-wallclock        no rand()/std::random_device/time()/std::chrono
+//                       clocks outside common/rng.* and the CLI entry point.
+//   L4-pointer-order    no ordering comparisons on pointer values (heap
+//                       addresses vary run to run).
+//   L5-float-eq         no ==/!= on double distances outside geom/ epsilon
+//                       helpers (exact ties are only sound when both sides
+//                       come from the identical computation — say why).
+//   L6-pin-balance      every pinning Fetch()/ChargeNodeAccess()/
+//                       ChargeBatchNodeAccess() in a scope needs a matching
+//                       Unpin()/PageGuard in that scope.
+//   L7-rng-stream       every Rng draw comes from a named Rng::Stream
+//                       derivation; no draw inside a branch predicated on a
+//                       prior draw's outcome (stream-desync hazard).
+//   L8-untrusted-decode in src/rpc/, decoded-frame fields are tainted until
+//                       a Validate*() or relational bounds check; tainted
+//                       arithmetic/indexing/size-taking is a finding.
+//   L9-lock-discipline  no socket I/O, second-mutex condvar waits, or
+//                       buffer-pool page faults under a mutex; nested
+//                       acquisitions must follow declaration order.
+//   L10-layering        includes may only point down (or sideways in) the
+//                       layer DAG common -> geom/obs -> rtree/storage/net ->
+//                       core/roadnet -> cache/mobility -> rpc/sim -> tools;
+//                       include cycles are hard errors and cannot be
+//                       suppressed.
 //
 // A finding is silenced with a justification comment on the same line or
 // the comment block directly above it:
@@ -29,10 +46,11 @@
 // no longer suppresses anything must be deleted, which keeps the baseline
 // (tools/lint_baseline.txt) honest.
 //
-// The rules are heuristic by design (a tokenizer, not a compiler): they
-// trade completeness for zero build-time dependencies and for diagnostics
-// precise enough to gate check.sh stage 6. False positives are expected
-// occasionally and are what allow() is for.
+// The rules are heuristic by design (a tokenizer + scope heuristics, not a
+// compiler): they trade completeness for zero build-time dependencies and
+// for diagnostics precise enough to gate check.sh stage 6. When the engine
+// cannot resolve a receiver or declaration it stays silent; false positives
+// are expected occasionally and are what allow() is for.
 #pragma once
 
 #include <string>
@@ -45,6 +63,7 @@ struct Diagnostic {
   std::string file;
   int line = 0;
   std::string message;
+  bool hard = false;  // hard errors (include cycles) ignore allow() comments
 };
 
 struct Suppression {
@@ -62,12 +81,20 @@ struct FileReport {
   std::vector<Suppression> suppressions;
 };
 
-/// All registered rules as (name, summary) pairs, in L1..L6 order.
+/// All registered rules as (name, summary) pairs, in L1..L10 order.
 std::vector<std::pair<std::string, std::string>> RuleTable();
 
 /// Lints one translation unit. `file` is the label used in diagnostics and
-/// in path-based rule exemptions, so pass repo-relative paths.
+/// in path-based rule exemptions (L8 gates on "rpc/", L10 bands on the
+/// "src/<layer>/" component), so pass repo-relative paths.
 FileReport LintSource(const std::string& file, const std::string& source);
+
+/// An in-memory translation unit for LintFiles — the run-level entry point
+/// the include-graph tests drive with synthetic file trees.
+struct SourceFile {
+  std::string path;
+  std::string source;
+};
 
 /// Aggregated run over many files.
 struct RunResult {
@@ -81,6 +108,11 @@ struct RunResult {
   /// no unreadable inputs.
   bool Clean() const;
 };
+
+/// Lints a set of in-memory files as one run: per-file rules plus the
+/// cross-file rules (include cycles, lock acquisition order) that need the
+/// whole set in view.
+RunResult LintFiles(const std::vector<SourceFile>& files);
 
 /// Lints every *.h / *.cc / *.cpp under `paths` (files or directories,
 /// directories walked recursively in sorted order — the tool's own output
@@ -99,5 +131,15 @@ std::string ToHuman(const RunResult& result);
 /// "file:line: allow(rule): justification" per annotation, so intentional
 /// suppressions show up in code review diffs.
 std::string ToSuppressionList(const RunResult& result);
+
+/// Line-set diff of the run's suppression list against checked-in baseline
+/// text (`--baseline FILE`): `added` are annotations not in the baseline,
+/// `removed` are baseline entries no longer in the tree.
+struct BaselineDiff {
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  bool Clean() const { return added.empty() && removed.empty(); }
+};
+BaselineDiff DiffBaseline(const RunResult& result, const std::string& baseline_text);
 
 }  // namespace senn_lint

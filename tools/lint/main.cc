@@ -1,11 +1,13 @@
 // senn_lint CLI — see tools/lint/lint.h for the rule catalogue.
 //
 // Usage:
-//   senn_lint [--json] [--list-suppressions] [--rules] PATH...
+//   senn_lint [--json] [--list-suppressions] [--rules] [--baseline FILE] PATH...
 //
 // Exit codes: 0 clean, 1 findings (or unused suppressions / unreadable
-// inputs), 2 usage error.
+// inputs / baseline drift), 2 usage error.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,11 +17,14 @@ namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: senn_lint [--json] [--list-suppressions] [--rules] PATH...\n"
+               "usage: senn_lint [--json] [--list-suppressions] [--rules]\n"
+               "                 [--baseline FILE] PATH...\n"
                "  PATH                 file or directory (directories walk *.h/*.cc/*.cpp)\n"
                "  --json               machine-readable report on stdout\n"
                "  --list-suppressions  print every 'senn-lint: allow(...)' annotation\n"
                "                       (the tools/lint_baseline.txt format) and exit 0\n"
+               "  --baseline FILE      diff the suppression list against FILE and exit\n"
+               "                       nonzero on drift (regen: tools/regen_lint_baseline.sh)\n"
                "  --rules              print the rule catalogue and exit 0\n"
                "suppress a finding with a justification comment on or above its line:\n"
                "  // senn-lint: allow(L5-float-eq): <why this exact comparison is sound>\n");
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool list_suppressions = false;
   bool show_rules = false;
+  std::string baseline_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -40,6 +46,13 @@ int main(int argc, char** argv) {
       list_suppressions = true;
     } else if (arg == "--rules") {
       show_rules = true;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "senn_lint: --baseline needs a file argument\n");
+        PrintUsage();
+        return 2;
+      }
+      baseline_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -53,7 +66,7 @@ int main(int argc, char** argv) {
   }
   if (show_rules) {
     for (const auto& [name, summary] : senn_lint::RuleTable()) {
-      std::printf("%-18s %s\n", name.c_str(), summary.c_str());
+      std::printf("%-20s %s\n", name.c_str(), summary.c_str());
     }
     return 0;
   }
@@ -67,10 +80,37 @@ int main(int argc, char** argv) {
     std::fputs(senn_lint::ToSuppressionList(result).c_str(), stdout);
     return result.missing_files.empty() ? 0 : 1;
   }
+
+  bool baseline_drift = false;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "senn_lint: cannot read baseline '%s'\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    senn_lint::BaselineDiff diff = senn_lint::DiffBaseline(result, buf.str());
+    if (!diff.Clean()) {
+      baseline_drift = true;
+      std::fprintf(stderr, "senn_lint: suppression list drifted from %s:\n",
+                   baseline_path.c_str());
+      for (const std::string& l : diff.added) {
+        std::fprintf(stderr, "  + %s\n", l.c_str());
+      }
+      for (const std::string& l : diff.removed) {
+        std::fprintf(stderr, "  - %s\n", l.c_str());
+      }
+      std::fprintf(stderr,
+                   "  review the drift, then run tools/regen_lint_baseline.sh and commit "
+                   "the diff\n");
+    }
+  }
+
   if (json) {
     std::printf("%s\n", senn_lint::ToJson(result).c_str());
   } else {
     std::fputs(senn_lint::ToHuman(result).c_str(), stdout);
   }
-  return result.Clean() ? 0 : 1;
+  return (result.Clean() && !baseline_drift) ? 0 : 1;
 }

@@ -1,0 +1,378 @@
+// L1-L6: the PR-4/PR-5 determinism rules, re-hosted on the scoped engine.
+//
+// Two false-positive classes the flat scanner could not express are now
+// handled structurally:
+//   * L1 skips `std::priority_queue<double>`-style value-only scalar bags —
+//     equal keys are indistinguishable, so heap-internal pop order cannot be
+//     observed; the rule is about (distance, payload) entries.
+//   * L6 skips the pinning helpers' own definitions and lambda-shaped
+//     pass-throughs (enclosing function/lambda named `*charge*`): the
+//     balance obligation sits with their callers, which the rule still sees.
+#include "tools/lint/analysis.h"
+
+namespace senn_lint {
+
+namespace {
+
+const std::set<std::string>& SortLikeNames() {
+  static const std::set<std::string> kNames = {
+      "sort",      "stable_sort", "partial_sort", "nth_element",
+      "make_heap", "push_heap",   "pop_heap",     "sort_heap"};
+  return kNames;
+}
+
+// Scalar types whose values carry no identity: a container of these cannot
+// leak heap-internal ordering because equal elements are interchangeable.
+bool IsScalarTypeName(const std::string& s) {
+  static const std::set<std::string> kScalar = {
+      "double", "float",    "int",     "long",     "short",    "unsigned", "size_t",
+      "int8_t", "int16_t",  "int32_t", "int64_t",  "uint8_t",  "uint16_t", "uint32_t",
+      "uint64_t", "char",   "bool",    "ptrdiff_t"};
+  return kScalar.count(s) > 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// L1-raw-order
+// ---------------------------------------------------------------------------
+
+void RuleRawOrder(Ctx* ctx) {
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent) continue;
+    if (SortLikeNames().count(t.text) > 0 && ctx->IsPunct(i + 1, "(")) {
+      size_t close = ctx->paren_match[i + 1];
+      if (close == kNpos) continue;
+      bool has_ranks = false;
+      bool has_dist = false;
+      std::string witness;
+      auto scan = [&](size_t lo, size_t hi, bool resolve) {
+        for (size_t j = lo; j < hi; ++j) {
+          const Token& u = ctx->At(j);
+          if (u.kind != TokKind::kIdent) continue;
+          if (u.text == "RanksBefore") has_ranks = true;
+          if (DistanceIsh(u.text) && !has_dist) {
+            has_dist = true;
+            witness = u.text;
+          }
+          if (resolve) {
+            auto it = ctx->lambda_body.find(u.text);
+            if (it != ctx->lambda_body.end()) {
+              for (size_t k = it->second.first; k < it->second.second; ++k) {
+                const Token& v = ctx->At(k);
+                if (v.kind != TokKind::kIdent) continue;
+                if (v.text == "RanksBefore") has_ranks = true;
+                if (DistanceIsh(v.text) && !has_dist) {
+                  has_dist = true;
+                  witness = v.text;
+                }
+              }
+            }
+          }
+        }
+      };
+      scan(i + 2, close, /*resolve=*/true);
+      if (has_dist && !has_ranks) {
+        ctx->Report("L1-raw-order", t.line,
+                    "std::" + t.text + " over distance-carrying data ('" + witness +
+                        "') without core::RanksBefore — a distance-only comparator ranks "
+                        "co-distant entries by insertion order");
+      }
+    }
+    if (t.text == "priority_queue" && ctx->IsPunct(i + 1, "<")) {
+      size_t close = AngleMatch(*ctx, i + 1);
+      if (close == kNpos) continue;
+      int commas = 0;
+      int angle = 0;
+      int paren = 0;
+      std::vector<std::string> first_arg;
+      for (size_t j = i + 2; j < close; ++j) {
+        const Token& u = ctx->At(j);
+        if (u.kind == TokKind::kIdent && commas == 0) first_arg.push_back(u.text);
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "<") ++angle;
+        if (u.text == ">") --angle;
+        if (u.text == "(") ++paren;
+        if (u.text == ")") --paren;
+        if (u.text == "," && angle == 0 && paren == 0) ++commas;
+      }
+      if (commas == 0) {
+        // A queue of bare scalars is a value-only bag: equal keys are
+        // indistinguishable, so the default comparator cannot leak
+        // heap-internal order into results.
+        bool scalar_bag = first_arg.size() == 1 && IsScalarTypeName(first_arg[0]);
+        if (!scalar_bag) {
+          ctx->Report("L1-raw-order", t.line,
+                      "std::priority_queue with the default '<' comparator — equal-key "
+                      "entries pop in heap-internal order; supply a (distance, id) rank "
+                      "comparator");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L2-unordered-iter
+// ---------------------------------------------------------------------------
+
+void RuleUnorderedIter(Ctx* ctx) {
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string> tracked;
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "unordered_map" && t.text != "unordered_set" &&
+         t.text != "unordered_multimap" && t.text != "unordered_multiset")) {
+      continue;
+    }
+    if (!ctx->IsPunct(i + 1, "<")) continue;
+    size_t close = AngleMatch(*ctx, i + 1);
+    if (close == kNpos) continue;
+    size_t j = close + 1;
+    while (j < ctx->Size() &&
+           (ctx->IsPunct(j, "&") || ctx->IsPunct(j, "*") || ctx->IsIdent(j, "const"))) {
+      ++j;
+    }
+    if (j < ctx->Size() && ctx->At(j).kind == TokKind::kIdent) tracked.insert(ctx->At(j).text);
+  }
+  if (tracked.empty()) return;
+
+  // Pass 2: iteration over a tracked name.
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    if (ctx->IsIdent(i, "for") && ctx->IsPunct(i + 1, "(")) {
+      size_t close = ctx->paren_match[i + 1];
+      if (close == kNpos) continue;
+      size_t colon = kNpos;
+      int paren = 0;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (ctx->IsPunct(j, "(")) ++paren;
+        if (ctx->IsPunct(j, ")")) --paren;
+        if (paren == 0 && ctx->IsPunct(j, ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == kNpos) continue;
+      for (size_t j = colon + 1; j < close; ++j) {
+        const Token& u = ctx->At(j);
+        if (u.kind == TokKind::kIdent && tracked.count(u.text) > 0) {
+          ctx->Report("L2-unordered-iter", ctx->At(i).line,
+                      "range-for over unordered container '" + u.text +
+                          "' — iteration order is hash-layout dependent and must not "
+                          "feed results, JSON, traces, or RNG draws");
+          break;
+        }
+      }
+    }
+    const Token& t = ctx->At(i);
+    if (t.kind == TokKind::kIdent && tracked.count(t.text) > 0 &&
+        (ctx->IsPunct(i + 1, ".") || ctx->IsPunct(i + 1, "->")) && i + 2 < ctx->Size()) {
+      // `m.find(k) != m.end()` is the membership idiom, not iteration: skip
+      // begin/end mentions that are one side of an equality comparison.
+      // Walk back over `obj->member.` qualifier chains so `it !=
+      // ctx->lambda_body.end()` reads the same as `it != m.end()`.
+      size_t q = i;
+      while (q >= 2 && (ctx->IsPunct(q - 1, ".") || ctx->IsPunct(q - 1, "->")) &&
+             ctx->At(q - 2).kind == TokKind::kIdent) {
+        q -= 2;
+      }
+      if (q > 0 && (ctx->IsPunct(q - 1, "==") || ctx->IsPunct(q - 1, "!="))) continue;
+      size_t call_end = (i + 3 < ctx->Size() && ctx->IsPunct(i + 3, "("))
+                            ? ctx->paren_match[i + 3]
+                            : kNpos;
+      if (call_end != kNpos && call_end + 1 < ctx->Size() &&
+          (ctx->IsPunct(call_end + 1, "==") || ctx->IsPunct(call_end + 1, "!="))) {
+        continue;
+      }
+      const std::string& m = ctx->At(i + 2).text;
+      if (m == "begin" || m == "end" || m == "cbegin" || m == "cend" || m == "rbegin" ||
+          m == "rend") {
+        ctx->Report("L2-unordered-iter", t.line,
+                    "iterator walk over unordered container '" + t.text +
+                        "' — iteration order is hash-layout dependent");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L3-wallclock
+// ---------------------------------------------------------------------------
+
+void RuleWallclock(Ctx* ctx) {
+  if (PathContains(ctx->file, "common/rng.") || PathContains(ctx->file, "senn_sim.cpp")) {
+    return;
+  }
+  static const std::set<std::string> kCallOnly = {"rand",  "srand",       "drand48",
+                                                  "time",  "clock",       "gettimeofday",
+                                                  "random"};
+  static const std::set<std::string> kBareType = {"random_device", "steady_clock",
+                                                  "system_clock", "high_resolution_clock"};
+  for (size_t i = 0; i < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent) continue;
+    // Member accesses (`foo.time`, `x->clock`) are not the libc functions.
+    if (i > 0 && (ctx->IsPunct(i - 1, ".") || ctx->IsPunct(i - 1, "->"))) continue;
+    if (kCallOnly.count(t.text) > 0 && ctx->IsPunct(i + 1, "(")) {
+      // `double time() const` declares a member named `time`: a preceding
+      // identifier is a type name, so this is a declaration, not a call.
+      // Statement keywords (`return time(...)`) still read as calls.
+      static const std::set<std::string> kStmtKeyword = {
+          "return", "co_return", "co_yield", "co_await", "throw", "case", "else", "do"};
+      if (i > 0 && ctx->At(i - 1).kind == TokKind::kIdent &&
+          kStmtKeyword.count(ctx->At(i - 1).text) == 0) {
+        continue;
+      }
+      ctx->Report("L3-wallclock", t.line,
+                  "'" + t.text + "()' is a nondeterministic source — draw from a named "
+                  "common/rng.h stream instead");
+    } else if (kBareType.count(t.text) > 0) {
+      ctx->Report("L3-wallclock", t.line,
+                  "'std::" + t.text + "' leaks wall-clock/hardware entropy into the run — "
+                  "deterministic replays require common/rng.h streams and sim time");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L4-pointer-order
+// ---------------------------------------------------------------------------
+
+void RulePointerOrder(Ctx* ctx) {
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind == TokKind::kIdent && (t.text == "less" || t.text == "greater") &&
+        ctx->IsPunct(i + 1, "<")) {
+      size_t close = AngleMatch(*ctx, i + 1);
+      if (close == kNpos) continue;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (ctx->IsPunct(j, "*")) {
+          ctx->Report("L4-pointer-order", t.line,
+                      "std::" + t.text + " over a pointer type orders by address — heap "
+                      "addresses vary per run; compare stable ids instead");
+          break;
+        }
+      }
+    }
+  }
+  // Comparator bodies whose pointer-typed parameters are compared directly.
+  for (const FuncBody& b : ctx->func_bodies) {
+    if (b.param_open == kNpos || b.param_open + 1 >= b.param_close) continue;
+    std::set<std::string> pointer_params;
+    size_t seg_start = b.param_open + 1;
+    for (size_t j = b.param_open + 1; j <= b.param_close; ++j) {
+      if (j == b.param_close || (ctx->IsPunct(j, ",") && ctx->paren_match[j] == kNpos)) {
+        bool has_star = false;
+        std::string last_ident;
+        for (size_t k = seg_start; k < j; ++k) {
+          if (ctx->IsPunct(k, "*")) has_star = true;
+          if (ctx->At(k).kind == TokKind::kIdent) last_ident = ctx->At(k).text;
+        }
+        if (has_star && !last_ident.empty()) pointer_params.insert(last_ident);
+        seg_start = j + 1;
+      }
+    }
+    if (pointer_params.empty()) continue;
+    for (size_t j = b.open + 1; j + 2 < b.close; ++j) {
+      const Token& a = ctx->At(j);
+      const Token& op = ctx->At(j + 1);
+      const Token& c = ctx->At(j + 2);
+      if (a.kind == TokKind::kIdent && c.kind == TokKind::kIdent &&
+          pointer_params.count(a.text) > 0 && pointer_params.count(c.text) > 0 &&
+          op.kind == TokKind::kPunct &&
+          (op.text == "<" || op.text == ">" || op.text == "<=" || op.text == ">=")) {
+        ctx->Report("L4-pointer-order", a.line,
+                    "ordering comparison '" + a.text + " " + op.text + " " + c.text +
+                        "' on pointer parameters — addresses vary per run; compare "
+                        "stable ids");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L5-float-eq
+// ---------------------------------------------------------------------------
+
+void RuleFloatEq(Ctx* ctx) {
+  if (PathContains(ctx->file, "geom/")) return;  // the epsilon-helper home
+  for (size_t i = 1; i + 1 < ctx->Size(); ++i) {
+    const Token& op = ctx->At(i);
+    if (op.kind != TokKind::kPunct || (op.text != "==" && op.text != "!=")) continue;
+    // Null checks on pointer out-params (`out_distance != nullptr`) are not
+    // value comparisons.
+    if (ctx->IsIdent(i + 1, "nullptr") || ctx->IsIdent(i - 1, "nullptr")) continue;
+    // Comparisons against char/string literals (`d == '.'`) are character
+    // processing, never distance arithmetic.
+    if (ctx->At(i - 1).kind == TokKind::kString || ctx->At(i + 1).kind == TokKind::kString) {
+      continue;
+    }
+    std::string witness;
+    const Token& prev = ctx->At(i - 1);
+    if (prev.kind == TokKind::kIdent && DistanceIshForEquality(prev.text)) witness = prev.text;
+    if (witness.empty()) {
+      size_t j = i + 1;
+      while (j < ctx->Size() && (ctx->IsPunct(j, "*") || ctx->IsPunct(j, "("))) ++j;
+      // Resolve member chains: in `s.line == d.line` the compared value is
+      // the final member (`line`), not the object (`d`).
+      while (j + 2 < ctx->Size() && ctx->At(j).kind == TokKind::kIdent &&
+             (ctx->IsPunct(j + 1, ".") || ctx->IsPunct(j + 1, "->")) &&
+             ctx->At(j + 2).kind == TokKind::kIdent) {
+        j += 2;
+      }
+      if (j < ctx->Size() && ctx->At(j).kind == TokKind::kIdent &&
+          DistanceIshForEquality(ctx->At(j).text)) {
+        witness = ctx->At(j).text;
+      }
+    }
+    if (witness.empty()) continue;
+    ctx->Report("L5-float-eq", op.line,
+                "'" + op.text + "' on double distance '" + witness +
+                    "' — exact float equality is only sound when both sides come from "
+                    "the identical computation; use geom/ epsilon helpers or justify");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L6-pin-balance
+// ---------------------------------------------------------------------------
+
+void RulePinBalance(Ctx* ctx) {
+  if (PathContains(ctx->file, "storage/buffer_pool") ||
+      PathContains(ctx->file, "storage/node_pager")) {
+    return;  // the pin layer itself; its balance is enforced by tests + paranoid mode
+  }
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "Fetch" && t.text != "ChargeNodeAccess" &&
+         t.text != "ChargeBatchNodeAccess")) {
+      continue;
+    }
+    if (!ctx->IsPunct(i + 1, "(")) continue;
+    const FuncBody* body = EnclosingFuncBody(*ctx, i);
+    if (body == nullptr) continue;  // declaration, not a call in a definition
+    // The pinning helpers themselves (and lambda pass-throughs named after
+    // them) forward the charge; the balance obligation is their callers'.
+    if (Lower(EnclosingFunctionName(*ctx, i)).find("charge") != std::string::npos) {
+      continue;
+    }
+    bool balanced = false;
+    for (size_t j = body->open + 1; j < body->close; ++j) {
+      const Token& u = ctx->At(j);
+      if (u.kind == TokKind::kIdent && (u.text == "Unpin" || u.text == "PageGuard")) {
+        balanced = true;
+        break;
+      }
+    }
+    if (!balanced) {
+      ctx->Report("L6-pin-balance", t.line,
+                  "'" + t.text + "' pins a page but the enclosing scope has no "
+                  "Unpin()/PageGuard — leaked pins starve the buffer pool");
+    }
+  }
+}
+
+}  // namespace senn_lint

@@ -1,0 +1,474 @@
+// L7-L9: the scoped rule families that need the symbol table.
+//
+//   L7-rng-stream       every Rng draw must come from a named stream
+//                       (Rng::Stream) — raw-seeded or Split()-derived locals
+//                       are order-dependent; and no draw may sit inside a
+//                       branch whose predicate is itself a draw outcome
+//                       (the PR-6 stream-desync bug class).
+//   L8-untrusted-decode in src/rpc/, fields read out of a decoded frame are
+//                       tainted until a Validate*() call or a relational
+//                       bounds check touches them; tainted values in
+//                       arithmetic, indexing, or size-taking calls are
+//                       findings.
+//   L9-lock-discipline  no socket I/O, no condvar wait with a second mutex
+//                       held, no buffer-pool Fetch/PageGuard page faults
+//                       while holding a mutex; nested acquisitions are
+//                       recorded for the run-level declaration-order check.
+//
+// All three degrade to silence when the heuristics cannot resolve a
+// receiver or a declaration — a lint finding must always be actionable.
+#include "tools/lint/analysis.h"
+
+namespace senn_lint {
+
+namespace {
+
+const std::set<std::string>& DrawMethods() {
+  static const std::set<std::string> kDraws = {
+      "NextU64", "NextDouble", "Uniform",     "UniformInt", "NextIndex",
+      "Bernoulli", "Exponential", "Poisson",  "Normal",     "Shuffle"};
+  return kDraws;
+}
+
+// True when [lo, hi) contains an RNG draw: a Rng draw-method member call or
+// a Draw* helper call (net::DrawLost / DrawLatency / DrawServerRtt...).
+bool RangeHasDraw(const Ctx& ctx, size_t lo, size_t hi) {
+  for (size_t j = lo; j < hi && j + 1 < ctx.Size(); ++j) {
+    const Token& t = ctx.At(j);
+    if (t.kind != TokKind::kIdent || !ctx.IsPunct(j + 1, "(")) continue;
+    if (DrawMethods().count(t.text) > 0 && j > 0 &&
+        (ctx.IsPunct(j - 1, ".") || ctx.IsPunct(j - 1, "->"))) {
+      return true;
+    }
+    if (t.text.size() > 4 && t.text.rfind("Draw", 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// L7-rng-stream
+// ---------------------------------------------------------------------------
+
+void RuleRngStream(Ctx* ctx) {
+  if (PathContains(ctx->file, "common/rng.")) return;  // the generator itself
+
+  // Part 1: draw receivers must trace to a named stream.
+  for (size_t i = 2; i + 1 < ctx->Size(); ++i) {
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent || DrawMethods().count(t.text) == 0) continue;
+    if (!ctx->IsPunct(i + 1, "(")) continue;
+    if (!ctx->IsPunct(i - 1, ".") && !ctx->IsPunct(i - 1, "->")) continue;
+    size_t r = i - 2;
+    if (ctx->IsPunct(r, ")")) {
+      // Chained call receiver: `X.Stream("net", id).NextU64()` is the named
+      // stream idiom; `X.Split().NextU64()` is draw-order-dependent.
+      size_t open = ctx->paren_match[r];
+      if (open != kNpos && open >= 1 && ctx->At(open - 1).kind == TokKind::kIdent) {
+        const std::string& callee = ctx->At(open - 1).text;
+        if (callee == "Split") {
+          ctx->Report("L7-rng-stream", t.line,
+                      "draw from a Split()-derived generator — Split() is draw-order "
+                      "dependent; derive a named, order-independent stream with "
+                      "Rng::Stream(domain, id)");
+        }
+      }
+      continue;
+    }
+    if (ctx->At(r).kind != TokKind::kIdent) continue;
+    const Symbol* sym = ctx->Lookup(i, ctx->At(r).text);
+    if (sym == nullptr || !TypeContains(*sym, "Rng")) continue;  // unresolved: skip
+    if (sym->is_param) continue;  // the caller owns the stream contract
+    bool has_stream = false;
+    bool has_split = false;
+    if (sym->init_begin != kNpos) {
+      for (size_t j = sym->init_begin; j < sym->init_end; ++j) {
+        if (ctx->At(j).kind != TokKind::kIdent) continue;
+        if (ctx->At(j).text == "Stream") has_stream = true;
+        if (ctx->At(j).text == "Split") has_split = true;
+      }
+    }
+    if (has_stream) continue;
+    ctx->Report("L7-rng-stream", t.line,
+                has_split
+                    ? "draw from Split()-derived Rng '" + sym->name +
+                          "' — Split() is draw-order dependent; use the named "
+                          "Rng::Stream(domain, id) derivation"
+                    : "draw from Rng '" + sym->name +
+                          "' which is not derived from a named stream — seed it via "
+                          "Rng::Stream(domain, id) so draw order cannot desync replicas");
+  }
+
+  // Part 2: outcome-conditioned draws (the PR-6 stream-desync hazard).
+  // An "outcome variable" holds the result of a prior draw; a draw inside a
+  // branch predicated on one consumes the stream only on some outcomes,
+  // desyncing it from any replica that took the other branch.
+  std::set<const Symbol*> outcome;
+  for (const Symbol& sym : ctx->symbols) {
+    if (sym.init_begin != kNpos && RangeHasDraw(*ctx, sym.init_begin, sym.init_end)) {
+      outcome.insert(&sym);
+    }
+  }
+  for (size_t i = 0; i + 2 < ctx->Size(); ++i) {  // assignments: `x = ...draw...;`
+    if (ctx->At(i).kind != TokKind::kIdent || !ctx->IsPunct(i + 1, "=")) continue;
+    if (i > 0 && (ctx->IsPunct(i - 1, ".") || ctx->IsPunct(i - 1, "->"))) continue;
+    size_t end = i + 2;
+    while (end < ctx->Size() && !ctx->IsPunct(end, ";") && !ctx->IsPunct(end, "{")) ++end;
+    if (RangeHasDraw(*ctx, i + 2, end)) {
+      const Symbol* sym = ctx->Lookup(i, ctx->At(i).text);
+      if (sym != nullptr) outcome.insert(sym);
+    }
+  }
+  if (outcome.empty()) return;
+
+  auto scan_block = [&](size_t lo, size_t hi, const std::string& var) {
+    for (size_t j = lo; j < hi && j + 1 < ctx->Size(); ++j) {
+      const Token& t = ctx->At(j);
+      if (t.kind != TokKind::kIdent || !ctx->IsPunct(j + 1, "(")) continue;
+      bool member_draw = DrawMethods().count(t.text) > 0 && j > 0 &&
+                         (ctx->IsPunct(j - 1, ".") || ctx->IsPunct(j - 1, "->"));
+      bool helper_draw = t.text.size() > 4 && t.text.rfind("Draw", 0) == 0;
+      if (member_draw || helper_draw) {
+        ctx->Report("L7-rng-stream", t.line,
+                    "stream-desync hazard: RNG draw inside a branch conditioned on '" +
+                        var + "', itself a draw outcome — replicas that take the other "
+                        "branch skip the draw and fall out of stream sync; draw eagerly "
+                        "before branching and discard if unused (PR-6 net contract)");
+      }
+    }
+  };
+
+  for (size_t i = 0; i + 1 < ctx->Size(); ++i) {
+    if ((!ctx->IsIdent(i, "if") && !ctx->IsIdent(i, "while")) || !ctx->IsPunct(i + 1, "(")) {
+      continue;
+    }
+    size_t close = ctx->paren_match[i + 1];
+    if (close == kNpos) continue;
+    std::string var;
+    for (size_t j = i + 2; j < close; ++j) {
+      const Token& c = ctx->At(j);
+      if (c.kind != TokKind::kIdent) continue;
+      // Only a plain local read is an outcome reference: `obj->moving()` is
+      // a method call, and `x.lost` a member, not the drawn flag itself.
+      if (j > 0 && (ctx->IsPunct(j - 1, ".") || ctx->IsPunct(j - 1, "->"))) continue;
+      if (ctx->IsPunct(j + 1, "(")) continue;
+      const Symbol* sym = ctx->Lookup(j, c.text);
+      if (sym != nullptr && outcome.count(sym) > 0) {
+        var = c.text;
+        break;
+      }
+    }
+    if (var.empty()) continue;
+    // Body: `{...}` or a single statement; then an optional else block.
+    size_t body_end;
+    if (ctx->IsPunct(close + 1, "{") && ctx->brace_match[close + 1] != kNpos) {
+      body_end = ctx->brace_match[close + 1];
+      scan_block(close + 2, body_end, var);
+    } else {
+      body_end = close + 1;
+      while (body_end < ctx->Size() && !ctx->IsPunct(body_end, ";")) ++body_end;
+      scan_block(close + 1, body_end, var);
+    }
+    if (ctx->IsIdent(body_end + 1, "else") && ctx->IsPunct(body_end + 2, "{") &&
+        ctx->brace_match[body_end + 2] != kNpos) {
+      scan_block(body_end + 3, ctx->brace_match[body_end + 2], var);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L8-untrusted-decode
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Wire-format aggregate types whose fields arrive straight off the socket.
+bool IsWireType(const Symbol& sym) {
+  return TypeContains(sym, "Frame") || TypeContains(sym, "FrameHeader") ||
+         TypeContains(sym, "KnnRequest") || TypeContains(sym, "KnnReply") ||
+         TypeContains(sym, "ErrorReply");
+}
+
+bool IsArithOp(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "+" || t.text == "-" || t.text == "*" || t.text == "/" ||
+          t.text == "%");
+}
+
+bool IsRelOp(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" ||
+          t.text == "==" || t.text == "!=");
+}
+
+// Indexable sequence whose subscript must be bounds-checked (maps are
+// excluded on purpose: operator[] on a map accepts any key).
+bool IsSequenceType(const Symbol& sym) {
+  return sym.is_pointer || TypeContains(sym, "vector") || TypeContains(sym, "array") ||
+         TypeContains(sym, "deque") || TypeContains(sym, "string") ||
+         TypeContains(sym, "span");
+}
+
+}  // namespace
+
+void RuleUntrustedDecode(Ctx* ctx) {
+  if (!PathContains(ctx->file, "rpc/")) return;
+
+  // Statement boundaries: nearest ';' / '{' / '}' on either side.
+  auto stmt_range = [&](size_t i) {
+    size_t lo = i;
+    while (lo > 0) {
+      const Token& t = ctx->At(lo - 1);
+      if (t.kind == TokKind::kPunct && (t.text == ";" || t.text == "{" || t.text == "}")) {
+        break;
+      }
+      --lo;
+    }
+    size_t hi = i;
+    while (hi < ctx->Size()) {
+      const Token& t = ctx->At(hi);
+      if (t.kind == TokKind::kPunct && (t.text == ";" || t.text == "{" || t.text == "}")) {
+        break;
+      }
+      ++hi;
+    }
+    return std::pair<size_t, size_t>(lo, hi);
+  };
+
+  for (size_t fi = 0; fi < ctx->scopes.size(); ++fi) {
+    const ScopeNode& fn = ctx->scopes[fi];
+    if (fn.kind != ScopeNode::kFunction) continue;
+    if (fn.parent != -1 && ctx->scopes[fn.parent].kind == ScopeNode::kFunction) continue;
+
+    auto in_function = [&](int scope) {
+      for (int s = scope; s >= 0; s = ctx->scopes[s].parent) {
+        if (s == static_cast<int>(fi)) return true;
+      }
+      return false;
+    };
+
+    // Taint roots: wire-typed locals, Decode*() results, Read*(&x) fills,
+    // then one propagation pass through initializers.
+    std::set<std::string> tainted;
+    for (const Symbol& sym : ctx->symbols) {
+      if (!in_function(sym.scope) || sym.is_param) continue;
+      if (IsWireType(sym)) tainted.insert(sym.name);
+      if (sym.init_begin != kNpos) {
+        for (size_t j = sym.init_begin; j < sym.init_end; ++j) {
+          const Token& t = ctx->At(j);
+          if (t.kind == TokKind::kIdent && t.text.rfind("Decode", 0) == 0 &&
+              ctx->IsPunct(j + 1, "(")) {
+            tainted.insert(sym.name);
+          }
+        }
+      }
+    }
+    for (size_t i = fn.open + 1; i + 1 < fn.close; ++i) {
+      const Token& t = ctx->At(i);
+      if (t.kind != TokKind::kIdent || t.text.rfind("Read", 0) != 0 ||
+          !ctx->IsPunct(i + 1, "(")) {
+        continue;
+      }
+      size_t close = ctx->paren_match[i + 1];
+      if (close == kNpos) continue;
+      for (size_t j = i + 2; j + 1 < close; ++j) {
+        if (ctx->IsPunct(j, "&") && ctx->At(j + 1).kind == TokKind::kIdent) {
+          tainted.insert(ctx->At(j + 1).text);
+        }
+      }
+    }
+    for (const Symbol& sym : ctx->symbols) {  // propagation: `id = frame.header.request_id`
+      if (!in_function(sym.scope) || sym.is_param || sym.init_begin == kNpos) continue;
+      for (size_t j = sym.init_begin; j < sym.init_end; ++j) {
+        if (ctx->At(j).kind == TokKind::kIdent && tainted.count(ctx->At(j).text) > 0) {
+          tainted.insert(sym.name);
+          break;
+        }
+      }
+    }
+    if (tainted.empty()) continue;
+
+    // Walk the body once; guards cleanse as they are passed, sinks report.
+    std::set<std::string> cleansed;  // "root" (whole var) or "root.member"
+    for (size_t i = fn.open + 1; i < fn.close; ++i) {
+      const Token& t = ctx->At(i);
+      if (t.kind != TokKind::kIdent) continue;
+      // Validate*(x) cleanses every field of x.
+      if (t.text.rfind("Validate", 0) == 0 && ctx->IsPunct(i + 1, "(")) {
+        size_t close = ctx->paren_match[i + 1];
+        for (size_t j = i + 2; j < close && j < ctx->Size(); ++j) {
+          if (ctx->At(j).kind == TokKind::kIdent && tainted.count(ctx->At(j).text) > 0) {
+            cleansed.insert(ctx->At(j).text);
+          }
+        }
+        continue;
+      }
+      if (tainted.count(t.text) == 0) continue;
+      if (i > 0 && (ctx->IsPunct(i - 1, ".") || ctx->IsPunct(i - 1, "->"))) {
+        continue;  // a member named like a tainted root, not the root itself
+      }
+      // Resolve the access chain `root(.member)*`; the chain key is the
+      // final field the bytes land in.
+      size_t chain_end = i;
+      std::string key = t.text;
+      while (chain_end + 2 < ctx->Size() &&
+             (ctx->IsPunct(chain_end + 1, ".") || ctx->IsPunct(chain_end + 1, "->")) &&
+             ctx->At(chain_end + 2).kind == TokKind::kIdent) {
+        chain_end += 2;
+        key = t.text + "." + ctx->At(chain_end).text;
+      }
+      if (ctx->IsPunct(chain_end + 1, "(")) continue;  // method call, not a field read
+      auto [slo, shi] = stmt_range(i);
+      bool guard_stmt = false;
+      for (size_t j = slo; j < shi; ++j) {
+        if (IsRelOp(ctx->At(j))) {
+          guard_stmt = true;
+          break;
+        }
+      }
+      if (guard_stmt) {
+        // The comparison itself is the bounds check; from here on this
+        // field counts as validated.
+        cleansed.insert(key);
+        continue;
+      }
+      if (cleansed.count(key) > 0 || cleansed.count(t.text) > 0) continue;
+
+      bool arith = (i > 0 && IsArithOp(ctx->At(i - 1))) ||
+                   (chain_end + 1 < ctx->Size() && IsArithOp(ctx->At(chain_end + 1)));
+      bool index_sink = false;
+      if (i > 0 && ctx->IsPunct(i - 1, "[") && i >= 2) {
+        if (ctx->At(i - 2).kind == TokKind::kIdent) {
+          const Symbol* base = ctx->Lookup(i, ctx->At(i - 2).text);
+          index_sink = base != nullptr && IsSequenceType(*base);
+        }
+        // `new T[len]` — the '[' follows the element type of a new-expression.
+        for (size_t j = (i >= 6 ? i - 6 : 0); j + 1 < i; ++j) {
+          if (ctx->IsIdent(j, "new")) index_sink = true;
+        }
+      }
+      bool size_sink = false;
+      if (i >= 2 && ctx->IsPunct(i - 1, "(") && ctx->At(i - 2).kind == TokKind::kIdent) {
+        const std::string& callee = ctx->At(i - 2).text;
+        size_sink = callee == "reserve" || callee == "resize" || callee == "memcpy" ||
+                    callee == "memset" || callee == "memmove" || callee == "alloca";
+      }
+      if (arith || index_sink || size_sink) {
+        const char* what = arith ? "arithmetic on" : (index_sink ? "indexing with" : "size-taking call on");
+        ctx->Report("L8-untrusted-decode", t.line,
+                    std::string(what) + " undecoded wire field '" + key +
+                        "' before any Validate*() or relational bounds check — malformed "
+                        "frames drive this value; guard it first (FrameDecoder contract)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L9-lock-discipline
+// ---------------------------------------------------------------------------
+
+void RuleLockDiscipline(Ctx* ctx) {
+  struct Region {
+    size_t begin = 0;
+    size_t end = 0;
+    std::string mutex;
+    std::string holder;  // the guard variable
+    int line = 0;
+  };
+  std::vector<Region> regions;
+  for (const Symbol& sym : ctx->symbols) {
+    if (sym.is_param) continue;
+    if (!TypeContains(sym, "lock_guard") && !TypeContains(sym, "unique_lock") &&
+        !TypeContains(sym, "scoped_lock")) {
+      continue;
+    }
+    Region region;
+    region.begin = sym.name_tok;
+    region.end = ctx->scopes[sym.scope].close;
+    region.holder = sym.name;
+    region.line = ctx->At(sym.name_tok).line;
+    if (sym.init_begin != kNpos) {
+      for (size_t j = sym.init_begin; j < sym.init_end; ++j) {
+        const Token& t = ctx->At(j);
+        if (t.kind == TokKind::kIdent && t.text != "std" && t.text != "mutex" &&
+            t.text != "adopt_lock" && t.text != "defer_lock" && t.text != "try_to_lock") {
+          region.mutex = t.text;
+          break;
+        }
+      }
+    }
+    // `guard.unlock()` ends the region early.
+    for (size_t j = region.begin; j + 3 < region.end; ++j) {
+      if (ctx->IsIdent(j, sym.name.c_str()) && ctx->IsPunct(j + 1, ".") &&
+          ctx->IsIdent(j + 2, "unlock") && ctx->IsPunct(j + 3, "(")) {
+        region.end = j;
+        break;
+      }
+    }
+    if (!region.mutex.empty()) regions.push_back(region);
+  }
+  if (regions.empty()) return;
+
+  // Nested acquisitions feed the run-level declaration-order check.
+  if (ctx->facts != nullptr) {
+    for (const Region& outer : regions) {
+      for (const Region& inner : regions) {
+        if (outer.begin < inner.begin && inner.begin < outer.end &&
+            outer.mutex != inner.mutex) {
+          ctx->facts->nested_locks.push_back({inner.line, outer.mutex, inner.mutex});
+        }
+      }
+    }
+  }
+
+  static const std::set<std::string> kSocketCalls = {
+      "read", "write", "send", "recv", "recvfrom", "sendto",  "accept",
+      "connect", "poll", "select", "sendmsg", "recvmsg"};
+
+  for (size_t i = 1; i + 1 < ctx->Size(); ++i) {
+    std::vector<const Region*> live;
+    for (const Region& r : regions) {
+      if (r.begin < i && i < r.end) live.push_back(&r);
+    }
+    if (live.empty()) continue;
+    const Token& t = ctx->At(i);
+    if (t.kind != TokKind::kIdent) continue;
+
+    // Blocking socket/file syscalls (the repo spells them `::read(...)`).
+    if (ctx->IsPunct(i - 1, "::") && kSocketCalls.count(t.text) > 0 &&
+        ctx->IsPunct(i + 1, "(") &&
+        (i < 2 || ctx->At(i - 2).kind != TokKind::kIdent)) {
+      ctx->Report("L9-lock-discipline", t.line,
+                  "'::" + t.text + "' under mutex '" + live.back()->mutex +
+                      "' — socket I/O can block indefinitely; release the lock before "
+                      "touching the network (rpc::Server keeps I/O on the network "
+                      "thread, outside every mutex)");
+      continue;
+    }
+    // Condvar wait while holding a second mutex: the wait releases only its
+    // own lock, so the other mutex is held across an unbounded sleep.
+    if ((t.text == "wait" || t.text == "wait_for" || t.text == "wait_until") &&
+        ctx->IsPunct(i + 1, "(") && ctx->IsPunct(i - 1, ".") && live.size() >= 2) {
+      ctx->Report("L9-lock-discipline", t.line,
+                  "condition-variable " + t.text + " while holding a second mutex ('" +
+                      live.front()->mutex + "') — the wait releases only its own lock; "
+                      "the other mutex is held across an unbounded sleep");
+      continue;
+    }
+    // Buffer-pool page faults under a mutex: Fetch can evict + re-read a
+    // page (storage I/O); the pool is single-threaded by contract and must
+    // be serialized *outside* fine-grained server locks.
+    if ((t.text == "Fetch" && ctx->IsPunct(i + 1, "(")) || t.text == "PageGuard") {
+      ctx->Report("L9-lock-discipline", t.line,
+                  "'" + t.text + "' (buffer-pool page fault) under mutex '" +
+                      live.back()->mutex + "' — page eviction/IO under a server lock "
+                      "stalls every other thread; serialize pool access at the "
+                      "QueryService boundary instead");
+      continue;
+    }
+  }
+}
+
+}  // namespace senn_lint

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates tools/lint_baseline.txt — the reviewed list of senn_lint
-# allow() suppressions that check.sh stage 6 diffs against.
+# allow() suppressions that `senn_lint --baseline` gates against (check.sh
+# stage 6 and the senn_lint_src tier1 test).
 #
 # Run this after adding or removing a `// senn-lint: allow(<rule>): why`
 # annotation, and commit the resulting diff: the baseline exists so every
@@ -18,5 +19,5 @@ if [[ ! -x "${LINT}" ]]; then
   exit 1
 fi
 
-"${LINT}" --list-suppressions src tools/lint > tools/lint_baseline.txt
+"${LINT}" --list-suppressions src tools > tools/lint_baseline.txt
 echo "wrote tools/lint_baseline.txt ($(wc -l < tools/lint_baseline.txt) suppression(s))"
